@@ -1,0 +1,43 @@
+GO ?= go
+
+.PHONY: all build vet test race bench experiments examples cover clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# Regenerate every table/figure/ablation of the paper (scaled sizes).
+experiments:
+	$(GO) run ./cmd/experiments -exp all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/outofcore
+	$(GO) run ./examples/distributed
+	$(GO) run ./examples/strategies
+	$(GO) run ./examples/customschema
+
+# The capture files referenced by EXPERIMENTS.md.
+outputs:
+	$(GO) test ./... 2>&1 | tee test_output.txt
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+clean:
+	$(GO) clean ./...
+	rm -f test_output.txt bench_output.txt

@@ -1,0 +1,199 @@
+// Command experiments regenerates the paper's tables and figures. Each
+// experiment prints the same rows/series the paper reports, produced by the
+// real SPMD algorithm on simulated ranks under the calibrated cost model
+// (see EXPERIMENTS.md for the paper-vs-measured record).
+//
+// Usage:
+//
+//	experiments -exp all                # everything (default scaled sizes)
+//	experiments -exp fig1               # speedup
+//	experiments -exp fig2               # sizeup
+//	experiments -exp fig3               # scaleup
+//	experiments -exp table1             # collective primitive costs
+//	experiments -exp strategies         # D&C strategy ablation
+//	experiments -exp splitmethods       # SS vs SSE vs direct
+//	experiments -exp boundary           # boundary statistics ablation
+//	experiments -exp baseline           # CLOUDS vs SPRINT baseline
+//	experiments -exp pbaseline          # pCLOUDS vs ScalParC (parallel exact)
+//	experiments -exp regroup            # idle-processor regrouping extension
+//	experiments -exp fig1 -scale 1.0    # paper-scale record counts (slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pclouds/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment: all, fig1, fig2, fig3, table1, strategies, splitmethods, boundary, baseline, pbaseline, regroup, lemma2, functions, phases, memory, fusion")
+		scale  = flag.Float64("scale", 0.01, "record-count scale relative to the paper (1.0 = 3.6M..7.2M tuples)")
+		qroot  = flag.Int("qroot", 100, "root interval count (paper: 10000 at scale 1.0)")
+		seed   = flag.Int64("seed", 1, "data seed")
+		format = flag.String("format", "table", "output format: table or csv (fig1/fig2/fig3/table1 only)")
+	)
+	flag.Parse()
+
+	h := experiments.DefaultHarness()
+	h.QRoot = *qroot
+	h.Seed = *seed
+
+	// The paper's sizes: 3.6, 4.8, 6.0, 7.2 million tuples; per-processor
+	// loads 0.2..0.6 million; processors 1..16.
+	s := func(paperMillions float64) int {
+		n := int(paperMillions * 1e6 * *scale)
+		if n < 500 {
+			n = 500
+		}
+		return n
+	}
+	sizes := []int{s(3.6), s(4.8), s(6.0), s(7.2)}
+	perProc := []int{s(0.2), s(0.3), s(0.4), s(0.5), s(0.6)}
+	procs := []int{1, 2, 4, 8, 16}
+
+	run := func(name string, fn func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	run("table1", func() error {
+		rows, err := h.Table1Collectives([]int{2, 4, 8, 16}, []int{64, 4096, 65536})
+		if err != nil {
+			return err
+		}
+		if *format == "csv" {
+			return experiments.WriteTable1CSV(os.Stdout, rows)
+		}
+		experiments.PrintTable1(os.Stdout, rows)
+		return nil
+	})
+	run("fig1", func() error {
+		res, err := h.Fig1Speedup(sizes, procs)
+		if err != nil {
+			return err
+		}
+		if *format == "csv" {
+			return experiments.WriteFig1CSV(os.Stdout, res)
+		}
+		experiments.PrintFig1(os.Stdout, res)
+		return nil
+	})
+	run("fig2", func() error {
+		res, err := h.Fig2Sizeup(sizes, []int{4, 8, 16})
+		if err != nil {
+			return err
+		}
+		if *format == "csv" {
+			return experiments.WriteFig2CSV(os.Stdout, res)
+		}
+		experiments.PrintFig2(os.Stdout, res)
+		return nil
+	})
+	run("fig3", func() error {
+		res, err := h.Fig3Scaleup(perProc, procs)
+		if err != nil {
+			return err
+		}
+		if *format == "csv" {
+			return experiments.WriteFig3CSV(os.Stdout, res)
+		}
+		experiments.PrintFig3(os.Stdout, res)
+		return nil
+	})
+	run("strategies", func() error {
+		rows, err := h.StrategiesAblation(s(1.0), 4, int64(s(0.05)))
+		if err != nil {
+			return err
+		}
+		experiments.PrintStrategies(os.Stdout, rows)
+		return nil
+	})
+	run("splitmethods", func() error {
+		rows, err := h.SplitMethodsAblation(s(1.0), s(0.3))
+		if err != nil {
+			return err
+		}
+		experiments.PrintSplitMethods(os.Stdout, rows)
+		return nil
+	})
+	run("baseline", func() error {
+		rows, err := h.BaselineAblation(s(1.0), s(0.3))
+		if err != nil {
+			return err
+		}
+		experiments.PrintBaseline(os.Stdout, rows)
+		return nil
+	})
+	run("fusion", func() error {
+		rows, err := h.FusionAblation(s(1.0), []int{1, 4, 16})
+		if err != nil {
+			return err
+		}
+		experiments.PrintFusion(os.Stdout, rows)
+		return nil
+	})
+	run("memory", func() error {
+		rows, err := h.MemoryAblation(s(1.0), []float64{1, 0.25, 0.0625, 0.0156, 0.0039})
+		if err != nil {
+			return err
+		}
+		experiments.PrintMemory(os.Stdout, rows)
+		return nil
+	})
+	run("phases", func() error {
+		rows, err := h.PhasesBreakdown(s(1.0), []int{1, 2, 4, 8, 16})
+		if err != nil {
+			return err
+		}
+		experiments.PrintPhases(os.Stdout, rows)
+		return nil
+	})
+	run("lemma2", func() error {
+		rows, err := h.Lemma2Validation(s(6.0), []int{4, 8, 16}, []int{s(0.01), s(0.05), s(0.2), s(1.0)}, 50)
+		if err != nil {
+			return err
+		}
+		experiments.PrintLemma2(os.Stdout, rows)
+		return nil
+	})
+	run("functions", func() error {
+		rows, err := h.FunctionsSweep(s(1.0), s(0.3))
+		if err != nil {
+			return err
+		}
+		experiments.PrintFunctions(os.Stdout, rows)
+		return nil
+	})
+	run("pbaseline", func() error {
+		rows, err := h.ParallelBaselineAblation(s(0.5), s(0.2), []int{2, 4, 8})
+		if err != nil {
+			return err
+		}
+		experiments.PrintParallelBaseline(os.Stdout, rows)
+		return nil
+	})
+	run("regroup", func() error {
+		rows, err := h.RegroupAblation([]int{s(0.3), s(0.6)}, []int{4, 8, 16})
+		if err != nil {
+			return err
+		}
+		experiments.PrintRegroup(os.Stdout, rows)
+		return nil
+	})
+	run("boundary", func() error {
+		rows, err := h.BoundaryAblation(s(0.5), []int{4, 8}, []int{64, 256})
+		if err != nil {
+			return err
+		}
+		experiments.PrintBoundary(os.Stdout, rows)
+		return nil
+	})
+}

@@ -1,0 +1,3 @@
+module pclouds
+
+go 1.22

@@ -1,0 +1,359 @@
+package clouds
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pclouds/internal/gini"
+	"pclouds/internal/record"
+	"pclouds/internal/tree"
+)
+
+// Method selects how splitting points of numeric attributes are derived at
+// large nodes.
+type Method int
+
+const (
+	// SS samples the splitting points: gini is evaluated only at interval
+	// boundaries (one pass over the node data).
+	SS Method = iota
+	// SSE adds estimation: a gini lower bound prunes intervals, and only
+	// the surviving "alive" intervals are searched exactly (at most one
+	// extra pass). SSE is the method pCLOUDS builds on.
+	SSE
+)
+
+func (m Method) String() string {
+	switch m {
+	case SS:
+		return "SS"
+	case SSE:
+		return "SSE"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Config parameterises tree construction. The zero value is not usable; see
+// Defaults.
+type Config struct {
+	// Method is the large-node splitting method (SS or SSE).
+	Method Method
+	// QRoot is the number of intervals per numeric attribute at the root
+	// (the paper uses 10,000 for 3.6–7.2M records).
+	QRoot int
+	// QMin floors the interval count of large nodes.
+	QMin int
+	// SmallNodeQ is the mixed-parallelism switch threshold, expressed — as
+	// in the paper — in intervals: a node whose interval count would fall
+	// below this is a "small node", solved in-memory with the direct
+	// method (and, in pCLOUDS, shipped to a single processor).
+	SmallNodeQ int
+	// SampleSize is the size of the pre-drawn random sample used to build
+	// intervals. 0 derives it as 10×QRoot capped at the dataset size.
+	SampleSize int
+	// MinNodeSize makes any node with fewer records a leaf (default 2).
+	MinNodeSize int64
+	// MaxDepth caps tree depth; 0 means unlimited.
+	MaxDepth int
+	// Seed drives sample drawing when the caller does not pre-draw one.
+	Seed int64
+}
+
+// Defaults returns a configuration suitable for datasets of ~10^4..10^6
+// records.
+func Defaults() Config {
+	return Config{
+		Method:      SSE,
+		QRoot:       200,
+		QMin:        25,
+		SmallNodeQ:  10,
+		MinNodeSize: 2,
+		Seed:        1,
+	}
+}
+
+// WithDefaults returns c with unset fields filled from Defaults. Drivers in
+// other packages (pCLOUDS) call it so that all builders resolve parameters
+// identically.
+func (c Config) WithDefaults() Config { return c.withDefaults() }
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	d := Defaults()
+	if c.QRoot <= 0 {
+		c.QRoot = d.QRoot
+	}
+	if c.QMin <= 0 {
+		c.QMin = d.QMin
+	}
+	if c.SmallNodeQ <= 0 {
+		c.SmallNodeQ = d.SmallNodeQ
+	}
+	if c.MinNodeSize <= 0 {
+		c.MinNodeSize = d.MinNodeSize
+	}
+	return c
+}
+
+// QForNode returns the node's interval count: proportional to node size (as
+// in CLOUDS, q decreases with the node) floored at QMin.
+func (c Config) QForNode(nNode, nRoot int64) int {
+	if nRoot <= 0 {
+		return c.QMin
+	}
+	q := int(int64(c.QRoot) * nNode / nRoot)
+	if q < c.QMin {
+		q = c.QMin
+	}
+	return q
+}
+
+// IsSmall reports whether a node of nNode records (out of nRoot at the
+// root) is a small node under the paper's interval-count criterion.
+func (c Config) IsSmall(nNode, nRoot int64) bool {
+	if nRoot <= 0 {
+		return true
+	}
+	return int64(c.QRoot)*nNode/nRoot < int64(c.SmallNodeQ)
+}
+
+// SampleFor draws the pre-drawn random sample the interval structures are
+// built from. Callers that need p-independent parallel builds draw the
+// sample once from the full dataset and share it.
+func (c Config) SampleFor(data *record.Dataset) []record.Record {
+	k := c.SampleSize
+	if k <= 0 {
+		k = 10 * c.QRoot
+		if k <= 0 {
+			k = 2000
+		}
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	return data.Sample(k, rng)
+}
+
+// BuildStats aggregates diagnostics of one tree construction.
+type BuildStats struct {
+	// Nodes and Leaves count the finished tree.
+	Nodes, Leaves int
+	// LargeNodes were processed with SS/SSE; SmallNodes with the direct
+	// in-memory method.
+	LargeNodes, SmallNodes int
+	// RecordReads counts every record touched by a statistics, alive-
+	// collection, or partition pass — the "amount of I/O" proxy.
+	RecordReads int64
+	// AlivePoints and BoundaryEvaluated drive the survival ratio
+	// (AlivePoints / BoundaryEvaluated) of the SSE method.
+	AlivePoints, BoundaryEvaluated int64
+	// AliveIntervals counts intervals searched exactly.
+	AliveIntervals int
+	// MaxAlivePoints is the largest number of alive points any single node
+	// produced — the peak in-memory footprint of the SSE exact search.
+	MaxAlivePoints int64
+	// MaxDepth is the deepest node built.
+	MaxDepth int
+}
+
+// SurvivalRatio returns AlivePoints/BoundaryEvaluated (0 when nothing was
+// evaluated).
+func (s *BuildStats) SurvivalRatio() float64 {
+	if s.BoundaryEvaluated == 0 {
+		return 0
+	}
+	return float64(s.AlivePoints) / float64(s.BoundaryEvaluated)
+}
+
+type builder struct {
+	cfg    Config
+	schema *record.Schema
+	nRoot  int64
+	stats  BuildStats
+}
+
+// BuildInCore constructs a CLOUDS decision tree over an in-memory dataset.
+// sample is the pre-drawn random sample used to build interval structures;
+// pass nil to let the builder draw one from cfg.Seed.
+func BuildInCore(cfg Config, data *record.Dataset, sample []record.Record) (*tree.Tree, *BuildStats, error) {
+	cfg = cfg.withDefaults()
+	if data.Len() == 0 {
+		return nil, nil, fmt.Errorf("clouds: empty training set")
+	}
+	if sample == nil {
+		sample = cfg.SampleFor(data)
+	}
+	b := &builder{cfg: cfg, schema: data.Schema, nRoot: int64(data.Len())}
+	root := b.build(data.Records, sample, 0)
+	t := &tree.Tree{Schema: data.Schema, Root: root}
+	st := b.stats
+	return t, &st, nil
+}
+
+// BuildSubtree builds a subtree over in-memory records starting at the
+// given depth, with nRoot the *global* root size so that interval counts
+// and small-node decisions match a full build. pCLOUDS uses it to solve
+// shipped small nodes on their assigned processor.
+func BuildSubtree(cfg Config, schema *record.Schema, recs, sample []record.Record, depth int, nRoot int64) (*tree.Node, *BuildStats) {
+	cfg = cfg.withDefaults()
+	b := &builder{cfg: cfg, schema: schema, nRoot: nRoot}
+	nd := b.build(recs, sample, depth)
+	st := b.stats
+	return nd, &st
+}
+
+func (b *builder) leaf(classCounts []int64, n int64) *tree.Node {
+	nd := &tree.Node{ClassCounts: gini.Clone(classCounts), N: n}
+	nd.Class = nd.Majority()
+	b.stats.Nodes++
+	b.stats.Leaves++
+	return nd
+}
+
+// ShouldStop applies the stopping criteria shared by every driver
+// (sequential in-core, sequential out-of-core, and pCLOUDS): too few
+// records, the depth cap, or a pure node.
+func (c Config) ShouldStop(classCounts []int64, n int64, depth int) bool {
+	if n < c.MinNodeSize {
+		return true
+	}
+	if c.MaxDepth > 0 && depth >= c.MaxDepth {
+		return true
+	}
+	nonzero := 0
+	for _, cnt := range classCounts {
+		if cnt > 0 {
+			nonzero++
+		}
+	}
+	return nonzero <= 1
+}
+
+func (b *builder) shouldStop(classCounts []int64, n int64, depth int) bool {
+	return b.cfg.ShouldStop(classCounts, n, depth)
+}
+
+func (b *builder) build(recs []record.Record, sample []record.Record, depth int) *tree.Node {
+	if depth > b.stats.MaxDepth {
+		b.stats.MaxDepth = depth
+	}
+	n := int64(len(recs))
+	classCounts := make([]int64, b.schema.NumClasses)
+	for _, r := range recs {
+		classCounts[r.Class]++
+	}
+	if b.shouldStop(classCounts, n, depth) {
+		return b.leaf(classCounts, n)
+	}
+
+	var cand Candidate
+	if b.cfg.IsSmall(n, b.nRoot) {
+		b.stats.SmallNodes++
+		b.stats.RecordReads += n
+		cand = DirectSplit(b.schema, recs)
+	} else {
+		b.stats.LargeNodes++
+		cand = b.largeNodeSplit(recs, sample, n)
+	}
+	if !cand.Valid {
+		return b.leaf(classCounts, n)
+	}
+	sp := cand.Splitter()
+
+	leftRecs, rightRecs := partitionRecords(b.schema, recs, sp)
+	b.stats.RecordReads += n
+	if len(leftRecs) == 0 || len(rightRecs) == 0 {
+		return b.leaf(classCounts, n)
+	}
+	leftSample, rightSample := partitionRecords(b.schema, sample, sp)
+
+	nd := &tree.Node{Splitter: sp, ClassCounts: classCounts, N: n}
+	nd.Class = nd.Majority()
+	b.stats.Nodes++
+	nd.Left = b.build(leftRecs, leftSample, depth+1)
+	nd.Right = b.build(rightRecs, rightSample, depth+1)
+	return nd
+}
+
+// largeNodeSplit runs the SS or SSE method over in-memory records.
+func (b *builder) largeNodeSplit(recs, sample []record.Record, n int64) Candidate {
+	// An empty sample partition degenerates to a single interval per
+	// attribute; the SSE alive search then covers the whole range. The
+	// parallel build behaves identically, keeping the two deterministic.
+	q := b.cfg.QForNode(n, b.nRoot)
+	intervals := BuildIntervals(b.schema, sample, q)
+	ns := NewNodeStats(b.schema, intervals)
+	for _, r := range recs {
+		ns.Add(r)
+	}
+	b.stats.RecordReads += n
+
+	best := BestBoundarySplit(ns)
+	if b.cfg.Method == SS {
+		return best
+	}
+
+	// SSE: prune with the lower bound, then search alive intervals exactly.
+	giniMin := best.Gini
+	if !best.Valid {
+		giniMin = gini.Index(ns.Class) // any improvement counts
+	}
+	alive := DetermineAlive(ns, giniMin)
+	b.stats.BoundaryEvaluated += n
+	b.stats.AlivePoints += alive.Points
+	b.stats.AliveIntervals += alive.NumAlive()
+	if alive.Points > b.stats.MaxAlivePoints {
+		b.stats.MaxAlivePoints = alive.Points
+	}
+	if alive.NumAlive() == 0 {
+		return best
+	}
+
+	// Collect points of alive intervals (second pass).
+	pts := collectAlivePoints(ns, alive, recs)
+	b.stats.RecordReads += n
+	for j, nst := range ns.Numeric {
+		for i, flag := range alive.Alive[j] {
+			if !flag {
+				continue
+			}
+			leftBefore := LeftBefore(nst, i, b.schema.NumClasses)
+			cand := EvaluateInterval(nst.Attr, leftBefore, ns.Class, pts[j][i])
+			if cand.Better(best) {
+				best = cand
+			}
+		}
+	}
+	return best
+}
+
+// collectAlivePoints gathers, for every alive interval of every numeric
+// attribute, the (value, class) points that fall inside it.
+func collectAlivePoints(ns *NodeStats, alive *AliveSet, recs []record.Record) [][][]Point {
+	pts := make([][][]Point, len(ns.Numeric))
+	for j, nst := range ns.Numeric {
+		pts[j] = make([][]Point, nst.Intervals.NumIntervals())
+	}
+	for _, r := range recs {
+		for j, nst := range ns.Numeric {
+			v := r.Num[j]
+			i := nst.Intervals.Locate(v)
+			if alive.Alive[j][i] {
+				pts[j][i] = append(pts[j][i], Point{V: v, Class: r.Class})
+			}
+		}
+	}
+	return pts
+}
+
+// partitionRecords splits recs by the splitter; order within each side is
+// preserved.
+func partitionRecords(schema *record.Schema, recs []record.Record, sp *tree.Splitter) (left, right []record.Record) {
+	for _, r := range recs {
+		if sp.GoesLeft(schema, r) {
+			left = append(left, r)
+		} else {
+			right = append(right, r)
+		}
+	}
+	return left, right
+}

@@ -1,0 +1,62 @@
+package clouds_test
+
+import (
+	"fmt"
+
+	"pclouds/internal/clouds"
+	"pclouds/internal/costmodel"
+	"pclouds/internal/datagen"
+	"pclouds/internal/ooc"
+	"pclouds/internal/record"
+)
+
+// ExampleBuildInCore trains a tree on synthetic data and classifies a
+// record.
+func ExampleBuildInCore() {
+	gen, _ := datagen.New(datagen.Config{Function: 2, Seed: 42})
+	train := gen.Generate(5000)
+
+	cfg := clouds.Config{Method: clouds.SSE, QRoot: 100, SmallNodeQ: 10, Seed: 1}
+	tree, _, err := clouds.BuildInCore(cfg, train, nil)
+	if err != nil {
+		panic(err)
+	}
+	rec := train.Records[0]
+	fmt.Println(tree.Classify(rec) == rec.Class)
+	// Output: true
+}
+
+// ExampleBuildOutOfCore builds from a disk-resident store under a memory
+// budget.
+func ExampleBuildOutOfCore() {
+	gen, _ := datagen.New(datagen.Config{Function: 1, Seed: 7})
+	data := gen.Generate(4000)
+
+	store := ooc.NewMemStore(data.Schema, costmodel.Zero(), nil)
+	if err := store.WriteAll("train", data.Records); err != nil {
+		panic(err)
+	}
+	cfg := clouds.Config{Method: clouds.SSE, QRoot: 64, SmallNodeQ: 10, Seed: 1}
+	sample := cfg.SampleFor(data)
+	mem := ooc.NewMemLimit(int64(data.Schema.RecordBytes()) * 500) // 1/8 of the data
+
+	tree, stats, err := clouds.BuildOutOfCore(cfg, store, "train", sample, mem)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(tree.NumNodes() > 1, stats.RecordReads > int64(data.Len()))
+	// Output: true true
+}
+
+// ExampleDirectSplit finds the exact best split of a record set.
+func ExampleDirectSplit() {
+	schema := record.MustSchema([]record.Attribute{{Name: "x", Kind: record.Numeric}}, 2)
+	recs := []record.Record{
+		{Num: []float64{1}, Class: 0},
+		{Num: []float64{2}, Class: 0},
+		{Num: []float64{3}, Class: 1},
+	}
+	cand := clouds.DirectSplit(schema, recs)
+	fmt.Printf("x <= %g (gini %.2f)\n", cand.Threshold, cand.Gini)
+	// Output: x <= 2 (gini 0.00)
+}

@@ -1,0 +1,188 @@
+// Package clouds implements the CLOUDS decision tree classifier (AlSabti,
+// Ranka, Singh — KDD 1998), the sequential substrate of pCLOUDS. It
+// provides the SS method (sample the splitting points), the SSE method
+// (sampling with estimation: alive intervals via a gini lower bound), the
+// direct method (full sort, exact gini at every point), and both in-core
+// and out-of-core sequential drivers. The statistics and split-evaluation
+// machinery here is shared with package pclouds, whose parallel phases
+// combine the same per-rank aggregates with all-reduce operations.
+package clouds
+
+import (
+	"fmt"
+	"sort"
+
+	"pclouds/internal/gini"
+	"pclouds/internal/histogram"
+	"pclouds/internal/record"
+)
+
+// NumericStats holds the interval structure and per-interval class
+// frequencies of one numeric attribute at one node.
+type NumericStats struct {
+	// Attr is the attribute position in the schema.
+	Attr int
+	// Intervals is the equal-mass interval structure from the node sample.
+	Intervals *histogram.Intervals
+	// Freq[i] is the class-frequency vector of interval i; len(Freq) ==
+	// Intervals.NumIntervals().
+	Freq [][]int64
+}
+
+// NodeStats aggregates everything one pass over a node's records produces:
+// per-interval class frequencies for every numeric attribute, count
+// matrices for every categorical attribute, and the node's class counts.
+type NodeStats struct {
+	Schema  *record.Schema
+	Numeric []*NumericStats
+	Cat     []*gini.CountMatrix
+	Class   []int64
+	N       int64
+}
+
+// NewNodeStats allocates zeroed statistics. intervals must hold one
+// interval structure per numeric attribute, in schema numeric order.
+func NewNodeStats(schema *record.Schema, intervals []*histogram.Intervals) *NodeStats {
+	if len(intervals) != schema.NumNumeric() {
+		panic(fmt.Sprintf("clouds: %d interval structures for %d numeric attributes", len(intervals), schema.NumNumeric()))
+	}
+	ns := &NodeStats{
+		Schema: schema,
+		Class:  make([]int64, schema.NumClasses),
+	}
+	for j, attr := range schema.NumericIndices() {
+		iv := intervals[j]
+		freq := make([][]int64, iv.NumIntervals())
+		flat := make([]int64, iv.NumIntervals()*schema.NumClasses)
+		for i := range freq {
+			freq[i], flat = flat[:schema.NumClasses], flat[schema.NumClasses:]
+		}
+		ns.Numeric = append(ns.Numeric, &NumericStats{Attr: attr, Intervals: iv, Freq: freq})
+	}
+	for _, attr := range schema.CategoricalIndices() {
+		ns.Cat = append(ns.Cat, gini.NewCountMatrix(schema.Attrs[attr].Cardinality, schema.NumClasses))
+	}
+	return ns
+}
+
+// Add accumulates one record into the statistics.
+func (ns *NodeStats) Add(rec record.Record) {
+	ns.N++
+	ns.Class[rec.Class]++
+	for j, nst := range ns.Numeric {
+		nst.Freq[nst.Intervals.Locate(rec.Num[j])][rec.Class]++
+	}
+	for j, cm := range ns.Cat {
+		cm.Add(rec.Cat[j], rec.Class)
+	}
+}
+
+// Merge adds another NodeStats of identical shape into ns.
+func (ns *NodeStats) Merge(o *NodeStats) error {
+	if len(ns.Numeric) != len(o.Numeric) || len(ns.Cat) != len(o.Cat) || len(ns.Class) != len(o.Class) {
+		return fmt.Errorf("clouds: merging mismatched NodeStats")
+	}
+	ns.N += o.N
+	gini.Add(ns.Class, o.Class)
+	for j := range ns.Numeric {
+		if len(ns.Numeric[j].Freq) != len(o.Numeric[j].Freq) {
+			return fmt.Errorf("clouds: merging mismatched interval counts on attribute %d", ns.Numeric[j].Attr)
+		}
+		for i := range ns.Numeric[j].Freq {
+			gini.Add(ns.Numeric[j].Freq[i], o.Numeric[j].Freq[i])
+		}
+	}
+	for j := range ns.Cat {
+		ns.Cat[j].AddMatrix(o.Cat[j])
+	}
+	return nil
+}
+
+// FlatLen returns the length of the Flatten vector.
+func (ns *NodeStats) FlatLen() int {
+	n := 1 + len(ns.Class)
+	for _, nst := range ns.Numeric {
+		n += len(nst.Freq) * len(ns.Class)
+	}
+	for _, cm := range ns.Cat {
+		n += cm.Cardinality() * cm.Classes()
+	}
+	return n
+}
+
+// Flatten packs all counters into one int64 vector (for all-reduce). Layout:
+// N, class counts, per-numeric-attribute interval frequencies (row-major),
+// per-categorical-attribute count matrices (row-major).
+func (ns *NodeStats) Flatten() []int64 {
+	out := make([]int64, 0, ns.FlatLen())
+	out = append(out, ns.N)
+	out = append(out, ns.Class...)
+	for _, nst := range ns.Numeric {
+		for _, f := range nst.Freq {
+			out = append(out, f...)
+		}
+	}
+	for _, cm := range ns.Cat {
+		out = append(out, cm.Flatten()...)
+	}
+	return out
+}
+
+// Unflatten replaces ns's counters with the contents of a Flatten vector of
+// matching shape.
+func (ns *NodeStats) Unflatten(flat []int64) error {
+	if len(flat) != ns.FlatLen() {
+		return fmt.Errorf("clouds: unflatten length %d, want %d", len(flat), ns.FlatLen())
+	}
+	ns.N = flat[0]
+	flat = flat[1:]
+	copy(ns.Class, flat[:len(ns.Class)])
+	flat = flat[len(ns.Class):]
+	c := len(ns.Class)
+	for _, nst := range ns.Numeric {
+		for i := range nst.Freq {
+			copy(nst.Freq[i], flat[:c])
+			flat = flat[c:]
+		}
+	}
+	for _, cm := range ns.Cat {
+		for v := 0; v < cm.Cardinality(); v++ {
+			copy(cm.Counts[v], flat[:c])
+			flat = flat[c:]
+		}
+	}
+	return nil
+}
+
+// BuildIntervals constructs the per-numeric-attribute interval structures
+// for a node from its sample records, with q intervals per attribute. The
+// same sample and q on every rank yields identical structures everywhere,
+// which pCLOUDS's replication method relies on.
+func BuildIntervals(schema *record.Schema, sample []record.Record, q int) []*histogram.Intervals {
+	out := make([]*histogram.Intervals, schema.NumNumeric())
+	vals := make([]float64, len(sample))
+	for j := range out {
+		for i, rec := range sample {
+			vals[i] = rec.Num[j]
+		}
+		out[j] = histogram.FromSample(vals, q)
+	}
+	return out
+}
+
+// Point is one (value, class) observation inside an alive interval.
+type Point struct {
+	V     float64
+	Class int32
+}
+
+// SortPoints orders points by value then class; a canonical order that makes
+// in-interval evaluation deterministic regardless of collection order.
+func SortPoints(pts []Point) {
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].V != pts[j].V {
+			return pts[i].V < pts[j].V
+		}
+		return pts[i].Class < pts[j].Class
+	})
+}

@@ -1,0 +1,222 @@
+// Package comm is the message-passing substrate of pCLOUDS: a small,
+// MPI-like interface (ranks, tagged point-to-point messages) with the
+// collective operations the paper's algorithms use — barrier, broadcast,
+// gather, all-gather (all-to-all broadcast), all-to-all personalised
+// exchange, global combine (all-reduce), prefix sum, and min-reduction with
+// location (MinLoc).
+//
+// Two transports implement the interface: an in-process channel mesh
+// (NewGroup, in this package) where each rank is a goroutine, and a TCP
+// socket transport (package tcpcomm) for genuinely distributed runs. The
+// channel transport also drives the simulated cost model of package
+// costmodel: each message charges ts + m·tw and carries a timestamp that
+// aligns the receiver's simulated clock, so collective costs reproduce
+// Table 1 of the paper.
+//
+// Failure semantics match the MPI programs the paper describes: the group
+// is a static gang with no fault tolerance. If a rank returns an error and
+// stops calling collectives, its peers' pending Recv calls either fail
+// (TCP: connection teardown surfaces an error) or block (channel mesh) —
+// a deployment is expected to abort the whole job on any rank error, as
+// cmd/pcloudsd does. Protocol errors (tag mismatches, corrupt frames,
+// invalid ranks) are returned as errors rather than matched loosely, so
+// desynchronised gangs fail fast instead of computing garbage.
+package comm
+
+import (
+	"fmt"
+
+	"pclouds/internal/costmodel"
+)
+
+// Tag identifies the protocol context of a message. Collectives reserve the
+// tags below; applications should use tags >= TagUser.
+type Tag int
+
+const (
+	tagBarrier Tag = iota + 1
+	tagBroadcast
+	tagGather
+	tagAllGather
+	tagAllToAll
+	tagReduce
+	tagScan
+	tagMinLoc
+	// TagUser is the first tag free for application messages.
+	TagUser Tag = 100
+)
+
+// Communicator is the per-rank handle to a process group. Implementations
+// must deliver messages between a fixed (from, to) pair in FIFO order.
+// Send blocks at most until the message is buffered; Recv blocks until the
+// next message from the given rank arrives and fails if its tag differs
+// from the expectation (a protocol error, not a matching feature).
+type Communicator interface {
+	// Rank returns this process's id in [0, Size()).
+	Rank() int
+	// Size returns the number of processes in the group.
+	Size() int
+	// Send delivers data to rank to with the given tag. The data slice is
+	// not retained; implementations copy or fully transmit it before
+	// returning.
+	Send(to int, tag Tag, data []byte) error
+	// Recv returns the next message from rank from, verifying its tag.
+	Recv(from int, tag Tag) ([]byte, error)
+	// Clock returns this rank's simulated clock, or nil if the transport
+	// does not simulate time.
+	Clock() *costmodel.Clock
+	// Stats returns cumulative message statistics for this rank.
+	Stats() Stats
+}
+
+// Stats counts traffic at one rank.
+type Stats struct {
+	MsgsSent  int64
+	BytesSent int64
+	MsgsRecv  int64
+	BytesRecv int64
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o Stats) {
+	s.MsgsSent += o.MsgsSent
+	s.BytesSent += o.BytesSent
+	s.MsgsRecv += o.MsgsRecv
+	s.BytesRecv += o.BytesRecv
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("sent %d msgs/%d B, recv %d msgs/%d B", s.MsgsSent, s.BytesSent, s.MsgsRecv, s.BytesRecv)
+}
+
+// message is an in-flight channel-transport message.
+type message struct {
+	tag    Tag
+	data   []byte
+	sentAt float64 // sender's simulated clock at send completion
+}
+
+// group is the shared state of a channel-transport process group.
+type group struct {
+	size   int
+	params costmodel.Params
+	// chans[from*size+to] carries messages from rank from to rank to.
+	chans []chan message
+}
+
+// ChannelComm is the in-process transport: p ranks connected by buffered
+// channels, one goroutine per rank. It simulates Table 1 message costs on
+// per-rank clocks.
+type ChannelComm struct {
+	g     *group
+	rank  int
+	clock *costmodel.Clock
+	stats Stats
+}
+
+// ChanBuffer is the per-pair channel buffer depth. It bounds the number of
+// outstanding messages between one (from, to) pair; collectives never exceed
+// a handful, and application protocols in this repo exchange strictly
+// alternating request/response traffic.
+const ChanBuffer = 1024
+
+// NewGroup creates a p-rank channel-transport group with the given cost
+// parameters (use costmodel.Zero() to disable simulated timing).
+func NewGroup(p int, params costmodel.Params) []*ChannelComm {
+	if p < 1 {
+		panic("comm: group size must be >= 1")
+	}
+	g := &group{size: p, params: params, chans: make([]chan message, p*p)}
+	for i := range g.chans {
+		g.chans[i] = make(chan message, ChanBuffer)
+	}
+	comms := make([]*ChannelComm, p)
+	for r := 0; r < p; r++ {
+		comms[r] = &ChannelComm{g: g, rank: r, clock: costmodel.NewClock()}
+	}
+	return comms
+}
+
+// Rank implements Communicator.
+func (c *ChannelComm) Rank() int { return c.rank }
+
+// Size implements Communicator.
+func (c *ChannelComm) Size() int { return c.g.size }
+
+// Clock implements Communicator.
+func (c *ChannelComm) Clock() *costmodel.Clock { return c.clock }
+
+// Stats implements Communicator.
+func (c *ChannelComm) Stats() Stats { return c.stats }
+
+// Send implements Communicator. It charges ts + m·tw to the sender's clock
+// and stamps the message so the receiver can align.
+func (c *ChannelComm) Send(to int, tag Tag, data []byte) error {
+	if to < 0 || to >= c.g.size {
+		return fmt.Errorf("comm: send to invalid rank %d (size %d)", to, c.g.size)
+	}
+	if to == c.rank {
+		return fmt.Errorf("comm: rank %d sending to itself", c.rank)
+	}
+	cp := append([]byte(nil), data...)
+	c.clock.Advance(c.g.params.MessageCost(len(cp)))
+	c.stats.MsgsSent++
+	c.stats.BytesSent += int64(len(cp))
+	c.g.chans[c.rank*c.g.size+to] <- message{tag: tag, data: cp, sentAt: c.clock.Time()}
+	return nil
+}
+
+// Recv implements Communicator. The receiver's clock aligns to the message's
+// arrival time (sender completion; the transfer cost was charged there).
+func (c *ChannelComm) Recv(from int, tag Tag) ([]byte, error) {
+	if from < 0 || from >= c.g.size {
+		return nil, fmt.Errorf("comm: recv from invalid rank %d (size %d)", from, c.g.size)
+	}
+	if from == c.rank {
+		return nil, fmt.Errorf("comm: rank %d receiving from itself", c.rank)
+	}
+	m := <-c.g.chans[from*c.g.size+c.rank]
+	if m.tag != tag {
+		return nil, fmt.Errorf("comm: rank %d: tag mismatch from rank %d: got %d, want %d", c.rank, from, m.tag, tag)
+	}
+	c.clock.AlignTo(m.sentAt)
+	c.stats.MsgsRecv++
+	c.stats.BytesRecv += int64(len(m.data))
+	return m.data, nil
+}
+
+// Run starts fn on every rank of a fresh p-rank channel group and waits for
+// all of them; it returns the first error (by rank order). A convenience
+// used throughout the tests, examples and experiment harness.
+func Run(p int, params costmodel.Params, fn func(c *ChannelComm) error) error {
+	comms := NewGroup(p, params)
+	errs := make([]error, p)
+	done := make(chan int, p)
+	for r := 0; r < p; r++ {
+		go func(r int) {
+			errs[r] = fn(comms[r])
+			done <- r
+		}(r)
+	}
+	for i := 0; i < p; i++ {
+		<-done
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MaxClock returns the maximum simulated time over a group's ranks — the
+// simulated makespan.
+func MaxClock(comms []*ChannelComm) float64 {
+	max := 0.0
+	for _, c := range comms {
+		if t := c.Clock().Time(); t > max {
+			max = t
+		}
+	}
+	return max
+}

@@ -1,0 +1,211 @@
+package comm
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"pclouds/internal/costmodel"
+)
+
+// Property tests: the collectives must be correct for arbitrary payload
+// contents and ragged sizes.
+
+func TestQuickBroadcastArbitraryPayload(t *testing.T) {
+	f := func(payload []byte, p8, root8 uint8) bool {
+		p := int(p8%8) + 1
+		root := int(root8) % p
+		ok := true
+		err := Run(p, costmodel.Zero(), func(c *ChannelComm) error {
+			var in []byte
+			if c.Rank() == root {
+				in = payload
+			}
+			got, err := Broadcast(c, root, in)
+			if err != nil {
+				return err
+			}
+			if !bytes.Equal(got, payload) {
+				ok = false
+			}
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickAllGatherRaggedSizes(t *testing.T) {
+	// Ranks contribute payloads of different lengths; everyone must
+	// reassemble all of them correctly.
+	f := func(seed uint16, p8 uint8) bool {
+		p := int(p8%8) + 1
+		ok := true
+		err := Run(p, costmodel.Zero(), func(c *ChannelComm) error {
+			n := (int(seed) + c.Rank()*37) % 200
+			mine := bytes.Repeat([]byte{byte(c.Rank() + 1)}, n)
+			got, err := AllGather(c, mine)
+			if err != nil {
+				return err
+			}
+			for r, blk := range got {
+				want := (int(seed) + r*37) % 200
+				if len(blk) != want {
+					ok = false
+					return nil
+				}
+				for _, b := range blk {
+					if b != byte(r+1) {
+						ok = false
+						return nil
+					}
+				}
+			}
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickAllReduceMatchesSerial(t *testing.T) {
+	f := func(vals [][3]int64, p8 uint8) bool {
+		p := int(p8%8) + 1
+		if len(vals) < p {
+			return true
+		}
+		want := [3]int64{}
+		for r := 0; r < p; r++ {
+			for k := 0; k < 3; k++ {
+				want[k] += vals[r][k]
+			}
+		}
+		ok := true
+		err := Run(p, costmodel.Zero(), func(c *ChannelComm) error {
+			v := vals[c.Rank()]
+			got, err := AllReduceInt64(c, v[:], func(a, b int64) int64 { return a + b })
+			if err != nil {
+				return err
+			}
+			for k := 0; k < 3; k++ {
+				if got[k] != want[k] {
+					ok = false
+				}
+			}
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickPrefixSumMatchesSerial(t *testing.T) {
+	f := func(vals []int64, p8 uint8) bool {
+		p := int(p8%8) + 1
+		if len(vals) < p {
+			return true
+		}
+		ok := true
+		err := Run(p, costmodel.Zero(), func(c *ChannelComm) error {
+			got, err := PrefixSumInt64(c, []int64{vals[c.Rank()]})
+			if err != nil {
+				return err
+			}
+			var want int64
+			for r := 0; r <= c.Rank(); r++ {
+				want += vals[r]
+			}
+			if got[0] != want {
+				ok = false
+			}
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLargePayloadAllReduce exercises the reduce-scatter path with payloads
+// far larger than the per-rank chunking.
+func TestLargePayloadAllReduce(t *testing.T) {
+	const p = 8
+	const n = 100000
+	err := Run(p, costmodel.Zero(), func(c *ChannelComm) error {
+		v := make([]int64, n)
+		for i := range v {
+			v[i] = int64(c.Rank()*n + i)
+		}
+		got, err := AllReduceInt64(c, v, func(a, b int64) int64 { return a + b })
+		if err != nil {
+			return err
+		}
+		for i := 0; i < n; i += 997 {
+			var want int64
+			for r := 0; r < p; r++ {
+				want += int64(r*n + i)
+			}
+			if got[i] != want {
+				return fmt.Errorf("elem %d: got %d want %d", i, got[i], want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentDisjointSubgroups runs many disjoint subgroup collectives
+// simultaneously, the pattern partitioned tree construction relies on.
+func TestConcurrentDisjointSubgroups(t *testing.T) {
+	const p = 8
+	err := Run(p, costmodel.Zero(), func(c *ChannelComm) error {
+		// Two levels of halving, like runTaskParallel.
+		half := []int{0, 1, 2, 3}
+		if c.Rank() >= 4 {
+			half = []int{4, 5, 6, 7}
+		}
+		sub, err := NewSub(c, half)
+		if err != nil {
+			return err
+		}
+		for iter := 0; iter < 10; iter++ {
+			got, err := AllReduceInt64(sub, []int64{1}, func(a, b int64) int64 { return a + b })
+			if err != nil {
+				return err
+			}
+			if got[0] != 4 {
+				return fmt.Errorf("subgroup sum %d", got[0])
+			}
+		}
+		// Nested halving: subgroups of the subgroup.
+		quarter := []int{0, 1}
+		if sub.Rank() >= 2 {
+			quarter = []int{2, 3}
+		}
+		sub2, err := NewSub(sub, quarter)
+		if err != nil {
+			return err
+		}
+		got, err := AllReduceInt64(sub2, []int64{int64(c.Rank())}, func(a, b int64) int64 { return a + b })
+		if err != nil {
+			return err
+		}
+		if got[0] < 0 {
+			return fmt.Errorf("nested subgroup broke")
+		}
+		return Barrier(sub2)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

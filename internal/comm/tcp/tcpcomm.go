@@ -1,0 +1,269 @@
+// Package tcpcomm implements comm.Communicator over TCP sockets — the
+// hand-rolled replacement for MPI's runtime in genuinely distributed runs.
+// Every rank knows the full address list; rank i accepts connections from
+// lower ranks and dials higher ranks, forming a full mesh. Frames use the
+// protocol of package wire; a hello frame carrying the peer rank
+// authenticates each connection.
+package tcpcomm
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"pclouds/internal/comm"
+	"pclouds/internal/costmodel"
+	"pclouds/internal/wire"
+)
+
+// helloTag marks the connection-setup frame; it is outside the collective
+// and user tag spaces.
+const helloTag = -1
+
+// Config describes one rank of a TCP group.
+type Config struct {
+	// Rank is this process's id.
+	Rank int
+	// Addrs lists one host:port per rank; Addrs[Rank] is the local listen
+	// address.
+	Addrs []string
+	// Params drives simulated-cost accounting; costmodel.Zero() disables it.
+	Params costmodel.Params
+	// DialTimeout bounds the total time spent connecting to each peer
+	// (default 10s). Dials retry until the peer's listener is up.
+	DialTimeout time.Duration
+}
+
+type peer struct {
+	conn  net.Conn
+	fr    *wire.Conn
+	sendM sync.Mutex
+	inbox chan wire.Frame
+	// readErr is set (before inbox closes) when the reader goroutine dies.
+	readErr error
+	errMu   sync.Mutex
+}
+
+// Comm is one rank's handle to a TCP group.
+type Comm struct {
+	cfg      Config
+	listener net.Listener
+	peers    []*peer // index by rank; nil at own rank
+	clock    *costmodel.Clock
+	stats    comm.Stats
+	statsMu  sync.Mutex
+	closed   sync.Once
+}
+
+var _ comm.Communicator = (*Comm)(nil)
+
+// Dial brings up one rank: it listens on its own address, accepts
+// connections from every lower rank, and dials every higher rank. It
+// returns once the full mesh is connected. All ranks must call Dial
+// concurrently (separate processes or goroutines).
+func Dial(cfg Config) (*Comm, error) {
+	p := len(cfg.Addrs)
+	if cfg.Rank < 0 || cfg.Rank >= p {
+		return nil, fmt.Errorf("tcpcomm: rank %d out of range for %d addrs", cfg.Rank, p)
+	}
+	if cfg.DialTimeout == 0 {
+		cfg.DialTimeout = 10 * time.Second
+	}
+	c := &Comm{cfg: cfg, peers: make([]*peer, p), clock: costmodel.NewClock()}
+	ln, err := net.Listen("tcp", cfg.Addrs[cfg.Rank])
+	if err != nil {
+		return nil, fmt.Errorf("tcpcomm: rank %d listen %s: %w", cfg.Rank, cfg.Addrs[cfg.Rank], err)
+	}
+	c.listener = ln
+
+	errc := make(chan error, 2)
+	var wg sync.WaitGroup
+
+	// Accept one connection from every lower rank.
+	lower := cfg.Rank
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < lower; i++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				errc <- fmt.Errorf("tcpcomm: rank %d accept: %w", cfg.Rank, err)
+				return
+			}
+			fr := wire.NewConn(conn)
+			hello, err := fr.Recv()
+			if err != nil || hello.Tag != helloTag || len(hello.Payload) != 4 {
+				conn.Close()
+				errc <- fmt.Errorf("tcpcomm: rank %d bad hello: %v", cfg.Rank, err)
+				return
+			}
+			from := int(uint32(hello.Payload[0]) | uint32(hello.Payload[1])<<8 | uint32(hello.Payload[2])<<16 | uint32(hello.Payload[3])<<24)
+			if from < 0 || from >= cfg.Rank || c.peers[from] != nil {
+				conn.Close()
+				errc <- fmt.Errorf("tcpcomm: rank %d: invalid hello rank %d", cfg.Rank, from)
+				return
+			}
+			c.peers[from] = newPeer(conn, fr)
+		}
+		errc <- nil
+	}()
+
+	// Dial every higher rank, retrying until its listener is up.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := cfg.Rank + 1; j < p; j++ {
+			conn, err := dialRetry(cfg.Addrs[j], cfg.DialTimeout)
+			if err != nil {
+				errc <- fmt.Errorf("tcpcomm: rank %d dial rank %d (%s): %w", cfg.Rank, j, cfg.Addrs[j], err)
+				return
+			}
+			fr := wire.NewConn(conn)
+			r := uint32(cfg.Rank)
+			hello := wire.Frame{Tag: helloTag, Payload: []byte{byte(r), byte(r >> 8), byte(r >> 16), byte(r >> 24)}}
+			if err := fr.Send(hello); err != nil {
+				conn.Close()
+				errc <- fmt.Errorf("tcpcomm: rank %d hello to %d: %w", cfg.Rank, j, err)
+				return
+			}
+			c.peers[j] = newPeer(conn, fr)
+		}
+		errc <- nil
+	}()
+
+	wg.Wait()
+	for i := 0; i < 2; i++ {
+		if err := <-errc; err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
+	// Start reader goroutines once the mesh is complete.
+	for r, pe := range c.peers {
+		if pe != nil {
+			go pe.readLoop(r)
+		}
+	}
+	return c, nil
+}
+
+func dialRetry(addr string, timeout time.Duration) (net.Conn, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		conn, err := net.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			if tc, ok := conn.(*net.TCPConn); ok {
+				tc.SetNoDelay(true)
+			}
+			return conn, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, err
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func newPeer(conn net.Conn, fr *wire.Conn) *peer {
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	return &peer{conn: conn, fr: fr, inbox: make(chan wire.Frame, comm.ChanBuffer)}
+}
+
+func (pe *peer) readLoop(rank int) {
+	for {
+		f, err := pe.fr.Recv()
+		if err != nil {
+			pe.errMu.Lock()
+			pe.readErr = err
+			pe.errMu.Unlock()
+			close(pe.inbox)
+			return
+		}
+		pe.inbox <- f
+	}
+}
+
+// Rank implements comm.Communicator.
+func (c *Comm) Rank() int { return c.cfg.Rank }
+
+// Size implements comm.Communicator.
+func (c *Comm) Size() int { return len(c.cfg.Addrs) }
+
+// Clock implements comm.Communicator.
+func (c *Comm) Clock() *costmodel.Clock { return c.clock }
+
+// Stats implements comm.Communicator.
+func (c *Comm) Stats() comm.Stats {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	return c.stats
+}
+
+// Send implements comm.Communicator.
+func (c *Comm) Send(to int, tag comm.Tag, data []byte) error {
+	if to < 0 || to >= len(c.peers) || to == c.cfg.Rank {
+		return fmt.Errorf("tcpcomm: rank %d: invalid send target %d", c.cfg.Rank, to)
+	}
+	pe := c.peers[to]
+	if pe == nil {
+		return fmt.Errorf("tcpcomm: rank %d: no connection to rank %d", c.cfg.Rank, to)
+	}
+	c.clock.Advance(c.cfg.Params.MessageCost(len(data)))
+	pe.sendM.Lock()
+	err := pe.fr.Send(wire.Frame{Tag: int32(tag), SentAt: c.clock.Time(), Payload: data})
+	pe.sendM.Unlock()
+	if err != nil {
+		return fmt.Errorf("tcpcomm: rank %d send to %d: %w", c.cfg.Rank, to, err)
+	}
+	c.statsMu.Lock()
+	c.stats.MsgsSent++
+	c.stats.BytesSent += int64(len(data))
+	c.statsMu.Unlock()
+	return nil
+}
+
+// Recv implements comm.Communicator.
+func (c *Comm) Recv(from int, tag comm.Tag) ([]byte, error) {
+	if from < 0 || from >= len(c.peers) || from == c.cfg.Rank {
+		return nil, fmt.Errorf("tcpcomm: rank %d: invalid recv source %d", c.cfg.Rank, from)
+	}
+	pe := c.peers[from]
+	if pe == nil {
+		return nil, fmt.Errorf("tcpcomm: rank %d: no connection to rank %d", c.cfg.Rank, from)
+	}
+	f, ok := <-pe.inbox
+	if !ok {
+		pe.errMu.Lock()
+		err := pe.readErr
+		pe.errMu.Unlock()
+		return nil, fmt.Errorf("tcpcomm: rank %d: connection to rank %d failed: %w", c.cfg.Rank, from, err)
+	}
+	if comm.Tag(f.Tag) != tag {
+		return nil, fmt.Errorf("tcpcomm: rank %d: tag mismatch from %d: got %d want %d", c.cfg.Rank, from, f.Tag, tag)
+	}
+	c.clock.AlignTo(f.SentAt)
+	c.statsMu.Lock()
+	c.stats.MsgsRecv++
+	c.stats.BytesRecv += int64(len(f.Payload))
+	c.statsMu.Unlock()
+	return f.Payload, nil
+}
+
+// Close tears down all connections and the listener.
+func (c *Comm) Close() error {
+	var err error
+	c.closed.Do(func() {
+		if c.listener != nil {
+			err = c.listener.Close()
+		}
+		for _, pe := range c.peers {
+			if pe != nil {
+				pe.conn.Close()
+			}
+		}
+	})
+	return err
+}

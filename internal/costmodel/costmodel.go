@@ -1,0 +1,139 @@
+// Package costmodel implements the paper's machine model: a coarse-grained
+// shared-nothing parallel machine with a cut-through routed hypercube
+// interconnect (Section 2, Table 1) and one private disk per processor.
+//
+// Sending a message of m bytes between two nodes costs ts + m·tw, where ts
+// is the handshaking (startup) cost and tw the inverse bandwidth. Disk
+// transfers cost a per-operation seek plus a per-byte charge. Computation is
+// charged per record touch and per comparison.
+//
+// The model drives *simulated* per-rank clocks: every rank owns a Clock that
+// advances with its local compute and I/O, and message receipt aligns the
+// receiver's clock with the sender's send-completion time. The simulated
+// makespan (max over ranks) reproduces the shape of the paper's
+// speedup/sizeup/scaleup figures on a single host, where wall-clock timing
+// of goroutines cannot exhibit 16-node distributed-memory behaviour.
+package costmodel
+
+import "fmt"
+
+// Params holds the calibrated machine constants. All times are in seconds.
+type Params struct {
+	// Ts is the message startup (handshake) cost per message.
+	Ts float64
+	// Tw is the per-byte network transfer cost (inverse bandwidth).
+	Tw float64
+	// DiskSeek is the fixed cost per disk operation (seek + request setup).
+	DiskSeek float64
+	// DiskByte is the per-byte disk transfer cost.
+	DiskByte float64
+	// CPURecord is the compute cost of touching one record once (evaluating
+	// a predicate, updating a frequency vector, and so on).
+	CPURecord float64
+	// CPUCompare is the compute cost of one comparison (sorting).
+	CPUCompare float64
+}
+
+// Default returns constants loosely calibrated to the paper's era (IBM-SP2
+// class nodes: ~40 µs message startup, ~35 MB/s network, ~10 ms seeks,
+// ~5 MB/s per-node disk bandwidth, ~0.5 µs per record operation).
+func Default() Params {
+	return Params{
+		Ts:         40e-6,
+		Tw:         1.0 / 35e6,
+		DiskSeek:   10e-3,
+		DiskByte:   1.0 / 5e6,
+		CPURecord:  0.5e-6,
+		CPUCompare: 0.05e-6,
+	}
+}
+
+// Zero returns an all-zero parameter set (disables simulated accounting).
+func Zero() Params { return Params{} }
+
+// MessageCost returns the point-to-point cost of an m-byte message.
+func (p Params) MessageCost(m int) float64 { return p.Ts + float64(m)*p.Tw }
+
+// DiskCost returns the cost of one disk operation transferring m bytes.
+func (p Params) DiskCost(m int) float64 { return p.DiskSeek + float64(m)*p.DiskByte }
+
+// Clock is a per-rank simulated clock. Each rank goroutine owns its clock
+// exclusively; cross-rank synchronisation happens via message timestamps, so
+// no locking is needed.
+type Clock struct {
+	t float64
+}
+
+// NewClock returns a clock at time zero.
+func NewClock() *Clock { return &Clock{} }
+
+// Advance moves the clock forward by d seconds (negative d is ignored).
+func (c *Clock) Advance(d float64) {
+	if c == nil || d <= 0 {
+		return
+	}
+	c.t += d
+}
+
+// AlignTo moves the clock forward to time t if t is later.
+func (c *Clock) AlignTo(t float64) {
+	if c == nil {
+		return
+	}
+	if t > c.t {
+		c.t = t
+	}
+}
+
+// Time returns the current simulated time.
+func (c *Clock) Time() float64 {
+	if c == nil {
+		return 0
+	}
+	return c.t
+}
+
+// Reset sets the clock back to zero.
+func (c *Clock) Reset() {
+	if c != nil {
+		c.t = 0
+	}
+}
+
+// String formats the clock time.
+func (c *Clock) String() string { return fmt.Sprintf("%.6fs", c.Time()) }
+
+// Table1 gives the paper's Table 1 closed forms for the simulated cost of
+// each collective primitive on a p-processor cut-through hypercube with
+// m-byte per-rank payloads. These are the reference values the Table 1
+// experiment checks the measured simulated costs against.
+type Table1 struct{ P Params }
+
+// Log2Ceil returns ceil(log2(p)) with Log2Ceil(1) == 0.
+func Log2Ceil(p int) int {
+	l := 0
+	for 1<<l < p {
+		l++
+	}
+	return l
+}
+
+// AllToAllBroadcast: O(ts·log p + tw·m·(p-1)).
+func (t Table1) AllToAllBroadcast(p, m int) float64 {
+	return t.P.Ts*float64(Log2Ceil(p)) + t.P.Tw*float64(m)*float64(p-1)
+}
+
+// Gather: O(ts·log p + tw·m·p).
+func (t Table1) Gather(p, m int) float64 {
+	return t.P.Ts*float64(Log2Ceil(p)) + t.P.Tw*float64(m)*float64(p)
+}
+
+// GlobalCombine (all-reduce): O(ts·log p + tw·m).
+func (t Table1) GlobalCombine(p, m int) float64 {
+	return (t.P.Ts + t.P.Tw*float64(m)) * float64(Log2Ceil(p))
+}
+
+// PrefixSum: O(ts·log p + tw·m).
+func (t Table1) PrefixSum(p, m int) float64 {
+	return (t.P.Ts + t.P.Tw*float64(m)) * float64(Log2Ceil(p))
+}

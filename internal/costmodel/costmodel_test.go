@@ -1,0 +1,106 @@
+package costmodel
+
+import (
+	"testing"
+)
+
+func TestClockBasics(t *testing.T) {
+	c := NewClock()
+	if c.Time() != 0 {
+		t.Fatal("fresh clock not at zero")
+	}
+	c.Advance(1.5)
+	c.Advance(-3) // ignored
+	if c.Time() != 1.5 {
+		t.Fatalf("time %v", c.Time())
+	}
+	c.AlignTo(1.0) // backwards: ignored
+	if c.Time() != 1.5 {
+		t.Fatal("AlignTo moved backwards")
+	}
+	c.AlignTo(2.0)
+	if c.Time() != 2.0 {
+		t.Fatal("AlignTo did not move forward")
+	}
+	c.Reset()
+	if c.Time() != 0 {
+		t.Fatal("Reset broken")
+	}
+}
+
+func TestNilClockSafe(t *testing.T) {
+	var c *Clock
+	c.Advance(1)
+	c.AlignTo(2)
+	c.Reset()
+	if c.Time() != 0 {
+		t.Fatal("nil clock should read zero")
+	}
+}
+
+func TestCostFormulas(t *testing.T) {
+	p := Params{Ts: 2, Tw: 0.5, DiskSeek: 10, DiskByte: 0.25}
+	if got := p.MessageCost(100); got != 2+50 {
+		t.Fatalf("message cost %v", got)
+	}
+	if got := p.DiskCost(100); got != 10+25 {
+		t.Fatalf("disk cost %v", got)
+	}
+}
+
+func TestLog2Ceil(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 16: 4, 17: 5}
+	for p, want := range cases {
+		if got := Log2Ceil(p); got != want {
+			t.Errorf("Log2Ceil(%d) = %d, want %d", p, got, want)
+		}
+	}
+}
+
+func TestTable1Forms(t *testing.T) {
+	tb := Table1{P: Params{Ts: 1, Tw: 1}}
+	// All-to-all broadcast: ts·lg p + tw·m·(p-1).
+	if got := tb.AllToAllBroadcast(8, 10); got != 3+10*7 {
+		t.Fatalf("a2a %v", got)
+	}
+	// Gather: ts·lg p + tw·m·p.
+	if got := tb.Gather(8, 10); got != 3+10*8 {
+		t.Fatalf("gather %v", got)
+	}
+	// Global combine: (ts+tw·m)·lg p.
+	if got := tb.GlobalCombine(8, 10); got != (1+10)*3 {
+		t.Fatalf("combine %v", got)
+	}
+	if got := tb.PrefixSum(4, 5); got != (1+5)*2 {
+		t.Fatalf("scan %v", got)
+	}
+}
+
+func TestTable1Monotone(t *testing.T) {
+	tb := Table1{P: Default()}
+	for _, m := range []int{1, 100, 10000} {
+		for p := 2; p <= 16; p *= 2 {
+			if !(tb.AllToAllBroadcast(p*2, m) > tb.AllToAllBroadcast(p, m)) {
+				t.Fatalf("a2a not monotone in p at p=%d m=%d", p, m)
+			}
+			if !(tb.Gather(p, m*2) > tb.Gather(p, m)) {
+				t.Fatalf("gather not monotone in m at p=%d m=%d", p, m)
+			}
+		}
+	}
+}
+
+func TestDefaultParamsSane(t *testing.T) {
+	p := Default()
+	if p.Ts <= 0 || p.Tw <= 0 || p.DiskSeek <= 0 || p.DiskByte <= 0 || p.CPURecord <= 0 {
+		t.Fatalf("default params have non-positive entries: %+v", p)
+	}
+	// Era sanity: a seek costs more than a message startup; per-byte disk is
+	// slower than network.
+	if p.DiskSeek < p.Ts {
+		t.Fatal("seek should dominate message startup")
+	}
+	if p.DiskByte < p.Tw {
+		t.Fatal("disk bandwidth should be below network bandwidth")
+	}
+}

@@ -1,0 +1,248 @@
+// Package datagen implements the synthetic data generator of Agrawal,
+// Imielinski and Swami ("Database Mining: A Performance Perspective", IEEE
+// TKDE 1993), the generator used by SLIQ, SPRINT, CLOUDS and the pCLOUDS
+// paper. Each record has six numeric attributes (salary, commission, age,
+// hvalue, hyears, loan), three categorical attributes (elevel, car,
+// zipcode) and a binary class label produced by one of ten classification
+// functions. The pCLOUDS experiments use function 2.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pclouds/internal/record"
+)
+
+// Attribute positions in the generated schema. Numeric and categorical
+// attributes are interleaved as in the original generator's description.
+const (
+	AttrSalary     = 0 // numeric: 20,000 .. 150,000
+	AttrCommission = 1 // numeric: 0 if salary >= 75,000 else 10,000 .. 75,000
+	AttrAge        = 2 // numeric: 20 .. 80
+	AttrELevel     = 3 // categorical: education level 0..4
+	AttrCar        = 4 // categorical: make of car 0..19
+	AttrZipcode    = 5 // categorical: 0..8
+	AttrHValue     = 6 // numeric: house value, depends on zipcode
+	AttrHYears     = 7 // numeric: years house owned, 1 .. 30
+	AttrLoan       = 8 // numeric: total loan, 0 .. 500,000
+)
+
+// NumFunctions is the number of classification functions available.
+const NumFunctions = 10
+
+// Schema returns the nine-attribute, two-class schema of the generator.
+func Schema() *record.Schema {
+	return record.MustSchema([]record.Attribute{
+		{Name: "salary", Kind: record.Numeric},
+		{Name: "commission", Kind: record.Numeric},
+		{Name: "age", Kind: record.Numeric},
+		{Name: "elevel", Kind: record.Categorical, Cardinality: 5},
+		{Name: "car", Kind: record.Categorical, Cardinality: 20},
+		{Name: "zipcode", Kind: record.Categorical, Cardinality: 9},
+		{Name: "hvalue", Kind: record.Numeric},
+		{Name: "hyears", Kind: record.Numeric},
+		{Name: "loan", Kind: record.Numeric},
+	}, 2)
+}
+
+// Config controls generation.
+type Config struct {
+	// Function selects the classification function, 1..10. The pCLOUDS
+	// experiments use 2.
+	Function int
+	// Seed makes generation deterministic.
+	Seed int64
+	// Noise is the probability that a record's label is flipped after the
+	// classification function is applied (the original generator's
+	// "perturbation"); 0 disables noise.
+	Noise float64
+}
+
+// Generator produces synthetic records.
+type Generator struct {
+	cfg    Config
+	schema *record.Schema
+	rng    *rand.Rand
+}
+
+// New creates a generator; it validates the function number.
+func New(cfg Config) (*Generator, error) {
+	if cfg.Function < 1 || cfg.Function > NumFunctions {
+		return nil, fmt.Errorf("datagen: function must be in 1..%d, got %d", NumFunctions, cfg.Function)
+	}
+	if cfg.Noise < 0 || cfg.Noise >= 1 {
+		return nil, fmt.Errorf("datagen: noise must be in [0,1), got %g", cfg.Noise)
+	}
+	return &Generator{
+		cfg:    cfg,
+		schema: Schema(),
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+	}, nil
+}
+
+// Schema returns the generator's schema.
+func (g *Generator) Schema() *record.Schema { return g.schema }
+
+func (g *Generator) uniform(lo, hi float64) float64 {
+	return lo + g.rng.Float64()*(hi-lo)
+}
+
+// Next produces one record.
+func (g *Generator) Next() record.Record {
+	salary := g.uniform(20000, 150000)
+	var commission float64
+	if salary < 75000 {
+		commission = g.uniform(10000, 75000)
+	}
+	age := g.uniform(20, 80)
+	elevel := int32(g.rng.Intn(5))
+	car := int32(g.rng.Intn(20))
+	zipcode := int32(g.rng.Intn(9))
+	// House value depends on zipcode: base wealth factor k in 1..9.
+	k := float64(zipcode + 1)
+	hvalue := g.uniform(0.5*k*100000, 1.5*k*100000)
+	hyears := g.uniform(1, 30)
+	loan := g.uniform(0, 500000)
+
+	v := values{
+		salary: salary, commission: commission, age: age,
+		elevel: int(elevel), hvalue: hvalue, hyears: hyears, loan: loan,
+	}
+	class := int32(0)
+	if groupA(g.cfg.Function, v) {
+		class = 1
+	}
+	if g.cfg.Noise > 0 && g.rng.Float64() < g.cfg.Noise {
+		class = 1 - class
+	}
+	return record.Record{
+		Num:   []float64{salary, commission, age, hvalue, hyears, loan},
+		Cat:   []int32{elevel, car, zipcode},
+		Class: class,
+	}
+}
+
+// Generate produces n records as a dataset.
+func (g *Generator) Generate(n int) *record.Dataset {
+	d := record.NewDataset(g.schema)
+	d.Records = make([]record.Record, 0, n)
+	for i := 0; i < n; i++ {
+		d.Records = append(d.Records, g.Next())
+	}
+	return d
+}
+
+// values bundles the fields the classification functions read.
+type values struct {
+	salary, commission, age float64
+	elevel                  int
+	hvalue, hyears, loan    float64
+}
+
+func between(x, lo, hi float64) bool { return lo <= x && x <= hi }
+
+// groupA implements classification functions 1..10 from Agrawal et al.
+// It reports whether the record belongs to group A (class 1).
+func groupA(fn int, v values) bool {
+	switch fn {
+	case 1:
+		return v.age < 40 || v.age >= 60
+	case 2:
+		switch {
+		case v.age < 40:
+			return between(v.salary, 50000, 100000)
+		case v.age < 60:
+			return between(v.salary, 75000, 125000)
+		default:
+			return between(v.salary, 25000, 75000)
+		}
+	case 3:
+		switch {
+		case v.age < 40:
+			return v.elevel <= 1
+		case v.age < 60:
+			return v.elevel >= 1 && v.elevel <= 3
+		default:
+			return v.elevel >= 2
+		}
+	case 4:
+		switch {
+		case v.age < 40:
+			if v.elevel <= 1 {
+				return between(v.salary, 25000, 75000)
+			}
+			return between(v.salary, 50000, 100000)
+		case v.age < 60:
+			if v.elevel >= 1 && v.elevel <= 3 {
+				return between(v.salary, 50000, 100000)
+			}
+			return between(v.salary, 75000, 125000)
+		default:
+			if v.elevel >= 2 {
+				return between(v.salary, 50000, 100000)
+			}
+			return between(v.salary, 25000, 75000)
+		}
+	case 5:
+		switch {
+		case v.age < 40:
+			if between(v.salary, 50000, 100000) {
+				return between(v.loan, 100000, 300000)
+			}
+			return between(v.loan, 200000, 400000)
+		case v.age < 60:
+			if between(v.salary, 75000, 125000) {
+				return between(v.loan, 200000, 400000)
+			}
+			return between(v.loan, 300000, 500000)
+		default:
+			if between(v.salary, 25000, 75000) {
+				return between(v.loan, 300000, 500000)
+			}
+			return between(v.loan, 100000, 300000)
+		}
+	case 6:
+		total := v.salary + v.commission
+		switch {
+		case v.age < 40:
+			return between(total, 50000, 100000)
+		case v.age < 60:
+			return between(total, 75000, 125000)
+		default:
+			return between(total, 25000, 75000)
+		}
+	case 7:
+		disposable := 0.67*(v.salary+v.commission) - 0.2*v.loan - 20000
+		return disposable > 0
+	case 8:
+		disposable := 0.67*(v.salary+v.commission) - 5000*float64(v.elevel) - 20000
+		return disposable > 0
+	case 9:
+		disposable := 0.67*(v.salary+v.commission) - 5000*float64(v.elevel) - 0.2*v.loan - 10000
+		return disposable > 0
+	case 10:
+		equity := 0.0
+		if v.hyears >= 20 {
+			equity = 0.1 * v.hvalue * (v.hyears - 20)
+		}
+		disposable := 0.67*(v.salary+v.commission) - 5000*float64(v.elevel) + 0.2*equity - 10000
+		return disposable > 0
+	default:
+		panic(fmt.Sprintf("datagen: bad function %d", fn))
+	}
+}
+
+// GroupA exposes the label function for tests: it classifies a record
+// (already carrying attribute values) under function fn, ignoring noise.
+func GroupA(fn int, r record.Record) bool {
+	return groupA(fn, values{
+		salary:     r.Num[0],
+		commission: r.Num[1],
+		age:        r.Num[2],
+		elevel:     int(r.Cat[0]),
+		hvalue:     r.Num[3],
+		hyears:     r.Num[4],
+		loan:       r.Num[5],
+	})
+}

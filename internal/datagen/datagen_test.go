@@ -1,0 +1,175 @@
+package datagen
+
+import (
+	"testing"
+
+	"pclouds/internal/record"
+)
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Function: 0}); err == nil {
+		t.Fatal("function 0 should fail")
+	}
+	if _, err := New(Config{Function: 11}); err == nil {
+		t.Fatal("function 11 should fail")
+	}
+	if _, err := New(Config{Function: 1, Noise: 1.5}); err == nil {
+		t.Fatal("noise 1.5 should fail")
+	}
+	if _, err := New(Config{Function: 1, Noise: -0.1}); err == nil {
+		t.Fatal("negative noise should fail")
+	}
+}
+
+func TestSchemaShape(t *testing.T) {
+	s := Schema()
+	if s.NumNumeric() != 6 {
+		t.Fatalf("numeric %d, want 6", s.NumNumeric())
+	}
+	if s.NumCategorical() != 3 {
+		t.Fatalf("categorical %d, want 3", s.NumCategorical())
+	}
+	if s.NumClasses != 2 {
+		t.Fatalf("classes %d, want 2", s.NumClasses)
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	g1, _ := New(Config{Function: 2, Seed: 5})
+	g2, _ := New(Config{Function: 2, Seed: 5})
+	d1 := g1.Generate(100)
+	d2 := g2.Generate(100)
+	for i := range d1.Records {
+		if d1.Records[i].Num[0] != d2.Records[i].Num[0] || d1.Records[i].Class != d2.Records[i].Class {
+			t.Fatal("same seed produced different data")
+		}
+	}
+	g3, _ := New(Config{Function: 2, Seed: 6})
+	d3 := g3.Generate(100)
+	same := true
+	for i := range d1.Records {
+		if d1.Records[i].Num[0] != d3.Records[i].Num[0] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestRecordsValid(t *testing.T) {
+	g, _ := New(Config{Function: 2, Seed: 1})
+	d := g.Generate(1000)
+	for i, r := range d.Records {
+		if err := r.Validate(d.Schema); err != nil {
+			t.Fatalf("record %d invalid: %v", i, err)
+		}
+	}
+}
+
+func TestAttributeRanges(t *testing.T) {
+	g, _ := New(Config{Function: 1, Seed: 2})
+	for i := 0; i < 2000; i++ {
+		r := g.Next()
+		salary, commission, age := r.Num[0], r.Num[1], r.Num[2]
+		hvalue, hyears, loan := r.Num[3], r.Num[4], r.Num[5]
+		if salary < 20000 || salary > 150000 {
+			t.Fatalf("salary %v out of range", salary)
+		}
+		if salary >= 75000 && commission != 0 {
+			t.Fatalf("commission %v should be 0 for salary %v", commission, salary)
+		}
+		if salary < 75000 && (commission < 10000 || commission > 75000) {
+			t.Fatalf("commission %v out of range", commission)
+		}
+		if age < 20 || age > 80 {
+			t.Fatalf("age %v out of range", age)
+		}
+		if hyears < 1 || hyears > 30 {
+			t.Fatalf("hyears %v out of range", hyears)
+		}
+		if loan < 0 || loan > 500000 {
+			t.Fatalf("loan %v out of range", loan)
+		}
+		// hvalue depends on zipcode wealth factor k = zip+1.
+		k := float64(r.Cat[2] + 1)
+		if hvalue < 0.5*k*100000 || hvalue > 1.5*k*100000 {
+			t.Fatalf("hvalue %v out of range for zipcode %d", hvalue, r.Cat[2])
+		}
+	}
+}
+
+func TestLabelsMatchFunctions(t *testing.T) {
+	for fn := 1; fn <= NumFunctions; fn++ {
+		g, _ := New(Config{Function: fn, Seed: int64(fn)})
+		d := g.Generate(500)
+		for i, r := range d.Records {
+			want := int32(0)
+			if GroupA(fn, r) {
+				want = 1
+			}
+			if r.Class != want {
+				t.Fatalf("function %d record %d: class %d, want %d", fn, i, r.Class, want)
+			}
+		}
+	}
+}
+
+func TestBothClassesPresent(t *testing.T) {
+	for fn := 1; fn <= NumFunctions; fn++ {
+		g, _ := New(Config{Function: fn, Seed: int64(fn * 3)})
+		d := g.Generate(5000)
+		counts := d.ClassCounts()
+		if counts[0] == 0 || counts[1] == 0 {
+			t.Errorf("function %d: degenerate class balance %v", fn, counts)
+		}
+	}
+}
+
+func TestFunction2Semantics(t *testing.T) {
+	// Spot-check the paper's function: age<40 & salary in [50k,100k] => A.
+	mk := func(age, salary float64) record.Record {
+		return record.Record{
+			Num: []float64{salary, 0, age, 100000, 10, 0},
+			Cat: []int32{0, 0, 0},
+		}
+	}
+	cases := []struct {
+		age, salary float64
+		want        bool
+	}{
+		{30, 75000, true},
+		{30, 40000, false},
+		{30, 110000, false},
+		{50, 100000, true},
+		{50, 60000, false},
+		{70, 50000, true},
+		{70, 100000, false},
+	}
+	for i, tc := range cases {
+		if got := GroupA(2, mk(tc.age, tc.salary)); got != tc.want {
+			t.Errorf("case %d (age=%v salary=%v): got %v want %v", i, tc.age, tc.salary, got, tc.want)
+		}
+	}
+}
+
+func TestNoiseFlipsLabels(t *testing.T) {
+	noisy, _ := New(Config{Function: 7, Seed: 9, Noise: 0.3})
+	dn := noisy.Generate(3000)
+	// The noisy labels must disagree with the function on ~30% of records.
+	flipped := 0
+	for _, r := range dn.Records {
+		want := int32(0)
+		if GroupA(7, r) {
+			want = 1
+		}
+		if r.Class != want {
+			flipped++
+		}
+	}
+	frac := float64(flipped) / float64(dn.Len())
+	if frac < 0.2 || frac > 0.4 {
+		t.Fatalf("noise fraction %.3f, want ~0.3", frac)
+	}
+}

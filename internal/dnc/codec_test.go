@@ -1,0 +1,81 @@
+package dnc
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryFrameCodec(t *testing.T) {
+	var buf []byte
+	buf = appendSummaryFrame(buf, 0, []int64{1, 2, 3})
+	buf = appendSummaryFrame(buf, 2, []int64{-5, 7})
+	into := make([][]int64, 3)
+	if err := addSummaryFrames(buf, into); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(into[0], []int64{1, 2, 3}) || into[1] != nil || !reflect.DeepEqual(into[2], []int64{-5, 7}) {
+		t.Fatalf("roundtrip: %v", into)
+	}
+	// Accumulation across frames.
+	if err := addSummaryFrames(buf, into); err != nil {
+		t.Fatal(err)
+	}
+	if into[0][0] != 2 || into[2][1] != 14 {
+		t.Fatalf("accumulate: %v", into)
+	}
+	// Length mismatch detected.
+	var bad []byte
+	bad = appendSummaryFrame(bad, 0, []int64{9})
+	if err := addSummaryFrames(bad, into); err == nil {
+		t.Fatal("length mismatch should fail")
+	}
+	if err := addSummaryFrames([]byte{1, 2, 3}, into); err == nil {
+		t.Fatal("truncated frame should fail")
+	}
+}
+
+func TestSummaryFrameQuick(t *testing.T) {
+	f := func(idx uint8, vals []int64) bool {
+		n := int(idx%8) + 1
+		i := int(idx) % n
+		into := make([][]int64, n)
+		if err := addSummaryFrames(appendSummaryFrame(nil, i, vals), into); err != nil {
+			return false
+		}
+		if len(vals) == 0 {
+			return into[i] == nil || len(into[i]) == 0
+		}
+		return reflect.DeepEqual(into[i], vals)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecisionFrameCodec(t *testing.T) {
+	var buf []byte
+	buf = appendDecisionFrame(buf, 1, Decision{Leaf: true, Result: []byte("leaf result")})
+	buf = appendDecisionFrame(buf, 0, Decision{Leaf: false, Payload: []byte{9, 8}})
+	into := make([]*Decision, 2)
+	if err := decodeDecisionFrames(buf, into); err != nil {
+		t.Fatal(err)
+	}
+	if into[1] == nil || !into[1].Leaf || string(into[1].Result) != "leaf result" {
+		t.Fatalf("frame 1: %+v", into[1])
+	}
+	if into[0] == nil || into[0].Leaf || string(into[0].Payload) != string([]byte{9, 8}) {
+		t.Fatalf("frame 0: %+v", into[0])
+	}
+	// First decision wins (duplicates ignored).
+	buf2 := appendDecisionFrame(nil, 0, Decision{Leaf: true})
+	if err := decodeDecisionFrames(buf2, into); err != nil {
+		t.Fatal(err)
+	}
+	if into[0].Leaf {
+		t.Fatal("duplicate decision overwrote the original")
+	}
+	if err := decodeDecisionFrames([]byte{1}, into); err == nil {
+		t.Fatal("truncated frame should fail")
+	}
+}

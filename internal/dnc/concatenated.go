@@ -1,0 +1,123 @@
+package dnc
+
+import (
+	"fmt"
+
+	"pclouds/internal/comm"
+	"pclouds/internal/ooc"
+)
+
+// runConcatenated solves all tasks of each tree level together (Section
+// 3.3): the per-task summaries of a whole level are combined in a single
+// batched all-reduce (saving p-proportional message startups), and all
+// partitions of the level happen in one sweep.
+//
+// The memory pressure the paper attributes to concatenation — the available
+// memory is shared by every task solved together — is modelled explicitly:
+// when a level holds more tasks than buffer slots (Mem divided by the page
+// size), each task's effective I/O buffer shrinks and the extra page
+// operations are charged to the simulated clock as additional seeks.
+func (e *Engine) runConcatenated(p Problem, root Task) error {
+	level := []Task{root}
+	for len(level) > 0 {
+		e.chargeLevelPressure(level)
+
+		// One summary pass per task, one batched all-reduce for the level.
+		offsets := make([]int, len(level)+1)
+		var batch []int64
+		for i, t := range level {
+			local, err := e.summarize(p, t)
+			if err != nil {
+				return err
+			}
+			offsets[i] = len(batch)
+			batch = append(batch, local...)
+		}
+		offsets[len(level)] = len(batch)
+		global, err := comm.AllReduceInt64(e.C, batch, func(a, b int64) int64 { return a + b })
+		if err != nil {
+			return err
+		}
+		e.stats.Collectives++
+
+		var next []Task
+		var childCounts []int64
+		var pending []Task // internal tasks awaiting child-count combine
+		for i, t := range level {
+			dec, err := p.Decide(t, global[offsets[i]:offsets[i+1]])
+			if err != nil {
+				return fmt.Errorf("dnc: deciding task %s: %w", t.ID, err)
+			}
+			e.countTask(e.C, dec.Leaf)
+			if dec.Leaf {
+				e.leaves[t.ID] = dec.Result
+				e.Store.Remove(taskFile(t.ID))
+				continue
+			}
+			counts, err := e.partitionTask(p, t, dec.Payload)
+			if err != nil {
+				return err
+			}
+			childCounts = append(childCounts, counts[0], counts[1])
+			pending = append(pending, t)
+		}
+		// One batched combine for every child count of the level.
+		globalCounts, err := comm.AllReduceInt64(e.C, childCounts, func(a, b int64) int64 { return a + b })
+		if err != nil {
+			return err
+		}
+		e.stats.Collectives++
+		for i, t := range pending {
+			for j, suffix := range []string{"L", "R"} {
+				n := globalCounts[2*i+j]
+				child := Task{ID: t.ID + suffix, Depth: t.Depth + 1, N: n}
+				if n == 0 {
+					e.Store.Remove(taskFile(child.ID))
+					continue
+				}
+				if e.MaxDepth > 0 && child.Depth >= e.MaxDepth {
+					e.leaves[child.ID] = nil
+					e.countTask(e.C, true)
+					e.Store.Remove(taskFile(child.ID))
+					continue
+				}
+				next = append(next, child)
+			}
+		}
+		level = next
+	}
+	return nil
+}
+
+// chargeLevelPressure models the shared-memory penalty of concatenation:
+// with B = Mem/PageSize buffer slots and T tasks in the level, each task's
+// effective buffer shrinks by a factor T/B when T > B, multiplying the
+// number of seeks for the level's streaming passes accordingly.
+func (e *Engine) chargeLevelPressure(level []Task) {
+	if e.Mem == nil || e.Mem.Limit() <= 0 {
+		return
+	}
+	slots := e.Mem.Limit() / ooc.PageSize
+	if slots < 1 {
+		slots = 1
+	}
+	t := int64(len(level))
+	if t <= slots {
+		return
+	}
+	// Extra seeks: every page op of the level splits into t/slots smaller
+	// ops. Estimate the level's local page ops from the task files.
+	var localBytes int64
+	for _, task := range level {
+		if n, err := e.Store.Count(taskFile(task.ID)); err == nil {
+			localBytes += n * int64(e.Store.Schema().RecordBytes())
+		}
+	}
+	basePages := localBytes/ooc.PageSize + 1
+	extraOps := basePages * (t/slots - 1)
+	if extraOps <= 0 {
+		return
+	}
+	// Two streaming passes (summary + partition) are affected.
+	e.C.Clock().Advance(float64(2*extraOps) * e.Params.DiskSeek)
+}

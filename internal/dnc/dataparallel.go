@@ -1,0 +1,74 @@
+package dnc
+
+import (
+	"fmt"
+
+	"pclouds/internal/comm"
+)
+
+// runDataParallel solves tasks one after another using all processors: a
+// streaming summary pass over each rank's share of the task, a global
+// combine, a shared decision, and a local partition pass. No disk-resident
+// data ever moves between ranks (Section 3.2).
+func (e *Engine) runDataParallel(p Problem, queue []Task) error {
+	for len(queue) > 0 {
+		t := queue[0]
+		queue = queue[1:]
+		children, leaf, err := e.processTaskDP(p, t, e.C)
+		if err != nil {
+			return err
+		}
+		e.countTask(e.C, leaf)
+		queue = append(queue, children...)
+	}
+	return nil
+}
+
+// processTaskDP runs one task's summarize→combine→decide→partition cycle on
+// communicator c. It returns the non-empty child tasks.
+func (e *Engine) processTaskDP(p Problem, t Task, c comm.Communicator) ([]Task, bool, error) {
+	local, err := e.summarize(p, t)
+	if err != nil {
+		return nil, false, err
+	}
+	global, err := comm.AllReduceInt64(c, local, func(a, b int64) int64 { return a + b })
+	if err != nil {
+		return nil, false, err
+	}
+	e.stats.Collectives++
+	dec, err := p.Decide(t, global)
+	if err != nil {
+		return nil, false, fmt.Errorf("dnc: deciding task %s: %w", t.ID, err)
+	}
+	if dec.Leaf {
+		e.leaves[t.ID] = dec.Result
+		e.Store.Remove(taskFile(t.ID))
+		return nil, true, nil
+	}
+	localCounts, err := e.partitionTask(p, t, dec.Payload)
+	if err != nil {
+		return nil, false, err
+	}
+	globalCounts, err := comm.AllReduceInt64(c, localCounts[:], func(a, b int64) int64 { return a + b })
+	if err != nil {
+		return nil, false, err
+	}
+	e.stats.Collectives++
+	var children []Task
+	for i, suffix := range []string{"L", "R"} {
+		child := Task{ID: t.ID + suffix, Depth: t.Depth + 1, N: globalCounts[i]}
+		if globalCounts[i] == 0 {
+			e.Store.Remove(taskFile(child.ID))
+			continue
+		}
+		if e.MaxDepth > 0 && child.Depth >= e.MaxDepth {
+			// Forced leaf at the depth cap: an empty result marks it.
+			e.leaves[child.ID] = nil
+			e.countTask(c, true)
+			e.Store.Remove(taskFile(child.ID))
+			continue
+		}
+		children = append(children, child)
+	}
+	return children, false, nil
+}

@@ -1,0 +1,425 @@
+package dnc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"pclouds/internal/comm"
+	"pclouds/internal/costmodel"
+	"pclouds/internal/ooc"
+	"pclouds/internal/record"
+)
+
+// medianProblem is a divide-and-conquer test problem: records carry one
+// numeric key in [0,1); a task's summary is a 64-bin histogram of keys, the
+// decision splits at the median bin boundary, and leaves report their
+// record count. The resulting leaf map is a balanced range partition whose
+// counts must sum to the total — a deterministic problem all four
+// strategies must solve identically.
+type medianProblem struct {
+	leafN int64
+	bins  int
+}
+
+func (m *medianProblem) SummaryLen(Task) int { return m.bins }
+
+func (m *medianProblem) Accumulate(t Task, sum []int64, rec *record.Record) {
+	b := int(rec.Num[0] * float64(m.bins))
+	if b < 0 {
+		b = 0
+	}
+	if b >= m.bins {
+		b = m.bins - 1
+	}
+	sum[b]++
+}
+
+func (m *medianProblem) Decide(t Task, global []int64) (Decision, error) {
+	var n int64
+	lo, hi := -1, -1
+	for b, c := range global {
+		n += c
+		if c > 0 {
+			if lo < 0 {
+				lo = b
+			}
+			hi = b
+		}
+	}
+	result := make([]byte, 8)
+	binary.LittleEndian.PutUint64(result, uint64(n))
+	if n <= m.leafN || lo == hi {
+		return Decision{Leaf: true, Result: result}, nil
+	}
+	// Median bin boundary: the first boundary with cumulative >= n/2 that
+	// still leaves both sides non-empty.
+	var cum int64
+	for b := lo; b < hi; b++ {
+		cum += global[b]
+		if cum >= (n+1)/2 || b == hi-1 {
+			payload := make([]byte, 8)
+			binary.LittleEndian.PutUint64(payload, uint64(b))
+			return Decision{Payload: payload}, nil
+		}
+	}
+	return Decision{}, fmt.Errorf("median bin not found")
+}
+
+func (m *medianProblem) Route(t Task, payload []byte, rec *record.Record) int {
+	b := int(binary.LittleEndian.Uint64(payload))
+	k := int(rec.Num[0] * float64(m.bins))
+	if k <= b {
+		return 0
+	}
+	return 1
+}
+
+func keySchema() *record.Schema {
+	return record.MustSchema([]record.Attribute{{Name: "k", Kind: record.Numeric}}, 2)
+}
+
+func keyRecords(n int, seed int64) []record.Record {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]record.Record, n)
+	for i := range out {
+		out[i] = record.Record{Num: []float64{rng.Float64()}, Class: 0}
+	}
+	return out
+}
+
+// runStrategy executes the median problem on p ranks and returns rank 0's
+// result.
+func runStrategy(t *testing.T, recs []record.Record, p int, s Strategy, switchN int64) *Result {
+	t.Helper()
+	schema := keySchema()
+	comms := comm.NewGroup(p, costmodel.Default())
+	results := make([]*Result, p)
+	errs := make([]error, p)
+	done := make(chan struct{}, p)
+	for r := 0; r < p; r++ {
+		go func(r int) {
+			defer func() { done <- struct{}{} }()
+			store := ooc.NewMemStore(schema, costmodel.Default(), comms[r].Clock())
+			var local []record.Record
+			for i := r; i < len(recs); i += p {
+				local = append(local, recs[i])
+			}
+			if err := store.WriteAll("task-r", local); err != nil {
+				errs[r] = err
+				return
+			}
+			e := &Engine{
+				C: comms[r], Store: store,
+				Mem:     ooc.NewMemLimit(1 << 20),
+				SwitchN: switchN,
+				Params:  costmodel.Default(),
+			}
+			results[r], errs[r] = e.Run(&medianProblem{leafN: 40, bins: 64}, "r", s)
+		}(r)
+	}
+	for i := 0; i < p; i++ {
+		<-done
+	}
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("strategy %v rank %d: %v", s, r, err)
+		}
+	}
+	return results[0]
+}
+
+func leafCounts(res *Result) map[string]int64 {
+	out := make(map[string]int64)
+	for id, blob := range res.Leaves {
+		if len(blob) == 8 {
+			out[id] = int64(binary.LittleEndian.Uint64(blob))
+		}
+	}
+	return out
+}
+
+func TestAllStrategiesAgree(t *testing.T) {
+	recs := keyRecords(2000, 11)
+	ref := runStrategy(t, recs, 4, DataParallel, 0)
+	refLeaves := leafCounts(ref)
+	var refTotal int64
+	for _, c := range refLeaves {
+		refTotal += c
+	}
+	if refTotal != int64(len(recs)) {
+		t.Fatalf("data-parallel leaves sum to %d, want %d", refTotal, len(recs))
+	}
+	if len(refLeaves) < 8 {
+		t.Fatalf("tree too shallow: %d leaves", len(refLeaves))
+	}
+	for _, s := range []Strategy{Concatenated, TaskParallel, Mixed, TaskParallelCI} {
+		got := leafCounts(runStrategy(t, recs, 4, s, 300))
+		if !reflect.DeepEqual(refLeaves, got) {
+			t.Errorf("strategy %v leaf map differs from data-parallel:\nref: %v\ngot: %v", s, refLeaves, got)
+		}
+	}
+}
+
+func TestStrategiesAcrossGroupSizes(t *testing.T) {
+	recs := keyRecords(1200, 3)
+	ref := leafCounts(runStrategy(t, recs, 1, DataParallel, 0))
+	for _, p := range []int{2, 3, 4, 8} {
+		for _, s := range []Strategy{DataParallel, Concatenated, TaskParallel, Mixed, TaskParallelCI} {
+			got := leafCounts(runStrategy(t, recs, p, s, 200))
+			if !reflect.DeepEqual(ref, got) {
+				t.Errorf("p=%d strategy %v differs from sequential reference", p, s)
+			}
+		}
+	}
+}
+
+func TestDataParallelMovesNoData(t *testing.T) {
+	recs := keyRecords(1500, 7)
+	res := runStrategy(t, recs, 4, DataParallel, 0)
+	if res.Stats.Redistributed != 0 {
+		t.Fatalf("data parallelism redistributed %d records", res.Stats.Redistributed)
+	}
+	resC := runStrategy(t, recs, 4, Concatenated, 0)
+	if resC.Stats.Redistributed != 0 {
+		t.Fatalf("concatenated redistributed %d records", resC.Stats.Redistributed)
+	}
+	resCI := runStrategy(t, recs, 4, TaskParallelCI, 0)
+	if resCI.Stats.Redistributed != 0 {
+		t.Fatalf("compute-independent task parallelism redistributed %d records", resCI.Stats.Redistributed)
+	}
+}
+
+func TestTaskParallelMovesData(t *testing.T) {
+	recs := keyRecords(1500, 7)
+	res := runStrategy(t, recs, 4, TaskParallel, 0)
+	if res.Stats.Redistributed == 0 {
+		t.Fatal("task parallelism moved no data")
+	}
+}
+
+func TestMixedDefersSmallTasks(t *testing.T) {
+	recs := keyRecords(1500, 7)
+	res := runStrategy(t, recs, 4, Mixed, 300)
+	if res.Stats.Redistributed == 0 {
+		t.Fatal("mixed strategy shipped no small-task data")
+	}
+	// Mixed should ship less data than pure task parallelism, which moves
+	// large upper-level tasks too.
+	tp := runStrategy(t, recs, 4, TaskParallel, 0)
+	if res.Stats.Redistributed >= tp.Stats.Redistributed {
+		t.Fatalf("mixed shipped %d records, task-parallel %d; expected mixed < task-parallel",
+			res.Stats.Redistributed, tp.Stats.Redistributed)
+	}
+}
+
+func TestConcatenatedSavesCollectives(t *testing.T) {
+	recs := keyRecords(3000, 19)
+	dp := runStrategy(t, recs, 4, DataParallel, 0)
+	ct := runStrategy(t, recs, 4, Concatenated, 0)
+	if ct.Stats.Collectives >= dp.Stats.Collectives {
+		t.Fatalf("concatenated used %d collectives, data-parallel %d; expected fewer",
+			ct.Stats.Collectives, dp.Stats.Collectives)
+	}
+}
+
+func TestAssignTasksBalanced(t *testing.T) {
+	tasks := []Task{
+		{ID: "a", N: 100}, {ID: "b", N: 90}, {ID: "c", N: 50},
+		{ID: "d", N: 40}, {ID: "e", N: 30}, {ID: "f", N: 10},
+	}
+	owner := AssignTasks(tasks, 2)
+	load := map[int]int64{}
+	for i, o := range owner {
+		if o < 0 || o > 1 {
+			t.Fatalf("owner %d out of range", o)
+		}
+		load[o] += tasks[i].N
+	}
+	// LPT on these sizes: {100,40,30} vs {90,50,10} => 170 vs 150.
+	if load[0]+load[1] != 320 {
+		t.Fatalf("loads %v", load)
+	}
+	diff := load[0] - load[1]
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 40 {
+		t.Fatalf("imbalanced LPT assignment: %v", load)
+	}
+	// Determinism.
+	owner2 := AssignTasks(tasks, 2)
+	if !reflect.DeepEqual(owner, owner2) {
+		t.Fatal("assignment not deterministic")
+	}
+}
+
+func TestLeafMapEncoding(t *testing.T) {
+	m := map[string][]byte{"rLL": {1, 2, 3}, "rR": nil, "": {9}}
+	got, err := decodeLeafMap(encodeLeafMap(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || string(got["rLL"]) != string([]byte{1, 2, 3}) || len(got["rR"]) != 0 {
+		t.Fatalf("leaf map roundtrip: %v", got)
+	}
+	if _, err := decodeLeafMap([]byte{1, 2, 3}); err == nil {
+		t.Fatal("corrupt frame should fail")
+	}
+}
+
+func TestMaxDepthCapsTree(t *testing.T) {
+	recs := keyRecords(2000, 23)
+	schema := keySchema()
+	comms := comm.NewGroup(2, costmodel.Zero())
+	results := make([]*Result, 2)
+	errs := make([]error, 2)
+	done := make(chan struct{}, 2)
+	for r := 0; r < 2; r++ {
+		go func(r int) {
+			defer func() { done <- struct{}{} }()
+			store := ooc.NewMemStore(schema, costmodel.Zero(), comms[r].Clock())
+			var local []record.Record
+			for i := r; i < len(recs); i += 2 {
+				local = append(local, recs[i])
+			}
+			store.WriteAll("task-r", local)
+			e := &Engine{C: comms[r], Store: store, MaxDepth: 3, Params: costmodel.Default()}
+			results[r], errs[r] = e.Run(&medianProblem{leafN: 1, bins: 64}, "r", DataParallel)
+		}(r)
+	}
+	<-done
+	<-done
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for id := range results[0].Leaves {
+		if len(id) > 1+3 { // "r" + at most MaxDepth suffixes
+			t.Fatalf("leaf %q deeper than the cap", id)
+		}
+	}
+}
+
+// kdProblem is a 2-D k-d-tree partitioner: the split dimension alternates
+// with task depth, exercising depth-dependent Problem behaviour (summary
+// contents change per task).
+type kdProblem struct {
+	leafN int64
+	bins  int
+}
+
+func (m *kdProblem) dim(t Task) int { return t.Depth % 2 }
+
+func (m *kdProblem) SummaryLen(Task) int { return m.bins }
+
+func (m *kdProblem) Accumulate(t Task, sum []int64, rec *record.Record) {
+	b := int(rec.Num[m.dim(t)] * float64(m.bins))
+	if b < 0 {
+		b = 0
+	}
+	if b >= m.bins {
+		b = m.bins - 1
+	}
+	sum[b]++
+}
+
+func (m *kdProblem) Decide(t Task, global []int64) (Decision, error) {
+	var n int64
+	lo, hi := -1, -1
+	for b, c := range global {
+		n += c
+		if c > 0 {
+			if lo < 0 {
+				lo = b
+			}
+			hi = b
+		}
+	}
+	result := make([]byte, 8)
+	binary.LittleEndian.PutUint64(result, uint64(n))
+	if n <= m.leafN || lo == hi {
+		return Decision{Leaf: true, Result: result}, nil
+	}
+	var cum int64
+	for b := lo; b < hi; b++ {
+		cum += global[b]
+		if cum >= (n+1)/2 || b == hi-1 {
+			payload := make([]byte, 8)
+			binary.LittleEndian.PutUint64(payload, uint64(b))
+			return Decision{Payload: payload}, nil
+		}
+	}
+	return Decision{}, fmt.Errorf("kd median bin not found")
+}
+
+func (m *kdProblem) Route(t Task, payload []byte, rec *record.Record) int {
+	b := int(binary.LittleEndian.Uint64(payload))
+	if int(rec.Num[m.dim(t)]*float64(m.bins)) <= b {
+		return 0
+	}
+	return 1
+}
+
+// TestKDTreeAcrossStrategies: a depth-dependent problem (k-d tree over 2-D
+// points) must still agree across every strategy and group size.
+func TestKDTreeAcrossStrategies(t *testing.T) {
+	schema := record.MustSchema([]record.Attribute{
+		{Name: "x", Kind: record.Numeric},
+		{Name: "y", Kind: record.Numeric},
+	}, 2)
+	rng := rand.New(rand.NewSource(17))
+	recs := make([]record.Record, 1600)
+	for i := range recs {
+		recs[i] = record.Record{Num: []float64{rng.Float64(), rng.Float64()}, Class: 0}
+	}
+	run := func(p int, s Strategy) map[string]int64 {
+		comms := comm.NewGroup(p, costmodel.Zero())
+		results := make([]*Result, p)
+		errs := make([]error, p)
+		done := make(chan struct{}, p)
+		for r := 0; r < p; r++ {
+			go func(r int) {
+				defer func() { done <- struct{}{} }()
+				store := ooc.NewMemStore(schema, costmodel.Zero(), comms[r].Clock())
+				var local []record.Record
+				for i := r; i < len(recs); i += p {
+					local = append(local, recs[i])
+				}
+				if err := store.WriteAll("task-kd", local); err != nil {
+					errs[r] = err
+					return
+				}
+				e := &Engine{C: comms[r], Store: store, Mem: ooc.NewMemLimit(1 << 20), SwitchN: 200, Params: costmodel.Default()}
+				results[r], errs[r] = e.Run(&kdProblem{leafN: 50, bins: 64}, "kd", s)
+			}(r)
+		}
+		for i := 0; i < p; i++ {
+			<-done
+		}
+		for r, err := range errs {
+			if err != nil {
+				t.Fatalf("p=%d %v rank %d: %v", p, s, r, err)
+			}
+		}
+		return leafCounts(results[0])
+	}
+	ref := run(1, DataParallel)
+	var total int64
+	for _, c := range ref {
+		total += c
+	}
+	if total != int64(len(recs)) {
+		t.Fatalf("kd leaves cover %d of %d", total, len(recs))
+	}
+	for _, p := range []int{2, 4} {
+		for _, s := range []Strategy{DataParallel, Concatenated, TaskParallel, Mixed, TaskParallelCI} {
+			if got := run(p, s); !reflect.DeepEqual(ref, got) {
+				t.Errorf("kd tree differs: p=%d strategy %v", p, s)
+			}
+		}
+	}
+}

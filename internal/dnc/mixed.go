@@ -1,0 +1,157 @@
+package dnc
+
+import (
+	"sort"
+
+	"pclouds/internal/comm"
+	"pclouds/internal/record"
+)
+
+// runMixed is the paper's recommended technique (Section 3.4, used by
+// pCLOUDS): data parallelism for large tasks, and *delayed* task
+// parallelism for small ones — tasks whose global size falls below SwitchN
+// are set aside while the large tasks finish, then assigned each to a
+// single processor (cost-based, longest-processing-time first), their data
+// redistributed in one batch of messages, and solved locally with no
+// further communication.
+func (e *Engine) runMixed(p Problem, root Task) error {
+	var small []Task
+	queue := []Task{root}
+	for len(queue) > 0 {
+		t := queue[0]
+		queue = queue[1:]
+		if t.N < e.SwitchN && t.ID != root.ID {
+			small = append(small, t)
+			continue
+		}
+		children, leaf, err := e.processTaskDP(p, t, e.C)
+		if err != nil {
+			return err
+		}
+		e.countTask(e.C, leaf)
+		queue = append(queue, children...)
+	}
+	return e.smallTaskPhase(p, small)
+}
+
+// smallTaskPhase assigns each deferred small task to one processor and
+// ships its data there in a single all-to-all, then solves all local
+// subtrees independently.
+func (e *Engine) smallTaskPhase(p Problem, small []Task) error {
+	if len(small) == 0 {
+		return nil
+	}
+	owner := AssignTasks(small, e.C.Size())
+
+	// Build per-destination payloads: every record of a small task goes to
+	// the task's owner, prefixed by the task id so the owner can split the
+	// stream back into files. Frame: u16 idlen, id, then the record.
+	parts := make([][][]byte, e.C.Size())
+	for i, t := range small {
+		dst := owner[i]
+		id := t.ID
+		n, err := e.streamTask(t, func(rec *record.Record) error {
+			frame := make([]byte, 0, 2+len(id)+e.Store.Schema().RecordBytes())
+			frame = append(frame, byte(len(id)), byte(len(id)>>8))
+			frame = append(frame, id...)
+			frame = rec.Encode(frame)
+			parts[dst] = append(parts[dst], frame)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		e.stats.RecordReads += n
+		if dst != e.C.Rank() {
+			e.stats.Redistributed += n
+		}
+		e.Store.Remove(taskFile(t.ID))
+	}
+	flat := make([][]byte, e.C.Size())
+	for d := range parts {
+		var buf []byte
+		for _, f := range parts[d] {
+			buf = append(buf, f...)
+		}
+		flat[d] = buf
+	}
+	recv, err := comm.AllToAll(e.C, flat)
+	if err != nil {
+		return err
+	}
+	e.stats.Collectives++
+
+	// Reassemble local task files from the received frames.
+	writers := map[string]*taskSink{}
+	rb := e.Store.Schema().RecordBytes()
+	for _, raw := range recv {
+		for len(raw) > 0 {
+			idLen := int(raw[0]) | int(raw[1])<<8
+			id := string(raw[2 : 2+idLen])
+			raw = raw[2+idLen:]
+			var rec record.Record
+			if _, err := rec.Decode(e.Store.Schema(), raw[:rb]); err != nil {
+				return err
+			}
+			raw = raw[rb:]
+			sink, ok := writers[id]
+			if !ok {
+				sink = &taskSink{}
+				writers[id] = sink
+			}
+			sink.recs = append(sink.recs, rec)
+		}
+	}
+	for i, t := range small {
+		if owner[i] != e.C.Rank() {
+			continue
+		}
+		sink := writers[t.ID]
+		var recs []record.Record
+		if sink != nil {
+			recs = sink.recs
+		}
+		if err := e.Store.WriteAll(taskFile(t.ID), recs); err != nil {
+			return err
+		}
+		if err := e.solveLocal(p, t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type taskSink struct {
+	recs []record.Record
+}
+
+// AssignTasks maps each task to an owner rank with the longest-processing-
+// time-first greedy heuristic: tasks sorted by descending size, each placed
+// on the currently least-loaded rank. The assignment is deterministic
+// (stable sort, lowest rank wins ties) so every rank computes the same map
+// without communicating.
+func AssignTasks(tasks []Task, p int) []int {
+	idx := make([]int, len(tasks))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		if tasks[idx[a]].N != tasks[idx[b]].N {
+			return tasks[idx[a]].N > tasks[idx[b]].N
+		}
+		return tasks[idx[a]].ID < tasks[idx[b]].ID
+	})
+	load := make([]int64, p)
+	owner := make([]int, len(tasks))
+	for _, i := range idx {
+		best := 0
+		for r := 1; r < p; r++ {
+			if load[r] < load[best] {
+				best = r
+			}
+		}
+		owner[i] = best
+		load[best] += tasks[i].N
+	}
+	return owner
+}

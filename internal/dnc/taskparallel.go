@@ -1,0 +1,184 @@
+package dnc
+
+import (
+	"fmt"
+
+	"pclouds/internal/comm"
+	"pclouds/internal/record"
+)
+
+// runTaskParallel is partitioned tree construction (Section 3.1): a task is
+// processed cooperatively, then its two subtasks are assigned to two
+// processor subgroups sized by subtask cost, the disk-resident data moves
+// to its subgroup (compute-dependent parallel I/O: read at the source,
+// communicate, write at the destination), and the subgroups recurse
+// independently. A subgroup of one processor solves its whole subtree
+// locally with no further communication.
+func (e *Engine) runTaskParallel(p Problem, t Task, c comm.Communicator) error {
+	if c.Size() == 1 {
+		return e.solveLocal(p, t)
+	}
+	children, leaf, err := e.processTaskDP(p, t, c)
+	if err != nil {
+		return err
+	}
+	e.countTask(c, leaf)
+	if leaf || len(children) == 0 {
+		return nil
+	}
+	if len(children) == 1 {
+		// One empty side: the whole group keeps the surviving child.
+		return e.runTaskParallel(p, children[0], c)
+	}
+	left, right := children[0], children[1]
+
+	// Size the subgroups by subtask cost (proportional to record counts).
+	p2 := c.Size()
+	nl := int(int64(p2) * left.N / (left.N + right.N))
+	if nl < 1 {
+		nl = 1
+	}
+	if nl > p2-1 {
+		nl = p2 - 1
+	}
+	// Lower ranks take the left subtask.
+	mine, other := left, right
+	myGroupLo, myGroupHi := 0, nl
+	otherLo, otherHi := nl, p2
+	if c.Rank() >= nl {
+		mine, other = right, left
+		myGroupLo, myGroupHi = nl, p2
+		otherLo, otherHi = 0, nl
+	}
+
+	// Redistribute: ship the local share of the other subtask's data to the
+	// other group, spreading it round-robin for balance, and absorb what
+	// the other group sends of our subtask.
+	if err := e.redistribute(c, other, mine, otherLo, otherHi); err != nil {
+		return err
+	}
+
+	groupRanks := make([]int, 0, myGroupHi-myGroupLo)
+	for r := myGroupLo; r < myGroupHi; r++ {
+		groupRanks = append(groupRanks, r)
+	}
+	sub, err := comm.NewSub(c, groupRanks)
+	if err != nil {
+		return err
+	}
+	return e.runTaskParallel(p, mine, sub)
+}
+
+// redistribute sends this rank's local records of task `away` to the ranks
+// [lo,hi) of communicator c (round-robin by record index) and appends any
+// records of task `keep` received from the other group to keep's local
+// file. Both groups call it with mirrored arguments; it is one AllToAll.
+func (e *Engine) redistribute(c comm.Communicator, away, keep Task, lo, hi int) error {
+	p := c.Size()
+	// Encode outgoing records per destination.
+	bufs := make([][]record.Record, p)
+	dests := hi - lo
+	idx := 0
+	n, err := e.streamTask(away, func(rec *record.Record) error {
+		d := lo + idx%dests
+		idx++
+		bufs[d] = append(bufs[d], rec.Clone())
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	e.stats.RecordReads += n
+	e.stats.Redistributed += n
+	e.Store.Remove(taskFile(away.ID))
+
+	parts := make([][]byte, p)
+	for d := range parts {
+		if len(bufs[d]) > 0 {
+			parts[d] = record.EncodeAll(bufs[d])
+		}
+	}
+	recv, err := comm.AllToAll(c, parts)
+	if err != nil {
+		return err
+	}
+	e.stats.Collectives++
+
+	// Append incoming records of our kept task directly to its file.
+	var incoming []record.Record
+	for _, raw := range recv {
+		if len(raw) == 0 {
+			continue
+		}
+		recs, err := record.DecodeAll(e.Store.Schema(), raw)
+		if err != nil {
+			return err
+		}
+		incoming = append(incoming, recs...)
+	}
+	if len(incoming) == 0 {
+		return nil
+	}
+	w, err := e.Store.AppendWriter(taskFile(keep.ID))
+	if err != nil {
+		return err
+	}
+	for _, rec := range incoming {
+		if err := w.Write(rec); err != nil {
+			w.Close()
+			return err
+		}
+	}
+	return w.Close()
+}
+
+// solveLocal builds a whole subtree on one rank: all the task's data is
+// local, so global summaries equal local ones and no communication happens.
+// Small subtrees whose data fits the memory budget run in-core.
+func (e *Engine) solveLocal(p Problem, t Task) error {
+	queue := []Task{t}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		localN, err := e.Store.Count(taskFile(cur.ID))
+		if err != nil {
+			return err
+		}
+		cur.N = localN
+		sum, err := e.summarize(p, cur)
+		if err != nil {
+			return err
+		}
+		dec, err := p.Decide(cur, sum)
+		if err != nil {
+			return fmt.Errorf("dnc: deciding local task %s: %w", cur.ID, err)
+		}
+		e.stats.Tasks++
+		if dec.Leaf {
+			e.stats.LeafTasks++
+			e.leaves[cur.ID] = dec.Result
+			e.Store.Remove(taskFile(cur.ID))
+			continue
+		}
+		counts, err := e.partitionTask(p, cur, dec.Payload)
+		if err != nil {
+			return err
+		}
+		for i, suffix := range []string{"L", "R"} {
+			child := Task{ID: cur.ID + suffix, Depth: cur.Depth + 1, N: counts[i]}
+			if counts[i] == 0 {
+				e.Store.Remove(taskFile(child.ID))
+				continue
+			}
+			if e.MaxDepth > 0 && child.Depth >= e.MaxDepth {
+				e.leaves[child.ID] = nil
+				e.stats.Tasks++
+				e.stats.LeafTasks++
+				e.Store.Remove(taskFile(child.ID))
+				continue
+			}
+			queue = append(queue, child)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,227 @@
+package dnc
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"pclouds/internal/comm"
+)
+
+// runTaskParallelCI is task parallelism with *compute-independent* parallel
+// I/O (Section 3.1's second alternative): subtasks are assigned to
+// processors, but the disk-resident data keeps its initial random
+// distribution — no records ever move. Every rank therefore holds a share
+// of every task and performs the I/O for it; only the task's assigned
+// owner performs the decision computation. Per tree level:
+//
+//  1. tasks are assigned round-robin to owner ranks (all ranks compute the
+//     same assignment);
+//  2. each rank streams its local share of every task, batching all local
+//     summaries addressed to each owner into ONE all-to-all;
+//  3. owners combine their tasks' summaries and decide;
+//  4. one all-gather distributes the decisions, since every rank must
+//     partition its local share of every task.
+//
+// Compared with data parallelism the summaries converge on single owners
+// (no reduction tree) but different tasks' decisions happen concurrently;
+// compared with compute-dependent task parallelism there is no
+// redistribution I/O at all.
+func (e *Engine) runTaskParallelCI(p Problem, root Task) error {
+	level := []Task{root}
+	for len(level) > 0 {
+		pp := e.C.Size()
+		rank := e.C.Rank()
+
+		// 1. Deterministic ownership.
+		owner := make([]int, len(level))
+		for i := range level {
+			owner[i] = i % pp
+		}
+
+		// 2. Local summaries, batched per owner: [u32 taskIdx][u32 n][n i64].
+		parts := make([][]byte, pp)
+		for i, t := range level {
+			sum, err := e.summarize(p, t)
+			if err != nil {
+				return err
+			}
+			parts[owner[i]] = appendSummaryFrame(parts[owner[i]], i, sum)
+		}
+		recv, err := comm.AllToAll(e.C, parts)
+		if err != nil {
+			return err
+		}
+		e.stats.Collectives++
+
+		// 3. Owners combine and decide their tasks.
+		combined := make([][]int64, len(level))
+		for _, raw := range recv {
+			if err := addSummaryFrames(raw, combined); err != nil {
+				return err
+			}
+		}
+		decisions := make([]*Decision, len(level))
+		var myDecisions []byte
+		for i, t := range level {
+			if owner[i] != rank {
+				continue
+			}
+			if combined[i] == nil {
+				combined[i] = make([]int64, p.SummaryLen(t))
+			}
+			dec, err := p.Decide(t, combined[i])
+			if err != nil {
+				return fmt.Errorf("dnc: deciding task %s: %w", t.ID, err)
+			}
+			decisions[i] = &dec
+			myDecisions = appendDecisionFrame(myDecisions, i, dec)
+		}
+
+		// 4. Broadcast all decisions (one all-gather).
+		gathered, err := comm.AllGather(e.C, myDecisions)
+		if err != nil {
+			return err
+		}
+		e.stats.Collectives++
+		for _, raw := range gathered {
+			if err := decodeDecisionFrames(raw, decisions); err != nil {
+				return err
+			}
+		}
+
+		// 5. Every rank partitions its local share of every internal task;
+		// child sizes come from one batched combine.
+		var next []Task
+		var pending []Task
+		var childCounts []int64
+		for i, t := range level {
+			dec := decisions[i]
+			if dec == nil {
+				return fmt.Errorf("dnc: missing decision for task %s", t.ID)
+			}
+			e.countTask(e.C, dec.Leaf)
+			if dec.Leaf {
+				e.leaves[t.ID] = dec.Result
+				e.Store.Remove(taskFile(t.ID))
+				continue
+			}
+			counts, err := e.partitionTask(p, t, dec.Payload)
+			if err != nil {
+				return err
+			}
+			childCounts = append(childCounts, counts[0], counts[1])
+			pending = append(pending, t)
+		}
+		globalCounts, err := comm.AllReduceInt64(e.C, childCounts, func(a, b int64) int64 { return a + b })
+		if err != nil {
+			return err
+		}
+		e.stats.Collectives++
+		for i, t := range pending {
+			for j, suffix := range []string{"L", "R"} {
+				n := globalCounts[2*i+j]
+				child := Task{ID: t.ID + suffix, Depth: t.Depth + 1, N: n}
+				if n == 0 {
+					e.Store.Remove(taskFile(child.ID))
+					continue
+				}
+				if e.MaxDepth > 0 && child.Depth >= e.MaxDepth {
+					e.leaves[child.ID] = nil
+					e.countTask(e.C, true)
+					e.Store.Remove(taskFile(child.ID))
+					continue
+				}
+				next = append(next, child)
+			}
+		}
+		level = next
+	}
+	return nil
+}
+
+func appendSummaryFrame(dst []byte, idx int, sum []int64) []byte {
+	var b8 [8]byte
+	binary.LittleEndian.PutUint32(b8[:4], uint32(idx))
+	dst = append(dst, b8[:4]...)
+	binary.LittleEndian.PutUint32(b8[:4], uint32(len(sum)))
+	dst = append(dst, b8[:4]...)
+	for _, v := range sum {
+		binary.LittleEndian.PutUint64(b8[:], uint64(v))
+		dst = append(dst, b8[:]...)
+	}
+	return dst
+}
+
+func addSummaryFrames(src []byte, into [][]int64) error {
+	for len(src) > 0 {
+		if len(src) < 8 {
+			return fmt.Errorf("dnc: truncated summary frame")
+		}
+		idx := int(binary.LittleEndian.Uint32(src))
+		n := int(binary.LittleEndian.Uint32(src[4:]))
+		src = src[8:]
+		if idx < 0 || idx >= len(into) || len(src) < n*8 {
+			return fmt.Errorf("dnc: corrupt summary frame (idx %d, n %d)", idx, n)
+		}
+		if into[idx] == nil {
+			into[idx] = make([]int64, n)
+		}
+		if len(into[idx]) != n {
+			return fmt.Errorf("dnc: summary length mismatch for task %d", idx)
+		}
+		for k := 0; k < n; k++ {
+			into[idx][k] += int64(binary.LittleEndian.Uint64(src))
+			src = src[8:]
+		}
+	}
+	return nil
+}
+
+func appendDecisionFrame(dst []byte, idx int, dec Decision) []byte {
+	var b8 [8]byte
+	binary.LittleEndian.PutUint32(b8[:4], uint32(idx))
+	dst = append(dst, b8[:4]...)
+	if dec.Leaf {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	binary.LittleEndian.PutUint32(b8[:4], uint32(len(dec.Result)))
+	dst = append(dst, b8[:4]...)
+	dst = append(dst, dec.Result...)
+	binary.LittleEndian.PutUint32(b8[:4], uint32(len(dec.Payload)))
+	dst = append(dst, b8[:4]...)
+	dst = append(dst, dec.Payload...)
+	return dst
+}
+
+func decodeDecisionFrames(src []byte, into []*Decision) error {
+	for len(src) > 0 {
+		if len(src) < 13 {
+			return fmt.Errorf("dnc: truncated decision frame")
+		}
+		idx := int(binary.LittleEndian.Uint32(src))
+		leaf := src[4] != 0
+		rn := int(binary.LittleEndian.Uint32(src[5:]))
+		src = src[9:]
+		if idx < 0 || idx >= len(into) || rn < 0 || rn > len(src) {
+			return fmt.Errorf("dnc: corrupt decision frame")
+		}
+		result := append([]byte(nil), src[:rn]...)
+		src = src[rn:]
+		if len(src) < 4 {
+			return fmt.Errorf("dnc: truncated decision payload length")
+		}
+		pn := int(binary.LittleEndian.Uint32(src))
+		src = src[4:]
+		if pn < 0 || pn > len(src) {
+			return fmt.Errorf("dnc: corrupt decision payload")
+		}
+		payload := append([]byte(nil), src[:pn]...)
+		src = src[pn:]
+		if into[idx] == nil {
+			into[idx] = &Decision{Leaf: leaf, Result: result, Payload: payload}
+		}
+	}
+	return nil
+}

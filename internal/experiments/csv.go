@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// CSV emitters: plot-ready long-format data for each figure, one
+// observation per row. `gnuplot`, R, or a spreadsheet can regenerate the
+// paper's plots directly from these.
+
+// WriteFig1CSV emits records,procs,simtime,speedup rows.
+func WriteFig1CSV(w io.Writer, results []SpeedupResult) error {
+	if _, err := fmt.Fprintln(w, "records,procs,sim_time_s,speedup"); err != nil {
+		return err
+	}
+	for _, r := range results {
+		for i := range r.Procs {
+			if _, err := fmt.Fprintf(w, "%d,%d,%.6f,%.4f\n", r.Records, r.Procs[i], r.SimTime[i], r.Speedup[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteFig2CSV emits procs,records,speedup rows.
+func WriteFig2CSV(w io.Writer, results []SizeupResult) error {
+	if _, err := fmt.Fprintln(w, "procs,records,speedup"); err != nil {
+		return err
+	}
+	for _, r := range results {
+		for i := range r.Records {
+			if _, err := fmt.Fprintf(w, "%d,%d,%.4f\n", r.Procs, r.Records[i], r.Speedup[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteFig3CSV emits records_per_proc,procs,simtime rows.
+func WriteFig3CSV(w io.Writer, results []ScaleupResult) error {
+	if _, err := fmt.Fprintln(w, "records_per_proc,procs,sim_time_s"); err != nil {
+		return err
+	}
+	for _, r := range results {
+		for i := range r.Procs {
+			if _, err := fmt.Fprintf(w, "%d,%d,%.6f\n", r.PerProc, r.Procs[i], r.SimTime[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteTable1CSV emits primitive,procs,bytes,measured,form,ratio rows.
+func WriteTable1CSV(w io.Writer, rows []Table1Row) error {
+	if _, err := fmt.Fprintln(w, "primitive,procs,bytes,measured_s,form_s,ratio"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%s,%d,%d,%.9f,%.9f,%.4f\n", r.Primitive, r.P, r.Bytes, r.Measured, r.Form, r.Ratio); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,492 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pclouds/internal/pclouds"
+)
+
+func smallHarness() Harness {
+	h := DefaultHarness()
+	h.QRoot = 48
+	h.MaxDepth = 10
+	return h
+}
+
+func TestFig1SpeedupShape(t *testing.T) {
+	h := smallHarness()
+	res, err := h.Fig1Speedup([]int{3000, 6000}, []int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("series %d", len(res))
+	}
+	for _, r := range res {
+		if r.Speedup[0] != 1 {
+			t.Fatalf("p=1 speedup %v", r.Speedup[0])
+		}
+		// Speedup must grow with p (the paper's headline shape).
+		for i := 1; i < len(r.Speedup); i++ {
+			if r.Speedup[i] <= r.Speedup[i-1]*0.9 {
+				t.Fatalf("n=%d: speedup not increasing: %v", r.Records, r.Speedup)
+			}
+		}
+		if r.Speedup[len(r.Speedup)-1] < 1.3 {
+			t.Fatalf("n=%d: final speedup %v too low", r.Records, r.Speedup)
+		}
+	}
+	// Larger data tends to speed up at least as well (paper: improves with
+	// size). Allow slack; just require it not collapse.
+	if res[1].Speedup[2] < res[0].Speedup[2]*0.7 {
+		t.Fatalf("speedup collapsed with size: %v vs %v", res[1].Speedup, res[0].Speedup)
+	}
+	var buf bytes.Buffer
+	PrintFig1(&buf, res)
+	if !strings.Contains(buf.String(), "Figure 1") {
+		t.Fatal("print output missing header")
+	}
+}
+
+func TestFig2SizeupRuns(t *testing.T) {
+	h := smallHarness()
+	res, err := h.Fig2Sizeup([]int{2000, 4000}, []int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 || len(res[0].Speedup) != 2 {
+		t.Fatalf("shape %+v", res)
+	}
+	for _, r := range res {
+		for _, s := range r.Speedup {
+			if s <= 0.5 {
+				t.Fatalf("degenerate sizeup speedup %v", s)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	PrintFig2(&buf, res)
+	if !strings.Contains(buf.String(), "Figure 2") {
+		t.Fatal("print output missing header")
+	}
+}
+
+func TestFig3ScaleupRuns(t *testing.T) {
+	h := smallHarness()
+	res, err := h.Fig3Scaleup([]int{800}, []int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res[0]
+	// Scaleup: runtime should grow sublinearly in p (ideally flat). It must
+	// not grow proportionally to p.
+	if r.SimTime[2] > r.SimTime[0]*3 {
+		t.Fatalf("scaleup broke down: %v", r.SimTime)
+	}
+	var buf bytes.Buffer
+	PrintFig3(&buf, res)
+	if !strings.Contains(buf.String(), "Figure 3") {
+		t.Fatal("print output missing header")
+	}
+}
+
+func TestTable1RatiosBounded(t *testing.T) {
+	h := smallHarness()
+	rows, err := h.Table1Collectives([]int{2, 4, 8, 16}, []int{64, 4096, 65536})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, r := range rows {
+		if r.Form <= 0 || r.Measured <= 0 {
+			t.Fatalf("degenerate row %+v", r)
+		}
+		// The O-form reproduction: measured cost within a constant factor
+		// of the closed form across the whole sweep.
+		if r.Ratio > 6 || r.Ratio < 0.1 {
+			t.Errorf("%s p=%d m=%d: ratio %.2f outside [0.1, 6]", r.Primitive, r.P, r.Bytes, r.Ratio)
+		}
+	}
+	var buf bytes.Buffer
+	PrintTable1(&buf, rows)
+	if !strings.Contains(buf.String(), "Table 1") {
+		t.Fatal("print output missing header")
+	}
+}
+
+func TestStrategiesAblationShape(t *testing.T) {
+	h := smallHarness()
+	rows, err := h.StrategiesAblation(3000, 4, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	byName := map[string]StrategyRow{}
+	for _, r := range rows {
+		byName[r.Strategy.String()] = r
+	}
+	if byName["data-parallel"].Redistributed != 0 {
+		t.Fatal("data parallelism moved data")
+	}
+	if byName["task-parallel"].Redistributed == 0 {
+		t.Fatal("task parallelism moved no data")
+	}
+	if byName["mixed"].Redistributed >= byName["task-parallel"].Redistributed {
+		t.Fatal("mixed should move less than task parallelism")
+	}
+	if byName["concatenated"].Collectives >= byName["data-parallel"].Collectives {
+		t.Fatal("concatenated should batch collectives")
+	}
+	var buf bytes.Buffer
+	PrintStrategies(&buf, rows)
+	if !strings.Contains(buf.String(), "Ablation A") {
+		t.Fatal("print output missing header")
+	}
+}
+
+func TestSplitMethodsAblationShape(t *testing.T) {
+	h := smallHarness()
+	rows, err := h.SplitMethodsAblation(5000, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	byName := map[string]SplitMethodRow{}
+	for _, r := range rows {
+		byName[r.Method] = r
+	}
+	// The CLOUDS claim: SSE accuracy within a hair of direct, SS close too.
+	if byName["SSE"].Accuracy < byName["direct"].Accuracy-0.02 {
+		t.Fatalf("SSE accuracy %.4f far below direct %.4f", byName["SSE"].Accuracy, byName["direct"].Accuracy)
+	}
+	if byName["SS"].Accuracy < 0.9 {
+		t.Fatalf("SS accuracy %.4f degenerate", byName["SS"].Accuracy)
+	}
+	var buf bytes.Buffer
+	PrintSplitMethods(&buf, rows)
+	if !strings.Contains(buf.String(), "Ablation B") {
+		t.Fatal("print output missing header")
+	}
+}
+
+func TestBaselineAblationShape(t *testing.T) {
+	h := smallHarness()
+	rows, err := h.BaselineAblation(4000, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	clouds, sliq, sprint := rows[0], rows[1], rows[2]
+	if sliq.Accuracy != sprint.Accuracy || sliq.TreeNodes != sprint.TreeNodes {
+		t.Fatalf("SLIQ and SPRINT disagree: %+v vs %+v", sliq, sprint)
+	}
+	if sliq.MemResident == 0 {
+		t.Fatal("SLIQ class list not measured")
+	}
+	if clouds.Accuracy < sprint.Accuracy-0.02 {
+		t.Fatalf("CLOUDS accuracy %.4f far below SPRINT %.4f", clouds.Accuracy, sprint.Accuracy)
+	}
+	if clouds.IOBytes >= sprint.IOBytes {
+		t.Fatalf("CLOUDS I/O %d >= SPRINT %d; the paper's claim is the reverse", clouds.IOBytes, sprint.IOBytes)
+	}
+	if sprint.MemResident == 0 {
+		t.Fatal("SPRINT hash not measured")
+	}
+	var buf bytes.Buffer
+	PrintBaseline(&buf, rows)
+	if !strings.Contains(buf.String(), "Ablation D") {
+		t.Fatal("print output missing header")
+	}
+}
+
+func TestParallelBaselineAblationShape(t *testing.T) {
+	h := smallHarness()
+	rows, err := h.ParallelBaselineAblation(3000, 1200, []int{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	var pc, sc ParallelBaselineRow
+	for _, r := range rows {
+		if r.System == "pCLOUDS" {
+			pc = r
+		} else {
+			sc = r
+		}
+	}
+	if pc.Accuracy < sc.Accuracy-0.02 {
+		t.Fatalf("pCLOUDS accuracy %.4f far below ScalParC %.4f", pc.Accuracy, sc.Accuracy)
+	}
+	// The Section 4 claim: pCLOUDS communicates less than the parallel
+	// exact baseline.
+	if pc.CommBytes >= sc.CommBytes {
+		t.Fatalf("pCLOUDS comm %d >= ScalParC %d", pc.CommBytes, sc.CommBytes)
+	}
+	if pc.CommMsgs >= sc.CommMsgs {
+		t.Fatalf("pCLOUDS msgs %d >= ScalParC %d", pc.CommMsgs, sc.CommMsgs)
+	}
+	var buf bytes.Buffer
+	PrintParallelBaseline(&buf, rows)
+	if !strings.Contains(buf.String(), "Ablation E") {
+		t.Fatal("print output missing header")
+	}
+}
+
+func TestRegroupAblationShape(t *testing.T) {
+	h := smallHarness()
+	rows, err := h.RegroupAblation([]int{600}, []int{8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	r := rows[0]
+	if r.SingleOwner <= 0 || r.Regrouped <= 0 {
+		t.Fatalf("degenerate times %+v", r)
+	}
+	// Regrouping must never be meaningfully slower.
+	if r.Regrouped > r.SingleOwner*1.05 {
+		t.Fatalf("regrouping slower: %+v", r)
+	}
+	var buf bytes.Buffer
+	PrintRegroup(&buf, rows)
+	if !strings.Contains(buf.String(), "regrouping") {
+		t.Fatal("print output missing header")
+	}
+}
+
+func TestBoundaryAblationShape(t *testing.T) {
+	h := smallHarness()
+	rows, err := h.BoundaryAblation(3000, []int{4}, []int{64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	var attr, full BoundaryRow
+	for _, r := range rows {
+		switch r.Method {
+		case pclouds.AttributeBased:
+			attr = r
+		case pclouds.FullReplication:
+			full = r
+		}
+	}
+	if attr.CommBytes == 0 || full.CommBytes == 0 {
+		t.Fatal("no communication recorded")
+	}
+	// Full replication ships every q·c·f vector to all ranks; the
+	// attribute-based scheme must communicate less.
+	if attr.CommBytes >= full.CommBytes {
+		t.Fatalf("attribute-based bytes %d >= full replication %d", attr.CommBytes, full.CommBytes)
+	}
+	var buf bytes.Buffer
+	PrintBoundary(&buf, rows)
+	if !strings.Contains(buf.String(), "Ablation C") {
+		t.Fatal("print output missing header")
+	}
+}
+
+func TestCSVEmitters(t *testing.T) {
+	fig1 := []SpeedupResult{{
+		Records: 1000, Procs: []int{1, 2}, SimTime: []float64{2, 1.1}, Speedup: []float64{1, 1.82},
+	}}
+	var b1 bytes.Buffer
+	if err := WriteFig1CSV(&b1, fig1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b1.String(), "records,procs,sim_time_s,speedup") ||
+		!strings.Contains(b1.String(), "1000,2,1.100000,1.8200") {
+		t.Fatalf("fig1 csv:\n%s", b1.String())
+	}
+	fig2 := []SizeupResult{{Procs: 4, Records: []int{10, 20}, Speedup: []float64{3, 3.5}}}
+	var b2 bytes.Buffer
+	if err := WriteFig2CSV(&b2, fig2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b2.String(), "4,20,3.5000") {
+		t.Fatalf("fig2 csv:\n%s", b2.String())
+	}
+	fig3 := []ScaleupResult{{PerProc: 100, Procs: []int{1, 4}, SimTime: []float64{1, 1.2}}}
+	var b3 bytes.Buffer
+	if err := WriteFig3CSV(&b3, fig3); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b3.String(), "100,4,1.200000") {
+		t.Fatalf("fig3 csv:\n%s", b3.String())
+	}
+	t1 := []Table1Row{{Primitive: "gather", P: 4, Bytes: 64, Measured: 1e-4, Form: 2e-4, Ratio: 0.5}}
+	var b4 bytes.Buffer
+	if err := WriteTable1CSV(&b4, t1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b4.String(), "gather,4,64") {
+		t.Fatalf("table1 csv:\n%s", b4.String())
+	}
+}
+
+func TestLemma2BoundHolds(t *testing.T) {
+	h := smallHarness()
+	rows, err := h.Lemma2Validation(20000, []int{4, 8}, []int{400, 4000}, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, r := range rows {
+		if r.MaxOver < 1 {
+			t.Fatalf("max/(m/p) below 1 is impossible: %+v", r)
+		}
+		if r.MaxOver > r.Bound {
+			t.Fatalf("Lemma 2 bound violated: %+v", r)
+		}
+	}
+	// The overshoot must shrink as m grows (the lemma's asymptotic).
+	byP := map[int][]Lemma2Row{}
+	for _, r := range rows {
+		byP[r.P] = append(byP[r.P], r)
+	}
+	for p, rs := range byP {
+		if len(rs) == 2 && rs[1].MaxOver >= rs[0].MaxOver {
+			t.Errorf("p=%d: overshoot did not shrink with m: %.3f -> %.3f", p, rs[0].MaxOver, rs[1].MaxOver)
+		}
+	}
+	var buf bytes.Buffer
+	PrintLemma2(&buf, rows)
+	if !strings.Contains(buf.String(), "Lemma 2") {
+		t.Fatal("print output missing header")
+	}
+}
+
+func TestFunctionsSweepShape(t *testing.T) {
+	h := smallHarness()
+	rows, err := h.FunctionsSweep(3000, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Accuracy < 0.9 {
+			t.Errorf("function %d: accuracy %.4f below 0.9", r.Function, r.Accuracy)
+		}
+		if r.PrunedNodes > r.RawNodes {
+			t.Errorf("function %d: pruning grew the tree", r.Function)
+		}
+		if r.Passes <= 0 {
+			t.Errorf("function %d: no passes recorded", r.Function)
+		}
+	}
+	var buf bytes.Buffer
+	PrintFunctions(&buf, rows)
+	if !strings.Contains(buf.String(), "Generator sweep") {
+		t.Fatal("print output missing header")
+	}
+}
+
+func TestPhasesBreakdownShape(t *testing.T) {
+	h := smallHarness()
+	rows, err := h.PhasesBreakdown(3000, []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Total <= 0 || r.SplitDerive <= 0 || r.Partition <= 0 {
+			t.Fatalf("degenerate phase row %+v", r)
+		}
+		// Phases cannot exceed the makespan.
+		if r.SplitDerive > r.Total || r.Partition > r.Total || r.SmallPhase > r.Total {
+			t.Fatalf("phase exceeds total: %+v", r)
+		}
+		// Alive evaluation happens inside split derivation.
+		if r.AliveEval > r.SplitDerive+1e-9 {
+			t.Fatalf("alive eval outside split derivation: %+v", r)
+		}
+	}
+	// Parallelism must shrink the dominant phases.
+	if rows[1].Partition >= rows[0].Partition {
+		t.Fatalf("partition did not shrink with p: %+v vs %+v", rows[0], rows[1])
+	}
+	var buf bytes.Buffer
+	PrintPhases(&buf, rows)
+	if !strings.Contains(buf.String(), "Phase breakdown") {
+		t.Fatal("print output missing header")
+	}
+}
+
+func TestMemoryAblationShape(t *testing.T) {
+	h := smallHarness()
+	rows, err := h.MemoryAblation(3000, []float64{1, 0.0625})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Identical {
+			t.Fatalf("memory budget changed the tree: %+v", r)
+		}
+		if r.ReadSweeps <= 0 {
+			t.Fatalf("no reads recorded: %+v", r)
+		}
+	}
+	// Tight memory must cost more I/O than unlimited.
+	if rows[1].ReadSweeps <= rows[0].ReadSweeps {
+		t.Fatalf("tight memory did not increase I/O: %+v", rows)
+	}
+	var buf bytes.Buffer
+	PrintMemory(&buf, rows)
+	if !strings.Contains(buf.String(), "memory budget") {
+		t.Fatal("print output missing header")
+	}
+}
+
+func TestFusionAblationShape(t *testing.T) {
+	h := smallHarness()
+	rows, err := h.FusionAblation(3000, []int{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	var fused, unfused FusionRow
+	for _, r := range rows {
+		if r.Fused {
+			fused = r
+		} else {
+			unfused = r
+		}
+	}
+	if fused.ReadBytes >= unfused.ReadBytes {
+		t.Fatalf("fusion did not reduce reads: %d vs %d", fused.ReadBytes, unfused.ReadBytes)
+	}
+	if fused.SimTime >= unfused.SimTime {
+		t.Fatalf("fusion did not reduce simulated time: %.4f vs %.4f", fused.SimTime, unfused.SimTime)
+	}
+	var buf bytes.Buffer
+	PrintFusion(&buf, rows)
+	if !strings.Contains(buf.String(), "Fused partitioning") {
+		t.Fatal("print output missing header")
+	}
+}

@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"pclouds/internal/record"
+)
+
+// SpeedupResult is one figure-1 series: speedup vs processor count for a
+// fixed record count.
+type SpeedupResult struct {
+	Records  int
+	Procs    []int
+	SimTime  []float64
+	Speedup  []float64 // SimTime[p=1] / SimTime[p]
+	WallMS   []float64
+	BaseTime float64
+}
+
+// Fig1Speedup reproduces Figure 1: speedup curves for several dataset sizes
+// over the processor counts. Speedup(p) = T_sim(1) / T_sim(p).
+func (h Harness) Fig1Speedup(sizes []int, procs []int) ([]SpeedupResult, error) {
+	var out []SpeedupResult
+	for _, n := range sizes {
+		data, sample, err := h.Generate(n)
+		if err != nil {
+			return nil, err
+		}
+		res := SpeedupResult{Records: n}
+		for _, p := range procs {
+			r, err := h.Run(data, sample, p)
+			if err != nil {
+				return nil, fmt.Errorf("n=%d p=%d: %w", n, p, err)
+			}
+			res.Procs = append(res.Procs, p)
+			res.SimTime = append(res.SimTime, r.SimTime)
+			res.WallMS = append(res.WallMS, float64(r.WallTime.Microseconds())/1000)
+		}
+		res.BaseTime = res.SimTime[0] * float64(res.Procs[0])
+		// Normalise against p=1 if present, else against the first entry
+		// scaled by its processor count.
+		base := res.SimTime[0]
+		if res.Procs[0] != 1 {
+			base = res.SimTime[0] * float64(res.Procs[0])
+		}
+		for _, t := range res.SimTime {
+			res.Speedup = append(res.Speedup, base/t)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// PrintFig1 renders figure 1 as the paper's series.
+func PrintFig1(w io.Writer, results []SpeedupResult) {
+	writeHeader(w, "Figure 1: speedup characteristics")
+	fmt.Fprintf(w, "%-12s", "records")
+	if len(results) > 0 {
+		for _, p := range results[0].Procs {
+			fmt.Fprintf(w, "  p=%-8d", p)
+		}
+	}
+	fmt.Fprintln(w)
+	for _, r := range results {
+		fmt.Fprintf(w, "%-12d", r.Records)
+		for _, s := range r.Speedup {
+			fmt.Fprintf(w, "  %-10.2f", s)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "(speedup = simulated T(1) / simulated T(p))")
+}
+
+// SizeupResult is one figure-2 series: speedup vs record count for a fixed
+// processor count.
+type SizeupResult struct {
+	Procs   int
+	Records []int
+	Speedup []float64
+}
+
+// Fig2Sizeup reproduces Figure 2: for each processor count, the speedup
+// achieved as the dataset grows. T_sim(1, n) is measured per size.
+func (h Harness) Fig2Sizeup(sizes []int, procs []int) ([]SizeupResult, error) {
+	// Sequential baselines per size.
+	base := make(map[int]float64, len(sizes))
+	datasets := make(map[int]*datasetWithSample, len(sizes))
+	for _, n := range sizes {
+		data, sample, err := h.Generate(n)
+		if err != nil {
+			return nil, err
+		}
+		datasets[n] = &datasetWithSample{data: data, sample: sample}
+		r, err := h.Run(data, sample, 1)
+		if err != nil {
+			return nil, err
+		}
+		base[n] = r.SimTime
+	}
+	var out []SizeupResult
+	for _, p := range procs {
+		res := SizeupResult{Procs: p}
+		for _, n := range sizes {
+			ds := datasets[n]
+			r, err := h.Run(ds.data, ds.sample, p)
+			if err != nil {
+				return nil, fmt.Errorf("n=%d p=%d: %w", n, p, err)
+			}
+			res.Records = append(res.Records, n)
+			res.Speedup = append(res.Speedup, base[n]/r.SimTime)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// PrintFig2 renders figure 2.
+func PrintFig2(w io.Writer, results []SizeupResult) {
+	writeHeader(w, "Figure 2: sizeup characteristics")
+	fmt.Fprintf(w, "%-12s", "procs")
+	if len(results) > 0 {
+		for _, n := range results[0].Records {
+			fmt.Fprintf(w, "  n=%-9d", n)
+		}
+	}
+	fmt.Fprintln(w)
+	for _, r := range results {
+		fmt.Fprintf(w, "%-12d", r.Procs)
+		for _, s := range r.Speedup {
+			fmt.Fprintf(w, "  %-11.2f", s)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "(speedup at fixed p as the data grows; the paper's gain with size)")
+}
+
+// ScaleupResult is one figure-3 series: runtime vs processor count at a
+// fixed per-processor load.
+type ScaleupResult struct {
+	PerProc int
+	Procs   []int
+	SimTime []float64
+}
+
+// Fig3Scaleup reproduces Figure 3: parallel runtime as processors and data
+// grow together (fixed records per processor).
+func (h Harness) Fig3Scaleup(perProc []int, procs []int) ([]ScaleupResult, error) {
+	var out []ScaleupResult
+	for _, pp := range perProc {
+		res := ScaleupResult{PerProc: pp}
+		for _, p := range procs {
+			data, sample, err := h.Generate(pp * p)
+			if err != nil {
+				return nil, err
+			}
+			r, err := h.Run(data, sample, p)
+			if err != nil {
+				return nil, fmt.Errorf("perproc=%d p=%d: %w", pp, p, err)
+			}
+			res.Procs = append(res.Procs, p)
+			res.SimTime = append(res.SimTime, r.SimTime)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// PrintFig3 renders figure 3.
+func PrintFig3(w io.Writer, results []ScaleupResult) {
+	writeHeader(w, "Figure 3: scaleup characteristics")
+	fmt.Fprintf(w, "%-16s", "records/proc")
+	if len(results) > 0 {
+		for _, p := range results[0].Procs {
+			fmt.Fprintf(w, "  p=%-8d", p)
+		}
+	}
+	fmt.Fprintln(w)
+	for _, r := range results {
+		fmt.Fprintf(w, "%-16d", r.PerProc)
+		for _, t := range r.SimTime {
+			fmt.Fprintf(w, "  %-10.3f", t)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "(simulated parallel runtime in seconds; flat-ish rows = good scaleup)")
+}
+
+// datasetWithSample pairs a dataset with its pre-drawn sample.
+type datasetWithSample struct {
+	data   *record.Dataset
+	sample []record.Record
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+)
+
+// Lemma2Row is one measurement of the paper's load-balance lemma: for n
+// elements randomly distributed into b buckets (processors), any subset of
+// m elements puts at most m/b + O(sqrt(m/b · log m)) in one bucket.
+type Lemma2Row struct {
+	M       int     // subset size
+	P       int     // buckets (processors)
+	MaxOver float64 // observed max bucket share divided by m/p, worst of trials
+	Bound   float64 // 1 + c·sqrt((p/m)·ln m) with c = 2 (the lemma's form)
+	Trials  int
+}
+
+// Lemma2Validation empirically checks Lemma 2 (Section 3), the result the
+// paper uses to argue that data parallelism stays load-balanced at large
+// nodes under the initial random distribution: it randomly distributes n
+// records into p buckets, then draws random subsets of size m (standing in
+// for tree nodes) and records the worst max-bucket overshoot.
+func (h Harness) Lemma2Validation(n int, procs []int, subsets []int, trials int) ([]Lemma2Row, error) {
+	rng := rand.New(rand.NewSource(h.Seed))
+	owner := make([]int, n)
+	var rows []Lemma2Row
+	for _, p := range procs {
+		for i := range owner {
+			owner[i] = rng.Intn(p)
+		}
+		for _, m := range subsets {
+			if m > n || m < p {
+				continue
+			}
+			worst := 0.0
+			idx := rng.Perm(n)
+			counts := make([]int, p)
+			for tr := 0; tr < trials; tr++ {
+				// A fresh random subset of size m.
+				rng.Shuffle(n, func(a, b int) { idx[a], idx[b] = idx[b], idx[a] })
+				for i := range counts {
+					counts[i] = 0
+				}
+				for _, i := range idx[:m] {
+					counts[owner[i]]++
+				}
+				max := 0
+				for _, c := range counts {
+					if c > max {
+						max = c
+					}
+				}
+				over := float64(max) / (float64(m) / float64(p))
+				if over > worst {
+					worst = over
+				}
+			}
+			bound := 1 + 2*math.Sqrt(float64(p)/float64(m)*math.Log(float64(m)))
+			rows = append(rows, Lemma2Row{M: m, P: p, MaxOver: worst, Bound: bound, Trials: trials})
+		}
+	}
+	return rows, nil
+}
+
+// PrintLemma2 renders the load-balance validation.
+func PrintLemma2(w io.Writer, rows []Lemma2Row) {
+	writeHeader(w, "Lemma 2 validation: random distribution balances every subset (Section 3)")
+	fmt.Fprintf(w, "%-10s %-6s %-10s %-18s %-14s\n", "subset m", "p", "trials", "worst max/(m/p)", "lemma bound")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10d %-6d %-10d %-18.3f %-14.3f\n", r.M, r.P, r.Trials, r.MaxOver, r.Bound)
+	}
+	fmt.Fprintln(w, "(every observed overshoot must stay under the 1 + 2·sqrt((p/m)·ln m) bound;")
+	fmt.Fprintln(w, " this is why large-node data parallelism needs no redistribution)")
+}

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"pclouds/internal/clouds"
+	"pclouds/internal/costmodel"
+	"pclouds/internal/ooc"
+	"pclouds/internal/tree"
+)
+
+// MemoryRow measures the sequential out-of-core build under one memory
+// budget.
+type MemoryRow struct {
+	// MemFraction is the budget as a fraction of the dataset size.
+	MemFraction float64
+	// ReadSweeps is bytes read divided by the dataset size — the number of
+	// dataset-sized read sweeps the build needed.
+	ReadSweeps float64
+	// WriteSweeps is the same for writes (partition passes).
+	WriteSweeps float64
+	// SimTime is the simulated build time (disk + CPU).
+	SimTime float64
+	// Identical reports whether the tree matched the unlimited-memory one.
+	Identical bool
+}
+
+// MemoryAblation sweeps the out-of-core memory budget (the paper used 1 MB
+// for 6.0M tuples, scaled linearly with data size) and reports how the I/O
+// volume grows as memory shrinks, while the tree stays identical — the
+// out-of-core design's whole point.
+func (h Harness) MemoryAblation(n int, fractions []float64) ([]MemoryRow, error) {
+	data, sample, err := h.Generate(n)
+	if err != nil {
+		return nil, err
+	}
+	cfg := h.cloudsConfig()
+	datasetBytes := int64(n) * int64(data.Schema.RecordBytes())
+
+	build := func(limit int64) (*tree.Tree, ooc.IOStats, float64, error) {
+		clock := costmodel.NewClock()
+		store := ooc.NewMemStore(data.Schema, h.Params, clock)
+		if err := store.WriteAll("root", data.Records); err != nil {
+			return nil, ooc.IOStats{}, 0, err
+		}
+		clock.Reset()
+		staged := store.Stats()
+		var mem *ooc.MemLimit
+		if limit > 0 {
+			mem = ooc.NewMemLimit(limit)
+		}
+		tr, st, err := clouds.BuildOutOfCore(cfg, store, "root", sample, mem)
+		if err != nil {
+			return nil, ooc.IOStats{}, 0, err
+		}
+		io := store.Stats()
+		io.ReadOps -= staged.ReadOps
+		io.ReadBytes -= staged.ReadBytes
+		io.WriteOps -= staged.WriteOps
+		io.WriteBytes -= staged.WriteBytes
+		sim := clock.Time() + float64(st.RecordReads)*h.Params.CPURecord*float64(1+len(data.Schema.Attrs))
+		return tr, io, sim, nil
+	}
+
+	refTree, _, _, err := build(0) // unlimited
+	if err != nil {
+		return nil, err
+	}
+	var rows []MemoryRow
+	for _, f := range fractions {
+		limit := int64(f * float64(datasetBytes))
+		if limit < int64(data.Schema.RecordBytes()) {
+			limit = int64(data.Schema.RecordBytes())
+		}
+		tr, io, sim, err := build(limit)
+		if err != nil {
+			return nil, fmt.Errorf("fraction %g: %w", f, err)
+		}
+		rows = append(rows, MemoryRow{
+			MemFraction: f,
+			ReadSweeps:  float64(io.ReadBytes) / float64(datasetBytes),
+			WriteSweeps: float64(io.WriteBytes) / float64(datasetBytes),
+			SimTime:     sim,
+			Identical:   tree.Equal(tr, refTree),
+		})
+	}
+	return rows, nil
+}
+
+// PrintMemory renders the memory-budget sweep.
+func PrintMemory(w io.Writer, rows []MemoryRow) {
+	writeHeader(w, "Out-of-core sweep: I/O vs memory budget (sequential CLOUDS)")
+	fmt.Fprintf(w, "%-14s %-13s %-14s %-12s %-10s\n", "mem/dataset", "read sweeps", "write sweeps", "sim time(s)", "same tree")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14.4f %-13.2f %-14.2f %-12.3f %-10v\n",
+			r.MemFraction, r.ReadSweeps, r.WriteSweeps, r.SimTime, r.Identical)
+	}
+	fmt.Fprintln(w, "(shrinking memory forces more streaming passes; the tree never changes —")
+	fmt.Fprintln(w, " out-of-core execution trades I/O for memory, not quality)")
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"pclouds/internal/comm"
+	"pclouds/internal/costmodel"
+)
+
+// Table1Row is one measured collective cost next to its Table 1 closed
+// form.
+type Table1Row struct {
+	Primitive string
+	P         int
+	Bytes     int
+	Measured  float64 // simulated seconds (max over ranks)
+	Form      float64 // Table 1 closed form under the same constants
+	Ratio     float64 // Measured / Form
+}
+
+// Table1Collectives measures the simulated cost of each Table 1 primitive
+// on the channel transport across processor counts and message sizes, and
+// compares against the paper's closed forms. Because the implementations
+// are the textbook algorithms the table assumes, the ratio must stay
+// bounded by a small constant across the whole sweep — that bounded ratio
+// *is* the reproduction of Table 1.
+func (h Harness) Table1Collectives(procs []int, sizes []int) ([]Table1Row, error) {
+	tb := costmodel.Table1{P: h.Params}
+	var rows []Table1Row
+	measure := func(name string, p, m int, fn func(c *comm.ChannelComm, payload []byte) error, form float64) error {
+		comms := comm.NewGroup(p, h.Params)
+		errs := make([]error, p)
+		done := make(chan struct{}, p)
+		for r := 0; r < p; r++ {
+			go func(r int) {
+				defer func() { done <- struct{}{} }()
+				payload := make([]byte, m)
+				errs[r] = fn(comms[r], payload)
+			}(r)
+		}
+		for i := 0; i < p; i++ {
+			<-done
+		}
+		for r, err := range errs {
+			if err != nil {
+				return fmt.Errorf("%s p=%d rank %d: %w", name, p, r, err)
+			}
+		}
+		measured := comm.MaxClock(comms)
+		row := Table1Row{Primitive: name, P: p, Bytes: m, Measured: measured, Form: form}
+		if form > 0 {
+			row.Ratio = measured / form
+		}
+		rows = append(rows, row)
+		return nil
+	}
+
+	for _, p := range procs {
+		if p < 2 {
+			continue
+		}
+		for _, m := range sizes {
+			if err := measure("all-to-all broadcast", p, m, func(c *comm.ChannelComm, payload []byte) error {
+				_, err := comm.AllGather(c, payload)
+				return err
+			}, tb.AllToAllBroadcast(p, m)); err != nil {
+				return nil, err
+			}
+			if err := measure("gather", p, m, func(c *comm.ChannelComm, payload []byte) error {
+				_, err := comm.Gather(c, 0, payload)
+				return err
+			}, tb.Gather(p, m)); err != nil {
+				return nil, err
+			}
+			// Global combine and prefix sum operate on int64 vectors.
+			elems := m / 8
+			if elems == 0 {
+				elems = 1
+			}
+			if err := measure("global combine", p, elems*8, func(c *comm.ChannelComm, payload []byte) error {
+				v := make([]int64, elems)
+				_, err := comm.AllReduceInt64(c, v, func(a, b int64) int64 { return a + b })
+				return err
+			}, tb.GlobalCombine(p, elems*8)); err != nil {
+				return nil, err
+			}
+			if err := measure("prefix sum", p, elems*8, func(c *comm.ChannelComm, payload []byte) error {
+				v := make([]int64, elems)
+				_, err := comm.PrefixSumInt64(c, v)
+				return err
+			}, tb.PrefixSum(p, elems*8)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return rows, nil
+}
+
+// PrintTable1 renders the measured-vs-form comparison.
+func PrintTable1(w io.Writer, rows []Table1Row) {
+	writeHeader(w, "Table 1: collective communication primitives (measured vs closed form)")
+	fmt.Fprintf(w, "%-24s %-6s %-10s %-14s %-14s %-8s\n", "primitive", "p", "bytes", "measured(s)", "form(s)", "ratio")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-24s %-6d %-10d %-14.6g %-14.6g %-8.2f\n",
+			r.Primitive, r.P, r.Bytes, r.Measured, r.Form, r.Ratio)
+	}
+	fmt.Fprintln(w, "(bounded ratios across p and m confirm the O-forms of the paper's Table 1)")
+}

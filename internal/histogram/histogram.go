@@ -1,0 +1,97 @@
+// Package histogram builds the equal-mass interval structure of the SS/SSE
+// splitting methods: the range of each numeric attribute is divided into q
+// intervals such that each interval contains approximately the same number
+// of points of a pre-drawn random sample. Gini indices are evaluated at the
+// interval boundaries, and the SSE method later descends into "alive"
+// intervals only.
+package histogram
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Intervals is the interval structure of one numeric attribute. Cuts holds
+// the strictly increasing internal boundary values; the structure represents
+// len(Cuts)+1 intervals. Interval i covers:
+//
+//	i = 0:             (-inf, Cuts[0]]
+//	0 < i < len(Cuts): (Cuts[i-1], Cuts[i]]
+//	i = len(Cuts):     (Cuts[len(Cuts)-1], +inf)
+//
+// A record with value v falls into the split's left partition for boundary i
+// iff v <= Cuts[i]; this makes boundary i the candidate splitter "attr <=
+// Cuts[i]".
+type Intervals struct {
+	Cuts []float64
+}
+
+// NumIntervals returns the number of intervals (len(Cuts)+1); an empty
+// structure has one interval covering the whole line.
+func (iv *Intervals) NumIntervals() int { return len(iv.Cuts) + 1 }
+
+// NumBounds returns the number of candidate boundary split points.
+func (iv *Intervals) NumBounds() int { return len(iv.Cuts) }
+
+// Locate returns the interval index that value v falls into.
+func (iv *Intervals) Locate(v float64) int {
+	// First cut >= v; records at a cut belong to the interval left of it.
+	return sort.SearchFloat64s(iv.Cuts, v)
+}
+
+// Validate checks that cuts are strictly increasing.
+func (iv *Intervals) Validate() error {
+	for i := 1; i < len(iv.Cuts); i++ {
+		if !(iv.Cuts[i-1] < iv.Cuts[i]) {
+			return fmt.Errorf("histogram: cuts not strictly increasing at %d: %g >= %g", i, iv.Cuts[i-1], iv.Cuts[i])
+		}
+	}
+	return nil
+}
+
+// FromSample builds at most q equal-mass intervals from sample values. The
+// sample is copied and sorted; cut points are sample quantiles. Duplicate
+// quantile values are merged, so the result may have fewer than q intervals
+// (e.g. for heavily repeated values). A sample smaller than q yields one
+// interval per distinct adjacent pair.
+func FromSample(sample []float64, q int) *Intervals {
+	if q < 1 {
+		q = 1
+	}
+	if len(sample) == 0 || q == 1 {
+		return &Intervals{}
+	}
+	s := append([]float64(nil), sample...)
+	sort.Float64s(s)
+	cuts := make([]float64, 0, q-1)
+	for k := 1; k < q; k++ {
+		idx := k*len(s)/q - 1
+		if idx < 0 {
+			idx = 0
+		}
+		c := s[idx]
+		if len(cuts) == 0 || c > cuts[len(cuts)-1] {
+			cuts = append(cuts, c)
+		}
+	}
+	// Drop a final cut equal to the sample maximum: it would create an empty
+	// top interval and a degenerate "everything left" candidate split.
+	if len(cuts) > 0 && cuts[len(cuts)-1] >= s[len(s)-1] {
+		cuts = cuts[:len(cuts)-1]
+	}
+	return &Intervals{Cuts: cuts}
+}
+
+// Sub builds a refined interval structure covering only interval idx of iv,
+// using the subset of the (sorted or unsorted) sample values that fall into
+// that interval, with at most q sub-intervals. Used when a node's interval
+// count shrinks with node size.
+func (iv *Intervals) Sub(sample []float64, idx, q int) *Intervals {
+	var inside []float64
+	for _, v := range sample {
+		if iv.Locate(v) == idx {
+			inside = append(inside, v)
+		}
+	}
+	return FromSample(inside, q)
+}

@@ -1,0 +1,175 @@
+package histogram
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromSampleBasics(t *testing.T) {
+	sample := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	iv := FromSample(sample, 4)
+	if err := iv.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if iv.NumIntervals() != 4 {
+		t.Fatalf("intervals %d want 4", iv.NumIntervals())
+	}
+	if iv.NumBounds() != 3 {
+		t.Fatalf("bounds %d want 3", iv.NumBounds())
+	}
+	// Quantile cuts at 2, 4, 6.
+	want := []float64{2, 4, 6}
+	for i, c := range iv.Cuts {
+		if c != want[i] {
+			t.Fatalf("cuts %v want %v", iv.Cuts, want)
+		}
+	}
+}
+
+func TestFromSampleEqualMass(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	sample := make([]float64, 10000)
+	for i := range sample {
+		sample[i] = rng.NormFloat64()
+	}
+	q := 20
+	iv := FromSample(sample, q)
+	if err := iv.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, iv.NumIntervals())
+	for _, v := range sample {
+		counts[iv.Locate(v)]++
+	}
+	want := len(sample) / q
+	for i, c := range counts {
+		if c < want/2 || c > want*2 {
+			t.Errorf("interval %d holds %d points, want ~%d", i, c, want)
+		}
+	}
+}
+
+func TestFromSampleDuplicateHeavy(t *testing.T) {
+	// A sample dominated by one value must not produce non-increasing cuts.
+	sample := make([]float64, 100)
+	for i := range sample {
+		sample[i] = 5
+	}
+	sample[0], sample[1] = 1, 9
+	iv := FromSample(sample, 10)
+	if err := iv.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if iv.NumIntervals() > 10 {
+		t.Fatalf("too many intervals: %d", iv.NumIntervals())
+	}
+}
+
+func TestFromSampleEdgeCases(t *testing.T) {
+	if iv := FromSample(nil, 5); iv.NumIntervals() != 1 {
+		t.Fatal("empty sample should give one interval")
+	}
+	if iv := FromSample([]float64{3}, 5); iv.NumIntervals() != 1 {
+		t.Fatal("single value should give one interval")
+	}
+	if iv := FromSample([]float64{1, 2, 3}, 1); iv.NumIntervals() != 1 {
+		t.Fatal("q=1 should give one interval")
+	}
+	if iv := FromSample([]float64{1, 2, 3}, 0); iv.NumIntervals() != 1 {
+		t.Fatal("q=0 should clamp to one interval")
+	}
+	// All-equal sample: no valid cut exists.
+	if iv := FromSample([]float64{4, 4, 4, 4}, 3); iv.NumBounds() != 0 {
+		t.Fatalf("all-equal sample produced cuts: %v", iv.Cuts)
+	}
+}
+
+func TestNoCutAtMaximum(t *testing.T) {
+	// The top cut must stay below the sample maximum, else the "everything
+	// left" split would be proposed.
+	sample := []float64{1, 1, 1, 2}
+	iv := FromSample(sample, 4)
+	for _, c := range iv.Cuts {
+		if c >= 2 {
+			t.Fatalf("cut %v at or above the maximum", c)
+		}
+	}
+}
+
+func TestLocate(t *testing.T) {
+	iv := &Intervals{Cuts: []float64{10, 20, 30}}
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{5, 0}, {10, 0}, {10.5, 1}, {20, 1}, {25, 2}, {30, 2}, {31, 3},
+	}
+	for _, tc := range cases {
+		if got := iv.Locate(tc.v); got != tc.want {
+			t.Errorf("Locate(%v) = %d, want %d", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestLocateConsistentWithCuts(t *testing.T) {
+	f := func(vals []float64, q uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		iv := FromSample(vals, int(q%16)+2)
+		if iv.Validate() != nil {
+			return false
+		}
+		for _, v := range vals {
+			i := iv.Locate(v)
+			if i < 0 || i >= iv.NumIntervals() {
+				return false
+			}
+			// v must lie within interval i's bounds.
+			if i > 0 && v <= iv.Cuts[i-1] {
+				return false
+			}
+			if i < len(iv.Cuts) && v > iv.Cuts[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsUnsorted(t *testing.T) {
+	iv := &Intervals{Cuts: []float64{3, 2}}
+	if err := iv.Validate(); err == nil {
+		t.Fatal("unsorted cuts should fail validation")
+	}
+	iv = &Intervals{Cuts: []float64{2, 2}}
+	if err := iv.Validate(); err == nil {
+		t.Fatal("duplicate cuts should fail validation")
+	}
+}
+
+func TestSub(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	sample := make([]float64, 1000)
+	for i := range sample {
+		sample[i] = rng.Float64() * 100
+	}
+	iv := FromSample(sample, 5)
+	sub := iv.Sub(sample, 2, 4)
+	if err := sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// All sub-cuts must lie inside interval 2 of the parent.
+	sorted := append([]float64(nil), sample...)
+	sort.Float64s(sorted)
+	for _, c := range sub.Cuts {
+		if iv.Locate(c) != 2 {
+			t.Fatalf("sub-cut %v outside parent interval 2", c)
+		}
+	}
+}

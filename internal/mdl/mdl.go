@@ -1,0 +1,135 @@
+// Package mdl prunes decision trees with the minimum description length
+// principle, following the two-part coding scheme of Mehta, Rissanen and
+// Agrawal (used by SLIQ and CLOUDS): a subtree is replaced by a leaf when
+// the cost of encoding the subtree plus its exceptions exceeds the cost of
+// encoding the node as a leaf.
+//
+// Code lengths (bits):
+//
+//	leaf:    1 (node type) + data cost of the node's records
+//	split:   1 (node type) + split cost + children costs
+//	data:    Σ_i n_i·log2(n/n_i) + (c-1)/2·log2(n/2) + log2(π^(c/2)/Γ(c/2))
+//	split cost: log2(#attributes) + value cost
+//	         numeric value cost:     log2(max(n,2))  (threshold among seen values)
+//	         categorical value cost: cardinality      (one bit per subset flag)
+package mdl
+
+import (
+	"math"
+
+	"pclouds/internal/record"
+	"pclouds/internal/tree"
+)
+
+// Stats reports what pruning did.
+type Stats struct {
+	// NodesBefore and NodesAfter are total node counts.
+	NodesBefore, NodesAfter int
+	// Pruned counts internal nodes collapsed into leaves.
+	Pruned int
+	// CostBefore and CostAfter are the total MDL costs in bits.
+	CostBefore, CostAfter float64
+}
+
+// lgamma returns log2(Γ(x)).
+func lgamma(x float64) float64 {
+	lg, _ := math.Lgamma(x)
+	return lg / math.Ln2
+}
+
+// dataCost returns the stochastic-complexity code length of a node's class
+// frequencies.
+func dataCost(counts []int64) float64 {
+	var n int64
+	for _, c := range counts {
+		n += c
+	}
+	if n == 0 {
+		return 0
+	}
+	c := float64(len(counts))
+	fn := float64(n)
+	cost := 0.0
+	for _, ci := range counts {
+		if ci > 0 {
+			cost += float64(ci) * math.Log2(fn/float64(ci))
+		}
+	}
+	cost += (c - 1) / 2 * math.Log2(fn/2)
+	cost += c/2*math.Log2(math.Pi) - lgamma(c/2)
+	if cost < 0 {
+		cost = 0
+	}
+	return cost
+}
+
+// splitCost returns the code length of describing a splitter.
+func splitCost(schema *record.Schema, n *tree.Node) float64 {
+	cost := math.Log2(float64(len(schema.Attrs)))
+	sp := n.Splitter
+	if sp.Kind == tree.NumericSplit {
+		v := float64(n.N)
+		if v < 2 {
+			v = 2
+		}
+		cost += math.Log2(v)
+	} else {
+		cost += float64(len(sp.InLeft))
+	}
+	return cost
+}
+
+// Prune returns a pruned deep copy of t along with pruning statistics. The
+// input tree is not modified. Each internal node is collapsed into a leaf
+// when its leaf code length does not exceed its subtree code length; costs
+// are computed bottom-up so collapses cascade.
+func Prune(t *tree.Tree) (*tree.Tree, Stats) {
+	st := Stats{NodesBefore: t.NumNodes()}
+	var prune func(n *tree.Node) (*tree.Node, float64)
+	prune = func(n *tree.Node) (*tree.Node, float64) {
+		leafCost := 1 + dataCost(n.ClassCounts)
+		if n.IsLeaf() {
+			cp := &tree.Node{ClassCounts: append([]int64(nil), n.ClassCounts...), N: n.N, Class: n.Class}
+			return cp, leafCost
+		}
+		left, lc := prune(n.Left)
+		right, rc := prune(n.Right)
+		subtreeCost := 1 + splitCost(t.Schema, n) + lc + rc
+		if leafCost <= subtreeCost {
+			st.Pruned++
+			cp := &tree.Node{ClassCounts: append([]int64(nil), n.ClassCounts...), N: n.N}
+			cp.Class = cp.Majority()
+			return cp, leafCost
+		}
+		sp := *n.Splitter
+		sp.InLeft = append([]bool(nil), n.Splitter.InLeft...)
+		cp := &tree.Node{
+			Splitter:    &sp,
+			Left:        left,
+			Right:       right,
+			ClassCounts: append([]int64(nil), n.ClassCounts...),
+			N:           n.N,
+			Class:       n.Class,
+		}
+		return cp, subtreeCost
+	}
+	root, costAfter := prune(t.Root)
+	out := &tree.Tree{Schema: t.Schema, Root: root}
+	st.NodesAfter = out.NumNodes()
+	st.CostAfter = costAfter
+	st.CostBefore = Cost(t)
+	return out, st
+}
+
+// Cost returns the total MDL code length of a tree in bits (leaves encoded
+// with their data cost, internal nodes with their split cost).
+func Cost(t *tree.Tree) float64 {
+	var walk func(n *tree.Node) float64
+	walk = func(n *tree.Node) float64 {
+		if n.IsLeaf() {
+			return 1 + dataCost(n.ClassCounts)
+		}
+		return 1 + splitCost(t.Schema, n) + walk(n.Left) + walk(n.Right)
+	}
+	return walk(t.Root)
+}

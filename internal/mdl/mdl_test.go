@@ -1,0 +1,135 @@
+package mdl
+
+import (
+	"testing"
+
+	"pclouds/internal/clouds"
+	"pclouds/internal/datagen"
+	"pclouds/internal/metrics"
+	"pclouds/internal/tree"
+)
+
+func noisyTree(t *testing.T) (*tree.Tree, *datagen.Generator) {
+	t.Helper()
+	g, err := datagen.New(datagen.Config{Function: 2, Seed: 31, Noise: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := g.Generate(4000)
+	cfg := clouds.Config{QRoot: 64, QMin: 8, SmallNodeQ: 4, SampleSize: 400, MinNodeSize: 2, Seed: 1, Method: clouds.SSE}
+	tr, _, err := clouds.BuildInCore(cfg, data, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, g
+}
+
+func TestPruneShrinksNoisyTree(t *testing.T) {
+	tr, _ := noisyTree(t)
+	pruned, st := Prune(tr)
+	if st.NodesBefore != tr.NumNodes() {
+		t.Fatalf("NodesBefore %d, tree has %d", st.NodesBefore, tr.NumNodes())
+	}
+	if st.NodesAfter != pruned.NumNodes() {
+		t.Fatalf("NodesAfter %d, pruned tree has %d", st.NodesAfter, pruned.NumNodes())
+	}
+	if pruned.NumNodes() >= tr.NumNodes() {
+		t.Fatalf("pruning a noisy tree should shrink it: %d -> %d", tr.NumNodes(), pruned.NumNodes())
+	}
+	if err := pruned.Validate(); err != nil {
+		t.Fatalf("pruned tree fails invariants: %v", err)
+	}
+	if st.Pruned == 0 {
+		t.Fatal("no nodes pruned")
+	}
+}
+
+func TestPruneNeverIncreasesCost(t *testing.T) {
+	tr, _ := noisyTree(t)
+	pruned, st := Prune(tr)
+	if st.CostAfter > st.CostBefore+1e-9 {
+		t.Fatalf("pruning increased MDL cost: %.2f -> %.2f", st.CostBefore, st.CostAfter)
+	}
+	if got := Cost(pruned); got > Cost(tr)+1e-9 {
+		t.Fatalf("Cost disagrees: %.2f vs %.2f", got, Cost(tr))
+	}
+	// Reported after-cost must equal the recomputed cost of the result.
+	if diff := st.CostAfter - Cost(pruned); diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("CostAfter %.4f != Cost(pruned) %.4f", st.CostAfter, Cost(pruned))
+	}
+}
+
+func TestPrunedIsSubtree(t *testing.T) {
+	tr, _ := noisyTree(t)
+	pruned, _ := Prune(tr)
+	// Every internal node of the pruned tree must exist at the same path in
+	// the original with the same splitter.
+	var check func(p, o *tree.Node) bool
+	check = func(p, o *tree.Node) bool {
+		if p.IsLeaf() {
+			return true // collapsed or original leaf; both fine
+		}
+		if o.IsLeaf() {
+			return false // pruned tree deeper than original
+		}
+		if p.Splitter.Attr != o.Splitter.Attr || p.Splitter.Kind != o.Splitter.Kind ||
+			p.Splitter.Threshold != o.Splitter.Threshold {
+			return false
+		}
+		return check(p.Left, o.Left) && check(p.Right, o.Right)
+	}
+	if !check(pruned.Root, tr.Root) {
+		t.Fatal("pruned tree is not a prefix of the original")
+	}
+}
+
+func TestPruneDoesNotModifyInput(t *testing.T) {
+	tr, _ := noisyTree(t)
+	before := tr.NumNodes()
+	Prune(tr)
+	if tr.NumNodes() != before {
+		t.Fatal("Prune modified its input")
+	}
+}
+
+func TestPruneImprovesHeldOutAccuracy(t *testing.T) {
+	tr, _ := noisyTree(t)
+	g2, err := datagen.New(datagen.Config{Function: 2, Seed: 777}) // clean labels
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := g2.Generate(3000)
+	pruned, _ := Prune(tr)
+	accBefore := metrics.Accuracy(tr, test)
+	accAfter := metrics.Accuracy(pruned, test)
+	// Pruning a noise-overfitted tree should not hurt held-out accuracy.
+	if accAfter < accBefore-0.02 {
+		t.Fatalf("pruning hurt held-out accuracy: %.3f -> %.3f", accBefore, accAfter)
+	}
+}
+
+func TestPruneLeafOnlyTree(t *testing.T) {
+	schema := datagen.Schema()
+	leaf := &tree.Node{ClassCounts: []int64{3, 1}, N: 4}
+	leaf.Class = leaf.Majority()
+	tr := &tree.Tree{Schema: schema, Root: leaf}
+	pruned, st := Prune(tr)
+	if pruned.NumNodes() != 1 || st.Pruned != 0 {
+		t.Fatalf("leaf-only tree mishandled: %+v", st)
+	}
+}
+
+func TestDataCostProperties(t *testing.T) {
+	// A pure node costs less than a mixed node of the same size.
+	pure := dataCost([]int64{100, 0})
+	mixed := dataCost([]int64{50, 50})
+	if pure >= mixed {
+		t.Fatalf("pure %v >= mixed %v", pure, mixed)
+	}
+	if dataCost([]int64{0, 0}) != 0 {
+		t.Fatal("empty node should cost 0")
+	}
+	if dataCost([]int64{7, 3}) < 0 {
+		t.Fatal("negative data cost")
+	}
+}

@@ -1,0 +1,67 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"pclouds/internal/record"
+	"pclouds/internal/tree"
+)
+
+// CVResult summarises a k-fold cross-validation.
+type CVResult struct {
+	// FoldAccuracy holds one held-out accuracy per fold.
+	FoldAccuracy []float64
+	// Mean and Std summarise the folds.
+	Mean, Std float64
+	// MeanNodes is the average tree size across folds.
+	MeanNodes float64
+}
+
+// CrossValidate runs k-fold cross-validation: the dataset is shuffled with
+// seed, split into k folds, and train is invoked k times with the
+// complementary training sets. train receives the fold's training data and
+// returns the classifier to evaluate on the held-out fold.
+func CrossValidate(data *record.Dataset, k int, seed int64, train func(*record.Dataset) (*tree.Tree, error)) (*CVResult, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("metrics: need at least 2 folds, got %d", k)
+	}
+	if data.Len() < k {
+		return nil, fmt.Errorf("metrics: %d records cannot fill %d folds", data.Len(), k)
+	}
+	shuffled := data.Clone()
+	shuffled.Shuffle(rand.New(rand.NewSource(seed)))
+
+	res := &CVResult{}
+	n := shuffled.Len()
+	var nodeSum int
+	for f := 0; f < k; f++ {
+		lo, hi := f*n/k, (f+1)*n/k
+		test := &record.Dataset{Schema: data.Schema, Records: shuffled.Records[lo:hi]}
+		trainSet := record.NewDataset(data.Schema)
+		trainSet.Records = append(trainSet.Records, shuffled.Records[:lo]...)
+		trainSet.Records = append(trainSet.Records, shuffled.Records[hi:]...)
+		t, err := train(trainSet)
+		if err != nil {
+			return nil, fmt.Errorf("metrics: fold %d: %w", f, err)
+		}
+		res.FoldAccuracy = append(res.FoldAccuracy, Accuracy(t, test))
+		nodeSum += t.NumNodes()
+	}
+	for _, a := range res.FoldAccuracy {
+		res.Mean += a
+	}
+	res.Mean /= float64(k)
+	for _, a := range res.FoldAccuracy {
+		res.Std += (a - res.Mean) * (a - res.Mean)
+	}
+	res.Std = math.Sqrt(res.Std / float64(k))
+	res.MeanNodes = float64(nodeSum) / float64(k)
+	return res, nil
+}
+
+func (r *CVResult) String() string {
+	return fmt.Sprintf("%d-fold CV: accuracy %.4f ± %.4f, mean tree size %.1f nodes",
+		len(r.FoldAccuracy), r.Mean, r.Std, r.MeanNodes)
+}

@@ -1,0 +1,108 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"pclouds/internal/clouds"
+	"pclouds/internal/datagen"
+	"pclouds/internal/record"
+	"pclouds/internal/tree"
+)
+
+func TestCrossValidateBasics(t *testing.T) {
+	g, err := datagen.New(datagen.Config{Function: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := g.Generate(3000)
+	cfg := clouds.Config{Method: clouds.SSE, QRoot: 64, SmallNodeQ: 8, Seed: 1, MaxDepth: 14}
+	cv, err := CrossValidate(data, 5, 7, func(train *record.Dataset) (*tree.Tree, error) {
+		tr, _, err := clouds.BuildInCore(cfg, train, nil)
+		return tr, err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cv.FoldAccuracy) != 5 {
+		t.Fatalf("folds %d", len(cv.FoldAccuracy))
+	}
+	if cv.Mean < 0.93 {
+		t.Fatalf("mean accuracy %.4f", cv.Mean)
+	}
+	if cv.Std < 0 || cv.Std > 0.1 {
+		t.Fatalf("std %.4f implausible", cv.Std)
+	}
+	if cv.MeanNodes <= 1 {
+		t.Fatalf("mean nodes %.1f", cv.MeanNodes)
+	}
+	if !strings.Contains(cv.String(), "5-fold") {
+		t.Fatal("String misses fold count")
+	}
+}
+
+func TestCrossValidateFoldsCoverEverything(t *testing.T) {
+	// With a counting "trainer", check each fold trains on n - foldSize
+	// records and every record is held out exactly once.
+	schema := record.MustSchema([]record.Attribute{{Name: "x", Kind: record.Numeric}}, 2)
+	data := record.NewDataset(schema)
+	for i := 0; i < 100; i++ {
+		data.Append(record.Record{Num: []float64{float64(i)}, Class: int32(i % 2)})
+	}
+	var trainSizes []int
+	leaf := &tree.Node{ClassCounts: []int64{1, 0}, N: 1, Class: 0}
+	dummy := &tree.Tree{Schema: schema, Root: leaf}
+	k := 4
+	_, err := CrossValidate(data, k, 1, func(train *record.Dataset) (*tree.Tree, error) {
+		trainSizes = append(trainSizes, train.Len())
+		return dummy, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trainSizes) != k {
+		t.Fatalf("trained %d folds", len(trainSizes))
+	}
+	for _, sz := range trainSizes {
+		if sz != 75 {
+			t.Fatalf("train sizes %v, want 75 each", trainSizes)
+		}
+	}
+}
+
+func TestCrossValidateErrors(t *testing.T) {
+	schema := record.MustSchema([]record.Attribute{{Name: "x", Kind: record.Numeric}}, 2)
+	data := record.NewDataset(schema)
+	data.Append(record.Record{Num: []float64{1}, Class: 0})
+	noop := func(*record.Dataset) (*tree.Tree, error) { return nil, nil }
+	if _, err := CrossValidate(data, 1, 1, noop); err == nil {
+		t.Fatal("k=1 should fail")
+	}
+	if _, err := CrossValidate(data, 5, 1, noop); err == nil {
+		t.Fatal("fewer records than folds should fail")
+	}
+	data.Append(record.Record{Num: []float64{2}, Class: 1})
+	failing := func(*record.Dataset) (*tree.Tree, error) { return nil, fmt.Errorf("boom") }
+	if _, err := CrossValidate(data, 2, 1, failing); err == nil {
+		t.Fatal("trainer error should propagate")
+	}
+}
+
+func TestCrossValidateDoesNotMutateInput(t *testing.T) {
+	schema := record.MustSchema([]record.Attribute{{Name: "x", Kind: record.Numeric}}, 2)
+	data := record.NewDataset(schema)
+	for i := 0; i < 20; i++ {
+		data.Append(record.Record{Num: []float64{float64(i)}, Class: int32(i % 2)})
+	}
+	leaf := &tree.Node{ClassCounts: []int64{1, 0}, N: 1, Class: 0}
+	dummy := &tree.Tree{Schema: schema, Root: leaf}
+	if _, err := CrossValidate(data, 4, 9, func(*record.Dataset) (*tree.Tree, error) { return dummy, nil }); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if data.Records[i].Num[0] != float64(i) {
+			t.Fatal("CrossValidate shuffled the caller's dataset")
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"pclouds/internal/record"
+	"pclouds/internal/tree"
+)
+
+func TestConfusionBasics(t *testing.T) {
+	c := NewConfusion(2)
+	c.Add(0, 0)
+	c.Add(0, 0)
+	c.Add(0, 1)
+	c.Add(1, 1)
+	if c.Total() != 4 || c.Correct() != 3 {
+		t.Fatalf("total %d correct %d", c.Total(), c.Correct())
+	}
+	if c.Accuracy() != 0.75 {
+		t.Fatalf("accuracy %v", c.Accuracy())
+	}
+	if got := c.Recall(0); got != 2.0/3 {
+		t.Fatalf("recall %v", got)
+	}
+	if got := c.Precision(1); got != 0.5 {
+		t.Fatalf("precision %v", got)
+	}
+	if !strings.Contains(c.String(), "accuracy") {
+		t.Fatal("String misses accuracy")
+	}
+}
+
+func TestConfusionEmpty(t *testing.T) {
+	c := NewConfusion(3)
+	if c.Accuracy() != 0 || c.Recall(0) != 0 || c.Precision(0) != 0 {
+		t.Fatal("empty matrix metrics should be zero")
+	}
+}
+
+func TestEvaluateAgainstTree(t *testing.T) {
+	s := record.MustSchema([]record.Attribute{{Name: "x", Kind: record.Numeric}}, 2)
+	leaf0 := &tree.Node{ClassCounts: []int64{5, 0}, N: 5, Class: 0}
+	leaf1 := &tree.Node{ClassCounts: []int64{0, 5}, N: 5, Class: 1}
+	root := &tree.Node{
+		Splitter:    &tree.Splitter{Kind: tree.NumericSplit, Attr: 0, Threshold: 0},
+		Left:        leaf0,
+		Right:       leaf1,
+		ClassCounts: []int64{5, 5},
+		N:           10,
+	}
+	tr := &tree.Tree{Schema: s, Root: root}
+	d := record.NewDataset(s)
+	d.Append(
+		record.Record{Num: []float64{-1}, Class: 0}, // correct
+		record.Record{Num: []float64{1}, Class: 1},  // correct
+		record.Record{Num: []float64{-1}, Class: 1}, // wrong
+	)
+	c := Evaluate(tr, d)
+	if c.Correct() != 2 || c.Total() != 3 {
+		t.Fatalf("evaluate: %+v", c.M)
+	}
+	if Accuracy(tr, d) != 2.0/3 {
+		t.Fatal("Accuracy wrapper wrong")
+	}
+	sum := Summarize(tr)
+	if sum.Nodes != 3 || sum.Leaves != 2 || sum.Depth != 1 {
+		t.Fatalf("summary %+v", sum)
+	}
+	if !strings.Contains(sum.String(), "3 nodes") {
+		t.Fatal("summary string")
+	}
+}

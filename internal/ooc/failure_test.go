@@ -1,0 +1,191 @@
+package ooc
+
+import (
+	"errors"
+	"io"
+	"testing"
+
+	"pclouds/internal/costmodel"
+	"pclouds/internal/record"
+)
+
+// faultBackend wraps the memory backend and injects failures after a
+// configurable number of byte-level operations, exercising the error paths
+// of the streaming reader and writer.
+type faultBackend struct {
+	inner      backend
+	failWrite  int // fail the Nth write (1-based; 0 = never)
+	failRead   int
+	writeCount int
+	readCount  int
+}
+
+var errInjected = errors.New("injected fault")
+
+type faultWriter struct {
+	b     *faultBackend
+	inner io.WriteCloser
+}
+
+func (w *faultWriter) Write(p []byte) (int, error) {
+	w.b.writeCount++
+	if w.b.failWrite > 0 && w.b.writeCount >= w.b.failWrite {
+		return 0, errInjected
+	}
+	return w.inner.Write(p)
+}
+
+func (w *faultWriter) Close() error { return w.inner.Close() }
+
+type faultReader struct {
+	b     *faultBackend
+	inner io.ReadCloser
+}
+
+func (r *faultReader) Read(p []byte) (int, error) {
+	r.b.readCount++
+	if r.b.failRead > 0 && r.b.readCount >= r.b.failRead {
+		return 0, errInjected
+	}
+	return r.inner.Read(p)
+}
+
+func (r *faultReader) Close() error { return r.inner.Close() }
+
+func (f *faultBackend) create(name string) (io.WriteCloser, error) {
+	w, err := f.inner.create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultWriter{b: f, inner: w}, nil
+}
+
+func (f *faultBackend) appendTo(name string) (io.WriteCloser, error) {
+	w, err := f.inner.appendTo(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultWriter{b: f, inner: w}, nil
+}
+
+func (f *faultBackend) open(name string) (io.ReadCloser, error) {
+	r, err := f.inner.open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultReader{b: f, inner: r}, nil
+}
+
+func (f *faultBackend) size(name string) (int64, error) { return f.inner.size(name) }
+func (f *faultBackend) remove(name string) error        { return f.inner.remove(name) }
+func (f *faultBackend) list() ([]string, error)         { return f.inner.list() }
+
+func faultStore(t *testing.T, failWrite, failRead int) *Store {
+	t.Helper()
+	schema := record.MustSchema([]record.Attribute{{Name: "x", Kind: record.Numeric}}, 2)
+	return &Store{
+		schema: schema,
+		params: costmodel.Zero(),
+		b:      &faultBackend{inner: newMemBackend(), failWrite: failWrite, failRead: failRead},
+	}
+}
+
+func manyRecords(n int) []record.Record {
+	out := make([]record.Record, n)
+	for i := range out {
+		out[i] = record.Record{Num: []float64{float64(i)}, Class: int32(i % 2)}
+	}
+	return out
+}
+
+func TestWriteFailurePropagates(t *testing.T) {
+	st := faultStore(t, 1, 0)
+	// Enough records to force a page flush mid-write.
+	err := st.WriteAll("d", manyRecords(10000))
+	if err == nil {
+		t.Fatal("write failure not propagated")
+	}
+	if !errors.Is(err, errInjected) {
+		t.Fatalf("wrong error: %v", err)
+	}
+}
+
+func TestWriteFailureOnClose(t *testing.T) {
+	st := faultStore(t, 1, 0)
+	w, err := st.CreateWriter("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A single record stays in the buffer; the failure hits at Close.
+	if err := w.Write(manyRecords(1)[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err == nil {
+		t.Fatal("close-time flush failure not propagated")
+	}
+}
+
+func TestReadFailurePropagates(t *testing.T) {
+	st := faultStore(t, 0, 2) // first read succeeds, second fails
+	if err := st.WriteAll("d", manyRecords(20000)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := st.ReadAll("d")
+	if err == nil {
+		t.Fatal("read failure not propagated")
+	}
+	if !errors.Is(err, errInjected) {
+		t.Fatalf("wrong error: %v", err)
+	}
+}
+
+func TestReaderSurfacesTrailingGarbage(t *testing.T) {
+	schema := record.MustSchema([]record.Attribute{{Name: "x", Kind: record.Numeric}}, 2)
+	mb := newMemBackend()
+	st := &Store{schema: schema, params: costmodel.Zero(), b: mb}
+	if err := st.WriteAll("d", manyRecords(3)); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt: append a partial record.
+	mb.mu.Lock()
+	mb.files["d"] = append(mb.files["d"], 0xAA, 0xBB, 0xCC)
+	mb.mu.Unlock()
+	r, err := st.OpenReader("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	var rec record.Record
+	var count int
+	for {
+		ok, err := r.Next(&rec)
+		if err != nil {
+			if count != 3 {
+				t.Fatalf("read %d records before corruption error, want 3", count)
+			}
+			return // expected: trailing-bytes error
+		}
+		if !ok {
+			t.Fatal("trailing garbage silently ignored")
+		}
+		count++
+		if count > 3 {
+			t.Fatal("read more records than written")
+		}
+	}
+}
+
+func TestCorruptSizeDetectedByCount(t *testing.T) {
+	schema := record.MustSchema([]record.Attribute{{Name: "x", Kind: record.Numeric}}, 2)
+	mb := newMemBackend()
+	st := &Store{schema: schema, params: costmodel.Zero(), b: mb}
+	if err := st.WriteAll("d", manyRecords(3)); err != nil {
+		t.Fatal(err)
+	}
+	mb.mu.Lock()
+	mb.files["d"] = mb.files["d"][:len(mb.files["d"])-1]
+	mb.mu.Unlock()
+	if _, err := st.Count("d"); err == nil {
+		t.Fatal("misaligned file size not detected")
+	}
+}

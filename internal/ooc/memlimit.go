@@ -1,0 +1,58 @@
+package ooc
+
+import "fmt"
+
+// MemLimit is the memory-budget ledger: the amount of main memory one
+// processor may devote to record data. pCLOUDS consults it to decide
+// whether a node's records fit in-core (small-node processing, direct
+// method) or must be streamed from disk (large-node processing).
+//
+// MemLimit is owned by one rank goroutine and is not safe for concurrent
+// use, matching the paper's per-processor memory.
+type MemLimit struct {
+	limit int64
+	used  int64
+}
+
+// NewMemLimit creates a ledger with the given byte budget; a non-positive
+// budget means unlimited.
+func NewMemLimit(bytes int64) *MemLimit {
+	return &MemLimit{limit: bytes}
+}
+
+// Limit returns the budget (0 or negative = unlimited).
+func (m *MemLimit) Limit() int64 { return m.limit }
+
+// Used returns the bytes currently charged.
+func (m *MemLimit) Used() int64 { return m.used }
+
+// Fits reports whether n additional bytes would stay within the budget.
+func (m *MemLimit) Fits(n int64) bool {
+	if m == nil || m.limit <= 0 {
+		return true
+	}
+	return m.used+n <= m.limit
+}
+
+// Acquire charges n bytes; it fails if the budget would be exceeded.
+func (m *MemLimit) Acquire(n int64) error {
+	if m == nil || m.limit <= 0 {
+		return nil
+	}
+	if m.used+n > m.limit {
+		return fmt.Errorf("ooc: memory limit exceeded: want %d more bytes, %d of %d used", n, m.used, m.limit)
+	}
+	m.used += n
+	return nil
+}
+
+// Release returns n bytes to the budget.
+func (m *MemLimit) Release(n int64) {
+	if m == nil || m.limit <= 0 {
+		return
+	}
+	m.used -= n
+	if m.used < 0 {
+		m.used = 0
+	}
+}

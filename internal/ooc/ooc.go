@@ -1,0 +1,302 @@
+// Package ooc is the out-of-core substrate: per-processor private record
+// files with paged sequential access, explicit I/O accounting against the
+// simulated cost model, and the memory-limit ledger that decides when node
+// data must stay disk-resident.
+//
+// The paper assumes a shared-nothing machine where each processor owns a
+// disk it controls independently; a Store is exactly that — one rank's
+// private disk namespace. Two backends exist: real files under a directory,
+// and an in-memory map (deterministic tests, simulated clusters with many
+// ranks). Both charge identical simulated I/O costs, so experiment shape
+// does not depend on the backend.
+package ooc
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+
+	"pclouds/internal/costmodel"
+	"pclouds/internal/record"
+)
+
+// PageSize is the unit of disk transfer for cost accounting and buffering.
+const PageSize = 64 << 10
+
+// IOStats counts a store's disk traffic.
+type IOStats struct {
+	ReadOps    int64
+	ReadBytes  int64
+	WriteOps   int64
+	WriteBytes int64
+}
+
+// Add accumulates o into s.
+func (s *IOStats) Add(o IOStats) {
+	s.ReadOps += o.ReadOps
+	s.ReadBytes += o.ReadBytes
+	s.WriteOps += o.WriteOps
+	s.WriteBytes += o.WriteBytes
+}
+
+func (s IOStats) String() string {
+	return fmt.Sprintf("read %d ops/%d B, write %d ops/%d B", s.ReadOps, s.ReadBytes, s.WriteOps, s.WriteBytes)
+}
+
+// backend abstracts the storage medium.
+type backend interface {
+	create(name string) (io.WriteCloser, error)
+	appendTo(name string) (io.WriteCloser, error)
+	open(name string) (io.ReadCloser, error)
+	size(name string) (int64, error)
+	remove(name string) error
+	list() ([]string, error)
+}
+
+// Store is one rank's private disk namespace for records of one schema.
+type Store struct {
+	schema  *record.Schema
+	params  costmodel.Params
+	clock   *costmodel.Clock
+	b       backend
+	statsMu sync.Mutex
+	stats   IOStats
+}
+
+// NewFileStore creates a store over real files in dir (created if absent).
+func NewFileStore(schema *record.Schema, dir string, params costmodel.Params, clock *costmodel.Clock) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ooc: creating store dir: %w", err)
+	}
+	return &Store{schema: schema, params: params, clock: clock, b: &fileBackend{dir: dir}}, nil
+}
+
+// NewMemStore creates a store over an in-memory backend.
+func NewMemStore(schema *record.Schema, params costmodel.Params, clock *costmodel.Clock) *Store {
+	return &Store{schema: schema, params: params, clock: clock, b: newMemBackend()}
+}
+
+// Schema returns the store's record schema.
+func (s *Store) Schema() *record.Schema { return s.schema }
+
+// Stats returns cumulative I/O statistics.
+func (s *Store) Stats() IOStats {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	return s.stats
+}
+
+// Clock returns the simulated clock charged by this store (may be nil).
+func (s *Store) Clock() *costmodel.Clock { return s.clock }
+
+func (s *Store) chargeRead(bytes int) {
+	s.clock.Advance(s.params.DiskCost(bytes))
+	s.statsMu.Lock()
+	s.stats.ReadOps++
+	s.stats.ReadBytes += int64(bytes)
+	s.statsMu.Unlock()
+}
+
+func (s *Store) chargeWrite(bytes int) {
+	s.clock.Advance(s.params.DiskCost(bytes))
+	s.statsMu.Lock()
+	s.stats.WriteOps++
+	s.stats.WriteBytes += int64(bytes)
+	s.statsMu.Unlock()
+}
+
+// Remove deletes a named record file.
+func (s *Store) Remove(name string) error { return s.b.remove(name) }
+
+// List returns the names of all files in the store, sorted.
+func (s *Store) List() ([]string, error) {
+	names, err := s.b.list()
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Count returns the number of records in a named file.
+func (s *Store) Count(name string) (int64, error) {
+	sz, err := s.b.size(name)
+	if err != nil {
+		return 0, err
+	}
+	rb := int64(s.schema.RecordBytes())
+	if sz%rb != 0 {
+		return 0, fmt.Errorf("ooc: file %q size %d not a multiple of record size %d", name, sz, rb)
+	}
+	return sz / rb, nil
+}
+
+// Writer appends records to a named file with page-sized buffered writes.
+type Writer struct {
+	s    *Store
+	wc   io.WriteCloser
+	buf  []byte
+	n    int64
+	name string
+}
+
+// CreateWriter creates (truncates) a named file for appending records.
+func (s *Store) CreateWriter(name string) (*Writer, error) {
+	wc, err := s.b.create(name)
+	if err != nil {
+		return nil, fmt.Errorf("ooc: creating %q: %w", name, err)
+	}
+	return &Writer{s: s, wc: wc, buf: make([]byte, 0, PageSize), name: name}, nil
+}
+
+// AppendWriter opens a named file for appending records after its existing
+// contents; the file is created if absent. Used when records arrive from
+// several sources (e.g. task-parallel redistribution).
+func (s *Store) AppendWriter(name string) (*Writer, error) {
+	wc, err := s.b.appendTo(name)
+	if err != nil {
+		return nil, fmt.Errorf("ooc: appending to %q: %w", name, err)
+	}
+	return &Writer{s: s, wc: wc, buf: make([]byte, 0, PageSize), name: name}, nil
+}
+
+// Write appends one record.
+func (w *Writer) Write(rec record.Record) error {
+	w.buf = rec.Encode(w.buf)
+	w.n++
+	if len(w.buf) >= PageSize {
+		return w.flush()
+	}
+	return nil
+}
+
+// Count returns the number of records written so far.
+func (w *Writer) Count() int64 { return w.n }
+
+func (w *Writer) flush() error {
+	if len(w.buf) == 0 {
+		return nil
+	}
+	if _, err := w.wc.Write(w.buf); err != nil {
+		return fmt.Errorf("ooc: writing %q: %w", w.name, err)
+	}
+	w.s.chargeWrite(len(w.buf))
+	w.buf = w.buf[:0]
+	return nil
+}
+
+// Close flushes and closes the file.
+func (w *Writer) Close() error {
+	if err := w.flush(); err != nil {
+		w.wc.Close()
+		return err
+	}
+	return w.wc.Close()
+}
+
+// Reader scans a named file sequentially, one page at a time.
+type Reader struct {
+	s    *Store
+	rc   io.ReadCloser
+	buf  []byte
+	off  int
+	end  int
+	eof  bool
+	name string
+	rb   int
+}
+
+// OpenReader opens a named file for sequential scanning.
+func (s *Store) OpenReader(name string) (*Reader, error) {
+	rc, err := s.b.open(name)
+	if err != nil {
+		return nil, fmt.Errorf("ooc: opening %q: %w", name, err)
+	}
+	return &Reader{s: s, rc: rc, buf: make([]byte, PageSize), name: name, rb: s.schema.RecordBytes()}, nil
+}
+
+// Next reads the next record into rec. It returns false at end of file.
+func (r *Reader) Next(rec *record.Record) (bool, error) {
+	if r.end-r.off < r.rb {
+		if err := r.fill(); err != nil {
+			return false, err
+		}
+		if r.end-r.off < r.rb {
+			if r.end != r.off {
+				return false, fmt.Errorf("ooc: %q: %d trailing bytes", r.name, r.end-r.off)
+			}
+			return false, nil
+		}
+	}
+	if _, err := rec.Decode(r.s.schema, r.buf[r.off:r.end]); err != nil {
+		return false, err
+	}
+	r.off += r.rb
+	return true, nil
+}
+
+func (r *Reader) fill() error {
+	// Move the partial tail to the front and top the page up.
+	copy(r.buf, r.buf[r.off:r.end])
+	r.end -= r.off
+	r.off = 0
+	if r.eof {
+		return nil
+	}
+	n, err := io.ReadFull(r.rc, r.buf[r.end:cap(r.buf)])
+	if n > 0 {
+		r.s.chargeRead(n)
+		r.end += n
+	}
+	switch err {
+	case nil:
+	case io.EOF, io.ErrUnexpectedEOF:
+		r.eof = true
+	default:
+		return fmt.Errorf("ooc: reading %q: %w", r.name, err)
+	}
+	return nil
+}
+
+// Close releases the underlying file.
+func (r *Reader) Close() error { return r.rc.Close() }
+
+// WriteAll writes an entire record slice to a named file.
+func (s *Store) WriteAll(name string, recs []record.Record) error {
+	w, err := s.CreateWriter(name)
+	if err != nil {
+		return err
+	}
+	for _, rec := range recs {
+		if err := w.Write(rec); err != nil {
+			w.Close()
+			return err
+		}
+	}
+	return w.Close()
+}
+
+// ReadAll loads an entire named file into memory. Callers are responsible
+// for respecting their memory budget; the tree-building code only does this
+// for small nodes and samples.
+func (s *Store) ReadAll(name string) ([]record.Record, error) {
+	r, err := s.OpenReader(name)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	var out []record.Record
+	for {
+		var rec record.Record
+		ok, err := r.Next(&rec)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, rec)
+	}
+}

@@ -1,0 +1,188 @@
+package pclouds
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"pclouds/internal/clouds"
+	"pclouds/internal/comm"
+	"pclouds/internal/record"
+)
+
+// sortAlive orders alive intervals canonically by (attribute, interval) so
+// the assignment is deterministic on every rank.
+func sortAlive(list []aliveInterval) {
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].attrJ != list[j].attrJ {
+			return list[i].attrJ < list[j].attrJ
+		}
+		return list[i].interval < list[j].interval
+	})
+}
+
+// assignIntervals maps each alive interval to one processor under the
+// single-assignment approach, balancing the sorting cost n·log n with
+// longest-processing-time-first. Deterministic: ties break toward the lower
+// rank and the earlier interval.
+func assignIntervals(alive []aliveInterval, p int) []int {
+	idx := make([]int, len(alive))
+	for i := range idx {
+		idx[i] = i
+	}
+	cost := func(i int) float64 {
+		n := float64(alive[i].count)
+		if n < 2 {
+			return n
+		}
+		return n * math.Log2(n)
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return cost(idx[a]) > cost(idx[b]) })
+	load := make([]float64, p)
+	owner := make([]int, len(alive))
+	for _, i := range idx {
+		best := 0
+		for r := 1; r < p; r++ {
+			if load[r] < load[best] {
+				best = r
+			}
+		}
+		owner[i] = best
+		load[best] += cost(i)
+	}
+	return owner
+}
+
+// evaluateAlive runs the single-assignment exact search: every alive
+// interval is assigned to one processor; each rank streams its local node
+// data once, shipping the points of every alive interval to the interval's
+// assignee in one all-to-all; assignees sort and evaluate their intervals
+// and a final min-combine yields the node's best split overall.
+func (b *pbuilder) evaluateAlive(t *nodeTask, local *clouds.NodeStats, boundaryBest clouds.Candidate, alive []aliveInterval) (clouds.Candidate, error) {
+	p := b.c.Size()
+	rank := b.c.Rank()
+	owner := assignIntervals(alive, p)
+	aliveIdx := make(map[[2]int]int, len(alive))
+	for i, ai := range alive {
+		aliveIdx[[2]int{ai.attrJ, ai.interval}] = i
+	}
+
+	// Local collection pass: bucket points by (destination, alive index).
+	perDest := make([][][]clouds.Point, p)
+	for d := range perDest {
+		perDest[d] = make([][]clouds.Point, len(alive))
+	}
+	var localN int64
+	if err := scanStore(b.store, t.file, func(r *record.Record) error {
+		localN++
+		for j, nst := range local.Numeric {
+			v := r.Num[j]
+			i, ok := aliveIdx[[2]int{j, nst.Intervals.Locate(v)}]
+			if !ok {
+				continue
+			}
+			d := owner[i]
+			perDest[d][i] = append(perDest[d][i], clouds.Point{V: v, Class: r.Class})
+		}
+		return nil
+	}); err != nil {
+		return clouds.Candidate{}, err
+	}
+	b.stats.Build.RecordReads += localN
+	b.chargeCPU(localN)
+
+	// One all-to-all ships every point to its interval's assignee.
+	parts := make([][]byte, p)
+	for d := 0; d < p; d++ {
+		parts[d] = encodePointBuckets(perDest[d])
+		if d != rank {
+			for _, pts := range perDest[d] {
+				b.stats.RecordsShipped += int64(len(pts))
+			}
+		}
+	}
+	recv, err := comm.AllToAll(b.c, parts)
+	if err != nil {
+		return clouds.Candidate{}, err
+	}
+
+	// Assemble the points of the intervals this rank owns.
+	mine := make([][]clouds.Point, len(alive))
+	for _, raw := range recv {
+		if err := decodePointBuckets(raw, mine); err != nil {
+			return clouds.Candidate{}, err
+		}
+	}
+
+	// Exact evaluation of owned intervals; EvaluateInterval sorts
+	// canonically, so merge order does not matter.
+	myBest := clouds.Candidate{Valid: false}
+	numIdx := b.schema.NumericIndices()
+	for i, ai := range alive {
+		if owner[i] != rank {
+			continue
+		}
+		// Sorting and scanning the interval costs ~2 touches per point.
+		b.chargeCPU(2 * int64(len(mine[i])))
+		cand := clouds.EvaluateInterval(numIdx[ai.attrJ], ai.leftBefore, t.classCounts, mine[i])
+		if cand.Better(myBest) {
+			myBest = cand
+		}
+	}
+	best, err := combineCandidates(b.c, myBest)
+	if err != nil {
+		return clouds.Candidate{}, err
+	}
+	if boundaryBest.Better(best) {
+		return boundaryBest, nil
+	}
+	return best, nil
+}
+
+// encodePointBuckets frames non-empty buckets as
+// [u32 aliveIdx][u32 n][n × (f64 value, u32 class)].
+func encodePointBuckets(buckets [][]clouds.Point) []byte {
+	var out []byte
+	var b8 [8]byte
+	for i, pts := range buckets {
+		if len(pts) == 0 {
+			continue
+		}
+		binary.LittleEndian.PutUint32(b8[:4], uint32(i))
+		out = append(out, b8[:4]...)
+		binary.LittleEndian.PutUint32(b8[:4], uint32(len(pts)))
+		out = append(out, b8[:4]...)
+		for _, pt := range pts {
+			binary.LittleEndian.PutUint64(b8[:], math.Float64bits(pt.V))
+			out = append(out, b8[:]...)
+			binary.LittleEndian.PutUint32(b8[:4], uint32(pt.Class))
+			out = append(out, b8[:4]...)
+		}
+	}
+	return out
+}
+
+func decodePointBuckets(src []byte, into [][]clouds.Point) error {
+	for len(src) > 0 {
+		if len(src) < 8 {
+			return fmt.Errorf("pclouds: truncated point bucket header")
+		}
+		idx := int(binary.LittleEndian.Uint32(src))
+		n := int(binary.LittleEndian.Uint32(src[4:]))
+		src = src[8:]
+		if idx < 0 || idx >= len(into) {
+			return fmt.Errorf("pclouds: point bucket index %d out of range", idx)
+		}
+		if len(src) < n*12 {
+			return fmt.Errorf("pclouds: truncated point bucket body")
+		}
+		for k := 0; k < n; k++ {
+			v := math.Float64frombits(binary.LittleEndian.Uint64(src))
+			cls := int32(binary.LittleEndian.Uint32(src[8:]))
+			into[idx] = append(into[idx], clouds.Point{V: v, Class: cls})
+			src = src[12:]
+		}
+	}
+	return nil
+}

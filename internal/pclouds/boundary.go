@@ -1,0 +1,346 @@
+package pclouds
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"pclouds/internal/clouds"
+	"pclouds/internal/comm"
+	"pclouds/internal/gini"
+	"pclouds/internal/histogram"
+	"pclouds/internal/record"
+	"pclouds/internal/tree"
+)
+
+// aliveInterval describes one SSE alive interval globally: which numeric
+// attribute (by numeric index) and interval it is, the global class counts
+// of everything below it (needed for exact evaluation), and its global
+// point count (the sorting-cost proxy used for single-assignment).
+type aliveInterval struct {
+	attrJ      int
+	interval   int
+	count      int64
+	leftBefore []int64
+}
+
+// deriveSplit derives the node's splitting point: local statistics pass,
+// boundary evaluation under the configured replication scheme, and — for
+// the SSE method — alive-interval determination and exact evaluation under
+// the single-assignment approach. All ranks return the same candidate.
+func (b *pbuilder) deriveSplit(t *nodeTask) (clouds.Candidate, error) {
+	local := t.localStats
+	if local == nil {
+		// No fused statistics from the parent (the root, or fusion off):
+		// one streaming pass builds them now.
+		q := b.cfg.Clouds.QForNode(t.n, b.nRoot)
+		intervals := clouds.BuildIntervals(b.schema, t.sample, q)
+		local = clouds.NewNodeStats(b.schema, intervals)
+		var localN int64
+		if err := scanStore(b.store, t.file, func(r *record.Record) error {
+			local.Add(*r)
+			localN++
+			return nil
+		}); err != nil {
+			return clouds.Candidate{}, err
+		}
+		b.stats.Build.RecordReads += localN
+		b.chargeCPU(localN)
+	}
+
+	var boundaryBest clouds.Candidate
+	var alive []aliveInterval
+	var err error
+	switch b.cfg.Boundary {
+	case FullReplication:
+		boundaryBest, alive, err = b.boundaryFullReplication(t, local)
+	case AttributeBased:
+		boundaryBest, alive, err = b.boundaryAttributeBased(t, local)
+	case IntervalBased:
+		boundaryBest, alive, err = b.boundaryBlocked(t, local, intervalMapping(intervalCounts(local), b.c.Size()))
+	case Hybrid:
+		boundaryBest, alive, err = b.boundaryBlocked(t, local, hybridMapping(intervalCounts(local), b.c.Size()))
+	default:
+		err = fmt.Errorf("pclouds: unknown boundary method %d", b.cfg.Boundary)
+	}
+	if err != nil {
+		return clouds.Candidate{}, err
+	}
+	if b.cfg.Clouds.Method == clouds.SS || len(alive) == 0 {
+		return boundaryBest, nil
+	}
+	b.stats.Build.AliveIntervals += len(alive)
+	for _, ai := range alive {
+		b.stats.Build.AlivePoints += ai.count
+	}
+	b.stats.Build.BoundaryEvaluated += t.n
+	tAlive := b.c.Clock().Time()
+	cand, err := b.evaluateAlive(t, local, boundaryBest, alive)
+	b.stats.TimeAliveEval += b.c.Clock().Time() - tAlive
+	return cand, err
+}
+
+// boundaryFullReplication combines every statistic on every rank with one
+// all-reduce; each rank then evaluates all boundaries and determines the
+// alive set identically.
+func (b *pbuilder) boundaryFullReplication(t *nodeTask, local *clouds.NodeStats) (clouds.Candidate, []aliveInterval, error) {
+	flat, err := comm.AllReduceInt64(b.c, local.Flatten(), addI64)
+	if err != nil {
+		return clouds.Candidate{}, nil, err
+	}
+	global := clouds.NewNodeStats(b.schema, intervalsOf(local))
+	if err := global.Unflatten(flat); err != nil {
+		return clouds.Candidate{}, nil, err
+	}
+	best := clouds.BestBoundarySplit(global)
+	if b.cfg.Clouds.Method == clouds.SS {
+		return best, nil, nil
+	}
+	giniMin := best.Gini
+	if !best.Valid {
+		giniMin = gini.Index(global.Class)
+	}
+	as := clouds.DetermineAlive(global, giniMin)
+	var alive []aliveInterval
+	for j, nst := range global.Numeric {
+		for i, flag := range as.Alive[j] {
+			if !flag {
+				continue
+			}
+			alive = append(alive, aliveInterval{
+				attrJ:      j,
+				interval:   i,
+				count:      gini.Sum(nst.Freq[i]),
+				leftBefore: clouds.LeftBefore(nst, i, b.schema.NumClasses),
+			})
+		}
+	}
+	return best, alive, nil
+}
+
+// intervalsOf extracts the interval structures from a NodeStats for
+// allocating an identically shaped one.
+func intervalsOf(ns *clouds.NodeStats) []*histogram.Intervals {
+	out := make([]*histogram.Intervals, len(ns.Numeric))
+	for j, nst := range ns.Numeric {
+		out[j] = nst.Intervals
+	}
+	return out
+}
+
+// boundaryAttributeBased implements the paper's attribute-based replication
+// method: each attribute's global frequency vectors are reduced to one
+// owner processor, which evaluates that attribute's boundaries (a local
+// prefix sum and gini computation) and, for SSE, its alive intervals. A
+// global min-combine over the owners' best candidates yields gini_min, and
+// one all-gather broadcasts the alive-interval descriptors to all ranks.
+func (b *pbuilder) boundaryAttributeBased(t *nodeTask, local *clouds.NodeStats) (clouds.Candidate, []aliveInterval, error) {
+	p := b.c.Size()
+	numN := len(local.Numeric)
+	c := b.schema.NumClasses
+
+	// Reduce each attribute's statistics to its owner.
+	ownedNumeric := make(map[int][][]int64) // attrJ -> freq rows (owner only)
+	for j, nst := range local.Numeric {
+		owner := j % p
+		flat := make([]int64, 0, len(nst.Freq)*c)
+		for _, row := range nst.Freq {
+			flat = append(flat, row...)
+		}
+		combined, err := comm.ReduceInt64(b.c, owner, flat, addI64)
+		if err != nil {
+			return clouds.Candidate{}, nil, err
+		}
+		if b.c.Rank() == owner {
+			rows := make([][]int64, len(nst.Freq))
+			for i := range rows {
+				rows[i] = combined[i*c : (i+1)*c]
+			}
+			ownedNumeric[j] = rows
+		}
+	}
+	ownedCat := make(map[int]*gini.CountMatrix) // cat index -> global matrix
+	for j, cm := range local.Cat {
+		owner := (numN + j) % p
+		combined, err := comm.ReduceInt64(b.c, owner, cm.Flatten(), addI64)
+		if err != nil {
+			return clouds.Candidate{}, nil, err
+		}
+		if b.c.Rank() == owner {
+			ownedCat[j] = gini.UnflattenCountMatrix(combined, cm.Cardinality(), cm.Classes())
+		}
+	}
+
+	// Each owner evaluates its attributes' boundary candidates locally.
+	myBest := clouds.Candidate{Valid: false}
+	total := t.classCounts
+	nTotal := t.n
+	for j, rows := range ownedNumeric {
+		nst := local.Numeric[j]
+		left := make([]int64, c)
+		right := make([]int64, c)
+		var nLeft int64
+		for bnd := 0; bnd < nst.Intervals.NumBounds(); bnd++ {
+			gini.Add(left, rows[bnd])
+			nLeft += gini.Sum(rows[bnd])
+			if nLeft == 0 || nLeft == nTotal {
+				continue
+			}
+			for i := range right {
+				right[i] = total[i] - left[i]
+			}
+			cand := clouds.Candidate{
+				Valid: true, Gini: gini.SplitIndex(left, right),
+				Attr: nst.Attr, Kind: tree.NumericSplit, Threshold: nst.Intervals.Cuts[bnd],
+				LeftN: nLeft,
+			}
+			if cand.Better(myBest) {
+				cand.LeftCounts = gini.Clone(left)
+				myBest = cand
+			}
+		}
+	}
+	for j, cm := range ownedCat {
+		ss := cm.BestSubsetSplit()
+		var nLeft int64
+		for v, in := range ss.InLeft {
+			if in {
+				nLeft += gini.Sum(cm.Counts[v])
+			}
+		}
+		if nLeft == 0 || nLeft == nTotal {
+			continue
+		}
+		cand := clouds.Candidate{
+			Valid: true, Gini: ss.Gini,
+			Attr: b.schema.CategoricalIndices()[j], Kind: tree.CategoricalSplit, InLeft: ss.InLeft,
+			LeftN: nLeft,
+		}
+		if cand.Better(myBest) {
+			lv := make([]int64, c)
+			for v, in := range ss.InLeft {
+				if in {
+					gini.Add(lv, cm.Counts[v])
+				}
+			}
+			cand.LeftCounts = lv
+			myBest = cand
+		}
+	}
+
+	// Global min-combine of the owners' candidates yields gini_min.
+	best, err := combineCandidates(b.c, myBest)
+	if err != nil {
+		return clouds.Candidate{}, nil, err
+	}
+	if b.cfg.Clouds.Method == clouds.SS {
+		return best, nil, nil
+	}
+	giniMin := best.Gini
+	if !best.Valid {
+		giniMin = gini.Index(total)
+	}
+
+	// Owners determine the alive intervals of their attributes and the
+	// statuses are broadcast to all processors (one all-gather).
+	var mine []aliveInterval
+	for j, rows := range ownedNumeric {
+		left := make([]int64, c)
+		for i, row := range rows {
+			cnt := gini.Sum(row)
+			if cnt > 0 {
+				if est := gini.LowerBound(left, row, total); est < giniMin {
+					mine = append(mine, aliveInterval{
+						attrJ: j, interval: i, count: cnt,
+						leftBefore: gini.Clone(left),
+					})
+				}
+			}
+			gini.Add(left, row)
+		}
+	}
+	parts, err := comm.AllGather(b.c, encodeAliveList(mine, c))
+	if err != nil {
+		return clouds.Candidate{}, nil, err
+	}
+	var alive []aliveInterval
+	for _, raw := range parts {
+		lst, err := decodeAliveList(raw, c)
+		if err != nil {
+			return clouds.Candidate{}, nil, err
+		}
+		alive = append(alive, lst...)
+	}
+	sortAlive(alive)
+	return best, alive, nil
+}
+
+// combineCandidates finds the globally best candidate under the
+// deterministic total order.
+func combineCandidates(c comm.Communicator, mine clouds.Candidate) (clouds.Candidate, error) {
+	res, err := comm.AllReduceBytes(c, mine.Encode(), func(a, b []byte) ([]byte, error) {
+		ca, err := clouds.DecodeCandidate(a)
+		if err != nil {
+			return nil, err
+		}
+		cb, err := clouds.DecodeCandidate(b)
+		if err != nil {
+			return nil, err
+		}
+		if cb.Better(ca) {
+			return b, nil
+		}
+		return a, nil
+	})
+	if err != nil {
+		return clouds.Candidate{}, err
+	}
+	return clouds.DecodeCandidate(res)
+}
+
+func encodeAliveList(list []aliveInterval, classes int) []byte {
+	var out []byte
+	var b8 [8]byte
+	put32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(b8[:4], v)
+		out = append(out, b8[:4]...)
+	}
+	put64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(b8[:], v)
+		out = append(out, b8[:]...)
+	}
+	put32(uint32(len(list)))
+	for _, ai := range list {
+		put32(uint32(ai.attrJ))
+		put32(uint32(ai.interval))
+		put64(uint64(ai.count))
+		for k := 0; k < classes; k++ {
+			put64(uint64(ai.leftBefore[k]))
+		}
+	}
+	return out
+}
+
+func decodeAliveList(src []byte, classes int) ([]aliveInterval, error) {
+	if len(src) < 4 {
+		return nil, fmt.Errorf("pclouds: truncated alive list")
+	}
+	n := int(binary.LittleEndian.Uint32(src))
+	src = src[4:]
+	per := 16 + 8*classes
+	if len(src) != n*per {
+		return nil, fmt.Errorf("pclouds: alive list length %d, want %d", len(src), n*per)
+	}
+	out := make([]aliveInterval, n)
+	for i := range out {
+		out[i].attrJ = int(binary.LittleEndian.Uint32(src))
+		out[i].interval = int(binary.LittleEndian.Uint32(src[4:]))
+		out[i].count = int64(binary.LittleEndian.Uint64(src[8:]))
+		src = src[16:]
+		out[i].leftBefore = make([]int64, classes)
+		for k := 0; k < classes; k++ {
+			out[i].leftBefore[k] = int64(binary.LittleEndian.Uint64(src))
+			src = src[8:]
+		}
+	}
+	return out, nil
+}

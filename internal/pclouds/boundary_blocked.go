@@ -1,0 +1,352 @@
+package pclouds
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"pclouds/internal/clouds"
+	"pclouds/internal/comm"
+	"pclouds/internal/gini"
+	"pclouds/internal/tree"
+)
+
+// This file implements the interval-based and hybrid variants of the
+// replication method (Section 5.1.1). Both distribute interval statistics
+// in *blocks*: every (attribute, interval) pair is owned by one rank, with
+// ownership monotone in rank along each attribute's interval order. The
+// statistics reach their owners with a single all-to-all (a reduce-scatter
+// over the blocks); the class counts below each rank's first interval come
+// from one prefix-sum collective (the paper's use of the prefix-sum
+// primitive); boundary gini evaluation is then completely rank-local.
+//
+//   - Interval-based: each attribute's interval range is divided across
+//     ALL processors, so every rank works on every attribute. Best load
+//     balance per attribute; p messages' worth of reduce traffic.
+//   - Hybrid: the concatenated (attribute, interval) stream is divided
+//     into p contiguous runs. With many attributes a rank tends to own
+//     whole attributes (degenerating to attribute-based); with few
+//     attributes the attributes split across ranks (interval-based
+//     behaviour) — the combination the paper credits with better load
+//     balance.
+
+// blockMapping assigns an owner rank to every interval of every numeric
+// attribute. ownerOf[j][i] must be non-decreasing in i for a fixed j.
+type blockMapping struct {
+	ownerOf [][]int
+}
+
+// intervalMapping builds the interval-based mapping: attribute j's
+// intervals are split into p near-equal contiguous runs.
+func intervalMapping(counts []int, p int) blockMapping {
+	m := blockMapping{ownerOf: make([][]int, len(counts))}
+	for j, nI := range counts {
+		owners := make([]int, nI)
+		for i := 0; i < nI; i++ {
+			owners[i] = i * p / max(nI, 1)
+			if owners[i] >= p {
+				owners[i] = p - 1
+			}
+		}
+		m.ownerOf[j] = owners
+	}
+	return m
+}
+
+// hybridMapping builds the hybrid mapping: the concatenation of all
+// attributes' intervals is split into p near-equal contiguous runs.
+func hybridMapping(counts []int, p int) blockMapping {
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	m := blockMapping{ownerOf: make([][]int, len(counts))}
+	pos := 0
+	for j, nI := range counts {
+		owners := make([]int, nI)
+		for i := 0; i < nI; i++ {
+			owners[i] = pos * p / max(total, 1)
+			if owners[i] >= p {
+				owners[i] = p - 1
+			}
+			pos++
+		}
+		m.ownerOf[j] = owners
+	}
+	return m
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// boundaryBlocked runs the boundary phase under a block mapping. The
+// categorical attributes use per-attribute owners exactly as in the
+// attribute-based scheme.
+func (b *pbuilder) boundaryBlocked(t *nodeTask, local *clouds.NodeStats, m blockMapping) (clouds.Candidate, []aliveInterval, error) {
+	p := b.c.Size()
+	rank := b.c.Rank()
+	c := b.schema.NumClasses
+	total := t.classCounts
+
+	// 1. Reduce-scatter the interval statistics to their owners with one
+	// all-to-all: destination d receives, per attribute, this rank's local
+	// counts for the intervals d owns.
+	parts := make([][]byte, p)
+	for d := 0; d < p; d++ {
+		parts[d] = encodeBlockStats(local, m, d)
+	}
+	recv, err := comm.AllToAll(b.c, parts)
+	if err != nil {
+		return clouds.Candidate{}, nil, err
+	}
+	// mine[j][k] is the global class vector of the k-th interval this rank
+	// owns in attribute j.
+	mine := make([][][]int64, len(local.Numeric))
+	for j, nst := range local.Numeric {
+		nOwned := 0
+		for _, o := range m.ownerOf[j] {
+			if o == rank {
+				nOwned++
+			}
+		}
+		mine[j] = make([][]int64, nOwned)
+		for k := range mine[j] {
+			mine[j][k] = make([]int64, c)
+		}
+		_ = nst
+	}
+	for _, raw := range recv {
+		if err := addBlockStats(raw, mine, c); err != nil {
+			return clouds.Candidate{}, nil, err
+		}
+	}
+
+	// 2. One prefix sum yields, per attribute, the class counts of every
+	// interval owned by lower ranks — the offsets for gini evaluation.
+	blockSums := make([]int64, len(local.Numeric)*c)
+	for j := range mine {
+		for _, vec := range mine[j] {
+			for k := 0; k < c; k++ {
+				blockSums[j*c+k] += vec[k]
+			}
+		}
+	}
+	inclusive, err := comm.PrefixSumInt64(b.c, blockSums)
+	if err != nil {
+		return clouds.Candidate{}, nil, err
+	}
+	offsets := make([][]int64, len(local.Numeric))
+	for j := range offsets {
+		offsets[j] = make([]int64, c)
+		for k := 0; k < c; k++ {
+			offsets[j][k] = inclusive[j*c+k] - blockSums[j*c+k]
+		}
+	}
+
+	// 3. Evaluate the boundaries of the owned intervals locally. The last
+	// boundary of each owned run is the cut AFTER the interval, so an
+	// owned interval i contributes candidate "attr <= Cuts[i]" when i is
+	// an internal boundary index.
+	myBest := clouds.Candidate{Valid: false}
+	nTotal := t.n
+	for j, nst := range local.Numeric {
+		left := gini.Clone(offsets[j])
+		nLeft := gini.Sum(left)
+		right := make([]int64, c)
+		k := 0
+		for i, owner := range m.ownerOf[j] {
+			if owner != rank {
+				continue
+			}
+			vec := mine[j][k]
+			k++
+			gini.Add(left, vec)
+			nLeft += gini.Sum(vec)
+			if i >= nst.Intervals.NumBounds() {
+				continue // last interval has no boundary after it
+			}
+			if nLeft == 0 || nLeft == nTotal {
+				continue
+			}
+			for x := range right {
+				right[x] = total[x] - left[x]
+			}
+			cand := clouds.Candidate{
+				Valid: true, Gini: gini.SplitIndex(left, right),
+				Attr: nst.Attr, Kind: tree.NumericSplit, Threshold: nst.Intervals.Cuts[i],
+				LeftN: nLeft,
+			}
+			if cand.Better(myBest) {
+				cand.LeftCounts = gini.Clone(left)
+				myBest = cand
+			}
+		}
+	}
+
+	// 4. Categorical attributes: per-attribute owners, as attribute-based.
+	for j, cm := range local.Cat {
+		owner := j % p
+		combined, err := comm.ReduceInt64(b.c, owner, cm.Flatten(), addI64)
+		if err != nil {
+			return clouds.Candidate{}, nil, err
+		}
+		if rank != owner {
+			continue
+		}
+		gm := gini.UnflattenCountMatrix(combined, cm.Cardinality(), cm.Classes())
+		ss := gm.BestSubsetSplit()
+		var nLeft int64
+		for v, in := range ss.InLeft {
+			if in {
+				nLeft += gini.Sum(gm.Counts[v])
+			}
+		}
+		if nLeft == 0 || nLeft == nTotal {
+			continue
+		}
+		cand := clouds.Candidate{
+			Valid: true, Gini: ss.Gini,
+			Attr: b.schema.CategoricalIndices()[j], Kind: tree.CategoricalSplit, InLeft: ss.InLeft,
+			LeftN: nLeft,
+		}
+		if cand.Better(myBest) {
+			lv := make([]int64, c)
+			for v, in := range ss.InLeft {
+				if in {
+					gini.Add(lv, gm.Counts[v])
+				}
+			}
+			cand.LeftCounts = lv
+			myBest = cand
+		}
+	}
+
+	best, err := combineCandidates(b.c, myBest)
+	if err != nil {
+		return clouds.Candidate{}, nil, err
+	}
+	if b.cfg.Clouds.Method == clouds.SS {
+		return best, nil, nil
+	}
+	giniMin := best.Gini
+	if !best.Valid {
+		giniMin = gini.Index(total)
+	}
+
+	// 5. Alive determination on the owned intervals, broadcast to all.
+	var mineAlive []aliveInterval
+	for j := range mine {
+		left := gini.Clone(offsets[j])
+		k := 0
+		for i, owner := range m.ownerOf[j] {
+			if owner != rank {
+				continue
+			}
+			vec := mine[j][k]
+			k++
+			cnt := gini.Sum(vec)
+			if cnt > 0 {
+				if est := gini.LowerBound(left, vec, total); est < giniMin {
+					mineAlive = append(mineAlive, aliveInterval{
+						attrJ: j, interval: i, count: cnt,
+						leftBefore: gini.Clone(left),
+					})
+				}
+			}
+			gini.Add(left, vec)
+		}
+	}
+	gathered, err := comm.AllGather(b.c, encodeAliveList(mineAlive, c))
+	if err != nil {
+		return clouds.Candidate{}, nil, err
+	}
+	var alive []aliveInterval
+	for _, raw := range gathered {
+		lst, err := decodeAliveList(raw, c)
+		if err != nil {
+			return clouds.Candidate{}, nil, err
+		}
+		alive = append(alive, lst...)
+	}
+	sortAlive(alive)
+	return best, alive, nil
+}
+
+// encodeBlockStats frames, for destination d, this rank's local interval
+// class vectors for every interval d owns:
+// per attribute run: [u32 attrJ][u32 firstOwnedIdx][u32 count][count × c × i64].
+// Owned intervals of one (attribute, rank) pair are always contiguous.
+func encodeBlockStats(local *clouds.NodeStats, m blockMapping, d int) []byte {
+	var out []byte
+	var b8 [8]byte
+	c := len(local.Class)
+	for j, nst := range local.Numeric {
+		first, count := -1, 0
+		for i, o := range m.ownerOf[j] {
+			if o == d {
+				if first < 0 {
+					first = i
+				}
+				count++
+			}
+		}
+		if count == 0 {
+			continue
+		}
+		binary.LittleEndian.PutUint32(b8[:4], uint32(j))
+		out = append(out, b8[:4]...)
+		binary.LittleEndian.PutUint32(b8[:4], uint32(first))
+		out = append(out, b8[:4]...)
+		binary.LittleEndian.PutUint32(b8[:4], uint32(count))
+		out = append(out, b8[:4]...)
+		for i := first; i < first+count; i++ {
+			for k := 0; k < c; k++ {
+				binary.LittleEndian.PutUint64(b8[:], uint64(nst.Freq[i][k]))
+				out = append(out, b8[:]...)
+			}
+		}
+	}
+	return out
+}
+
+// addBlockStats accumulates one peer's frame into mine (indexed by owned-
+// interval order per attribute).
+func addBlockStats(src []byte, mine [][][]int64, c int) error {
+	for len(src) > 0 {
+		if len(src) < 12 {
+			return fmt.Errorf("pclouds: truncated block stats header")
+		}
+		j := int(binary.LittleEndian.Uint32(src))
+		_ = int(binary.LittleEndian.Uint32(src[4:])) // firstOwnedIdx (implicit)
+		count := int(binary.LittleEndian.Uint32(src[8:]))
+		src = src[12:]
+		if j < 0 || j >= len(mine) {
+			return fmt.Errorf("pclouds: block stats attribute %d out of range", j)
+		}
+		if count != len(mine[j]) {
+			return fmt.Errorf("pclouds: block stats count %d, own %d for attribute %d", count, len(mine[j]), j)
+		}
+		if len(src) < count*c*8 {
+			return fmt.Errorf("pclouds: truncated block stats body")
+		}
+		for k := 0; k < count; k++ {
+			for x := 0; x < c; x++ {
+				mine[j][k][x] += int64(binary.LittleEndian.Uint64(src))
+				src = src[8:]
+			}
+		}
+	}
+	return nil
+}
+
+// intervalCounts returns each numeric attribute's interval count.
+func intervalCounts(local *clouds.NodeStats) []int {
+	out := make([]int, len(local.Numeric))
+	for j, nst := range local.Numeric {
+		out[j] = nst.Intervals.NumIntervals()
+	}
+	return out
+}

@@ -1,0 +1,52 @@
+package pclouds_test
+
+import (
+	"fmt"
+	"sync"
+
+	"pclouds/internal/clouds"
+	"pclouds/internal/comm"
+	"pclouds/internal/costmodel"
+	"pclouds/internal/datagen"
+	"pclouds/internal/ooc"
+	"pclouds/internal/pclouds"
+	"pclouds/internal/tree"
+)
+
+// ExampleBuild runs a 4-rank parallel build and verifies it matches the
+// sequential CLOUDS tree — the library's central guarantee.
+func ExampleBuild() {
+	gen, _ := datagen.New(datagen.Config{Function: 2, Seed: 3})
+	data := gen.Generate(3000)
+	cfg := pclouds.Config{Clouds: clouds.Config{
+		Method: clouds.SSE, QRoot: 64, SmallNodeQ: 8, SampleSize: 500, Seed: 1,
+	}}
+	sample := cfg.Clouds.SampleFor(data)
+
+	const p = 4
+	comms := comm.NewGroup(p, costmodel.Zero())
+	trees := make([]*tree.Tree, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			store := ooc.NewMemStore(data.Schema, costmodel.Zero(), comms[r].Clock())
+			w, _ := store.CreateWriter("root")
+			for i := r; i < data.Len(); i += p {
+				w.Write(data.Records[i])
+			}
+			w.Close()
+			t, _, err := pclouds.Build(cfg, comms[r], store, "root", sample)
+			if err != nil {
+				panic(err)
+			}
+			trees[r] = t
+		}(r)
+	}
+	wg.Wait()
+
+	seq, _, _ := clouds.BuildInCore(cfg.Clouds, data, sample)
+	fmt.Println(tree.Equal(trees[0], seq))
+	// Output: true
+}

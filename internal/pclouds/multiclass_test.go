@@ -1,0 +1,94 @@
+package pclouds
+
+import (
+	"math/rand"
+	"testing"
+
+	"pclouds/internal/clouds"
+	"pclouds/internal/metrics"
+	"pclouds/internal/record"
+	"pclouds/internal/tree"
+)
+
+// multiclassData synthesises a 4-class dataset over a custom schema —
+// everything else in the suite uses the generator's 2 classes, so this
+// exercises the multi-class paths: the exhaustive gini lower bound, the
+// non-two-class categorical subset search, and multi-class count matrices,
+// all through the parallel pipeline.
+func multiclassData(n int, seed int64) *record.Dataset {
+	schema := record.MustSchema([]record.Attribute{
+		{Name: "u", Kind: record.Numeric},
+		{Name: "v", Kind: record.Numeric},
+		{Name: "g", Kind: record.Categorical, Cardinality: 5},
+	}, 4)
+	rng := rand.New(rand.NewSource(seed))
+	d := record.NewDataset(schema)
+	for i := 0; i < n; i++ {
+		u, v := rng.Float64(), rng.Float64()
+		g := int32(rng.Intn(5))
+		var class int32
+		switch {
+		case u < 0.5 && v < 0.5:
+			class = 0
+		case u >= 0.5 && v < 0.5:
+			class = 1
+		case u < 0.5:
+			class = 2
+		default:
+			class = 3
+		}
+		if g == 4 { // one categorical value overrides the quadrant
+			class = 2
+		}
+		if rng.Float64() < 0.02 {
+			class = int32(rng.Intn(4))
+		}
+		d.Append(record.Record{Num: []float64{u, v}, Cat: []int32{g}, Class: class})
+	}
+	return d
+}
+
+func TestMulticlassParallelMatchesSequential(t *testing.T) {
+	data := multiclassData(3000, 8)
+	cfg := testConfig(clouds.SSE)
+	sample := cfg.Clouds.SampleFor(data)
+	seq, _, err := clouds.BuildInCore(cfg.Clouds, data, sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seq.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if acc := metrics.Accuracy(seq, data); acc < 0.95 {
+		t.Fatalf("multiclass training accuracy %.4f", acc)
+	}
+	for _, bm := range []BoundaryMethod{AttributeBased, FullReplication, IntervalBased, Hybrid} {
+		c := cfg
+		c.Boundary = bm
+		for _, p := range []int{2, 4, 7} {
+			par, _ := buildParallel(t, c, data, sample, p)
+			if !tree.Equal(seq, par) {
+				t.Errorf("boundary=%v p=%d: multiclass parallel tree differs", bm, p)
+			}
+		}
+	}
+}
+
+func TestMulticlassConfusionSane(t *testing.T) {
+	train := multiclassData(4000, 3)
+	test := multiclassData(1500, 4)
+	cfg := testConfig(clouds.SSE)
+	tr, _, err := clouds.BuildInCore(cfg.Clouds, train, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf := metrics.Evaluate(tr, test)
+	if conf.Accuracy() < 0.9 {
+		t.Fatalf("multiclass held-out accuracy %.4f", conf.Accuracy())
+	}
+	for c := 0; c < 4; c++ {
+		if conf.Recall(c) < 0.7 {
+			t.Errorf("class %d recall %.3f", c, conf.Recall(c))
+		}
+	}
+}

@@ -1,0 +1,399 @@
+// Package pclouds implements pCLOUDS, the parallel out-of-core decision
+// tree classifier of the paper (Section 5). It is an SPMD algorithm: every
+// rank runs Build over its private partition of the training data, held in
+// an out-of-core store, and all ranks return the identical finished tree.
+//
+// The tree is built with mixed parallelism:
+//
+//   - Large nodes use data parallelism. Per node: a local statistics pass
+//     over the rank's share of the node's records; evaluation of the
+//     interval boundaries with the replication method (attribute-based
+//     assignment of each attribute's global frequency vectors to one
+//     processor, or full replication via all-reduce — Config.Boundary);
+//     determination of the SSE alive intervals, whose status is broadcast
+//     to all processors; exact evaluation of alive intervals under the
+//     single-assignment approach (each alive interval shipped to exactly
+//     one processor, chosen by sorting cost); and a partition pass that
+//     splits the local data and sample, piggy-backing the child class
+//     counts.
+//
+//   - Small nodes — nodes whose interval count would drop below the switch
+//     threshold — are deferred until every large node is done, then
+//     assigned each to a single processor (cost-based), their data
+//     redistributed in one batched exchange (delayed task parallelism with
+//     compute-dependent parallel I/O), and solved in-memory with the
+//     direct method. The finished subtrees are exchanged so that every
+//     rank assembles the same tree.
+//
+// Given the same data (in any distribution), the same configuration and the
+// same pre-drawn sample, Build produces exactly the tree that the
+// sequential CLOUDS builder produces — the repository's strongest
+// correctness property, exercised by the determinism tests.
+package pclouds
+
+import (
+	"fmt"
+
+	"pclouds/internal/clouds"
+	"pclouds/internal/comm"
+	"pclouds/internal/gini"
+	"pclouds/internal/ooc"
+	"pclouds/internal/record"
+	"pclouds/internal/tree"
+)
+
+// BoundaryMethod selects how interval-boundary statistics are combined
+// (Section 5.1.1).
+type BoundaryMethod int
+
+const (
+	// AttributeBased assigns all global frequency vectors of each numeric
+	// attribute to one processor (the paper's chosen implementation of the
+	// replication method).
+	AttributeBased BoundaryMethod = iota
+	// FullReplication combines every statistic on every processor with one
+	// all-reduce; simple, with communication O(q·c·f) per node.
+	FullReplication
+	// IntervalBased assigns each interval's global frequency vector to one
+	// processor, dividing every attribute's range across all ranks (the
+	// paper's interval-based approach).
+	IntervalBased
+	// Hybrid divides the concatenated (attribute, interval) stream into p
+	// contiguous runs, combining the attribute- and interval-based
+	// approaches for better load balance (the paper's hybrid approach).
+	Hybrid
+)
+
+func (m BoundaryMethod) String() string {
+	switch m {
+	case AttributeBased:
+		return "attribute-based"
+	case FullReplication:
+		return "full-replication"
+	case IntervalBased:
+		return "interval-based"
+	case Hybrid:
+		return "hybrid"
+	default:
+		return fmt.Sprintf("BoundaryMethod(%d)", int(m))
+	}
+}
+
+// Config parameterises a parallel build.
+type Config struct {
+	// Clouds carries the classifier parameters shared with the sequential
+	// builders (method, interval counts, switch threshold, stopping rules).
+	Clouds clouds.Config
+	// Boundary selects the boundary-statistics scheme.
+	Boundary BoundaryMethod
+	// CPUPerRecord is the simulated compute cost (seconds) charged to the
+	// rank's clock per record touched in a pass; 0 disables simulated
+	// compute accounting (disk and network costs are charged by the store
+	// and communicator regardless).
+	CPUPerRecord float64
+	// DisableFusion turns off fused partitioning (child statistics
+	// accumulated during the parent's partition pass); with fusion off,
+	// every large node pays a separate statistics pass, as the fusion
+	// ablation measures.
+	DisableFusion bool
+	// RegroupIdle enables processor regrouping in the small-node phase
+	// (the paper's stated future work): when there are fewer small tasks
+	// than processors, each task is solved by a processor subgroup instead
+	// of a single owner, leaving no rank idle. The tree is unchanged; only
+	// the load balance improves.
+	RegroupIdle bool
+}
+
+// Stats aggregates one rank's view of a parallel build.
+type Stats struct {
+	// Build carries the classifier counters; node counts are global,
+	// record reads are this rank's.
+	Build clouds.BuildStats
+	// LargeNodes and SmallTasks count the two phases globally.
+	LargeNodes int
+	SmallTasks int
+	// RecordsShipped counts records this rank sent during alive-interval
+	// evaluation and small-node redistribution.
+	RecordsShipped int64
+	// Comm and IO are this rank's transport and disk counters.
+	Comm comm.Stats
+	IO   ooc.IOStats
+	// SimTime is this rank's simulated clock after the build.
+	SimTime float64
+	// Phase timings: simulated seconds this rank spent in each phase of
+	// the build (splitting-point derivation including boundary statistics,
+	// the alive-interval exact search inside it, the partition passes, and
+	// the delayed small-node phase). They explain where scaleup time goes.
+	TimeSplitDerive float64
+	TimeAliveEval   float64
+	TimePartition   float64
+	TimeSmallPhase  float64
+}
+
+// nodeTask is one pending tree node, tracked identically on every rank.
+type nodeTask struct {
+	id          string
+	file        string
+	sample      []record.Record
+	depth       int
+	n           int64   // global record count
+	classCounts []int64 // global class counts
+	attach      func(*tree.Node)
+	// localStats, when non-nil, holds this rank's statistics for the node,
+	// accumulated by the parent's fused partition pass — the paper's
+	// "avoids a separate additional pass over the entire data". The split
+	// derivation then skips its statistics scan.
+	localStats *clouds.NodeStats
+}
+
+type pbuilder struct {
+	cfg    Config
+	c      comm.Communicator
+	store  *ooc.Store
+	schema *record.Schema
+	nRoot  int64
+	stats  Stats
+	nextID int
+}
+
+// Build runs pCLOUDS on this rank. The rank's partition of the training
+// data must be staged in store under rootName; sample is the pre-drawn
+// random sample of the full training set and must be identical on every
+// rank. All ranks return the same tree.
+func Build(cfg Config, c comm.Communicator, store *ooc.Store, rootName string, sample []record.Record) (*tree.Tree, *Stats, error) {
+	cfg.Clouds = cfg.Clouds.WithDefaults()
+	schema := store.Schema()
+
+	// Global root class counts (one counting pass + one combine).
+	localCounts := make([]int64, schema.NumClasses)
+	var localN int64
+	if err := scanStore(store, rootName, func(r *record.Record) error {
+		localCounts[r.Class]++
+		localN++
+		return nil
+	}); err != nil {
+		return nil, nil, err
+	}
+	globalCounts, err := comm.AllReduceInt64(c, localCounts, addI64)
+	if err != nil {
+		return nil, nil, err
+	}
+	n := gini.Sum(globalCounts)
+	if n == 0 {
+		return nil, nil, fmt.Errorf("pclouds: empty global training set")
+	}
+
+	b := &pbuilder{cfg: cfg, c: c, store: store, schema: schema, nRoot: n}
+	b.stats.Build.RecordReads += localN
+	b.chargeCPU(localN)
+
+	var root *tree.Node
+	rootTask := &nodeTask{
+		id: "n", file: rootName, sample: sample, depth: 0,
+		n: n, classCounts: globalCounts,
+		attach: func(nd *tree.Node) { root = nd },
+	}
+
+	var small []*nodeTask
+	queue := []*nodeTask{rootTask}
+	for len(queue) > 0 {
+		t := queue[0]
+		queue = queue[1:]
+		children, err := b.processLargeNode(t)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, ch := range children {
+			if cfg.Clouds.IsSmall(ch.n, n) {
+				small = append(small, ch)
+			} else {
+				queue = append(queue, ch)
+			}
+		}
+	}
+
+	tSmall := c.Clock().Time()
+	if cfg.RegroupIdle && len(small) > 0 && len(small) < c.Size() {
+		if err := b.smallNodePhaseRegroup(small); err != nil {
+			return nil, nil, err
+		}
+	} else if err := b.smallNodePhase(small); err != nil {
+		return nil, nil, err
+	}
+	b.stats.TimeSmallPhase = c.Clock().Time() - tSmall
+
+	t := &tree.Tree{Schema: schema, Root: root}
+	b.stats.Build.Nodes = t.NumNodes()
+	b.stats.Build.Leaves = t.NumLeaves()
+	b.stats.Build.MaxDepth = t.Depth()
+	b.stats.Comm = c.Stats()
+	b.stats.IO = store.Stats()
+	b.stats.SimTime = c.Clock().Time()
+	st := b.stats
+	return t, &st, nil
+}
+
+func addI64(a, b int64) int64 { return a + b }
+
+// chargeCPU advances the rank's simulated clock by n record touches.
+func (b *pbuilder) chargeCPU(n int64) {
+	if b.cfg.CPUPerRecord > 0 {
+		b.c.Clock().Advance(float64(n) * b.cfg.CPUPerRecord)
+	}
+}
+
+// scanStore streams every record of a store file through fn.
+func scanStore(store *ooc.Store, name string, fn func(*record.Record) error) error {
+	r, err := store.OpenReader(name)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	var rec record.Record
+	for {
+		ok, err := r.Next(&rec)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		if err := fn(&rec); err != nil {
+			return err
+		}
+	}
+}
+
+// leafNode attaches a leaf for task t (identically on every rank).
+func (b *pbuilder) leafNode(t *nodeTask) {
+	nd := &tree.Node{ClassCounts: gini.Clone(t.classCounts), N: t.n}
+	nd.Class = nd.Majority()
+	t.attach(nd)
+	b.store.Remove(t.file)
+}
+
+// processLargeNode runs the data-parallel pipeline of Section 5 on one
+// large node and returns its child tasks (empty for leaves).
+func (b *pbuilder) processLargeNode(t *nodeTask) ([]*nodeTask, error) {
+	if b.cfg.Clouds.ShouldStop(t.classCounts, t.n, t.depth) {
+		b.leafNode(t)
+		return nil, nil
+	}
+	b.stats.LargeNodes++
+
+	t0 := b.c.Clock().Time()
+	cand, err := b.deriveSplit(t)
+	if err != nil {
+		return nil, err
+	}
+	b.stats.TimeSplitDerive += b.c.Clock().Time() - t0
+	if !cand.Valid {
+		b.leafNode(t)
+		return nil, nil
+	}
+	sp := cand.Splitter()
+
+	// The winning candidate carries the split's global left size and class
+	// counts, so both children's bookkeeping is known before any data
+	// moves — no combine is needed after the partition pass.
+	nl := cand.LeftN
+	nr := t.n - nl
+	leftCounts := gini.Clone(cand.LeftCounts)
+	rightCounts := make([]int64, b.schema.NumClasses)
+	for i := range rightCounts {
+		rightCounts[i] = t.classCounts[i] - leftCounts[i]
+	}
+	if nl <= 0 || nr <= 0 {
+		b.leafNode(t)
+		return nil, nil
+	}
+	leftSample, rightSample := partitionSample(b.schema, t.sample, sp)
+
+	// Fused partitioning (Sections 4.2 and 5.2): while streaming the node
+	// into its two child files, accumulate each large child's local
+	// statistics on the child's own interval structures — the statistics
+	// pass the child would otherwise need is saved.
+	var leftStats, rightStats *clouds.NodeStats
+	fuse := !b.cfg.DisableFusion
+	if fuse && !b.cfg.Clouds.IsSmall(nl, b.nRoot) && !b.cfg.Clouds.ShouldStop(leftCounts, nl, t.depth+1) {
+		q := b.cfg.Clouds.QForNode(nl, b.nRoot)
+		leftStats = clouds.NewNodeStats(b.schema, clouds.BuildIntervals(b.schema, leftSample, q))
+	}
+	if fuse && !b.cfg.Clouds.IsSmall(nr, b.nRoot) && !b.cfg.Clouds.ShouldStop(rightCounts, nr, t.depth+1) {
+		q := b.cfg.Clouds.QForNode(nr, b.nRoot)
+		rightStats = clouds.NewNodeStats(b.schema, clouds.BuildIntervals(b.schema, rightSample, q))
+	}
+
+	tPart := b.c.Clock().Time()
+	defer func() { b.stats.TimePartition += b.c.Clock().Time() - tPart }()
+	b.nextID++
+	leftFile := fmt.Sprintf("%s-%dL", t.file, b.nextID)
+	rightFile := fmt.Sprintf("%s-%dR", t.file, b.nextID)
+	lw, err := b.store.CreateWriter(leftFile)
+	if err != nil {
+		return nil, err
+	}
+	rw, err := b.store.CreateWriter(rightFile)
+	if err != nil {
+		lw.Close()
+		return nil, err
+	}
+	var localN int64
+	err = scanStore(b.store, t.file, func(r *record.Record) error {
+		localN++
+		if sp.GoesLeft(b.schema, *r) {
+			if leftStats != nil {
+				leftStats.Add(*r)
+			}
+			return lw.Write(*r)
+		}
+		if rightStats != nil {
+			rightStats.Add(*r)
+		}
+		return rw.Write(*r)
+	})
+	b.stats.Build.RecordReads += localN
+	b.chargeCPU(localN)
+	if leftStats != nil || rightStats != nil {
+		// The fused statistics work is real compute even though the I/O
+		// pass is shared.
+		b.chargeCPU(localN)
+	}
+	if err2 := lw.Close(); err == nil {
+		err = err2
+	}
+	if err2 := rw.Close(); err == nil {
+		err = err2
+	}
+	if err != nil {
+		return nil, err
+	}
+	b.store.Remove(t.file)
+
+	nd := &tree.Node{Splitter: sp, ClassCounts: gini.Clone(t.classCounts), N: t.n}
+	nd.Class = nd.Majority()
+	t.attach(nd)
+
+	left := &nodeTask{
+		id: t.id + "L", file: leftFile, sample: leftSample, depth: t.depth + 1,
+		n: nl, classCounts: leftCounts, localStats: leftStats,
+		attach: func(x *tree.Node) { nd.Left = x },
+	}
+	right := &nodeTask{
+		id: t.id + "R", file: rightFile, sample: rightSample, depth: t.depth + 1,
+		n: nr, classCounts: rightCounts, localStats: rightStats,
+		attach: func(x *tree.Node) { nd.Right = x },
+	}
+	return []*nodeTask{left, right}, nil
+}
+
+func partitionSample(schema *record.Schema, recs []record.Record, sp *tree.Splitter) (left, right []record.Record) {
+	for _, r := range recs {
+		if sp.GoesLeft(schema, r) {
+			left = append(left, r)
+		} else {
+			right = append(right, r)
+		}
+	}
+	return left, right
+}

@@ -1,0 +1,171 @@
+package pclouds
+
+import (
+	"testing"
+
+	"pclouds/internal/clouds"
+	"pclouds/internal/comm"
+	"pclouds/internal/costmodel"
+	"pclouds/internal/record"
+	"pclouds/internal/tree"
+)
+
+// buildParallelWithCost is buildParallel with the default cost model and
+// live CPU charging, for simulated-time comparisons.
+func buildParallelWithCost(t *testing.T, cfg Config, data *record.Dataset, sample []record.Record, p int) (*tree.Tree, []*Stats) {
+	t.Helper()
+	params := costmodel.Default()
+	cfg.CPUPerRecord = params.CPURecord * float64(1+len(data.Schema.Attrs))
+	comms := comm.NewGroup(p, params)
+	stores := distribute(t, data, p, params, comms)
+	for r := 0; r < p; r++ {
+		comms[r].Clock().Reset()
+	}
+	trees := make([]*tree.Tree, p)
+	stats := make([]*Stats, p)
+	errs := make([]error, p)
+	done := make(chan int, p)
+	for r := 0; r < p; r++ {
+		go func(r int) {
+			trees[r], stats[r], errs[r] = Build(cfg, comms[r], stores[r], "root", sample)
+			done <- r
+		}(r)
+	}
+	for i := 0; i < p; i++ {
+		<-done
+	}
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	for r := 1; r < p; r++ {
+		if !tree.Equal(trees[0], trees[r]) {
+			t.Fatalf("rank %d built a different tree than rank 0", r)
+		}
+	}
+	return trees[0], stats
+}
+
+// TestRegroupProducesIdenticalTree: processor regrouping must not change
+// the tree — only the load balance.
+func TestRegroupProducesIdenticalTree(t *testing.T) {
+	data := makeData(t, 3000, 2, 42)
+	cfg := testConfig(clouds.SSE)
+	sample := cfg.Clouds.SampleFor(data)
+	seq, _, err := clouds.BuildInCore(cfg.Clouds, data, sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{2, 4, 8, 16} {
+		rcfg := cfg
+		rcfg.RegroupIdle = true
+		par, stats := buildParallel(t, rcfg, data, sample, p)
+		if !tree.Equal(seq, par) {
+			t.Fatalf("p=%d: regrouped tree differs from sequential", p)
+		}
+		if stats[0].SmallTasks == 0 {
+			t.Fatalf("p=%d: no small tasks; regrouping not exercised", p)
+		}
+	}
+}
+
+// TestRegroupFallsBackWhenTasksOutnumberRanks: with more small tasks than
+// ranks the single-owner phase runs; results must still match.
+func TestRegroupFallsBackWhenTasksOutnumberRanks(t *testing.T) {
+	data := makeData(t, 4000, 2, 42)
+	cfg := testConfig(clouds.SSE)
+	sample := cfg.Clouds.SampleFor(data)
+	base, baseStats := buildParallel(t, cfg, data, sample, 2)
+	rcfg := cfg
+	rcfg.RegroupIdle = true
+	re, reStats := buildParallel(t, rcfg, data, sample, 2)
+	if !tree.Equal(base, re) {
+		t.Fatal("regroup flag changed the tree")
+	}
+	// With p=2 and many small tasks the regroup path should not engage, so
+	// the task counts agree.
+	if baseStats[0].SmallTasks != reStats[0].SmallTasks {
+		t.Fatal("small task accounting differs")
+	}
+}
+
+func TestAssignGroupsProperties(t *testing.T) {
+	mk := func(sizes ...int64) []*nodeTask {
+		out := make([]*nodeTask, len(sizes))
+		for i, n := range sizes {
+			out[i] = &nodeTask{id: string(rune('a' + i)), n: n}
+		}
+		return out
+	}
+	for _, tc := range []struct {
+		tasks []*nodeTask
+		p     int
+	}{
+		{mk(100), 4},
+		{mk(100, 50), 8},
+		{mk(10, 10, 10), 3},
+		{mk(1000, 10, 10), 16},
+	} {
+		groups := assignGroups(tc.tasks, tc.p)
+		if len(groups) != len(tc.tasks) {
+			t.Fatalf("group count %d", len(groups))
+		}
+		covered := 0
+		lo := 0
+		for i, g := range groups {
+			if g.lo != lo {
+				t.Fatalf("group %d not contiguous: lo=%d want %d", i, g.lo, lo)
+			}
+			if g.hi <= g.lo {
+				t.Fatalf("group %d empty", i)
+			}
+			covered += g.hi - g.lo
+			lo = g.hi
+		}
+		if covered != tc.p {
+			t.Fatalf("groups cover %d of %d ranks (no rank may idle)", covered, tc.p)
+		}
+		// The largest task gets the largest group.
+		big, bigIdx := int64(-1), 0
+		for i, task := range tc.tasks {
+			if task.n > big {
+				big, bigIdx = task.n, i
+			}
+		}
+		for i, g := range groups {
+			if (g.hi-g.lo) > (groups[bigIdx].hi-groups[bigIdx].lo) && tc.tasks[i].n < big {
+				t.Fatalf("smaller task %d got a bigger group than the largest task", i)
+			}
+		}
+	}
+}
+
+// TestRegroupImprovesSmallPhaseBalance: with the cost model on and few
+// small tasks, regrouping must not be slower than single-owner in
+// simulated time (the whole point of the extension).
+func TestRegroupImprovesSmallPhaseBalance(t *testing.T) {
+	data := makeData(t, 6000, 2, 13)
+	cfg := testConfig(clouds.SSE)
+	// Force few, large small-tasks: raise the switch threshold.
+	cfg.Clouds.SmallNodeQ = 24
+	sample := cfg.Clouds.SampleFor(data)
+
+	simTime := func(regroup bool) float64 {
+		c := cfg
+		c.RegroupIdle = regroup
+		_, stats := buildParallelWithCost(t, c, data, sample, 8)
+		max := 0.0
+		for _, s := range stats {
+			if s.SimTime > max {
+				max = s.SimTime
+			}
+		}
+		return max
+	}
+	single := simTime(false)
+	regrouped := simTime(true)
+	if regrouped > single*1.05 {
+		t.Fatalf("regrouping slower: %.4fs vs %.4fs", regrouped, single)
+	}
+}

@@ -1,0 +1,192 @@
+package pclouds
+
+import (
+	"testing"
+
+	"pclouds/internal/clouds"
+	"pclouds/internal/comm"
+	"pclouds/internal/costmodel"
+	"pclouds/internal/datagen"
+	"pclouds/internal/ooc"
+	"pclouds/internal/record"
+	"pclouds/internal/tree"
+)
+
+// buildParallelSkewed runs pCLOUDS with an arbitrary per-rank distribution.
+func buildParallelSkewed(t *testing.T, cfg Config, schema *record.Schema, perRank [][]record.Record, sample []record.Record) *tree.Tree {
+	t.Helper()
+	p := len(perRank)
+	comms := comm.NewGroup(p, costmodel.Zero())
+	trees := make([]*tree.Tree, p)
+	errs := make([]error, p)
+	done := make(chan struct{}, p)
+	for r := 0; r < p; r++ {
+		go func(r int) {
+			defer func() { done <- struct{}{} }()
+			store := ooc.NewMemStore(schema, costmodel.Zero(), comms[r].Clock())
+			if err := store.WriteAll("root", perRank[r]); err != nil {
+				errs[r] = err
+				return
+			}
+			trees[r], _, errs[r] = Build(cfg, comms[r], store, "root", sample)
+		}(r)
+	}
+	for i := 0; i < p; i++ {
+		<-done
+	}
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	for r := 1; r < p; r++ {
+		if !tree.Equal(trees[0], trees[r]) {
+			t.Fatalf("rank %d disagrees", r)
+		}
+	}
+	return trees[0]
+}
+
+// TestExtremeSkew: every record on rank 0, nothing anywhere else. The
+// algorithm must still terminate and produce the sequential tree (the
+// paper's Theorem 1 assumes a random distribution for *performance*;
+// correctness must not depend on it).
+func TestExtremeSkew(t *testing.T) {
+	data := makeData(t, 2000, 2, 31)
+	cfg := testConfig(clouds.SSE)
+	sample := cfg.Clouds.SampleFor(data)
+	seq, _, err := clouds.BuildInCore(cfg.Clouds, data, sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perRank := make([][]record.Record, 4)
+	perRank[0] = data.Records
+	got := buildParallelSkewed(t, cfg, data.Schema, perRank, sample)
+	if !tree.Equal(seq, got) {
+		t.Fatal("extreme skew changed the tree")
+	}
+}
+
+// TestSortedSkew: records sorted by the decisive attribute and split in
+// contiguous chunks across ranks — every rank's local distribution is
+// biased, the worst case for local statistics.
+func TestSortedSkew(t *testing.T) {
+	data := makeData(t, 2000, 2, 31)
+	cfg := testConfig(clouds.SSE)
+	sample := cfg.Clouds.SampleFor(data)
+	seq, _, err := clouds.BuildInCore(cfg.Clouds, data, sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted := data.Clone()
+	// Sort by salary (attribute 0).
+	recs := sorted.Records
+	for i := 1; i < len(recs); i++ {
+		for j := i; j > 0 && recs[j].Num[0] < recs[j-1].Num[0]; j-- {
+			recs[j], recs[j-1] = recs[j-1], recs[j]
+		}
+	}
+	const p = 4
+	perRank := make([][]record.Record, p)
+	for r := 0; r < p; r++ {
+		lo, hi := r*len(recs)/p, (r+1)*len(recs)/p
+		perRank[r] = recs[lo:hi]
+	}
+	got := buildParallelSkewed(t, cfg, data.Schema, perRank, sample)
+	if !tree.Equal(seq, got) {
+		t.Fatal("sorted contiguous distribution changed the tree")
+	}
+}
+
+// TestSingleRecordPerRank: degenerate tiny data on many ranks.
+func TestSingleRecordPerRank(t *testing.T) {
+	data := makeData(t, 8, 2, 5)
+	cfg := testConfig(clouds.SSE)
+	cfg.Clouds.SampleSize = 8
+	sample := cfg.Clouds.SampleFor(data)
+	seq, _, err := clouds.BuildInCore(cfg.Clouds, data, sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perRank := make([][]record.Record, 8)
+	for i, r := range data.Records {
+		perRank[i] = []record.Record{r}
+	}
+	got := buildParallelSkewed(t, cfg, data.Schema, perRank, sample)
+	if !tree.Equal(seq, got) {
+		t.Fatal("one-record-per-rank changed the tree")
+	}
+}
+
+// TestModerateScaleIntegration runs a 120k-record build on 16 ranks — a
+// paper-shaped configuration (scale 1/50 of the 6.0M-tuple point) — and
+// checks speedup and determinism in one go.
+func TestModerateScaleIntegration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("moderate-scale integration skipped in -short mode")
+	}
+	g, err := datagen.New(datagen.Config{Function: 2, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := g.Generate(120000)
+	cfg := Config{
+		Clouds: clouds.Config{
+			Method: clouds.SSE, QRoot: 200, QMin: 16, SmallNodeQ: 10,
+			SampleSize: 2000, MinNodeSize: 2, MaxDepth: 16, Seed: 1,
+		},
+	}
+	params := costmodel.Default()
+	cfg.CPUPerRecord = params.CPURecord * float64(1+len(data.Schema.Attrs))
+	sample := cfg.Clouds.SampleFor(data)
+
+	run := func(p int) (float64, *tree.Tree) {
+		comms := comm.NewGroup(p, params)
+		trees := make([]*tree.Tree, p)
+		errs := make([]error, p)
+		done := make(chan struct{}, p)
+		for r := 0; r < p; r++ {
+			go func(r int) {
+				defer func() { done <- struct{}{} }()
+				store := ooc.NewMemStore(data.Schema, params, comms[r].Clock())
+				w, err := store.CreateWriter("root")
+				if err != nil {
+					errs[r] = err
+					return
+				}
+				for i := r; i < data.Len(); i += p {
+					if err := w.Write(data.Records[i]); err != nil {
+						errs[r] = err
+						return
+					}
+				}
+				if err := w.Close(); err != nil {
+					errs[r] = err
+					return
+				}
+				comms[r].Clock().Reset()
+				trees[r], _, errs[r] = Build(cfg, comms[r], store, "root", sample)
+			}(r)
+		}
+		for i := 0; i < p; i++ {
+			<-done
+		}
+		for r, err := range errs {
+			if err != nil {
+				t.Fatalf("p=%d rank %d: %v", p, r, err)
+			}
+		}
+		return comm.MaxClock(comms), trees[0]
+	}
+	t1, tree1 := run(1)
+	t16, tree16 := run(16)
+	if !tree.Equal(tree1, tree16) {
+		t.Fatal("p=16 tree differs from sequential at moderate scale")
+	}
+	speedup := t1 / t16
+	if speedup < 4 {
+		t.Fatalf("p=16 simulated speedup %.2f implausibly low at 120k records", speedup)
+	}
+	t.Logf("moderate scale: T(1)=%.3fs T(16)=%.3fs speedup %.2f, tree %d nodes",
+		t1, t16, speedup, tree1.NumNodes())
+}

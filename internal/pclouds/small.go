@@ -1,0 +1,230 @@
+package pclouds
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"pclouds/internal/clouds"
+	"pclouds/internal/comm"
+	"pclouds/internal/record"
+	"pclouds/internal/tree"
+)
+
+// smallNodePhase is the delayed task-parallel phase: every deferred small
+// node is assigned to exactly one processor (cost-based,
+// longest-processing-time first), the nodes' data is redistributed in one
+// batched all-to-all (compute-dependent parallel I/O), each owner builds
+// its subtrees in-memory with the direct method, and the finished subtrees
+// are exchanged so every rank attaches identical results.
+func (b *pbuilder) smallNodePhase(small []*nodeTask) error {
+	if len(small) == 0 {
+		return nil
+	}
+	// The small list is produced in identical BFS order on every rank; sort
+	// by id anyway as a belt-and-braces determinism guarantee.
+	sort.Slice(small, func(i, j int) bool { return small[i].id < small[j].id })
+	b.stats.SmallTasks = len(small)
+
+	p := b.c.Size()
+	rank := b.c.Rank()
+	owner := assignTasks(small, p)
+
+	// Ship every record of every small node to its owner, batched into one
+	// exchange. Frame per task: [u32 taskIdx][u32 n][n records].
+	perDest := make([][][]record.Record, p)
+	for d := range perDest {
+		perDest[d] = make([][]record.Record, len(small))
+	}
+	for i, t := range small {
+		d := owner[i]
+		var localN int64
+		if err := scanStore(b.store, t.file, func(r *record.Record) error {
+			localN++
+			perDest[d][i] = append(perDest[d][i], r.Clone())
+			return nil
+		}); err != nil {
+			return err
+		}
+		b.stats.Build.RecordReads += localN
+		b.chargeCPU(localN)
+		if d != rank {
+			b.stats.RecordsShipped += localN
+		}
+		b.store.Remove(t.file)
+	}
+	parts := make([][]byte, p)
+	for d := 0; d < p; d++ {
+		parts[d] = encodeTaskRecords(perDest[d])
+	}
+	recv, err := comm.AllToAll(b.c, parts)
+	if err != nil {
+		return err
+	}
+
+	// Owners assemble their tasks' records.
+	taskRecs := make([][]record.Record, len(small))
+	for _, raw := range recv {
+		if err := decodeTaskRecords(b.schema, raw, taskRecs); err != nil {
+			return err
+		}
+	}
+
+	// Build owned subtrees locally; no further communication until the
+	// exchange of results.
+	results := make([][]byte, len(small))
+	for i, t := range small {
+		if owner[i] != rank {
+			continue
+		}
+		nd, st := clouds.BuildSubtree(b.cfg.Clouds, b.schema, taskRecs[i], t.sample, t.depth, b.nRoot)
+		b.stats.Build.RecordReads += st.RecordReads
+		b.chargeCPU(st.RecordReads)
+		b.stats.Build.AlivePoints += st.AlivePoints
+		b.stats.Build.BoundaryEvaluated += st.BoundaryEvaluated
+		b.stats.Build.AliveIntervals += st.AliveIntervals
+		b.stats.Build.SmallNodes += st.SmallNodes
+		b.stats.Build.LargeNodes += st.LargeNodes
+		results[i] = tree.Encode(&tree.Tree{Schema: b.schema, Root: nd})
+	}
+
+	// Exchange the encoded subtrees so every rank attaches the same tree.
+	gathered, err := comm.AllGather(b.c, encodeSubtrees(results))
+	if err != nil {
+		return err
+	}
+	attached := 0
+	for _, raw := range gathered {
+		pairs, err := decodeSubtrees(raw)
+		if err != nil {
+			return err
+		}
+		for _, pr := range pairs {
+			if pr.idx < 0 || pr.idx >= len(small) {
+				return fmt.Errorf("pclouds: subtree index %d out of range", pr.idx)
+			}
+			t, err := tree.Decode(b.schema, pr.blob)
+			if err != nil {
+				return err
+			}
+			small[pr.idx].attach(t.Root)
+			attached++
+		}
+	}
+	if attached != len(small) {
+		return fmt.Errorf("pclouds: attached %d subtrees, expected %d", attached, len(small))
+	}
+	return nil
+}
+
+// assignTasks maps small nodes to owners, longest-processing-time first by
+// global node size; deterministic on every rank.
+func assignTasks(tasks []*nodeTask, p int) []int {
+	idx := make([]int, len(tasks))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		if tasks[idx[a]].n != tasks[idx[b]].n {
+			return tasks[idx[a]].n > tasks[idx[b]].n
+		}
+		return tasks[idx[a]].id < tasks[idx[b]].id
+	})
+	load := make([]int64, p)
+	owner := make([]int, len(tasks))
+	for _, i := range idx {
+		best := 0
+		for r := 1; r < p; r++ {
+			if load[r] < load[best] {
+				best = r
+			}
+		}
+		owner[i] = best
+		load[best] += tasks[i].n
+	}
+	return owner
+}
+
+func encodeTaskRecords(buckets [][]record.Record) []byte {
+	var out []byte
+	var b4 [4]byte
+	for i, recs := range buckets {
+		if len(recs) == 0 {
+			continue
+		}
+		binary.LittleEndian.PutUint32(b4[:], uint32(i))
+		out = append(out, b4[:]...)
+		binary.LittleEndian.PutUint32(b4[:], uint32(len(recs)))
+		out = append(out, b4[:]...)
+		for _, r := range recs {
+			out = r.Encode(out)
+		}
+	}
+	return out
+}
+
+func decodeTaskRecords(schema *record.Schema, src []byte, into [][]record.Record) error {
+	rb := schema.RecordBytes()
+	for len(src) > 0 {
+		if len(src) < 8 {
+			return fmt.Errorf("pclouds: truncated task record frame")
+		}
+		idx := int(binary.LittleEndian.Uint32(src))
+		n := int(binary.LittleEndian.Uint32(src[4:]))
+		src = src[8:]
+		if idx < 0 || idx >= len(into) {
+			return fmt.Errorf("pclouds: task record index %d out of range", idx)
+		}
+		if len(src) < n*rb {
+			return fmt.Errorf("pclouds: truncated task record body")
+		}
+		for k := 0; k < n; k++ {
+			var rec record.Record
+			if _, err := rec.Decode(schema, src[:rb]); err != nil {
+				return err
+			}
+			into[idx] = append(into[idx], rec)
+			src = src[rb:]
+		}
+	}
+	return nil
+}
+
+type subtreePair struct {
+	idx  int
+	blob []byte
+}
+
+func encodeSubtrees(results [][]byte) []byte {
+	var out []byte
+	var b8 [8]byte
+	for i, blob := range results {
+		if blob == nil {
+			continue
+		}
+		binary.LittleEndian.PutUint32(b8[:4], uint32(i))
+		out = append(out, b8[:4]...)
+		binary.LittleEndian.PutUint64(b8[:], uint64(len(blob)))
+		out = append(out, b8[:]...)
+		out = append(out, blob...)
+	}
+	return out
+}
+
+func decodeSubtrees(src []byte) ([]subtreePair, error) {
+	var out []subtreePair
+	for len(src) > 0 {
+		if len(src) < 12 {
+			return nil, fmt.Errorf("pclouds: truncated subtree frame")
+		}
+		idx := int(binary.LittleEndian.Uint32(src))
+		n := int(binary.LittleEndian.Uint64(src[4:]))
+		src = src[12:]
+		if n < 0 || n > len(src) {
+			return nil, fmt.Errorf("pclouds: corrupt subtree length %d", n)
+		}
+		out = append(out, subtreePair{idx: idx, blob: src[:n]})
+		src = src[n:]
+	}
+	return out, nil
+}

@@ -1,0 +1,93 @@
+package pclouds
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"pclouds/internal/clouds"
+	"pclouds/internal/comm/tcp"
+	"pclouds/internal/costmodel"
+	"pclouds/internal/ooc"
+	"pclouds/internal/tree"
+)
+
+// TestBuildOverTCPMatchesSequential runs the whole pCLOUDS pipeline over
+// real TCP sockets (the distributed transport) and asserts the result is
+// the sequential CLOUDS tree — transport independence of the determinism
+// property.
+func TestBuildOverTCPMatchesSequential(t *testing.T) {
+	const p = 3
+	data := makeData(t, 2500, 2, 21)
+	cfg := testConfig(clouds.SSE)
+	sample := cfg.Clouds.SampleFor(data)
+
+	seq, _, err := clouds.BuildInCore(cfg.Clouds, data, sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reserve loopback ports.
+	addrs := make([]string, p)
+	lns := make([]net.Listener, p)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+
+	trees := make([]*tree.Tree, p)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			c, err := tcpcomm.Dial(tcpcomm.Config{
+				Rank: r, Addrs: addrs,
+				Params:      costmodel.Zero(),
+				DialTimeout: 15 * time.Second,
+			})
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			defer c.Close()
+			store := ooc.NewMemStore(data.Schema, costmodel.Zero(), c.Clock())
+			w, err := store.CreateWriter("root")
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			for i := r; i < data.Len(); i += p {
+				if err := w.Write(data.Records[i]); err != nil {
+					errs[r] = err
+					return
+				}
+			}
+			if err := w.Close(); err != nil {
+				errs[r] = err
+				return
+			}
+			trees[r], _, errs[r] = Build(cfg, c, store, "root", sample)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	for r := 0; r < p; r++ {
+		if !tree.Equal(seq, trees[r]) {
+			t.Fatalf("rank %d's TCP-built tree differs from sequential", r)
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package record
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Inferred is the result of loading a CSV with schema inference: the
+// dataset, its derived schema, and the string dictionaries used to encode
+// categorical values and class labels.
+type Inferred struct {
+	Data *Dataset
+	// CatValues[attrPos] maps the categorical codes back to the source
+	// strings, for attribute positions that were inferred categorical.
+	CatValues map[int][]string
+	// Classes maps class codes back to the source labels.
+	Classes []string
+}
+
+// ClassOf returns the source label of a class code.
+func (inf *Inferred) ClassOf(code int32) string {
+	if int(code) < len(inf.Classes) {
+		return inf.Classes[code]
+	}
+	return fmt.Sprintf("class-%d", code)
+}
+
+// ReadCSVInferred loads a comma-separated file with a header row and infers
+// its schema: a column whose every value parses as a float becomes a
+// numeric attribute; any other column becomes a categorical attribute with
+// a dictionary built from its distinct values (assigned codes in first-seen
+// order). The last column is always the class label (categorical).
+//
+// This is the ingestion path for real-world data; the paper's synthetic
+// pipeline writes integer-coded CSV that round-trips through ReadCSV
+// directly.
+func ReadCSVInferred(r io.Reader) (*Inferred, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("record: empty CSV input")
+	}
+	header := splitCSVLine(sc.Text())
+	if len(header) < 2 {
+		return nil, fmt.Errorf("record: need at least one attribute column plus the class")
+	}
+	nAttrs := len(header) - 1
+
+	var rows [][]string
+	line := 1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		fields := splitCSVLine(text)
+		if len(fields) != len(header) {
+			return nil, fmt.Errorf("record: line %d: got %d fields, want %d", line, len(fields), len(header))
+		}
+		rows = append(rows, fields)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("record: CSV has a header but no rows")
+	}
+
+	// Infer column kinds.
+	numeric := make([]bool, nAttrs)
+	for j := 0; j < nAttrs; j++ {
+		numeric[j] = true
+		for _, row := range rows {
+			if _, err := strconv.ParseFloat(strings.TrimSpace(row[j]), 64); err != nil {
+				numeric[j] = false
+				break
+			}
+		}
+	}
+
+	// Build dictionaries for categorical columns and the class.
+	dicts := make([]map[string]int32, nAttrs)
+	dictOrder := make([][]string, nAttrs)
+	for j := 0; j < nAttrs; j++ {
+		if !numeric[j] {
+			dicts[j] = make(map[string]int32)
+		}
+	}
+	classDict := make(map[string]int32)
+	var classOrder []string
+	for _, row := range rows {
+		for j := 0; j < nAttrs; j++ {
+			if numeric[j] {
+				continue
+			}
+			v := strings.TrimSpace(row[j])
+			if _, ok := dicts[j][v]; !ok {
+				dicts[j][v] = int32(len(dictOrder[j]))
+				dictOrder[j] = append(dictOrder[j], v)
+			}
+		}
+		cls := strings.TrimSpace(row[nAttrs])
+		if _, ok := classDict[cls]; !ok {
+			classDict[cls] = int32(len(classOrder))
+			classOrder = append(classOrder, cls)
+		}
+	}
+	if len(classOrder) < 2 {
+		return nil, fmt.Errorf("record: class column %q has %d distinct values; need at least 2", header[nAttrs], len(classOrder))
+	}
+
+	// Assemble the schema.
+	attrs := make([]Attribute, 0, nAttrs)
+	for j := 0; j < nAttrs; j++ {
+		name := strings.TrimSpace(header[j])
+		if name == "" {
+			name = fmt.Sprintf("col%d", j)
+		}
+		if numeric[j] {
+			attrs = append(attrs, Attribute{Name: name, Kind: Numeric})
+		} else {
+			card := len(dictOrder[j])
+			if card < 2 {
+				// A constant string column still needs cardinality 2 to be
+				// a valid schema; it simply never splits.
+				card = 2
+			}
+			attrs = append(attrs, Attribute{Name: name, Kind: Categorical, Cardinality: card})
+		}
+	}
+	schema, err := NewSchema(attrs, len(classOrder))
+	if err != nil {
+		return nil, err
+	}
+
+	// Encode the rows.
+	data := NewDataset(schema)
+	for i, row := range rows {
+		rec := Record{
+			Num: make([]float64, 0, schema.NumNumeric()),
+			Cat: make([]int32, 0, schema.NumCategorical()),
+		}
+		for j := 0; j < nAttrs; j++ {
+			v := strings.TrimSpace(row[j])
+			if numeric[j] {
+				f, err := strconv.ParseFloat(v, 64)
+				if err != nil {
+					return nil, fmt.Errorf("record: row %d col %d: %w", i+1, j, err)
+				}
+				rec.Num = append(rec.Num, f)
+			} else {
+				rec.Cat = append(rec.Cat, dicts[j][v])
+			}
+		}
+		rec.Class = classDict[strings.TrimSpace(row[nAttrs])]
+		data.Append(rec)
+	}
+
+	inf := &Inferred{Data: data, CatValues: map[int][]string{}, Classes: classOrder}
+	for j := 0; j < nAttrs; j++ {
+		if !numeric[j] {
+			inf.CatValues[j] = dictOrder[j]
+		}
+	}
+	return inf, nil
+}
+
+// splitCSVLine splits on commas and trims surrounding double quotes from
+// each field (simple CSV; embedded commas inside quotes are not supported,
+// matching WriteCSV's output format).
+func splitCSVLine(line string) []string {
+	fields := strings.Split(line, ",")
+	for i, f := range fields {
+		f = strings.TrimSpace(f)
+		if len(f) >= 2 && f[0] == '"' && f[len(f)-1] == '"' {
+			f = f[1 : len(f)-1]
+		}
+		fields[i] = f
+	}
+	return fields
+}
+
+// SummarizeInferred renders a short description of an inferred schema with
+// its dictionaries, for CLI diagnostics.
+func (inf *Inferred) Summarize() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d records, %s\n", inf.Data.Len(), inf.Data.Schema)
+	var poss []int
+	for pos := range inf.CatValues {
+		poss = append(poss, pos)
+	}
+	sort.Ints(poss)
+	for _, pos := range poss {
+		vals := inf.CatValues[pos]
+		show := vals
+		if len(show) > 6 {
+			show = show[:6]
+		}
+		fmt.Fprintf(&b, "  %s: %d values (%s...)\n", inf.Data.Schema.Attrs[pos].Name, len(vals), strings.Join(show, ", "))
+	}
+	fmt.Fprintf(&b, "  classes: %s\n", strings.Join(inf.Classes, ", "))
+	return b.String()
+}

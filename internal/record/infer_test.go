@@ -1,0 +1,119 @@
+package record
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleCSV = `age,income,city,label
+25,50000.5,nyc,yes
+40,82000,sf,no
+31,45000,nyc,yes
+55,120000,chicago,no
+22,39000,sf,yes
+`
+
+func TestReadCSVInferredBasics(t *testing.T) {
+	inf, err := ReadCSVInferred(strings.NewReader(sampleCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := inf.Data.Schema
+	if s.NumNumeric() != 2 || s.NumCategorical() != 1 {
+		t.Fatalf("inferred %d numeric, %d categorical", s.NumNumeric(), s.NumCategorical())
+	}
+	if s.Attrs[0].Name != "age" || s.Attrs[0].Kind != Numeric {
+		t.Fatalf("attr 0: %+v", s.Attrs[0])
+	}
+	if s.Attrs[2].Name != "city" || s.Attrs[2].Kind != Categorical || s.Attrs[2].Cardinality != 3 {
+		t.Fatalf("attr 2: %+v", s.Attrs[2])
+	}
+	if s.NumClasses != 2 {
+		t.Fatalf("classes %d", s.NumClasses)
+	}
+	if inf.Data.Len() != 5 {
+		t.Fatalf("records %d", inf.Data.Len())
+	}
+	// First-seen dictionary order.
+	if inf.Classes[0] != "yes" || inf.Classes[1] != "no" {
+		t.Fatalf("class order %v", inf.Classes)
+	}
+	if vals := inf.CatValues[2]; vals[0] != "nyc" || vals[1] != "sf" || vals[2] != "chicago" {
+		t.Fatalf("city dict %v", vals)
+	}
+	// Spot-check one record.
+	r := inf.Data.Records[3]
+	if r.Num[0] != 55 || r.Num[1] != 120000 || r.Cat[0] != 2 || r.Class != 1 {
+		t.Fatalf("record 3: %+v", r)
+	}
+	if inf.ClassOf(1) != "no" {
+		t.Fatal("ClassOf wrong")
+	}
+	if !strings.Contains(inf.Summarize(), "classes: yes, no") {
+		t.Fatalf("summary:\n%s", inf.Summarize())
+	}
+	for i, r := range inf.Data.Records {
+		if err := r.Validate(s); err != nil {
+			t.Fatalf("record %d invalid: %v", i, err)
+		}
+	}
+}
+
+func TestReadCSVInferredQuotedFields(t *testing.T) {
+	in := "a,b,label\n\"1.5\",\"x\",\"p\"\n2.5,y,q\n"
+	inf, err := ReadCSVInferred(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inf.Data.Schema.Attrs[0].Kind != Numeric || inf.Data.Schema.Attrs[1].Kind != Categorical {
+		t.Fatal("quoted fields broke inference")
+	}
+	if inf.Data.Records[0].Num[0] != 1.5 {
+		t.Fatal("quoted numeric not parsed")
+	}
+}
+
+func TestReadCSVInferredErrors(t *testing.T) {
+	cases := []string{
+		"",                          // empty
+		"onlyheader\n",              // one column
+		"a,label\n",                 // no rows
+		"a,label\n1\n",              // ragged row
+		"a,label\n1,same\n2,same\n", // single class
+	}
+	for i, in := range cases {
+		if _, err := ReadCSVInferred(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestReadCSVInferredConstantColumn(t *testing.T) {
+	in := "a,const,label\n1,x,p\n2,x,q\n3,x,p\n"
+	inf, err := ReadCSVInferred(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Constant string column: cardinality padded to 2, never splits, but
+	// records stay valid.
+	if inf.Data.Schema.Attrs[1].Cardinality != 2 {
+		t.Fatalf("constant column cardinality %d", inf.Data.Schema.Attrs[1].Cardinality)
+	}
+	for _, r := range inf.Data.Records {
+		if err := r.Validate(inf.Data.Schema); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestReadCSVInferredAllNumericMixedInt(t *testing.T) {
+	// Integer-looking columns are numeric (floats parse them).
+	in := "x,y,label\n1,2,a\n3,4,b\n"
+	inf, err := ReadCSVInferred(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inf.Data.Schema.NumNumeric() != 2 {
+		t.Fatal("integer columns should infer numeric")
+	}
+}

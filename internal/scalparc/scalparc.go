@@ -1,0 +1,538 @@
+// Package scalparc implements a parallel exact decision tree classifier in
+// the style of ScalParC (Joshi, Karypis, Kumar — IPPS 1998), the "more
+// scalable parallel implementation of SPRINT" the paper cites in Section 4.
+// It is the parallel exact baseline pCLOUDS is positioned against.
+//
+// Layout: every numeric attribute list (value, class, rid) is globally
+// sorted once at the root with a parallel sample sort and stays
+// block-distributed in rank order; categorical lists keep the initial
+// distribution. At each node:
+//
+//   - numeric split evaluation scans each rank's sorted block, using one
+//     prefix-sum collective to obtain the class counts below the block and
+//     an all-gather of block boundary values to avoid evaluating a value
+//     that continues into the next rank's block;
+//   - categorical evaluation all-reduces the count matrices;
+//   - the winner is chosen with the repository's deterministic candidate
+//     combine, so the tree is identical to sequential SPRINT's;
+//   - partitioning uses ScalParC's *distributed* rid hash: the winning
+//     attribute's scan sends (rid, side) to the rid's owner (rid mod p),
+//     and every list then queries the owners for its entries' sides — two
+//     all-to-all rounds per node, O(n/p) hash memory per rank instead of
+//     SPRINT's O(n) replicated hash.
+package scalparc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"pclouds/internal/clouds"
+	"pclouds/internal/comm"
+	"pclouds/internal/gini"
+	"pclouds/internal/record"
+	"pclouds/internal/tree"
+)
+
+// Config mirrors the SPRINT/CLOUDS stopping rules.
+type Config struct {
+	MinNodeSize int64
+	MaxDepth    int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MinNodeSize <= 0 {
+		c.MinNodeSize = 2
+	}
+	return c
+}
+
+// Stats reports one rank's costs.
+type Stats struct {
+	Nodes, Leaves int
+	// EntriesScanned counts local attribute-list entries touched.
+	EntriesScanned int64
+	// ListScans counts sequential scans of a local list (seek proxy for
+	// the disk-based operation SPRINT/ScalParC describe).
+	ListScans int64
+	// HashUpdates and HashQueries count distributed-hash traffic items.
+	HashUpdates, HashQueries int64
+	// HashPeak is this rank's largest per-node hash table (O(n/p)).
+	HashPeak int64
+	// Comm is the communicator's counters after the build.
+	Comm comm.Stats
+}
+
+type numEntry struct {
+	v     float64
+	class int32
+	rid   int32
+}
+
+type catEntry struct {
+	v     int32
+	class int32
+	rid   int32
+}
+
+// nodeLists is one rank's share of one tree node's attribute lists.
+type nodeLists struct {
+	num [][]numEntry // sorted blocks, global order = rank order
+	cat [][]catEntry
+}
+
+type builder struct {
+	cfg    Config
+	c      comm.Communicator
+	schema *record.Schema
+	stats  Stats
+}
+
+// Build runs the parallel exact build on this rank. recs is the rank's
+// share of the training data; rids must be globally unique across ranks
+// (ridBase..ridBase+len(recs)). All ranks return the identical tree.
+func Build(cfg Config, c comm.Communicator, schema *record.Schema, recs []record.Record, ridBase int32) (*tree.Tree, *Stats, error) {
+	cfg = cfg.withDefaults()
+	b := &builder{cfg: cfg, c: c, schema: schema}
+
+	// Global size check.
+	total, err := comm.AllReduceInt64(c, []int64{int64(len(recs))}, addI64)
+	if err != nil {
+		return nil, nil, err
+	}
+	if total[0] == 0 {
+		return nil, nil, fmt.Errorf("scalparc: empty global training set")
+	}
+
+	// Root lists: numeric lists via parallel sample sort, categorical lists
+	// in place.
+	root := nodeLists{
+		num: make([][]numEntry, schema.NumNumeric()),
+		cat: make([][]catEntry, schema.NumCategorical()),
+	}
+	for j := range root.num {
+		local := make([]numEntry, len(recs))
+		for i, r := range recs {
+			local[i] = numEntry{v: r.Num[j], class: r.Class, rid: ridBase + int32(i)}
+		}
+		sorted, err := parallelSortNumeric(c, local)
+		if err != nil {
+			return nil, nil, err
+		}
+		root.num[j] = sorted
+	}
+	for j := range root.cat {
+		lst := make([]catEntry, len(recs))
+		for i, r := range recs {
+			lst[i] = catEntry{v: r.Cat[j], class: r.Class, rid: ridBase + int32(i)}
+		}
+		root.cat[j] = lst
+	}
+
+	rootNode, err := b.build(root, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	b.stats.Comm = c.Stats()
+	st := b.stats
+	return &tree.Tree{Schema: schema, Root: rootNode}, &st, nil
+}
+
+func addI64(a, b int64) int64 { return a + b }
+
+// classCounts computes the node's global class counts from the first
+// available list.
+func (b *builder) classCounts(ls nodeLists) ([]int64, error) {
+	local := make([]int64, b.schema.NumClasses)
+	if len(ls.num) > 0 {
+		for _, e := range ls.num[0] {
+			local[e.class]++
+		}
+	} else if len(ls.cat) > 0 {
+		for _, e := range ls.cat[0] {
+			local[e.class]++
+		}
+	}
+	return comm.AllReduceInt64(b.c, local, addI64)
+}
+
+func (b *builder) build(ls nodeLists, depth int) (*tree.Node, error) {
+	counts, err := b.classCounts(ls)
+	if err != nil {
+		return nil, err
+	}
+	n := gini.Sum(counts)
+	leaf := func() *tree.Node {
+		nd := &tree.Node{ClassCounts: counts, N: n}
+		nd.Class = nd.Majority()
+		b.countNode(true)
+		return nd
+	}
+	if b.shouldStop(counts, n, depth) {
+		return leaf(), nil
+	}
+	cand, err := b.bestSplit(ls, counts, n)
+	if err != nil {
+		return nil, err
+	}
+	if !cand.Valid {
+		return leaf(), nil
+	}
+	sp := cand.Splitter()
+	left, right, nl, nr, err := b.partition(ls, sp)
+	if err != nil {
+		return nil, err
+	}
+	if nl == 0 || nr == 0 {
+		return leaf(), nil
+	}
+	nd := &tree.Node{Splitter: sp, ClassCounts: counts, N: n}
+	nd.Class = nd.Majority()
+	b.countNode(false)
+	if nd.Left, err = b.build(left, depth+1); err != nil {
+		return nil, err
+	}
+	if nd.Right, err = b.build(right, depth+1); err != nil {
+		return nil, err
+	}
+	return nd, nil
+}
+
+func (b *builder) countNode(leaf bool) {
+	b.stats.Nodes++
+	if leaf {
+		b.stats.Leaves++
+	}
+}
+
+func (b *builder) shouldStop(counts []int64, n int64, depth int) bool {
+	if n < b.cfg.MinNodeSize {
+		return true
+	}
+	if b.cfg.MaxDepth > 0 && depth >= b.cfg.MaxDepth {
+		return true
+	}
+	nonzero := 0
+	for _, c := range counts {
+		if c > 0 {
+			nonzero++
+		}
+	}
+	return nonzero <= 1
+}
+
+// bestSplit evaluates every attribute in parallel and combines the
+// candidates deterministically.
+func (b *builder) bestSplit(ls nodeLists, total []int64, nTotal int64) (clouds.Candidate, error) {
+	myBest := clouds.Candidate{Valid: false}
+	classes := b.schema.NumClasses
+
+	for j, blk := range ls.num {
+		attr := b.schema.NumericIndices()[j]
+		b.stats.EntriesScanned += int64(len(blk))
+		b.stats.ListScans++
+
+		// Class counts below my block: exclusive prefix of block sums.
+		blockSum := make([]int64, classes)
+		for _, e := range blk {
+			blockSum[e.class]++
+		}
+		inclusive, err := comm.PrefixSumInt64(b.c, blockSum)
+		if err != nil {
+			return clouds.Candidate{}, err
+		}
+		left := make([]int64, classes)
+		var nLeft int64
+		for k := 0; k < classes; k++ {
+			left[k] = inclusive[k] - blockSum[k]
+			nLeft += left[k]
+		}
+
+		// Block boundary values: a rank must not evaluate at its last value
+		// if a later rank's block starts with the same value.
+		info := encodeBlockInfo(blk)
+		all, err := comm.AllGather(b.c, info)
+		if err != nil {
+			return clouds.Candidate{}, err
+		}
+		nextFirst := math.NaN()
+		for r := b.c.Rank() + 1; r < b.c.Size(); r++ {
+			has, first, _ := decodeBlockInfo(all[r])
+			if has {
+				nextFirst = first
+				break
+			}
+		}
+
+		right := make([]int64, classes)
+		for i := 0; i < len(blk); i++ {
+			left[blk[i].class]++
+			nLeft++
+			if i+1 < len(blk) && blk[i+1].v == blk[i].v {
+				continue
+			}
+			if i+1 == len(blk) && !math.IsNaN(nextFirst) && nextFirst == blk[i].v {
+				continue // value continues in a later block
+			}
+			if nLeft == nTotal {
+				continue
+			}
+			for k := range right {
+				right[k] = total[k] - left[k]
+			}
+			cand := clouds.Candidate{
+				Valid: true, Gini: gini.SplitIndex(left, right),
+				Attr: attr, Kind: tree.NumericSplit, Threshold: blk[i].v,
+			}
+			if cand.Better(myBest) {
+				myBest = cand
+			}
+		}
+	}
+
+	for j, lst := range ls.cat {
+		attr := b.schema.CategoricalIndices()[j]
+		b.stats.EntriesScanned += int64(len(lst))
+		b.stats.ListScans++
+		cm := gini.NewCountMatrix(b.schema.Attrs[attr].Cardinality, classes)
+		for _, e := range lst {
+			cm.Add(e.v, e.class)
+		}
+		global, err := comm.AllReduceInt64(b.c, cm.Flatten(), addI64)
+		if err != nil {
+			return clouds.Candidate{}, err
+		}
+		gm := gini.UnflattenCountMatrix(global, cm.Cardinality(), cm.Classes())
+		ss := gm.BestSubsetSplit()
+		var nLeft int64
+		for v, in := range ss.InLeft {
+			if in {
+				nLeft += gini.Sum(gm.Counts[v])
+			}
+		}
+		if nLeft == 0 || nLeft == nTotal {
+			continue
+		}
+		cand := clouds.Candidate{
+			Valid: true, Gini: ss.Gini,
+			Attr: attr, Kind: tree.CategoricalSplit, InLeft: ss.InLeft,
+		}
+		if cand.Better(myBest) {
+			myBest = cand
+		}
+	}
+
+	return combineCandidates(b.c, myBest)
+}
+
+func combineCandidates(c comm.Communicator, mine clouds.Candidate) (clouds.Candidate, error) {
+	res, err := comm.AllReduceBytes(c, mine.Encode(), func(a, b []byte) ([]byte, error) {
+		ca, err := clouds.DecodeCandidate(a)
+		if err != nil {
+			return nil, err
+		}
+		cb, err := clouds.DecodeCandidate(b)
+		if err != nil {
+			return nil, err
+		}
+		if cb.Better(ca) {
+			return b, nil
+		}
+		return a, nil
+	})
+	if err != nil {
+		return clouds.Candidate{}, err
+	}
+	return clouds.DecodeCandidate(res)
+}
+
+// encodeBlockInfo frames (hasEntries, firstValue, lastValue).
+func encodeBlockInfo(blk []numEntry) []byte {
+	out := make([]byte, 17)
+	if len(blk) > 0 {
+		out[0] = 1
+		binary.LittleEndian.PutUint64(out[1:], math.Float64bits(blk[0].v))
+		binary.LittleEndian.PutUint64(out[9:], math.Float64bits(blk[len(blk)-1].v))
+	}
+	return out
+}
+
+func decodeBlockInfo(src []byte) (has bool, first, last float64) {
+	if len(src) != 17 || src[0] == 0 {
+		return false, 0, 0
+	}
+	return true, math.Float64frombits(binary.LittleEndian.Uint64(src[1:])),
+		math.Float64frombits(binary.LittleEndian.Uint64(src[9:]))
+}
+
+// partition implements ScalParC's distributed hash partitioning and returns
+// the child lists with their global sizes.
+func (b *builder) partition(ls nodeLists, sp *tree.Splitter) (nodeLists, nodeLists, int64, int64, error) {
+	p := b.c.Size()
+
+	// 1. The winning attribute's local entries determine (rid, side) pairs;
+	// ship each to the rid's owner. Frame: per pair u32 rid, u8 side.
+	updates := make([][]byte, p)
+	appendPair := func(rid int32, side byte) {
+		d := int(rid) % p
+		var buf [5]byte
+		binary.LittleEndian.PutUint32(buf[:4], uint32(rid))
+		buf[4] = side
+		updates[d] = append(updates[d], buf[:]...)
+		b.stats.HashUpdates++
+	}
+	if sp.Kind == tree.NumericSplit {
+		j := b.schema.NumericPos(sp.Attr)
+		for _, e := range ls.num[j] {
+			if e.v <= sp.Threshold {
+				appendPair(e.rid, 0)
+			} else {
+				appendPair(e.rid, 1)
+			}
+		}
+		b.stats.EntriesScanned += int64(len(ls.num[j]))
+		b.stats.ListScans++
+	} else {
+		j := b.schema.CategoricalPos(sp.Attr)
+		for _, e := range ls.cat[j] {
+			if sp.InLeft[e.v] {
+				appendPair(e.rid, 0)
+			} else {
+				appendPair(e.rid, 1)
+			}
+		}
+		b.stats.EntriesScanned += int64(len(ls.cat[j]))
+		b.stats.ListScans++
+	}
+	recvUpd, err := comm.AllToAll(b.c, updates)
+	if err != nil {
+		return nodeLists{}, nodeLists{}, 0, 0, err
+	}
+	hash := make(map[int32]byte)
+	for _, raw := range recvUpd {
+		for len(raw) >= 5 {
+			rid := int32(binary.LittleEndian.Uint32(raw))
+			hash[rid] = raw[4]
+			raw = raw[5:]
+		}
+	}
+	if h := int64(len(hash)); h > b.stats.HashPeak {
+		b.stats.HashPeak = h
+	}
+
+	// 2. Every list queries the owners for its entries' sides. Collect the
+	// distinct rids this rank needs, per owner.
+	need := make([]map[int32]struct{}, p)
+	for d := range need {
+		need[d] = make(map[int32]struct{})
+	}
+	addNeed := func(rid int32) {
+		need[int(rid)%p][rid] = struct{}{}
+	}
+	for j := range ls.num {
+		for _, e := range ls.num[j] {
+			addNeed(e.rid)
+		}
+	}
+	for j := range ls.cat {
+		for _, e := range ls.cat[j] {
+			addNeed(e.rid)
+		}
+	}
+	queries := make([][]byte, p)
+	for d := range queries {
+		rids := make([]int32, 0, len(need[d]))
+		for rid := range need[d] {
+			rids = append(rids, rid)
+		}
+		sort.Slice(rids, func(a, c int) bool { return rids[a] < rids[c] })
+		buf := make([]byte, 4*len(rids))
+		for i, rid := range rids {
+			binary.LittleEndian.PutUint32(buf[4*i:], uint32(rid))
+		}
+		queries[d] = buf
+		b.stats.HashQueries += int64(len(rids))
+	}
+	recvQ, err := comm.AllToAll(b.c, queries)
+	if err != nil {
+		return nodeLists{}, nodeLists{}, 0, 0, err
+	}
+	// Answer: per queried rid one byte side, in query order.
+	answers := make([][]byte, p)
+	for src, raw := range recvQ {
+		out := make([]byte, 0, len(raw)/4)
+		for len(raw) >= 4 {
+			rid := int32(binary.LittleEndian.Uint32(raw))
+			side, ok := hash[rid]
+			if !ok {
+				return nodeLists{}, nodeLists{}, 0, 0, fmt.Errorf("scalparc: rid %d missing from hash", rid)
+			}
+			out = append(out, side)
+			raw = raw[4:]
+		}
+		answers[src] = out
+	}
+	recvA, err := comm.AllToAll(b.c, answers)
+	if err != nil {
+		return nodeLists{}, nodeLists{}, 0, 0, err
+	}
+	// Reassemble rid -> side for the rids this rank asked about.
+	side := make(map[int32]byte)
+	for d := 0; d < p; d++ {
+		raw := queries[d]
+		ans := recvA[d]
+		i := 0
+		for len(raw) >= 4 {
+			rid := int32(binary.LittleEndian.Uint32(raw))
+			if i >= len(ans) {
+				return nodeLists{}, nodeLists{}, 0, 0, fmt.Errorf("scalparc: short answer from rank %d", d)
+			}
+			side[rid] = ans[i]
+			i++
+			raw = raw[4:]
+		}
+	}
+
+	// 3. Split every local list by the retrieved sides (order preserved).
+	left := nodeLists{num: make([][]numEntry, len(ls.num)), cat: make([][]catEntry, len(ls.cat))}
+	right := nodeLists{num: make([][]numEntry, len(ls.num)), cat: make([][]catEntry, len(ls.cat))}
+	for j, blk := range ls.num {
+		b.stats.EntriesScanned += int64(len(blk))
+		b.stats.ListScans++
+		for _, e := range blk {
+			if side[e.rid] == 0 {
+				left.num[j] = append(left.num[j], e)
+			} else {
+				right.num[j] = append(right.num[j], e)
+			}
+		}
+	}
+	for j, lst := range ls.cat {
+		b.stats.EntriesScanned += int64(len(lst))
+		b.stats.ListScans++
+		for _, e := range lst {
+			if side[e.rid] == 0 {
+				left.cat[j] = append(left.cat[j], e)
+			} else {
+				right.cat[j] = append(right.cat[j], e)
+			}
+		}
+	}
+
+	// 4. Global child sizes: every rid is owned by exactly one hash owner,
+	// so summing per-owner side counts gives the exact partition sizes.
+	var ownedLeft, ownedRight int64
+	for _, s := range hash {
+		if s == 0 {
+			ownedLeft++
+		} else {
+			ownedRight++
+		}
+	}
+	sizes, err := comm.AllReduceInt64(b.c, []int64{ownedLeft, ownedRight}, addI64)
+	if err != nil {
+		return nodeLists{}, nodeLists{}, 0, 0, err
+	}
+	return left, right, sizes[0], sizes[1], nil
+}

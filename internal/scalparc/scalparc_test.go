@@ -1,0 +1,214 @@
+package scalparc
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"pclouds/internal/comm"
+	"pclouds/internal/costmodel"
+	"pclouds/internal/datagen"
+	"pclouds/internal/metrics"
+	"pclouds/internal/record"
+	"pclouds/internal/sprint"
+	"pclouds/internal/tree"
+)
+
+func genData(t *testing.T, n, fn int, seed int64) *record.Dataset {
+	t.Helper()
+	g, err := datagen.New(datagen.Config{Function: fn, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g.Generate(n)
+}
+
+// buildParallel runs the ScalParC build on p simulated ranks with the data
+// dealt round-robin and returns rank 0's tree and all stats.
+func buildParallel(t *testing.T, cfg Config, data *record.Dataset, p int) (*tree.Tree, []*Stats) {
+	t.Helper()
+	comms := comm.NewGroup(p, costmodel.Zero())
+	trees := make([]*tree.Tree, p)
+	stats := make([]*Stats, p)
+	errs := make([]error, p)
+	done := make(chan struct{}, p)
+	// Deal records round-robin with globally unique, contiguous-per-rank
+	// rids: rank r gets rids [r*ceil(n/p), ...).
+	perRank := make([][]record.Record, p)
+	for i, rec := range data.Records {
+		perRank[i%p] = append(perRank[i%p], rec)
+	}
+	base := make([]int32, p)
+	var acc int32
+	for r := 0; r < p; r++ {
+		base[r] = acc
+		acc += int32(len(perRank[r]))
+	}
+	for r := 0; r < p; r++ {
+		go func(r int) {
+			defer func() { done <- struct{}{} }()
+			trees[r], stats[r], errs[r] = Build(cfg, comms[r], data.Schema, perRank[r], base[r])
+		}(r)
+	}
+	for i := 0; i < p; i++ {
+		<-done
+	}
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	for r := 1; r < p; r++ {
+		if !tree.Equal(trees[0], trees[r]) {
+			t.Fatalf("rank %d built a different tree", r)
+		}
+	}
+	return trees[0], stats
+}
+
+// TestMatchesSequentialSPRINT: the parallel exact build must produce the
+// identical tree to sequential SPRINT for any processor count.
+func TestMatchesSequentialSPRINT(t *testing.T) {
+	for _, fn := range []int{1, 2, 7} {
+		data := genData(t, 1200, fn, int64(fn*13))
+		seq, _, err := sprint.Build(sprint.Config{MinNodeSize: 2, MaxDepth: 8}, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range []int{1, 2, 3, 4, 8} {
+			par, _ := buildParallel(t, Config{MinNodeSize: 2, MaxDepth: 8}, data, p)
+			if !tree.Equal(seq, par) {
+				t.Errorf("function %d p=%d: ScalParC differs from sequential SPRINT", fn, p)
+			}
+		}
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	train := genData(t, 3000, 2, 1)
+	test := genData(t, 1500, 2, 2)
+	tr, _ := buildParallel(t, Config{MaxDepth: 12}, train, 4)
+	if acc := metrics.Accuracy(tr, test); acc < 0.97 {
+		t.Fatalf("accuracy %.4f", acc)
+	}
+}
+
+func TestDistributedHashBounded(t *testing.T) {
+	// ScalParC's point: each rank's hash peak is ~n/p, not n.
+	data := genData(t, 4000, 2, 3)
+	const p = 4
+	_, stats := buildParallel(t, Config{MaxDepth: 10}, data, p)
+	bound := int64(data.Len())/p + int64(data.Len())/(p*4) + 16
+	for r, s := range stats {
+		if s.HashPeak == 0 {
+			t.Fatalf("rank %d: no hash recorded", r)
+		}
+		if s.HashPeak > bound {
+			t.Fatalf("rank %d: hash peak %d exceeds ~n/p bound %d", r, s.HashPeak, bound)
+		}
+	}
+}
+
+func TestHashTrafficRecorded(t *testing.T) {
+	data := genData(t, 1500, 2, 5)
+	_, stats := buildParallel(t, Config{MaxDepth: 8}, data, 4)
+	var upd, q int64
+	for _, s := range stats {
+		upd += s.HashUpdates
+		q += s.HashQueries
+	}
+	if upd == 0 || q == 0 {
+		t.Fatalf("hash traffic not recorded: %d updates, %d queries", upd, q)
+	}
+	// Every split queries at least as many rids as it updates (all f lists
+	// query; only the winner updates).
+	if q < upd {
+		t.Fatalf("queries %d < updates %d", q, upd)
+	}
+}
+
+func TestParallelSortNumeric(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, p := range []int{1, 2, 3, 4, 8} {
+		const n = 500
+		all := make([]numEntry, n)
+		for i := range all {
+			all[i] = numEntry{v: float64(rng.Intn(40)), class: int32(rng.Intn(2)), rid: int32(i)}
+		}
+		comms := comm.NewGroup(p, costmodel.Zero())
+		blocks := make([][]numEntry, p)
+		errs := make([]error, p)
+		done := make(chan struct{}, p)
+		for r := 0; r < p; r++ {
+			go func(r int) {
+				defer func() { done <- struct{}{} }()
+				var local []numEntry
+				for i := r; i < n; i += p {
+					local = append(local, all[i])
+				}
+				blocks[r], errs[r] = parallelSortNumeric(comms[r], local)
+			}(r)
+		}
+		for i := 0; i < p; i++ {
+			<-done
+		}
+		for r, err := range errs {
+			if err != nil {
+				t.Fatalf("p=%d rank %d: %v", p, r, err)
+			}
+		}
+		// Concatenation must be the global sort of all entries.
+		var got []numEntry
+		for _, blk := range blocks {
+			got = append(got, blk...)
+		}
+		if len(got) != n {
+			t.Fatalf("p=%d: %d entries after sort, want %d", p, len(got), n)
+		}
+		want := append([]numEntry(nil), all...)
+		sort.Slice(want, func(i, j int) bool {
+			if want[i].v != want[j].v {
+				return want[i].v < want[j].v
+			}
+			return want[i].rid < want[j].rid
+		})
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("p=%d: sort mismatch at %d: %+v vs %+v", p, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestEntryCodec(t *testing.T) {
+	lst := []numEntry{{v: 1.5, class: 1, rid: 42}, {v: -3, class: 0, rid: 7}}
+	got, err := decodeEntries(encodeEntries(lst))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != lst[0] || got[1] != lst[1] {
+		t.Fatalf("roundtrip: %+v", got)
+	}
+	if _, err := decodeEntries([]byte{1, 2, 3}); err == nil {
+		t.Fatal("misaligned payload should fail")
+	}
+}
+
+func TestEmptyGlobalData(t *testing.T) {
+	comms := comm.NewGroup(2, costmodel.Zero())
+	errs := make([]error, 2)
+	done := make(chan struct{}, 2)
+	for r := 0; r < 2; r++ {
+		go func(r int) {
+			defer func() { done <- struct{}{} }()
+			_, _, errs[r] = Build(Config{}, comms[r], datagen.Schema(), nil, 0)
+		}(r)
+	}
+	<-done
+	<-done
+	for r, err := range errs {
+		if err == nil {
+			t.Fatalf("rank %d: empty data should error", r)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package scalparc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"pclouds/internal/comm"
+)
+
+// parallelSortNumeric globally sorts one attribute list by (value, rid)
+// with a parallel sample sort: local sort, splitter selection from an
+// all-gathered sample, a personalised exchange by splitter range, and a
+// final local sort. Afterwards the concatenation of the ranks' blocks in
+// rank order is the globally sorted list. Blocks may be uneven; the split
+// evaluation handles ragged and empty blocks.
+func parallelSortNumeric(c comm.Communicator, local []numEntry) ([]numEntry, error) {
+	p := c.Size()
+	less := func(a, b numEntry) bool {
+		if a.v != b.v {
+			return a.v < b.v
+		}
+		return a.rid < b.rid
+	}
+	sort.Slice(local, func(i, j int) bool { return less(local[i], local[j]) })
+	if p == 1 {
+		return local, nil
+	}
+
+	// Sample p entries evenly from the sorted local list.
+	var sample []numEntry
+	if len(local) > 0 {
+		for k := 0; k < p; k++ {
+			sample = append(sample, local[k*len(local)/p])
+		}
+	}
+	gathered, err := comm.AllGather(c, encodeEntries(sample))
+	if err != nil {
+		return nil, err
+	}
+	var all []numEntry
+	for _, raw := range gathered {
+		lst, err := decodeEntries(raw)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, lst...)
+	}
+	sort.Slice(all, func(i, j int) bool { return less(all[i], all[j]) })
+
+	// p-1 splitters at even quantiles of the sample; every rank computes
+	// the identical set.
+	splitters := make([]numEntry, 0, p-1)
+	for k := 1; k < p; k++ {
+		if len(all) == 0 {
+			break
+		}
+		idx := k * len(all) / p
+		if idx >= len(all) {
+			idx = len(all) - 1
+		}
+		splitters = append(splitters, all[idx])
+	}
+
+	// Route each local entry to the bucket whose splitter range covers it:
+	// bucket i holds entries e with splitter[i-1] < e <= splitter[i].
+	buckets := make([][]numEntry, p)
+	for _, e := range local {
+		dst := sort.Search(len(splitters), func(i int) bool { return !less(splitters[i], e) })
+		buckets[dst] = append(buckets[dst], e)
+	}
+	parts := make([][]byte, p)
+	for d := range parts {
+		parts[d] = encodeEntries(buckets[d])
+	}
+	recv, err := comm.AllToAll(c, parts)
+	if err != nil {
+		return nil, err
+	}
+	var out []numEntry
+	for _, raw := range recv {
+		lst, err := decodeEntries(raw)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, lst...)
+	}
+	sort.Slice(out, func(i, j int) bool { return less(out[i], out[j]) })
+	return out, nil
+}
+
+func encodeEntries(lst []numEntry) []byte {
+	out := make([]byte, 16*len(lst))
+	for i, e := range lst {
+		binary.LittleEndian.PutUint64(out[16*i:], math.Float64bits(e.v))
+		binary.LittleEndian.PutUint32(out[16*i+8:], uint32(e.class))
+		binary.LittleEndian.PutUint32(out[16*i+12:], uint32(e.rid))
+	}
+	return out
+}
+
+func decodeEntries(src []byte) ([]numEntry, error) {
+	if len(src)%16 != 0 {
+		return nil, fmt.Errorf("scalparc: entry payload length %d not a multiple of 16", len(src))
+	}
+	out := make([]numEntry, len(src)/16)
+	for i := range out {
+		out[i] = numEntry{
+			v:     math.Float64frombits(binary.LittleEndian.Uint64(src[16*i:])),
+			class: int32(binary.LittleEndian.Uint32(src[16*i+8:])),
+			rid:   int32(binary.LittleEndian.Uint32(src[16*i+12:])),
+		}
+	}
+	return out, nil
+}

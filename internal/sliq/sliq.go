@@ -1,0 +1,367 @@
+// Package sliq implements SLIQ (Mehta, Agrawal, Rissanen — EDBT 1996), the
+// second exact baseline the paper discusses in Section 4: SLIQ "replaces
+// repeated sorting with one-time sorting by maintaining separate lists for
+// each attribute. However, SLIQ uses a memory-resident data structure
+// called class list which limits the number of input records it can
+// handle."
+//
+// The implementation is faithful to that design:
+//
+//   - one attribute list per numeric attribute, (value, rid) sorted once;
+//   - a memory-resident *class list* indexed by rid holding each record's
+//     class and current leaf assignment (Stats.ClassListBytes measures it —
+//     the scalability limiter the paper calls out);
+//   - breadth-first growth: one scan of each attribute list evaluates the
+//     splits of EVERY node of the current level simultaneously, and one
+//     more scan applies the chosen splits by rewriting leaf assignments in
+//     the class list — attribute lists are never physically partitioned.
+//
+// Under the repository's shared candidate ordering and stopping rules SLIQ
+// builds exactly the SPRINT / CLOUDS-direct tree; only the cost profile
+// differs.
+package sliq
+
+import (
+	"fmt"
+	"sort"
+
+	"pclouds/internal/clouds"
+	"pclouds/internal/gini"
+	"pclouds/internal/record"
+	"pclouds/internal/tree"
+)
+
+// Config mirrors the other builders' stopping rules.
+type Config struct {
+	MinNodeSize int64
+	MaxDepth    int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MinNodeSize <= 0 {
+		c.MinNodeSize = 2
+	}
+	return c
+}
+
+// Stats reports SLIQ's costs.
+type Stats struct {
+	Nodes, Leaves int
+	// ListEntriesScanned counts attribute-list entries touched (every list
+	// is scanned fully once per level for evaluation and once for split
+	// application).
+	ListEntriesScanned int64
+	// ClassListBytes is the size of the memory-resident class list —
+	// proportional to the full dataset for the entire build, the paper's
+	// scalability complaint.
+	ClassListBytes int64
+	// Levels is the number of breadth-first levels processed.
+	Levels int
+}
+
+type numEntry struct {
+	v   float64
+	rid int32
+}
+
+// clEntry is one class-list slot.
+type clEntry struct {
+	class int32
+	node  int32 // current leaf assignment; -1 once frozen under a leaf
+}
+
+// growing tree node bookkeeping.
+type bNode struct {
+	counts   []int64
+	n        int64
+	out      *tree.Node // final tree node
+	splitter *tree.Splitter
+	leftID   int32
+	rightID  int32
+	frozen   bool
+}
+
+// Build constructs a SLIQ tree over an in-memory dataset.
+func Build(cfg Config, data *record.Dataset) (*tree.Tree, *Stats, error) {
+	cfg = cfg.withDefaults()
+	if data.Len() == 0 {
+		return nil, nil, fmt.Errorf("sliq: empty training set")
+	}
+	schema := data.Schema
+	st := &Stats{}
+
+	// One-time pre-sort of the numeric attribute lists.
+	numLists := make([][]numEntry, schema.NumNumeric())
+	for j := range numLists {
+		lst := make([]numEntry, data.Len())
+		for i, r := range data.Records {
+			lst[i] = numEntry{v: r.Num[j], rid: int32(i)}
+		}
+		sort.Slice(lst, func(a, b int) bool {
+			if lst[a].v != lst[b].v {
+				return lst[a].v < lst[b].v
+			}
+			return lst[a].rid < lst[b].rid
+		})
+		numLists[j] = lst
+	}
+
+	// The memory-resident class list.
+	classList := make([]clEntry, data.Len())
+	rootCounts := make([]int64, schema.NumClasses)
+	for i, r := range data.Records {
+		classList[i] = clEntry{class: r.Class, node: 0}
+		rootCounts[r.Class]++
+	}
+	st.ClassListBytes = int64(data.Len()) * 8 // class int32 + node int32
+
+	nodes := []*bNode{newBNode(rootCounts)}
+	active := []int32{0}
+
+	for depth := 0; len(active) > 0; depth++ {
+		st.Levels++
+		// Freeze nodes that meet the stopping criteria.
+		var splitting []int32
+		for _, id := range active {
+			nd := nodes[id]
+			if shouldStop(cfg, nd.counts, nd.n, depth) {
+				freeze(nodes, classList, id)
+			} else {
+				splitting = append(splitting, id)
+			}
+		}
+		if len(splitting) == 0 {
+			break
+		}
+		inLevel := make(map[int32]bool, len(splitting))
+		for _, id := range splitting {
+			inLevel[id] = true
+		}
+
+		// Evaluate every node of the level with one scan per attribute.
+		best := make(map[int32]clouds.Candidate, len(splitting))
+		evalNumeric(schema, numLists, classList, nodes, inLevel, best, st)
+		evalCategorical(schema, data, classList, nodes, inLevel, best, st)
+
+		// Decide and allocate children.
+		for _, id := range splitting {
+			nd := nodes[id]
+			cand := best[id]
+			if !cand.Valid {
+				freeze(nodes, classList, id)
+				continue
+			}
+			nd.splitter = cand.Splitter()
+			leftCounts := gini.Clone(cand.LeftCounts)
+			rightCounts := make([]int64, schema.NumClasses)
+			for i := range rightCounts {
+				rightCounts[i] = nd.counts[i] - leftCounts[i]
+			}
+			if gini.Sum(leftCounts) == 0 || gini.Sum(rightCounts) == 0 {
+				nd.splitter = nil
+				freeze(nodes, classList, id)
+				continue
+			}
+			nd.leftID = int32(len(nodes))
+			nodes = append(nodes, newBNode(leftCounts))
+			nd.rightID = int32(len(nodes))
+			nodes = append(nodes, newBNode(rightCounts))
+		}
+
+		// Apply the splits: one more scan of each attribute list rewrites
+		// the class list's leaf assignments. Categorical splits need no
+		// sorted list; they rewrite from the records directly.
+		applySplits(schema, data, numLists, classList, nodes, inLevel, st)
+
+		var next []int32
+		for _, id := range splitting {
+			nd := nodes[id]
+			if nd.splitter != nil {
+				next = append(next, nd.leftID, nd.rightID)
+			}
+		}
+		active = next
+	}
+
+	t := &tree.Tree{Schema: schema, Root: assemble(nodes, 0, st)}
+	return t, st, nil
+}
+
+func newBNode(counts []int64) *bNode {
+	return &bNode{counts: counts, n: gini.Sum(counts), leftID: -1, rightID: -1}
+}
+
+func shouldStop(cfg Config, counts []int64, n int64, depth int) bool {
+	if n < cfg.MinNodeSize {
+		return true
+	}
+	if cfg.MaxDepth > 0 && depth >= cfg.MaxDepth {
+		return true
+	}
+	nonzero := 0
+	for _, c := range counts {
+		if c > 0 {
+			nonzero++
+		}
+	}
+	return nonzero <= 1
+}
+
+// freeze marks a node as a final leaf.
+func freeze(nodes []*bNode, classList []clEntry, id int32) {
+	nodes[id].frozen = true
+}
+
+// evalNumeric scans each sorted attribute list once, maintaining one
+// running left histogram per level node, and records the best candidate
+// per node (the SLIQ simultaneous evaluation).
+func evalNumeric(schema *record.Schema, numLists [][]numEntry, classList []clEntry,
+	nodes []*bNode, inLevel map[int32]bool, best map[int32]clouds.Candidate, st *Stats) {
+
+	type run struct {
+		left  []int64
+		nLeft int64
+		last  float64
+		seen  bool
+	}
+	for j, lst := range numLists {
+		attr := schema.NumericIndices()[j]
+		st.ListEntriesScanned += int64(len(lst))
+		runs := make(map[int32]*run)
+		flush := func(id int32, r *run) {
+			nd := nodes[id]
+			if r.nLeft == 0 || r.nLeft == nd.n {
+				return
+			}
+			right := make([]int64, len(nd.counts))
+			for k := range right {
+				right[k] = nd.counts[k] - r.left[k]
+			}
+			cand := clouds.Candidate{
+				Valid: true, Gini: gini.SplitIndex(r.left, right),
+				Attr: attr, Kind: tree.NumericSplit, Threshold: r.last,
+				LeftN: r.nLeft,
+			}
+			if cand.Better(best[id]) {
+				cand.LeftCounts = gini.Clone(r.left)
+				best[id] = cand
+			}
+		}
+		for _, e := range lst {
+			ce := classList[e.rid]
+			if !inLevel[ce.node] {
+				continue
+			}
+			r := runs[ce.node]
+			if r == nil {
+				r = &run{left: make([]int64, schema.NumClasses)}
+				runs[ce.node] = r
+			}
+			// A value change within the node closes the previous distinct
+			// value: evaluate the candidate "attr <= last".
+			if r.seen && e.v != r.last {
+				flush(ce.node, r)
+			}
+			r.left[ce.class]++
+			r.nLeft++
+			r.last = e.v
+			r.seen = true
+		}
+		// The final value of each node would put everything left: skipped
+		// by the nLeft == n guard inside flush.
+		for id, r := range runs {
+			if r.seen {
+				flush(id, r)
+			}
+		}
+	}
+}
+
+// evalCategorical builds one count matrix per (level node, categorical
+// attribute) in a single pass over the records.
+func evalCategorical(schema *record.Schema, data *record.Dataset, classList []clEntry,
+	nodes []*bNode, inLevel map[int32]bool, best map[int32]clouds.Candidate, st *Stats) {
+
+	for j, attr := range schema.CategoricalIndices() {
+		card := schema.Attrs[attr].Cardinality
+		st.ListEntriesScanned += int64(data.Len())
+		ms := make(map[int32]*gini.CountMatrix)
+		for rid, r := range data.Records {
+			ce := classList[rid]
+			if !inLevel[ce.node] {
+				continue
+			}
+			m := ms[ce.node]
+			if m == nil {
+				m = gini.NewCountMatrix(card, schema.NumClasses)
+				ms[ce.node] = m
+			}
+			m.Add(r.Cat[j], ce.class)
+		}
+		for id, m := range ms {
+			nd := nodes[id]
+			ss := m.BestSubsetSplit()
+			var nLeft int64
+			left := make([]int64, schema.NumClasses)
+			for v, in := range ss.InLeft {
+				if in {
+					nLeft += gini.Sum(m.Counts[v])
+					gini.Add(left, m.Counts[v])
+				}
+			}
+			if nLeft == 0 || nLeft == nd.n {
+				continue
+			}
+			cand := clouds.Candidate{
+				Valid: true, Gini: ss.Gini,
+				Attr: attr, Kind: tree.CategoricalSplit, InLeft: ss.InLeft,
+				LeftN: nLeft,
+			}
+			if cand.Better(best[id]) {
+				cand.LeftCounts = left
+				best[id] = cand
+			}
+		}
+	}
+}
+
+// applySplits rewrites the class list's leaf assignments: each record of a
+// splitting node moves to the child its node's test selects. One pass over
+// the records covers every attribute kind (values are available directly;
+// sorted lists are not needed for routing).
+func applySplits(schema *record.Schema, data *record.Dataset, numLists [][]numEntry,
+	classList []clEntry, nodes []*bNode, inLevel map[int32]bool, st *Stats) {
+
+	st.ListEntriesScanned += int64(data.Len())
+	for rid := range classList {
+		ce := &classList[rid]
+		if !inLevel[ce.node] {
+			continue
+		}
+		nd := nodes[ce.node]
+		if nd.splitter == nil {
+			continue // froze this level
+		}
+		if nd.splitter.GoesLeft(schema, data.Records[rid]) {
+			ce.node = nd.leftID
+		} else {
+			ce.node = nd.rightID
+		}
+	}
+}
+
+// assemble converts the bookkeeping nodes into the final tree.
+func assemble(nodes []*bNode, id int32, st *Stats) *tree.Node {
+	nd := nodes[id]
+	out := &tree.Node{ClassCounts: nd.counts, N: nd.n}
+	out.Class = out.Majority()
+	st.Nodes++
+	if nd.splitter == nil {
+		st.Leaves++
+		return out
+	}
+	out.Splitter = nd.splitter
+	out.Left = assemble(nodes, nd.leftID, st)
+	out.Right = assemble(nodes, nd.rightID, st)
+	return out
+}

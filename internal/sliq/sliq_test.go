@@ -1,0 +1,114 @@
+package sliq
+
+import (
+	"testing"
+
+	"pclouds/internal/datagen"
+	"pclouds/internal/metrics"
+	"pclouds/internal/record"
+	"pclouds/internal/sprint"
+	"pclouds/internal/tree"
+)
+
+func genData(t *testing.T, n, fn int, seed int64) *record.Dataset {
+	t.Helper()
+	g, err := datagen.New(datagen.Config{Function: fn, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g.Generate(n)
+}
+
+// TestMatchesSPRINT: SLIQ and SPRINT are both exact under the shared
+// candidate ordering and stopping rules, so they must build the identical
+// tree even though SLIQ never partitions its attribute lists.
+func TestMatchesSPRINT(t *testing.T) {
+	for _, fn := range []int{1, 2, 5, 7} {
+		data := genData(t, 1500, fn, int64(fn*19))
+		sliqTree, st, err := Build(Config{MinNodeSize: 2, MaxDepth: 10}, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sprintTree, _, err := sprint.Build(sprint.Config{MinNodeSize: 2, MaxDepth: 10}, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tree.Equal(sliqTree, sprintTree) {
+			t.Errorf("function %d: SLIQ differs from SPRINT", fn)
+		}
+		if err := sliqTree.Validate(); err != nil {
+			t.Fatalf("function %d: invariants: %v", fn, err)
+		}
+		if st.Nodes != sliqTree.NumNodes() || st.Leaves != sliqTree.NumLeaves() {
+			t.Fatalf("function %d: stats mismatch %+v", fn, st)
+		}
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	train := genData(t, 5000, 2, 1)
+	test := genData(t, 2000, 2, 2)
+	tr, _, err := Build(Config{MaxDepth: 14}, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := metrics.Accuracy(tr, test); acc < 0.97 {
+		t.Fatalf("accuracy %.4f", acc)
+	}
+}
+
+func TestClassListMeasured(t *testing.T) {
+	data := genData(t, 3000, 2, 3)
+	_, st, err := Build(Config{MaxDepth: 10}, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The class list is proportional to the WHOLE dataset — SLIQ's
+	// scalability limiter per the paper.
+	if st.ClassListBytes != int64(data.Len())*8 {
+		t.Fatalf("class list %d bytes, want %d", st.ClassListBytes, data.Len()*8)
+	}
+	if st.Levels < 3 {
+		t.Fatalf("only %d levels", st.Levels)
+	}
+	if st.ListEntriesScanned == 0 {
+		t.Fatal("no scans recorded")
+	}
+}
+
+// TestScansScaleWithLevelsNotNodes: SLIQ's hallmark — per level, each
+// attribute list is scanned once regardless of how many nodes the level
+// holds, so total scans ≈ levels × (numeric lists + categorical + apply) × n.
+func TestScansScaleWithLevelsNotNodes(t *testing.T) {
+	data := genData(t, 2000, 2, 7)
+	_, st, err := Build(Config{MaxDepth: 8}, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perLevel := int64(data.Len()) * int64(data.Schema.NumNumeric()+data.Schema.NumCategorical()+1)
+	upper := perLevel * int64(st.Levels)
+	if st.ListEntriesScanned > upper {
+		t.Fatalf("scanned %d entries, exceeds %d levels × full sweeps (%d)", st.ListEntriesScanned, st.Levels, upper)
+	}
+}
+
+func TestEmptyDataset(t *testing.T) {
+	if _, _, err := Build(Config{}, record.NewDataset(datagen.Schema())); err == nil {
+		t.Fatal("empty dataset should error")
+	}
+}
+
+func TestPureDataset(t *testing.T) {
+	schema := record.MustSchema([]record.Attribute{{Name: "x", Kind: record.Numeric}}, 2)
+	d := record.NewDataset(schema)
+	for i := 0; i < 10; i++ {
+		d.Append(record.Record{Num: []float64{float64(i)}, Class: 0})
+	}
+	tr, st, err := Build(Config{}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Root.IsLeaf() || st.Nodes != 1 {
+		t.Fatal("pure dataset should yield a single leaf")
+	}
+}

@@ -1,0 +1,74 @@
+package tree
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDot renders the tree in Graphviz dot format: internal nodes show
+// their test (with attribute names from the schema), leaves show the
+// predicted class and class counts. Pipe into `dot -Tsvg` to visualise.
+func (t *Tree) WriteDot(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "digraph tree {"); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, `  node [shape=box, fontname="monospace"];`)
+	id := 0
+	var walk func(n *Node) (int, error)
+	walk = func(n *Node) (int, error) {
+		me := id
+		id++
+		if n.IsLeaf() {
+			if _, err := fmt.Fprintf(w, "  n%d [label=\"class %d\\nn=%d %v\", style=filled, fillcolor=lightgrey];\n",
+				me, n.Class, n.N, n.ClassCounts); err != nil {
+				return 0, err
+			}
+			return me, nil
+		}
+		if _, err := fmt.Fprintf(w, "  n%d [label=\"%s\\nn=%d gini=%.3f\"];\n",
+			me, dotEscape(t.splitterLabel(n.Splitter)), n.N, n.Splitter.Gini); err != nil {
+			return 0, err
+		}
+		l, err := walk(n.Left)
+		if err != nil {
+			return 0, err
+		}
+		r, err := walk(n.Right)
+		if err != nil {
+			return 0, err
+		}
+		if _, err := fmt.Fprintf(w, "  n%d -> n%d [label=\"yes\"];\n  n%d -> n%d [label=\"no\"];\n", me, l, me, r); err != nil {
+			return 0, err
+		}
+		return me, nil
+	}
+	if _, err := walk(t.Root); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+// splitterLabel renders a splitter with the schema's attribute names.
+func (t *Tree) splitterLabel(sp *Splitter) string {
+	name := fmt.Sprintf("attr[%d]", sp.Attr)
+	if sp.Attr >= 0 && sp.Attr < len(t.Schema.Attrs) {
+		name = t.Schema.Attrs[sp.Attr].Name
+	}
+	if sp.Kind == NumericSplit {
+		return fmt.Sprintf("%s <= %.6g", name, sp.Threshold)
+	}
+	vals := make([]string, 0, len(sp.InLeft))
+	for v, in := range sp.InLeft {
+		if in {
+			vals = append(vals, fmt.Sprintf("%d", v))
+		}
+	}
+	return fmt.Sprintf("%s in {%s}", name, strings.Join(vals, ","))
+}
+
+func dotEscape(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}

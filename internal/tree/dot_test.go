@@ -1,0 +1,54 @@
+package tree
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteDot(t *testing.T) {
+	tr := buildTestTree(t)
+	var b strings.Builder
+	if err := tr.WriteDot(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"digraph tree {",
+		"x <= 10",        // numeric splitter with attribute name
+		"color in {0,2}", // categorical splitter with attribute name
+		"class 1",        // a leaf
+		`[label="yes"]`,  // edges
+		`[label="no"]`,
+		"}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dot output missing %q:\n%s", want, out)
+		}
+	}
+	// Node and edge counts: 5 nodes, 4 edges.
+	if got := strings.Count(out, "label=\"yes\""); got != 2 {
+		t.Errorf("yes-edges %d, want 2", got)
+	}
+	if got := strings.Count(out, "fillcolor=lightgrey"); got != 3 {
+		t.Errorf("leaves %d, want 3", got)
+	}
+}
+
+func TestDotEscape(t *testing.T) {
+	if got := dotEscape(`a"b\c`); got != `a\"b\\c` {
+		t.Fatalf("escape: %q", got)
+	}
+}
+
+func TestWriteDotLeafOnly(t *testing.T) {
+	s := testSchema(t)
+	leaf := &Node{ClassCounts: []int64{3, 1}, N: 4, Class: 0}
+	tr := &Tree{Schema: s, Root: leaf}
+	var b strings.Builder
+	if err := tr.WriteDot(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "class 0") {
+		t.Fatal("leaf-only dot missing the leaf")
+	}
+}

@@ -1,0 +1,133 @@
+package tree
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"pclouds/internal/record"
+)
+
+// Model persistence: a saved model is a self-describing file carrying the
+// schema (JSON header, human-inspectable) followed by the binary tree blob:
+//
+//	magic   u32  0x70434d31 ("pCM1")
+//	hdrLen  u32
+//	header  hdrLen bytes of JSON (schemaHeader)
+//	tree    remaining bytes (Encode format)
+const modelMagic uint32 = 0x70434d31
+
+// schemaHeader is the JSON-serialisable form of a schema.
+type schemaHeader struct {
+	Classes int         `json:"classes"`
+	Attrs   []attrEntry `json:"attrs"`
+}
+
+type attrEntry struct {
+	Name        string `json:"name"`
+	Kind        string `json:"kind"` // "numeric" or "categorical"
+	Cardinality int    `json:"cardinality,omitempty"`
+}
+
+func headerOf(s *record.Schema) schemaHeader {
+	h := schemaHeader{Classes: s.NumClasses}
+	for _, a := range s.Attrs {
+		h.Attrs = append(h.Attrs, attrEntry{Name: a.Name, Kind: a.Kind.String(), Cardinality: a.Cardinality})
+	}
+	return h
+}
+
+func (h schemaHeader) schema() (*record.Schema, error) {
+	attrs := make([]record.Attribute, 0, len(h.Attrs))
+	for _, a := range h.Attrs {
+		var kind record.Kind
+		switch a.Kind {
+		case "numeric":
+			kind = record.Numeric
+		case "categorical":
+			kind = record.Categorical
+		default:
+			return nil, fmt.Errorf("tree: unknown attribute kind %q in model", a.Kind)
+		}
+		attrs = append(attrs, record.Attribute{Name: a.Name, Kind: kind, Cardinality: a.Cardinality})
+	}
+	return record.NewSchema(attrs, h.Classes)
+}
+
+// Write serialises the model (schema + tree) to w.
+func Write(w io.Writer, t *Tree) error {
+	hdr, err := json.Marshal(headerOf(t.Schema))
+	if err != nil {
+		return fmt.Errorf("tree: encoding schema: %w", err)
+	}
+	var b8 [8]byte
+	binary.LittleEndian.PutUint32(b8[0:], modelMagic)
+	binary.LittleEndian.PutUint32(b8[4:], uint32(len(hdr)))
+	if _, err := w.Write(b8[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	if _, err := w.Write(Encode(t)); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Read parses a model written by Write.
+func Read(r io.Reader) (*Tree, error) {
+	var b8 [8]byte
+	if _, err := io.ReadFull(r, b8[:]); err != nil {
+		return nil, fmt.Errorf("tree: reading model header: %w", err)
+	}
+	if m := binary.LittleEndian.Uint32(b8[0:]); m != modelMagic {
+		return nil, fmt.Errorf("tree: bad model magic %#x", m)
+	}
+	hdrLen := binary.LittleEndian.Uint32(b8[4:])
+	if hdrLen > 1<<20 {
+		return nil, fmt.Errorf("tree: implausible model header length %d", hdrLen)
+	}
+	hdr := make([]byte, hdrLen)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, fmt.Errorf("tree: reading model schema: %w", err)
+	}
+	var h schemaHeader
+	if err := json.Unmarshal(hdr, &h); err != nil {
+		return nil, fmt.Errorf("tree: decoding model schema: %w", err)
+	}
+	schema, err := h.schema()
+	if err != nil {
+		return nil, err
+	}
+	blob, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(schema, blob)
+}
+
+// SaveFile writes the model to path.
+func SaveFile(t *Tree, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, t); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a model written by SaveFile.
+func LoadFile(path string) (*Tree, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,73 @@
+package tree
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+func TestModelRoundTrip(t *testing.T) {
+	tr := buildTestTree(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(tr, got) {
+		t.Fatal("model roundtrip changed the tree")
+	}
+	// Schema must round-trip too.
+	if got.Schema.NumClasses != tr.Schema.NumClasses || len(got.Schema.Attrs) != len(tr.Schema.Attrs) {
+		t.Fatal("schema lost")
+	}
+	for i, a := range tr.Schema.Attrs {
+		g := got.Schema.Attrs[i]
+		if g.Name != a.Name || g.Kind != a.Kind || g.Cardinality != a.Cardinality {
+			t.Fatalf("attribute %d mismatch: %+v vs %+v", i, g, a)
+		}
+	}
+	// Classification must be preserved.
+	r := rec(5, 0, 0, 0)
+	if got.Classify(r) != tr.Classify(r) {
+		t.Fatal("loaded model classifies differently")
+	}
+}
+
+func TestModelFileRoundTrip(t *testing.T) {
+	tr := buildTestTree(t)
+	path := filepath.Join(t.TempDir(), "model.pcm")
+	if err := SaveFile(tr, path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(tr, got) {
+		t.Fatal("file roundtrip changed the tree")
+	}
+}
+
+func TestModelCorruptionDetected(t *testing.T) {
+	tr := buildTestTree(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	bad := append([]byte(nil), raw...)
+	bad[0] ^= 0xFF
+	if _, err := Read(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := Read(bytes.NewReader(raw[:len(raw)-2])); err == nil {
+		t.Fatal("truncated model accepted")
+	}
+	if _, err := Read(bytes.NewReader(raw[:6])); err == nil {
+		t.Fatal("header-only model accepted")
+	}
+}

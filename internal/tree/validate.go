@@ -1,0 +1,90 @@
+package tree
+
+import (
+	"fmt"
+
+	"pclouds/internal/record"
+)
+
+// Validate checks the structural invariants every builder in this
+// repository must uphold:
+//
+//   - the root exists and every internal node has both children;
+//   - each node's N equals the sum of its class counts;
+//   - an internal node's counts equal the element-wise sum of its
+//     children's counts (records are conserved across splits);
+//   - each node's Class is the majority of its counts;
+//   - splitters reference attributes that exist in the schema with the
+//     matching kind, and categorical subsets match the cardinality.
+//
+// The test suites call it after every build; library users can call it on
+// loaded models to detect corruption or incompatible schemas.
+func (t *Tree) Validate() error {
+	if t.Root == nil {
+		return fmt.Errorf("tree: nil root")
+	}
+	if t.Schema == nil {
+		return fmt.Errorf("tree: nil schema")
+	}
+	return t.validateNode(t.Root, "root")
+}
+
+func (t *Tree) validateNode(n *Node, path string) error {
+	if len(n.ClassCounts) != t.Schema.NumClasses {
+		return fmt.Errorf("tree: %s: %d class counts, schema has %d classes", path, len(n.ClassCounts), t.Schema.NumClasses)
+	}
+	var sum int64
+	for c, v := range n.ClassCounts {
+		if v < 0 {
+			return fmt.Errorf("tree: %s: negative count for class %d", path, c)
+		}
+		sum += v
+	}
+	if sum != n.N {
+		return fmt.Errorf("tree: %s: N=%d but counts sum to %d", path, n.N, sum)
+	}
+	if want := n.Majority(); n.Class != want {
+		return fmt.Errorf("tree: %s: class %d is not the majority (%d)", path, n.Class, want)
+	}
+	if n.IsLeaf() {
+		if n.Left != nil || n.Right != nil {
+			return fmt.Errorf("tree: %s: leaf with children", path)
+		}
+		return nil
+	}
+	if n.Left == nil || n.Right == nil {
+		return fmt.Errorf("tree: %s: internal node missing a child", path)
+	}
+	sp := n.Splitter
+	if sp.Attr < 0 || sp.Attr >= len(t.Schema.Attrs) {
+		return fmt.Errorf("tree: %s: splitter attribute %d out of range", path, sp.Attr)
+	}
+	attr := t.Schema.Attrs[sp.Attr]
+	switch sp.Kind {
+	case NumericSplit:
+		if attr.Kind != record.Numeric {
+			return fmt.Errorf("tree: %s: numeric split on categorical attribute %q", path, attr.Name)
+		}
+	case CategoricalSplit:
+		if attr.Kind != record.Categorical {
+			return fmt.Errorf("tree: %s: categorical split on numeric attribute %q", path, attr.Name)
+		}
+		if len(sp.InLeft) != attr.Cardinality {
+			return fmt.Errorf("tree: %s: subset length %d, attribute %q has cardinality %d", path, len(sp.InLeft), attr.Name, attr.Cardinality)
+		}
+	default:
+		return fmt.Errorf("tree: %s: unknown split kind %d", path, sp.Kind)
+	}
+	if n.Left.N+n.Right.N != n.N {
+		return fmt.Errorf("tree: %s: children Ns %d+%d != %d (records not conserved)", path, n.Left.N, n.Right.N, n.N)
+	}
+	for c := range n.ClassCounts {
+		if n.Left.ClassCounts[c]+n.Right.ClassCounts[c] != n.ClassCounts[c] {
+			return fmt.Errorf("tree: %s: class %d counts not conserved across split", path, c)
+		}
+	}
+	if err := t.validateNode(n.Left, path+"L"); err != nil {
+		return err
+	}
+	return t.validateNode(n.Right, path+"R")
+}

@@ -1,0 +1,60 @@
+package tree
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateAcceptsWellFormed(t *testing.T) {
+	tr := buildTestTree(t)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Tree)
+		want   string
+	}{
+		{"nil root", func(tr *Tree) { tr.Root = nil }, "nil root"},
+		{"nil schema", func(tr *Tree) { tr.Schema = nil }, "nil schema"},
+		{"count sum", func(tr *Tree) { tr.Root.N++ }, "counts sum"},
+		{"not majority", func(tr *Tree) { tr.Root.Right.Class = 0 }, "majority"},
+		{"missing child", func(tr *Tree) { tr.Root.Right = nil }, "missing a child"},
+		{"leaf with child", func(tr *Tree) {
+			leaf := tr.Root.Right
+			leaf.Left = &Node{ClassCounts: []int64{1, 0}, N: 1}
+		}, "leaf with children"},
+		{"attr range", func(tr *Tree) { tr.Root.Splitter.Attr = 99 }, "out of range"},
+		{"kind mismatch", func(tr *Tree) { tr.Root.Splitter.Attr = 1 }, "numeric split on categorical"},
+		{"subset length", func(tr *Tree) { tr.Root.Left.Splitter.InLeft = []bool{true} }, "cardinality"},
+		{"records not conserved", func(tr *Tree) {
+			tr.Root.Left.N--
+			tr.Root.Left.ClassCounts[0]--
+		}, "not conserved"},
+		{"class counts not conserved", func(tr *Tree) {
+			// Shift a count between classes in a child: child sums still
+			// match N, but per-class conservation breaks.
+			tr.Root.Left.ClassCounts[0]++
+			tr.Root.Left.ClassCounts[1]--
+		}, "counts not conserved"},
+		{"negative count", func(tr *Tree) {
+			tr.Root.ClassCounts[0] = -1
+			tr.Root.ClassCounts[1] = tr.Root.N + 1
+		}, "negative count"},
+	}
+	for _, tc := range cases {
+		tr := buildTestTree(t)
+		tc.mutate(tr)
+		err := tr.Validate()
+		if err == nil {
+			t.Errorf("%s: validation passed", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead: arbitrary bytes must never panic the frame decoder, and any
+// frame it accepts must re-encode to the same bytes it consumed.
+func FuzzRead(f *testing.F) {
+	var seed bytes.Buffer
+	Write(&seed, Frame{Tag: 7, SentAt: 1.5, Payload: []byte("seed payload")})
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0x44, 0x4c, 0x43, 0x70})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := Write(&out, fr); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		consumed := headerSize + len(fr.Payload)
+		if consumed > len(data) {
+			t.Fatalf("decoder claimed %d bytes from %d", consumed, len(data))
+		}
+		if !bytes.Equal(out.Bytes(), data[:consumed]) {
+			// SentAt NaN payloads re-encode to a different bit pattern only
+			// if the float bits differ, which Write preserves — so any
+			// mismatch is a real bug.
+			t.Fatalf("re-encode mismatch:\n in: %x\nout: %x", data[:consumed], out.Bytes())
+		}
+	})
+}

@@ -1,0 +1,125 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := Frame{Tag: 42, SentAt: 1.25, Payload: []byte("hello world")}
+	if err := Write(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Tag != in.Tag || out.SentAt != in.SentAt || !bytes.Equal(out.Payload, in.Payload) {
+		t.Fatalf("roundtrip mismatch: %+v vs %+v", out, in)
+	}
+}
+
+func TestEmptyPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, Frame{Tag: -3}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Tag != -3 || len(out.Payload) != 0 {
+		t.Fatalf("empty frame mangled: %+v", out)
+	}
+}
+
+func TestMultipleFramesInSequence(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 10; i++ {
+		if err := Write(&buf, Frame{Tag: int32(i), Payload: bytes.Repeat([]byte{byte(i)}, i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		f, err := Read(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Tag != int32(i) || len(f.Payload) != i {
+			t.Fatalf("frame %d: %+v", i, f)
+		}
+	}
+	if _, err := Read(&buf); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestBadMagicDetected(t *testing.T) {
+	var buf bytes.Buffer
+	Write(&buf, Frame{Tag: 1, Payload: []byte("x")})
+	raw := buf.Bytes()
+	raw[0] ^= 0xFF
+	if _, err := Read(bytes.NewReader(raw)); err == nil {
+		t.Fatal("corrupt magic should fail")
+	}
+}
+
+func TestOversizedFrameRejected(t *testing.T) {
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:], Magic)
+	binary.LittleEndian.PutUint64(hdr[16:], MaxFrame+1)
+	if _, err := Read(bytes.NewReader(hdr[:])); err == nil {
+		t.Fatal("oversized frame should fail")
+	}
+}
+
+func TestTruncatedPayload(t *testing.T) {
+	var buf bytes.Buffer
+	Write(&buf, Frame{Tag: 1, Payload: []byte("full payload")})
+	raw := buf.Bytes()
+	if _, err := Read(bytes.NewReader(raw[:len(raw)-3])); err == nil {
+		t.Fatal("truncated payload should fail")
+	}
+	if _, err := Read(bytes.NewReader(raw[:5])); err == nil {
+		t.Fatal("truncated header should fail")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(tag int32, sentAt float64, payload []byte) bool {
+		var buf bytes.Buffer
+		if err := Write(&buf, Frame{Tag: tag, SentAt: sentAt, Payload: payload}); err != nil {
+			return false
+		}
+		out, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		same := out.Tag == tag && (out.SentAt == sentAt || (sentAt != sentAt && out.SentAt != out.SentAt))
+		return same && bytes.Equal(out.Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type rwBuffer struct{ bytes.Buffer }
+
+func TestConnSendRecv(t *testing.T) {
+	var rw rwBuffer
+	c := NewConn(&rw)
+	if err := c.Send(Frame{Tag: 9, Payload: []byte("via conn")}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tag != 9 || string(got.Payload) != "via conn" {
+		t.Fatalf("conn roundtrip: %+v", got)
+	}
+}
