@@ -1,8 +1,13 @@
 GO ?= go
 
-.PHONY: all build vet test race bench experiments examples cover clean
+.PHONY: all check build vet test race bench experiments examples cover clean
 
 all: build vet test
+
+# check is the full pre-commit gate: compile, vet, tests, and the
+# concurrency-heavy packages (transports and the SPMD driver) under the
+# race detector.
+check: build vet test race
 
 build:
 	$(GO) build ./...
@@ -14,7 +19,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race ./internal/comm/... ./internal/pclouds/...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -25,17 +25,36 @@ import (
 	"os"
 
 	"pclouds/internal/experiments"
+	"pclouds/internal/obs"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: all, fig1, fig2, fig3, table1, strategies, splitmethods, boundary, baseline, pbaseline, regroup, lemma2, functions, phases, memory, fusion")
-		scale  = flag.Float64("scale", 0.01, "record-count scale relative to the paper (1.0 = 3.6M..7.2M tuples)")
-		qroot  = flag.Int("qroot", 100, "root interval count (paper: 10000 at scale 1.0)")
-		seed   = flag.Int64("seed", 1, "data seed")
-		format = flag.String("format", "table", "output format: table or csv (fig1/fig2/fig3/table1 only)")
+		exp     = flag.String("exp", "all", "experiment: all, fig1, fig2, fig3, table1, strategies, splitmethods, boundary, baseline, pbaseline, regroup, lemma2, functions, phases, memory, fusion")
+		scale   = flag.Float64("scale", 0.01, "record-count scale relative to the paper (1.0 = 3.6M..7.2M tuples)")
+		qroot   = flag.Int("qroot", 100, "root interval count (paper: 10000 at scale 1.0)")
+		seed    = flag.Int64("seed", 1, "data seed")
+		format  = flag.String("format", "table", "output format: table or csv (fig1/fig2/fig3/table1 only)")
+		cpuprof = flag.String("cpuprofile", "", "write a CPU profile to this path")
+		memprof = flag.String("memprofile", "", "write a heap profile to this path at exit")
 	)
 	flag.Parse()
+
+	if *cpuprof != "" {
+		stop, err := obs.StartCPUProfile(*cpuprof)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer stop()
+	}
+	if *memprof != "" {
+		defer func() {
+			if err := obs.WriteHeapProfile(*memprof); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+			}
+		}()
+	}
 
 	h := experiments.DefaultHarness()
 	h.QRoot = *qroot

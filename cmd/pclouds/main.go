@@ -21,6 +21,7 @@ import (
 	"pclouds/internal/datagen"
 	"pclouds/internal/mdl"
 	"pclouds/internal/metrics"
+	"pclouds/internal/obs"
 	"pclouds/internal/ooc"
 	"pclouds/internal/pclouds"
 	"pclouds/internal/record"
@@ -48,8 +49,27 @@ func main() {
 		holdout   = flag.Float64("holdout", 0.2, "held-out fraction for csv-auto evaluation")
 		regroup   = flag.Bool("regroup", false, "regroup idle processors in the small-node phase")
 		noFusion  = flag.Bool("no-fusion", false, "disable fused partitioning (extra stats pass per large node)")
+		traceOut  = flag.String("trace-out", "", "write a Chrome trace_event JSON of the parallel build to this path")
+		showStats = flag.Bool("stats", false, "print the merged per-phase report and per-rank comm/I/O tables")
+		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile to this path")
+		memprof   = flag.String("memprofile", "", "write a heap profile to this path at exit")
 	)
 	flag.Parse()
+
+	if *cpuprof != "" {
+		stop, err := obs.StartCPUProfile(*cpuprof)
+		if err != nil {
+			fatal(err)
+		}
+		defer stop()
+	}
+	if *memprof != "" {
+		defer func() {
+			if err := obs.WriteHeapProfile(*memprof); err != nil {
+				fmt.Fprintln(os.Stderr, "pclouds:", err)
+			}
+		}()
+	}
 
 	if *loadModel != "" {
 		if err := classifyOnly(*loadModel, *testPath, *printTree); err != nil {
@@ -100,7 +120,7 @@ func main() {
 		fmt.Printf("  record reads: %d, survival ratio: %.4f, large/small nodes: %d/%d\n",
 			st.RecordReads, st.SurvivalRatio(), st.LargeNodes, st.SmallNodes)
 	} else {
-		t, err = runParallel(cfg, *boundary, train, *procs, *regroup, *noFusion)
+		t, err = runParallel(cfg, *boundary, train, *procs, *regroup, *noFusion, *traceOut, *showStats)
 		if err != nil {
 			fatal(err)
 		}
@@ -170,7 +190,7 @@ func classifyOnly(modelPath, testPath string, printTree bool) error {
 	return nil
 }
 
-func runParallel(cfg clouds.Config, boundary string, train *record.Dataset, p int, regroup, noFusion bool) (*tree.Tree, error) {
+func runParallel(cfg clouds.Config, boundary string, train *record.Dataset, p int, regroup, noFusion bool, traceOut string, showStats bool) (*tree.Tree, error) {
 	pcfg := pclouds.Config{Clouds: cfg, RegroupIdle: regroup, DisableFusion: noFusion}
 	switch boundary {
 	case "attribute":
@@ -190,6 +210,13 @@ func runParallel(cfg clouds.Config, boundary string, train *record.Dataset, p in
 	comms := comm.NewGroup(p, params)
 	trees := make([]*tree.Tree, p)
 	stats := make([]*pclouds.Stats, p)
+	var recs []*obs.Recorder
+	if traceOut != "" || showStats {
+		recs = make([]*obs.Recorder, p)
+		for r := range recs {
+			recs[r] = obs.New(r)
+		}
+	}
 	errs := make([]error, p)
 	done := make(chan struct{}, p)
 	for r := 0; r < p; r++ {
@@ -212,7 +239,11 @@ func runParallel(cfg clouds.Config, boundary string, train *record.Dataset, p in
 				return
 			}
 			comms[r].Clock().Reset()
-			trees[r], stats[r], errs[r] = pclouds.Build(pcfg, comms[r], store, "root", sample)
+			rcfg := pcfg
+			if recs != nil {
+				rcfg.Trace = recs[r]
+			}
+			trees[r], stats[r], errs[r] = pclouds.Build(rcfg, comms[r], store, "root", sample)
 		}(r)
 	}
 	for i := 0; i < p; i++ {
@@ -222,6 +253,12 @@ func runParallel(cfg clouds.Config, boundary string, train *record.Dataset, p in
 		if err != nil {
 			return nil, fmt.Errorf("rank %d: %w", r, err)
 		}
+	}
+	if traceOut != "" {
+		if err := obs.WriteChromeTraceFile(traceOut, recs); err != nil {
+			return nil, fmt.Errorf("writing trace: %w", err)
+		}
+		fmt.Printf("Chrome trace written to %s\n", traceOut)
 	}
 	for r := 1; r < p; r++ {
 		if !tree.Equal(trees[0], trees[r]) {
@@ -239,6 +276,17 @@ func runParallel(cfg clouds.Config, boundary string, train *record.Dataset, p in
 		cs.Add(s.Comm)
 	}
 	fmt.Printf("  records shipped: %d, traffic: %s\n", shipped, cs)
+	if showStats {
+		if rep := stats[0].PhaseReport; rep != "" {
+			fmt.Println("per-phase report (across ranks):")
+			fmt.Print(rep)
+		}
+		fmt.Println("per-collective traffic (all ranks summed):")
+		fmt.Print(cs.Table())
+		for r, s := range stats {
+			fmt.Printf("rank %d I/O: %s\n", r, s.IO)
+		}
+	}
 	return trees[0], nil
 }
 

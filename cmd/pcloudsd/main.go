@@ -25,6 +25,7 @@ import (
 	"pclouds/internal/costmodel"
 	"pclouds/internal/datagen"
 	"pclouds/internal/metrics"
+	"pclouds/internal/obs"
 	"pclouds/internal/ooc"
 	"pclouds/internal/pclouds"
 	"pclouds/internal/record"
@@ -41,11 +42,20 @@ func main() {
 		maxDepth  = flag.Int("maxdepth", 0, "depth cap (0 = unlimited)")
 		seed      = flag.Int64("seed", 1, "sampling seed (must match across ranks)")
 		timeout   = flag.Duration("dial-timeout", 30*time.Second, "mesh connection timeout")
+		traceOut  = flag.String("trace-out", "", "write this rank's trace JSON to this path (set on every rank)")
+		debugAddr = flag.String("debug-addr", "", "serve /debug/pprof and /debug/vars on this address (e.g. :6060)")
 	)
 	flag.Parse()
 	addrs := strings.Split(*addrsFlag, ",")
 	if *rank < 0 || *rank >= len(addrs) || *trainPath == "" {
 		fatal(fmt.Errorf("need -rank in [0,%d) and -train", len(addrs)))
+	}
+	if *debugAddr != "" {
+		bound, err := obs.ServeDebug(*debugAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "rank %d: debug endpoint on http://%s/debug/pprof\n", *rank, bound)
 	}
 
 	schema := datagen.Schema()
@@ -102,16 +112,46 @@ func main() {
 	}
 	defer c.Close()
 
+	// Live counters for /debug/vars; published unconditionally so that
+	// -debug-addr works without -trace-out.
+	obs.Publish("pcloudsd.comm", func() any { return c.Stats() })
+	obs.Publish("pcloudsd.io", func() any { return store.Stats() })
+
+	var rec *obs.Recorder
+	if *traceOut != "" {
+		rec = obs.New(*rank)
+	}
+
 	start := time.Now()
-	tr, stats, err := pclouds.Build(pclouds.Config{Clouds: cfg}, c, store, "root", sample)
+	tr, stats, err := pclouds.Build(pclouds.Config{Clouds: cfg, Trace: rec}, c, store, "root", sample)
+	elapsed := time.Since(start)
+	// Report the rank's transport and disk counters even when the build
+	// failed: partial traffic is exactly what a post-mortem needs.
+	fmt.Fprintf(os.Stderr, "rank %d: done in %v (%s; store %s)\n", *rank, elapsed, c.Stats(), store.Stats())
+	fmt.Fprintf(os.Stderr, "rank %d: per-collective traffic:\n%s", *rank, c.Stats().Table())
 	if err != nil {
 		fatal(err)
 	}
-	elapsed := time.Since(start)
-	fmt.Fprintf(os.Stderr, "rank %d: done in %v (%s)\n", *rank, elapsed, c.Stats())
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rec.WriteJSON(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "rank %d: trace written to %s\n", *rank, *traceOut)
+	}
 	if *rank == 0 {
 		fmt.Printf("pCLOUDS over TCP, %d ranks, %d records: %s\n", len(addrs), full.Len(), metrics.Summarize(tr))
 		fmt.Printf("large nodes: %d, small tasks: %d, wall time: %v\n", stats.LargeNodes, stats.SmallTasks, elapsed)
+		if stats.PhaseReport != "" {
+			fmt.Printf("per-phase report (across ranks):\n%s", stats.PhaseReport)
+		}
 		fmt.Printf("training accuracy: %.4f\n", metrics.Accuracy(tr, full))
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"pclouds/internal/gini"
+	"pclouds/internal/obs"
 	"pclouds/internal/record"
 	"pclouds/internal/tree"
 )
@@ -58,6 +59,12 @@ type Config struct {
 	MaxDepth int
 	// Seed drives sample drawing when the caller does not pre-draw one.
 	Seed int64
+	// Trace, when non-nil, records coarse spans for this builder's work
+	// (whole in-core builds, shipped small-node subtrees). pCLOUDS threads
+	// its per-rank recorder through here so direct-method work appears
+	// nested under the small-node phase. Nil costs one comparison per
+	// build.
+	Trace *obs.Recorder
 }
 
 // Defaults returns a configuration suitable for datasets of ~10^4..10^6
@@ -183,7 +190,9 @@ func BuildInCore(cfg Config, data *record.Dataset, sample []record.Record) (*tre
 		sample = cfg.SampleFor(data)
 	}
 	b := &builder{cfg: cfg, schema: data.Schema, nRoot: int64(data.Len())}
+	span := cfg.Trace.Start("incore-build")
 	root := b.build(data.Records, sample, 0)
+	span.End()
 	t := &tree.Tree{Schema: data.Schema, Root: root}
 	st := b.stats
 	return t, &st, nil
@@ -196,7 +205,9 @@ func BuildInCore(cfg Config, data *record.Dataset, sample []record.Record) (*tre
 func BuildSubtree(cfg Config, schema *record.Schema, recs, sample []record.Record, depth int, nRoot int64) (*tree.Node, *BuildStats) {
 	cfg = cfg.withDefaults()
 	b := &builder{cfg: cfg, schema: schema, nRoot: nRoot}
+	span := cfg.Trace.Start("small-subtree")
 	nd := b.build(recs, sample, depth)
+	span.End()
 	st := b.stats
 	return nd, &st
 }

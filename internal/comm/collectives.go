@@ -27,10 +27,29 @@ import (
 
 func isPow2(p int) bool { return p&(p-1) == 0 }
 
-// Barrier blocks until every rank of c's group has entered it.
+// Barrier blocks until every rank of c's group has entered it: a zero-byte
+// binomial reduce to rank 0 followed by a tree broadcast, all on the
+// barrier's own tag so its cost is attributed separately.
 func Barrier(c Communicator) error {
-	_, err := AllReduceInt64(c, nil, func(a, b int64) int64 { return a + b })
-	if err != nil {
+	countCall(c, OpBarrier)
+	p, r := c.Size(), c.Rank()
+	if p == 1 {
+		return nil
+	}
+	for mask := 1; mask < p; mask <<= 1 {
+		if r&mask != 0 {
+			if err := c.Send(r-mask, tagBarrier, nil); err != nil {
+				return fmt.Errorf("comm: barrier: %w", err)
+			}
+			break
+		}
+		if r+mask < p {
+			if _, err := c.Recv(r+mask, tagBarrier); err != nil {
+				return fmt.Errorf("comm: barrier: %w", err)
+			}
+		}
+	}
+	if _, err := broadcastTag(c, 0, nil, tagBarrier); err != nil {
 		return fmt.Errorf("comm: barrier: %w", err)
 	}
 	return nil
@@ -39,6 +58,14 @@ func Barrier(c Communicator) error {
 // Broadcast sends root's data to every rank using a binomial tree. Every
 // rank returns the broadcast payload (the root returns its own input).
 func Broadcast(c Communicator, root int, data []byte) ([]byte, error) {
+	countCall(c, OpBroadcast)
+	return broadcastTag(c, root, data, tagBroadcast)
+}
+
+// broadcastTag is the binomial-tree broadcast on an explicit tag, shared by
+// Broadcast, Barrier and the tree all-reduces so each primitive's messages
+// stay attributed to its own traffic class.
+func broadcastTag(c Communicator, root int, data []byte, tag Tag) ([]byte, error) {
 	p, r := c.Size(), c.Rank()
 	if root < 0 || root >= p {
 		return nil, fmt.Errorf("comm: broadcast: bad root %d", root)
@@ -56,7 +83,7 @@ func Broadcast(c Communicator, root int, data []byte) ([]byte, error) {
 		// Receive from the parent: clear the lowest set bit of vr.
 		parent := (vr&(vr-1) + root) % p
 		var err error
-		data, err = c.Recv(parent, tagBroadcast)
+		data, err = c.Recv(parent, tag)
 		if err != nil {
 			return nil, fmt.Errorf("comm: broadcast recv: %w", err)
 		}
@@ -69,7 +96,7 @@ func Broadcast(c Communicator, root int, data []byte) ([]byte, error) {
 	for mask := low >> 1; mask >= 1; mask >>= 1 {
 		child := vr + mask
 		if child < p {
-			if err := c.Send((child+root)%p, tagBroadcast, data); err != nil {
+			if err := c.Send((child+root)%p, tag, data); err != nil {
 				return nil, fmt.Errorf("comm: broadcast send: %w", err)
 			}
 		}
@@ -113,6 +140,7 @@ func unpackBlocks(src []byte) ([]int, [][]byte, error) {
 // Gather collects each rank's data at root. At the root the result has one
 // entry per rank (result[i] is rank i's payload); other ranks get nil.
 func Gather(c Communicator, root int, data []byte) ([][]byte, error) {
+	countCall(c, OpGather)
 	p, r := c.Size(), c.Rank()
 	if root < 0 || root >= p {
 		return nil, fmt.Errorf("comm: gather: bad root %d", root)
@@ -160,6 +188,7 @@ func Gather(c Communicator, root int, data []byte) ([][]byte, error) {
 // and every rank receives all p payloads, indexed by rank. Recursive
 // doubling for power-of-two p; gather+broadcast otherwise.
 func AllGather(c Communicator, data []byte) ([][]byte, error) {
+	countCall(c, OpAllGather)
 	p, r := c.Size(), c.Rank()
 	if p == 1 {
 		return [][]byte{data}, nil
@@ -243,6 +272,7 @@ func allGatherViaRoot(c Communicator, data []byte) ([][]byte, error) {
 // result's entry j is the payload rank j addressed to this rank. parts must
 // have length Size(). parts[Rank()] is passed through locally.
 func AllToAll(c Communicator, parts [][]byte) ([][]byte, error) {
+	countCall(c, OpAllToAll)
 	p, r := c.Size(), c.Rank()
 	if len(parts) != p {
 		return nil, fmt.Errorf("comm: alltoall: got %d parts, want %d", len(parts), p)
@@ -286,6 +316,7 @@ func AllToAll(c Communicator, parts [][]byte) ([][]byte, error) {
 // payload. Implemented as a binomial tree carrying shrinking block sets
 // (the inverse of Gather): O(ts·log p + tw·m·p).
 func Scatter(c Communicator, root int, parts [][]byte) ([]byte, error) {
+	countCall(c, OpScatter)
 	p, r := c.Size(), c.Rank()
 	if root < 0 || root >= p {
 		return nil, fmt.Errorf("comm: scatter: bad root %d", root)
@@ -310,7 +341,7 @@ func Scatter(c Communicator, root int, parts [][]byte) ([]byte, error) {
 		}
 	} else {
 		parent := (vr&(vr-1) + root) % p
-		raw, err := c.Recv(parent, tagBroadcast)
+		raw, err := c.Recv(parent, tagScatter)
 		if err != nil {
 			return nil, fmt.Errorf("comm: scatter recv: %w", err)
 		}
@@ -350,7 +381,7 @@ func Scatter(c Communicator, root int, parts [][]byte) ([]byte, error) {
 				kb = append(kb, blocks[i])
 			}
 		}
-		if err := c.Send((child+root)%p, tagBroadcast, packBlocks(cr, cb)); err != nil {
+		if err := c.Send((child+root)%p, tagScatter, packBlocks(cr, cb)); err != nil {
 			return nil, fmt.Errorf("comm: scatter send: %w", err)
 		}
 		ranks, blocks = kr, kb
@@ -410,6 +441,7 @@ func BytesToFloat64s(b []byte) ([]float64, error) {
 // reduce-scatter + all-gather (Table 1's O(ts·log p + tw·m) global combine);
 // other sizes use a binomial reduce followed by a broadcast.
 func AllReduceInt64(c Communicator, v []int64, op func(a, b int64) int64) ([]int64, error) {
+	countCall(c, OpReduce)
 	res, err := allReduceRaw(c, Int64sToBytes(v), func(a, b []byte) ([]byte, error) {
 		av, err := BytesToInt64s(a)
 		if err != nil {
@@ -435,6 +467,7 @@ func AllReduceInt64(c Communicator, v []int64, op func(a, b int64) int64) ([]int
 
 // AllReduceFloat64 is AllReduceInt64 for float64 vectors.
 func AllReduceFloat64(c Communicator, v []float64, op func(a, b float64) float64) ([]float64, error) {
+	countCall(c, OpReduce)
 	res, err := allReduceRaw(c, Float64sToBytes(v), func(a, b []byte) ([]byte, error) {
 		av, err := BytesToFloat64s(a)
 		if err != nil {
@@ -468,7 +501,7 @@ func allReduceRaw(c Communicator, data []byte, combine func(a, b []byte) ([]byte
 	if isPow2(p) && len(data) >= elem*p {
 		return allReduceRS(c, data, combine, elem)
 	}
-	return allReduceTree(c, data, combine)
+	return allReduceTree(c, data, combine, tagReduce)
 }
 
 // AllReduceBytes combines opaque byte payloads across ranks with a custom
@@ -476,10 +509,11 @@ func allReduceRaw(c Communicator, data []byte, combine func(a, b []byte) ([]byte
 // Used for reductions whose element type is richer than a numeric vector
 // (e.g. split candidates under their deterministic total order).
 func AllReduceBytes(c Communicator, data []byte, combine func(a, b []byte) ([]byte, error)) ([]byte, error) {
+	countCall(c, OpReduce)
 	if c.Size() == 1 {
 		return data, nil
 	}
-	return allReduceTree(c, data, combine)
+	return allReduceTree(c, data, combine, tagReduce)
 }
 
 // ReduceInt64 combines vectors element-wise with op at the root rank; the
@@ -487,6 +521,7 @@ func AllReduceBytes(c Communicator, data []byte, combine func(a, b []byte) ([]by
 // "assign an attribute's statistics to one processor" primitive of the
 // attribute-based replication method.
 func ReduceInt64(c Communicator, root int, v []int64, op func(a, b int64) int64) ([]int64, error) {
+	countCall(c, OpReduce)
 	p, r := c.Size(), c.Rank()
 	if root < 0 || root >= p {
 		return nil, fmt.Errorf("comm: reduce: bad root %d", root)
@@ -524,19 +559,20 @@ func ReduceInt64(c Communicator, root int, v []int64, op func(a, b int64) int64)
 	return acc, nil
 }
 
-// allReduceTree: binomial reduce to rank 0, then broadcast.
-func allReduceTree(c Communicator, data []byte, combine func(a, b []byte) ([]byte, error)) ([]byte, error) {
+// allReduceTree: binomial reduce to rank 0, then broadcast, all on the
+// caller's tag so the reduction's traffic stays in one class.
+func allReduceTree(c Communicator, data []byte, combine func(a, b []byte) ([]byte, error), tag Tag) ([]byte, error) {
 	p, r := c.Size(), c.Rank()
 	acc := append([]byte(nil), data...)
 	for mask := 1; mask < p; mask <<= 1 {
 		if r&mask != 0 {
-			if err := c.Send(r-mask, tagReduce, acc); err != nil {
+			if err := c.Send(r-mask, tag, acc); err != nil {
 				return nil, err
 			}
 			break
 		}
 		if r+mask < p {
-			other, err := c.Recv(r+mask, tagReduce)
+			other, err := c.Recv(r+mask, tag)
 			if err != nil {
 				return nil, err
 			}
@@ -545,7 +581,7 @@ func allReduceTree(c Communicator, data []byte, combine func(a, b []byte) ([]byt
 			}
 		}
 	}
-	return Broadcast(c, 0, acc)
+	return broadcastTag(c, 0, acc, tag)
 }
 
 // allReduceRS: recursive-halving reduce-scatter followed by recursive-
@@ -648,6 +684,7 @@ func allReduceRS(c Communicator, data []byte, combine func(a, b []byte) ([]byte,
 // sum of all ranks' vectors with index <= r, element-wise. Hillis–Steele
 // scan in ceil(log2 p) rounds.
 func PrefixSumInt64(c Communicator, v []int64) ([]int64, error) {
+	countCall(c, OpScan)
 	p, r := c.Size(), c.Rank()
 	result := append([]int64(nil), v...)
 	accum := append([]int64(nil), v...)
@@ -683,6 +720,7 @@ func PrefixSumInt64(c Communicator, v []int64) ([]int64, error) {
 // lower rank, making the result deterministic and independent of reduction
 // order. Every rank receives the same (value, payload).
 func MinLoc(c Communicator, value float64, payload []byte) (float64, []byte, error) {
+	countCall(c, OpMinLoc)
 	encode := func(v float64, rank int64, pl []byte) []byte {
 		out := make([]byte, 16, 16+len(pl))
 		binary.LittleEndian.PutUint64(out[0:], math.Float64bits(v))
@@ -709,7 +747,7 @@ func MinLoc(c Communicator, value float64, payload []byte) (float64, []byte, err
 			return encode(bv, br, bp), nil
 		}
 		return encode(av, ar, ap), nil
-	})
+	}, tagMinLoc)
 	if err != nil {
 		return 0, nil, err
 	}

@@ -25,6 +25,8 @@ package comm
 
 import (
 	"fmt"
+	"strings"
+	"time"
 
 	"pclouds/internal/costmodel"
 )
@@ -42,9 +44,97 @@ const (
 	tagReduce
 	tagScan
 	tagMinLoc
+	tagScatter
 	// TagUser is the first tag free for application messages.
 	TagUser Tag = 100
 )
+
+// OpClass buckets traffic by the collective primitive (or point-to-point
+// application messaging) that produced it, for the per-collective breakdown
+// of Stats. Every reserved collective tag maps to its own class; user tags
+// map to OpP2P.
+type OpClass int
+
+const (
+	OpP2P OpClass = iota
+	OpBarrier
+	OpBroadcast
+	OpGather
+	OpAllGather
+	OpAllToAll
+	OpReduce
+	OpScan
+	OpMinLoc
+	OpScatter
+	// NumOpClasses sizes per-class arrays.
+	NumOpClasses
+)
+
+func (cl OpClass) String() string {
+	switch cl {
+	case OpP2P:
+		return "p2p"
+	case OpBarrier:
+		return "barrier"
+	case OpBroadcast:
+		return "bcast"
+	case OpGather:
+		return "gather"
+	case OpAllGather:
+		return "allgather"
+	case OpAllToAll:
+		return "alltoall"
+	case OpReduce:
+		return "reduce"
+	case OpScan:
+		return "scan"
+	case OpMinLoc:
+		return "minloc"
+	case OpScatter:
+		return "scatter"
+	default:
+		return fmt.Sprintf("OpClass(%d)", int(cl))
+	}
+}
+
+// ClassOf maps a message tag to its traffic class.
+func ClassOf(tag Tag) OpClass {
+	switch tag {
+	case tagBarrier:
+		return OpBarrier
+	case tagBroadcast:
+		return OpBroadcast
+	case tagGather:
+		return OpGather
+	case tagAllGather:
+		return OpAllGather
+	case tagAllToAll:
+		return OpAllToAll
+	case tagReduce:
+		return OpReduce
+	case tagScan:
+		return OpScan
+	case tagMinLoc:
+		return OpMinLoc
+	case tagScatter:
+		return OpScatter
+	default:
+		return OpP2P
+	}
+}
+
+// CallCounter is implemented by communicators that can attribute collective
+// invocations (not just their messages) to an OpClass. The collectives in
+// this package count one call per invocation on every participating rank.
+type CallCounter interface {
+	CountCall(OpClass)
+}
+
+func countCall(c Communicator, cl OpClass) {
+	if oc, ok := c.(CallCounter); ok {
+		oc.CountCall(cl)
+	}
+}
 
 // Communicator is the per-rank handle to a process group. Implementations
 // must deliver messages between a fixed (from, to) pair in FIFO order.
@@ -69,12 +159,39 @@ type Communicator interface {
 	Stats() Stats
 }
 
-// Stats counts traffic at one rank.
+// OpStats counts one traffic class at one rank. WaitSeconds is the wall
+// time the rank spent blocked in Recv waiting for messages of this class —
+// the per-collective blocked-wait breakdown the phase reports surface.
+type OpStats struct {
+	Calls     int64
+	MsgsSent  int64
+	BytesSent int64
+	MsgsRecv  int64
+	BytesRecv int64
+	WaitSec   float64
+}
+
+// Add accumulates o into s.
+func (s *OpStats) Add(o OpStats) {
+	s.Calls += o.Calls
+	s.MsgsSent += o.MsgsSent
+	s.BytesSent += o.BytesSent
+	s.MsgsRecv += o.MsgsRecv
+	s.BytesRecv += o.BytesRecv
+	s.WaitSec += o.WaitSec
+}
+
+// Stats counts traffic at one rank. The aggregate fields count every
+// message; Ops breaks the same traffic down per collective primitive.
 type Stats struct {
 	MsgsSent  int64
 	BytesSent int64
 	MsgsRecv  int64
 	BytesRecv int64
+	// WaitSec is the total wall time spent blocked in Recv.
+	WaitSec float64
+	// Ops is the per-collective breakdown, indexed by OpClass.
+	Ops [NumOpClasses]OpStats
 }
 
 // Add accumulates o into s.
@@ -83,10 +200,77 @@ func (s *Stats) Add(o Stats) {
 	s.BytesSent += o.BytesSent
 	s.MsgsRecv += o.MsgsRecv
 	s.BytesRecv += o.BytesRecv
+	s.WaitSec += o.WaitSec
+	for i := range s.Ops {
+		s.Ops[i].Add(o.Ops[i])
+	}
+}
+
+// Sub returns s - o field-wise: the traffic between two snapshots.
+func (s Stats) Sub(o Stats) Stats {
+	d := Stats{
+		MsgsSent:  s.MsgsSent - o.MsgsSent,
+		BytesSent: s.BytesSent - o.BytesSent,
+		MsgsRecv:  s.MsgsRecv - o.MsgsRecv,
+		BytesRecv: s.BytesRecv - o.BytesRecv,
+		WaitSec:   s.WaitSec - o.WaitSec,
+	}
+	for i := range d.Ops {
+		d.Ops[i] = OpStats{
+			Calls:     s.Ops[i].Calls - o.Ops[i].Calls,
+			MsgsSent:  s.Ops[i].MsgsSent - o.Ops[i].MsgsSent,
+			BytesSent: s.Ops[i].BytesSent - o.Ops[i].BytesSent,
+			MsgsRecv:  s.Ops[i].MsgsRecv - o.Ops[i].MsgsRecv,
+			BytesRecv: s.Ops[i].BytesRecv - o.Ops[i].BytesRecv,
+			WaitSec:   s.Ops[i].WaitSec - o.Ops[i].WaitSec,
+		}
+	}
+	return d
 }
 
 func (s Stats) String() string {
 	return fmt.Sprintf("sent %d msgs/%d B, recv %d msgs/%d B", s.MsgsSent, s.BytesSent, s.MsgsRecv, s.BytesRecv)
+}
+
+// Table renders the per-collective breakdown as an aligned text table, one
+// row per traffic class that saw any activity, plus a totals row.
+func (s Stats) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %8s %10s %14s %10s %14s %12s\n",
+		"collective", "calls", "sends", "bytes-sent", "recvs", "bytes-recv", "wait-s")
+	for cl := OpClass(0); cl < NumOpClasses; cl++ {
+		op := s.Ops[cl]
+		if op == (OpStats{}) {
+			continue
+		}
+		fmt.Fprintf(&b, "%-10s %8d %10d %14d %10d %14d %12.6f\n",
+			cl, op.Calls, op.MsgsSent, op.BytesSent, op.MsgsRecv, op.BytesRecv, op.WaitSec)
+	}
+	fmt.Fprintf(&b, "%-10s %8s %10d %14d %10d %14d %12.6f\n",
+		"total", "", s.MsgsSent, s.BytesSent, s.MsgsRecv, s.BytesRecv, s.WaitSec)
+	return b.String()
+}
+
+// RecordSend counts one outgoing message in the aggregate and per-class
+// counters. Transports call it with the message's tag.
+func (s *Stats) RecordSend(tag Tag, bytes int) {
+	s.MsgsSent++
+	s.BytesSent += int64(bytes)
+	op := &s.Ops[ClassOf(tag)]
+	op.MsgsSent++
+	op.BytesSent += int64(bytes)
+}
+
+// RecordRecv counts one incoming message plus the wall time the receiver
+// spent blocked waiting for it.
+func (s *Stats) RecordRecv(tag Tag, bytes int, waitSec float64) {
+	s.MsgsRecv++
+	s.BytesRecv += int64(bytes)
+	s.WaitSec += waitSec
+	op := &s.Ops[ClassOf(tag)]
+	op.MsgsRecv++
+	op.BytesRecv += int64(bytes)
+	op.WaitSec += waitSec
 }
 
 // message is an in-flight channel-transport message.
@@ -149,6 +333,9 @@ func (c *ChannelComm) Clock() *costmodel.Clock { return c.clock }
 // Stats implements Communicator.
 func (c *ChannelComm) Stats() Stats { return c.stats }
 
+// CountCall implements CallCounter.
+func (c *ChannelComm) CountCall(cl OpClass) { c.stats.Ops[cl].Calls++ }
+
 // Send implements Communicator. It charges ts + m·tw to the sender's clock
 // and stamps the message so the receiver can align.
 func (c *ChannelComm) Send(to int, tag Tag, data []byte) error {
@@ -160,8 +347,7 @@ func (c *ChannelComm) Send(to int, tag Tag, data []byte) error {
 	}
 	cp := append([]byte(nil), data...)
 	c.clock.Advance(c.g.params.MessageCost(len(cp)))
-	c.stats.MsgsSent++
-	c.stats.BytesSent += int64(len(cp))
+	c.stats.RecordSend(tag, len(cp))
 	c.g.chans[c.rank*c.g.size+to] <- message{tag: tag, data: cp, sentAt: c.clock.Time()}
 	return nil
 }
@@ -175,13 +361,22 @@ func (c *ChannelComm) Recv(from int, tag Tag) ([]byte, error) {
 	if from == c.rank {
 		return nil, fmt.Errorf("comm: rank %d receiving from itself", c.rank)
 	}
-	m := <-c.g.chans[from*c.g.size+c.rank]
+	// Time the blocked wait only when the message has not yet arrived, so
+	// the fast path stays free of clock reads.
+	var m message
+	var wait float64
+	select {
+	case m = <-c.g.chans[from*c.g.size+c.rank]:
+	default:
+		t0 := time.Now()
+		m = <-c.g.chans[from*c.g.size+c.rank]
+		wait = time.Since(t0).Seconds()
+	}
 	if m.tag != tag {
 		return nil, fmt.Errorf("comm: rank %d: tag mismatch from rank %d: got %d, want %d", c.rank, from, m.tag, tag)
 	}
 	c.clock.AlignTo(m.sentAt)
-	c.stats.MsgsRecv++
-	c.stats.BytesRecv += int64(len(m.data))
+	c.stats.RecordRecv(tag, len(m.data), wait)
 	return m.data, nil
 }
 

@@ -75,3 +75,11 @@ func (s *SubComm) Clock() *costmodel.Clock { return s.parent.Clock() }
 
 // Stats implements Communicator.
 func (s *SubComm) Stats() Stats { return s.parent.Stats() }
+
+// CountCall forwards collective-call accounting to the parent, so subgroup
+// collectives appear in the rank's per-collective breakdown.
+func (s *SubComm) CountCall(cl OpClass) {
+	if oc, ok := s.parent.(CallCounter); ok {
+		oc.CountCall(cl)
+	}
+}

@@ -1,0 +1,84 @@
+package tcpcomm
+
+import (
+	"testing"
+
+	"pclouds/internal/comm"
+	"pclouds/internal/costmodel"
+)
+
+// collectiveWorkout runs a fixed collective sequence on one rank of any
+// transport, so the channel mesh and the TCP mesh can be compared.
+func collectiveWorkout(c comm.Communicator) error {
+	if err := comm.Barrier(c); err != nil {
+		return err
+	}
+	if _, err := comm.Broadcast(c, 0, []byte("payload")); err != nil {
+		return err
+	}
+	if _, err := comm.Gather(c, 0, []byte{byte(c.Rank())}); err != nil {
+		return err
+	}
+	if _, err := comm.AllGather(c, []byte{byte(c.Rank()), 0xfe}); err != nil {
+		return err
+	}
+	parts := make([][]byte, c.Size())
+	for d := range parts {
+		parts[d] = []byte{byte(c.Rank()), byte(d)}
+	}
+	if _, err := comm.AllToAll(c, parts); err != nil {
+		return err
+	}
+	if _, err := comm.AllReduceInt64(c, []int64{int64(c.Rank()), 7}, func(a, b int64) int64 { return a + b }); err != nil {
+		return err
+	}
+	_, _, err := comm.MinLoc(c, float64(c.Rank()), []byte{byte(c.Rank())})
+	return err
+}
+
+// TestPerCollectiveParityWithChannelMesh runs the same collective sequence
+// over the in-process channel mesh and the real TCP mesh and checks that
+// every rank observes identical per-collective invocation counts and
+// message/byte totals — the TCP transport must attribute traffic exactly
+// like the reference transport.
+func TestPerCollectiveParityWithChannelMesh(t *testing.T) {
+	const p = 4
+
+	chanStats := make([]comm.Stats, p)
+	if err := comm.Run(p, costmodel.Zero(), func(c *comm.ChannelComm) error {
+		if err := collectiveWorkout(c); err != nil {
+			return err
+		}
+		chanStats[c.Rank()] = c.Stats()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	comms := dialGroup(t, p)
+	tcpStats := make([]comm.Stats, p)
+	parallel(t, comms, func(c *Comm) error {
+		if err := collectiveWorkout(c); err != nil {
+			return err
+		}
+		tcpStats[c.Rank()] = c.Stats()
+		return nil
+	})
+
+	for r := 0; r < p; r++ {
+		for cl := comm.OpClass(0); cl < comm.NumOpClasses; cl++ {
+			ch, tc := chanStats[r].Ops[cl], tcpStats[r].Ops[cl]
+			if ch.Calls != tc.Calls {
+				t.Errorf("rank %d class %s: tcp %d calls, channel %d", r, cl, tc.Calls, ch.Calls)
+			}
+			if ch.MsgsSent != tc.MsgsSent || ch.BytesSent != tc.BytesSent ||
+				ch.MsgsRecv != tc.MsgsRecv || ch.BytesRecv != tc.BytesRecv {
+				t.Errorf("rank %d class %s traffic: tcp %+v, channel %+v", r, cl, tc, ch)
+			}
+		}
+		if chanStats[r].BytesSent != tcpStats[r].BytesSent {
+			t.Errorf("rank %d aggregate bytes: tcp %d, channel %d",
+				r, tcpStats[r].BytesSent, chanStats[r].BytesSent)
+		}
+	}
+}

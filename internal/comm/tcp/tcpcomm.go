@@ -202,6 +202,13 @@ func (c *Comm) Stats() comm.Stats {
 	return c.stats
 }
 
+// CountCall implements comm.CallCounter.
+func (c *Comm) CountCall(cl comm.OpClass) {
+	c.statsMu.Lock()
+	c.stats.Ops[cl].Calls++
+	c.statsMu.Unlock()
+}
+
 // Send implements comm.Communicator.
 func (c *Comm) Send(to int, tag comm.Tag, data []byte) error {
 	if to < 0 || to >= len(c.peers) || to == c.cfg.Rank {
@@ -219,8 +226,7 @@ func (c *Comm) Send(to int, tag comm.Tag, data []byte) error {
 		return fmt.Errorf("tcpcomm: rank %d send to %d: %w", c.cfg.Rank, to, err)
 	}
 	c.statsMu.Lock()
-	c.stats.MsgsSent++
-	c.stats.BytesSent += int64(len(data))
+	c.stats.RecordSend(tag, len(data))
 	c.statsMu.Unlock()
 	return nil
 }
@@ -234,7 +240,18 @@ func (c *Comm) Recv(from int, tag comm.Tag) ([]byte, error) {
 	if pe == nil {
 		return nil, fmt.Errorf("tcpcomm: rank %d: no connection to rank %d", c.cfg.Rank, from)
 	}
-	f, ok := <-pe.inbox
+	// Time the blocked wait only when no frame is already queued, keeping
+	// the fast path free of clock reads.
+	var f wire.Frame
+	var ok bool
+	var wait float64
+	select {
+	case f, ok = <-pe.inbox:
+	default:
+		t0 := time.Now()
+		f, ok = <-pe.inbox
+		wait = time.Since(t0).Seconds()
+	}
 	if !ok {
 		pe.errMu.Lock()
 		err := pe.readErr
@@ -246,8 +263,7 @@ func (c *Comm) Recv(from int, tag comm.Tag) ([]byte, error) {
 	}
 	c.clock.AlignTo(f.SentAt)
 	c.statsMu.Lock()
-	c.stats.MsgsRecv++
-	c.stats.BytesRecv += int64(len(f.Payload))
+	c.stats.RecordRecv(tag, len(f.Payload), wait)
 	c.statsMu.Unlock()
 	return f.Payload, nil
 }

@@ -27,6 +27,7 @@ import (
 
 	"pclouds/internal/comm"
 	"pclouds/internal/costmodel"
+	"pclouds/internal/obs"
 	"pclouds/internal/ooc"
 	"pclouds/internal/record"
 )
@@ -151,6 +152,10 @@ type Engine struct {
 	// Params supplies machine constants for strategy-specific simulated
 	// charges (e.g. the concatenated strategy's buffer-pressure seeks).
 	Params costmodel.Params
+	// Trace, when non-nil, records per-phase spans for this rank's run
+	// (see package obs). Like pclouds.Config.Trace, enable it on every
+	// rank of the group or none.
+	Trace *obs.Recorder
 
 	stats  RunStats
 	leaves map[string][]byte
@@ -165,6 +170,11 @@ func taskFile(id string) string { return "task-" + id }
 func (e *Engine) Run(p Problem, rootID string, strategy Strategy) (*Result, error) {
 	e.stats = RunStats{}
 	e.leaves = make(map[string][]byte)
+	e.Trace.SetClock(e.C.Clock())
+	e.Trace.SetComm(e.C.Stats)
+	e.Trace.AddIO("store", e.Store.Stats)
+	rspan := e.Trace.StartID("dnc-run", strategy.String())
+	defer rspan.End()
 	localN, err := e.Store.Count(taskFile(rootID))
 	if err != nil {
 		return nil, err
@@ -196,6 +206,8 @@ func (e *Engine) Run(p Problem, rootID string, strategy Strategy) (*Result, erro
 	// Collect every rank's leaf results at rank 0 so its map is complete
 	// regardless of strategy (task-parallel phases record leaves only at
 	// the solving rank).
+	fspan := e.Trace.Start("dnc-finalize")
+	defer fspan.End()
 	gathered, err := comm.Gather(e.C, 0, encodeLeafMap(e.leaves))
 	if err != nil {
 		return nil, err
@@ -244,6 +256,8 @@ func (e *Engine) countTask(c comm.Communicator, leaf bool) {
 
 // summarize streams a task's local file into a fresh summary vector.
 func (e *Engine) summarize(p Problem, t Task) ([]int64, error) {
+	span := e.Trace.StartID("dnc-summarize", t.ID)
+	defer span.End()
 	sum := make([]int64, p.SummaryLen(t))
 	n, err := e.streamTask(t, func(rec *record.Record) error {
 		p.Accumulate(t, sum, rec)
@@ -280,6 +294,8 @@ func (e *Engine) streamTask(t Task, fn func(*record.Record) error) (int64, error
 // partitionTask streams a task file into its two child files, returning the
 // local child record counts. The parent file is removed.
 func (e *Engine) partitionTask(p Problem, t Task, payload []byte) ([2]int64, error) {
+	span := e.Trace.StartID("dnc-partition", t.ID)
+	defer span.End()
 	var counts [2]int64
 	lw, err := e.Store.CreateWriter(taskFile(t.ID + "L"))
 	if err != nil {

@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
+	"sync"
+)
+
+// ServeDebug starts an HTTP server on addr exposing the standard runtime
+// endpoints: /debug/pprof/* (CPU, heap, goroutine, block profiles) and
+// /debug/vars (expvar, including everything published via Publish). It
+// returns the bound address (useful with ":0") once the listener is up;
+// the server itself runs in a background goroutine for the life of the
+// process.
+func ServeDebug(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go http.Serve(ln, nil) //nolint:errcheck // best-effort debug endpoint
+	return ln.Addr().String(), nil
+}
+
+var (
+	publishMu  sync.Mutex
+	publishSet = map[string]bool{}
+)
+
+// Publish exposes fn's value under name at /debug/vars. Unlike
+// expvar.Publish it is idempotent: re-publishing a name replaces nothing
+// and does not panic, so per-build republishing in long-lived processes and
+// tests is safe.
+func Publish(name string, fn func() any) {
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	if publishSet[name] {
+		return
+	}
+	publishSet[name] = true
+	expvar.Publish(name, expvar.Func(fn))
+}

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// traceFile is the per-rank JSON trace layout.
+type traceFile struct {
+	Rank     int              `json:"rank"`
+	Spans    []*Span          `json:"spans"`
+	Phases   []PhaseTotal     `json:"phases"`
+	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+// WriteJSON writes the rank's full trace — every completed span in start
+// order, the per-phase aggregation, and the free-form counters — as one
+// JSON document. A nil recorder writes an empty trace.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	tf := traceFile{Rank: r.Rank(), Spans: r.Spans(), Phases: r.Summary(), Counters: r.Counters()}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(tf)
+}
+
+// chromeEvent is one Chrome trace_event entry. The exporter emits complete
+// ("X") events plus thread_name metadata, with pid 0 and tid = rank, so
+// about://tracing and Perfetto show one row per rank.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace writes the recorders' spans as a Chrome trace_event JSON
+// document (loadable in about://tracing or ui.perfetto.dev), one timeline
+// row per rank. Timestamps are microseconds relative to each recorder's
+// epoch; the per-span args carry the instance label, simulated seconds and
+// communication/disk byte deltas.
+func WriteChromeTrace(w io.Writer, recs []*Recorder) error {
+	trace := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+	for _, r := range recs {
+		if r == nil {
+			continue
+		}
+		trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: r.Rank(),
+			Args: map[string]any{"name": fmt.Sprintf("rank %d", r.Rank())},
+		})
+		for _, s := range r.Spans() {
+			args := map[string]any{
+				"sim_s":      s.DurSim,
+				"comm_bytes": s.Comm.BytesSent,
+				"wait_s":     s.Comm.WaitSec,
+				"read_B":     s.IO.ReadBytes,
+				"write_B":    s.IO.WriteBytes,
+			}
+			if s.ID != "" {
+				args["id"] = s.ID
+			}
+			trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+				Name: s.Name, Cat: "build", Ph: "X", Pid: 0, Tid: s.Rank,
+				Ts: s.StartWall * 1e6, Dur: s.DurWall * 1e6, Args: args,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(trace)
+}
+
+// WriteChromeTraceFile is WriteChromeTrace to a named file.
+func WriteChromeTraceFile(path string, recs []*Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteChromeTrace(f, recs); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

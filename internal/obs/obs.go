@@ -1,0 +1,284 @@
+// Package obs is the per-rank observability layer: span-based phase tracing
+// for the mixed-parallelism drivers, metric registries that attribute the
+// communication and disk counters of packages comm and ooc to the enclosing
+// phase, and exporters (per-rank JSON traces, a Chrome trace_event file, a
+// rank-0 merged phase report) that reproduce the paper's phase-level
+// accounting (Table 1, Figs. 1-3).
+//
+// A Recorder is owned by exactly one rank and driven from that rank's
+// goroutine, mirroring the SPMD structure of the builders. Every method is
+// safe on a nil *Recorder and a nil *Span — a disabled build passes nil and
+// pays one pointer comparison per instrumentation point, so the hot paths
+// are unaffected when tracing is off.
+package obs
+
+import (
+	"sync"
+	"time"
+
+	"pclouds/internal/comm"
+	"pclouds/internal/costmodel"
+	"pclouds/internal/ooc"
+)
+
+// Span is one timed phase of a build. Wall times are monotonic seconds
+// since the recorder's creation; sim times come from the rank's simulated
+// costmodel clock when one is attached. Comm and IO are the rank's traffic
+// and disk deltas while the span was open, inclusive of child spans; the
+// Self* accessors subtract the direct children to give exclusive values
+// that sum without double counting.
+type Span struct {
+	Name string `json:"name"`
+	// ID is an optional instance label (e.g. the tree-node id).
+	ID    string `json:"id,omitempty"`
+	Rank  int    `json:"rank"`
+	Depth int    `json:"depth"`
+	// Seq numbers spans in start order within the recorder.
+	Seq int `json:"seq"`
+	// StartWall/DurWall are seconds relative to the recorder's epoch.
+	StartWall float64 `json:"start_wall"`
+	DurWall   float64 `json:"dur_wall"`
+	// StartSim/DurSim are simulated seconds (zero without a clock).
+	StartSim float64 `json:"start_sim"`
+	DurSim   float64 `json:"dur_sim"`
+	// Comm is the inclusive communication delta while the span was open.
+	Comm comm.Stats `json:"comm"`
+	// IO is the inclusive disk delta, summed over all attached stores.
+	IO ooc.IOStats `json:"io"`
+
+	rec       *Recorder
+	parent    *Span
+	startT    time.Time
+	commStart comm.Stats
+	ioStart   ooc.IOStats
+	// child* accumulate the direct children's inclusive values, so the
+	// exclusive (self) metrics are inclusive minus children.
+	childWall float64
+	childSim  float64
+	childComm comm.Stats
+	childIO   ooc.IOStats
+	ended     bool
+}
+
+// SelfWall is the span's exclusive wall time (children subtracted).
+func (s *Span) SelfWall() float64 { return s.DurWall - s.childWall }
+
+// SelfSim is the span's exclusive simulated time.
+func (s *Span) SelfSim() float64 { return s.DurSim - s.childSim }
+
+// SelfComm is the communication delta exclusive of child spans.
+func (s *Span) SelfComm() comm.Stats { return s.Comm.Sub(s.childComm) }
+
+// SelfIO is the disk delta exclusive of child spans.
+func (s *Span) SelfIO() ooc.IOStats {
+	return ooc.IOStats{
+		ReadOps:    s.IO.ReadOps - s.childIO.ReadOps,
+		ReadBytes:  s.IO.ReadBytes - s.childIO.ReadBytes,
+		WriteOps:   s.IO.WriteOps - s.childIO.WriteOps,
+		WriteBytes: s.IO.WriteBytes - s.childIO.WriteBytes,
+	}
+}
+
+// Recorder collects one rank's spans and counters. The zero value is not
+// usable; create with New. A nil *Recorder is the disabled recorder: every
+// method is a no-op and Start returns a nil *Span whose End is also a no-op.
+type Recorder struct {
+	mu       sync.Mutex
+	rank     int
+	epoch    time.Time
+	clock    *costmodel.Clock
+	commFn   func() comm.Stats
+	ioFns    []func() ooc.IOStats
+	ioNames  []string
+	stack    []*Span
+	done     []*Span
+	nextSeq  int
+	counters map[string]int64
+}
+
+// New creates an enabled recorder for one rank.
+func New(rank int) *Recorder {
+	return &Recorder{rank: rank, epoch: time.Now(), counters: make(map[string]int64)}
+}
+
+// Enabled reports whether the recorder collects anything (false for nil).
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Rank returns the owning rank (0 for a nil recorder).
+func (r *Recorder) Rank() int {
+	if r == nil {
+		return 0
+	}
+	return r.rank
+}
+
+// SetClock attaches the rank's simulated clock; spans then carry simulated
+// start times and durations alongside wall times.
+func (r *Recorder) SetClock(c *costmodel.Clock) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.clock = c
+	r.mu.Unlock()
+}
+
+// SetComm attaches the rank's communication-statistics source (typically
+// Communicator.Stats); spans then carry per-collective traffic deltas.
+func (r *Recorder) SetComm(fn func() comm.Stats) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.commFn = fn
+	r.mu.Unlock()
+}
+
+// AddIO registers a named store's statistics source (typically Store.Stats).
+// Several stores may be attached; span deltas sum over all of them, and the
+// per-store registry is exported in the JSON trace.
+func (r *Recorder) AddIO(name string, fn func() ooc.IOStats) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.ioNames = append(r.ioNames, name)
+	r.ioFns = append(r.ioFns, fn)
+	r.mu.Unlock()
+}
+
+// Count adds delta to a named free-form counter (e.g. records shipped).
+func (r *Recorder) Count(name string, delta int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.counters[name] += delta
+	r.mu.Unlock()
+}
+
+// Counters returns a copy of the free-form counters.
+func (r *Recorder) Counters() map[string]int64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.counters))
+	for k, v := range r.counters {
+		out[k] = v
+	}
+	return out
+}
+
+func (r *Recorder) ioNow() ooc.IOStats {
+	var io ooc.IOStats
+	for _, fn := range r.ioFns {
+		io.Add(fn())
+	}
+	return io
+}
+
+// Start opens a span nested under the currently open one. Returns nil on a
+// nil recorder.
+func (r *Recorder) Start(name string) *Span { return r.StartID(name, "") }
+
+// StartID is Start with an instance label attached to the span.
+func (r *Recorder) StartID(name, id string) *Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := time.Now()
+	s := &Span{
+		Name:      name,
+		ID:        id,
+		Rank:      r.rank,
+		Depth:     len(r.stack),
+		Seq:       r.nextSeq,
+		StartWall: now.Sub(r.epoch).Seconds(),
+		rec:       r,
+		startT:    now,
+	}
+	r.nextSeq++
+	if len(r.stack) > 0 {
+		s.parent = r.stack[len(r.stack)-1]
+	}
+	if r.clock != nil {
+		s.StartSim = r.clock.Time()
+	}
+	if r.commFn != nil {
+		s.commStart = r.commFn()
+	}
+	s.ioStart = r.ioNow()
+	r.stack = append(r.stack, s)
+	return s
+}
+
+// End closes the span, computing its wall, simulated, communication and
+// disk deltas. Spans must end in LIFO order; ending a span that is not the
+// innermost open one also ends every span nested inside it. End on a nil or
+// already-ended span is a no-op.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	r := s.rec
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	// Close any children left open (error paths), innermost first.
+	for len(r.stack) > 0 {
+		top := r.stack[len(r.stack)-1]
+		top.finishLocked()
+		r.stack = r.stack[:len(r.stack)-1]
+		if top == s {
+			return
+		}
+	}
+}
+
+// finishLocked stamps the span's deltas and records it; r.mu held.
+func (s *Span) finishLocked() {
+	r := s.rec
+	s.ended = true
+	s.DurWall = time.Since(s.startT).Seconds()
+	if r.clock != nil {
+		s.DurSim = r.clock.Time() - s.StartSim
+	}
+	if r.commFn != nil {
+		s.Comm = r.commFn().Sub(s.commStart)
+	}
+	end := r.ioNow()
+	s.IO = ooc.IOStats{
+		ReadOps:    end.ReadOps - s.ioStart.ReadOps,
+		ReadBytes:  end.ReadBytes - s.ioStart.ReadBytes,
+		WriteOps:   end.WriteOps - s.ioStart.WriteOps,
+		WriteBytes: end.WriteBytes - s.ioStart.WriteBytes,
+	}
+	if p := s.parent; p != nil {
+		p.childWall += s.DurWall
+		p.childSim += s.DurSim
+		p.childComm.Add(s.Comm)
+		p.childIO.Add(s.IO)
+	}
+	r.done = append(r.done, s)
+}
+
+// Spans returns the completed spans in start order. Open spans are not
+// included; call End on the root span first.
+func (r *Recorder) Spans() []*Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := append([]*Span(nil), r.done...)
+	// done is in end order; re-sort by start sequence.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1].Seq > out[j].Seq; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}

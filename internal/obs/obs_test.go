@@ -1,0 +1,269 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"pclouds/internal/comm"
+	"pclouds/internal/costmodel"
+	"pclouds/internal/ooc"
+)
+
+func TestNilRecorderIsNoOp(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Fatal("nil recorder reports enabled")
+	}
+	if r.Rank() != 0 {
+		t.Fatal("nil recorder rank != 0")
+	}
+	r.SetClock(nil)
+	r.SetComm(func() comm.Stats { return comm.Stats{} })
+	r.AddIO("x", func() ooc.IOStats { return ooc.IOStats{} })
+	r.Count("n", 1)
+	s := r.Start("phase")
+	if s != nil {
+		t.Fatal("nil recorder returned a non-nil span")
+	}
+	s.End() // must not panic
+	if r.Spans() != nil || r.Summary() != nil || r.Counters() != nil {
+		t.Fatal("nil recorder returned data")
+	}
+}
+
+func TestSpanNestingAndOrdering(t *testing.T) {
+	r := New(3)
+	a := r.Start("a")
+	b := r.Start("b")
+	b.End()
+	c := r.StartID("c", "n1")
+	c.End()
+	a.End()
+
+	spans := r.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	wantNames := []string{"a", "b", "c"}
+	wantDepths := []int{0, 1, 1}
+	for i, s := range spans {
+		if s.Name != wantNames[i] {
+			t.Errorf("span %d name %q, want %q", i, s.Name, wantNames[i])
+		}
+		if s.Depth != wantDepths[i] {
+			t.Errorf("span %d depth %d, want %d", i, s.Depth, wantDepths[i])
+		}
+		if s.Seq != i {
+			t.Errorf("span %d seq %d", i, s.Seq)
+		}
+		if s.Rank != 3 {
+			t.Errorf("span %d rank %d, want 3", i, s.Rank)
+		}
+	}
+	if spans[2].ID != "n1" {
+		t.Errorf("span c id %q, want n1", spans[2].ID)
+	}
+	// Exclusive wall time of the parent is inclusive minus the children.
+	got := spans[0].SelfWall()
+	want := spans[0].DurWall - spans[1].DurWall - spans[2].DurWall
+	if diff := got - want; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("parent SelfWall %g, want %g", got, want)
+	}
+}
+
+func TestEndClosesOpenChildren(t *testing.T) {
+	r := New(0)
+	a := r.Start("a")
+	r.Start("b") // never ended explicitly (error path)
+	r.Start("c")
+	a.End()
+	spans := r.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3 (children force-closed)", len(spans))
+	}
+	a.End() // double End is a no-op
+	if len(r.Spans()) != 3 {
+		t.Fatal("double End recorded extra spans")
+	}
+}
+
+func TestCommAndIOAttribution(t *testing.T) {
+	var cs comm.Stats
+	var io ooc.IOStats
+	r := New(0)
+	r.SetComm(func() comm.Stats { return cs })
+	r.AddIO("store", func() ooc.IOStats { return io })
+
+	outer := r.Start("outer")
+	cs.RecordSend(comm.TagUser, 100)
+	io.ReadBytes += 10
+	inner := r.Start("inner")
+	cs.RecordSend(comm.TagUser, 30)
+	io.WriteBytes += 7
+	inner.End()
+	cs.RecordSend(comm.TagUser, 5)
+	outer.End()
+
+	spans := r.Spans()
+	o, in := spans[0], spans[1]
+	if o.Comm.BytesSent != 135 {
+		t.Errorf("outer inclusive bytes %d, want 135", o.Comm.BytesSent)
+	}
+	if in.Comm.BytesSent != 30 {
+		t.Errorf("inner bytes %d, want 30", in.Comm.BytesSent)
+	}
+	if self := o.SelfComm().BytesSent; self != 105 {
+		t.Errorf("outer exclusive bytes %d, want 105", self)
+	}
+	if o.IO.ReadBytes != 10 || o.IO.WriteBytes != 7 {
+		t.Errorf("outer inclusive IO %+v", o.IO)
+	}
+	if self := o.SelfIO(); self.WriteBytes != 0 || self.ReadBytes != 10 {
+		t.Errorf("outer exclusive IO %+v", self)
+	}
+
+	sum := r.Summary()
+	if len(sum) != 2 || sum[0].Name != "outer" || sum[1].Name != "inner" {
+		t.Fatalf("summary %+v", sum)
+	}
+	// Exclusive values sum back to the total traffic.
+	total := sum[0].Comm.BytesSent + sum[1].Comm.BytesSent
+	if total != cs.BytesSent {
+		t.Errorf("summary bytes %d, want %d", total, cs.BytesSent)
+	}
+}
+
+func TestSimTimeFromClock(t *testing.T) {
+	clock := costmodel.NewClock()
+	r := New(0)
+	r.SetClock(clock)
+	s := r.Start("phase")
+	clock.Advance(1.5)
+	s.End()
+	if got := r.Spans()[0].DurSim; got != 1.5 {
+		t.Errorf("DurSim %g, want 1.5", got)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	r := New(2)
+	r.Count("records", 42)
+	s := r.Start("phase")
+	s.End()
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		Rank     int              `json:"rank"`
+		Spans    []Span           `json:"spans"`
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if tf.Rank != 2 || len(tf.Spans) != 1 || tf.Counters["records"] != 42 {
+		t.Fatalf("round-trip %+v", tf)
+	}
+}
+
+func TestChromeTrace(t *testing.T) {
+	recs := []*Recorder{New(0), New(1), nil}
+	for _, r := range recs[:2] {
+		s := r.Start("build")
+		r.Start("phase").End()
+		s.End()
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Tid  int     `json:"tid"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("invalid trace JSON: %v", err)
+	}
+	tids := map[int]bool{}
+	meta, complete := 0, 0
+	for _, e := range tr.TraceEvents {
+		tids[e.Tid] = true
+		switch e.Ph {
+		case "M":
+			meta++
+		case "X":
+			complete++
+		default:
+			t.Errorf("unexpected event phase %q", e.Ph)
+		}
+	}
+	if meta != 2 || complete != 4 {
+		t.Errorf("got %d metadata / %d complete events, want 2/4", meta, complete)
+	}
+	if !tids[0] || !tids[1] || len(tids) != 2 {
+		t.Errorf("tids %v, want {0,1}", tids)
+	}
+}
+
+// TestMergedReportGroup runs an SPMD phase pattern over a 4-rank channel
+// mesh and checks that rank 0's merged report covers every phase in start
+// order with the group's traffic attributed, and that the other ranks
+// return an empty report.
+func TestMergedReportGroup(t *testing.T) {
+	const p = 4
+	reports := make([]string, p)
+	err := comm.Run(p, costmodel.Zero(), func(c *comm.ChannelComm) error {
+		r := New(c.Rank())
+		r.SetClock(c.Clock())
+		r.SetComm(c.Stats)
+		build := r.Start("build")
+
+		alpha := r.Start("alpha")
+		if _, err := comm.AllReduceInt64(c, []int64{1}, func(a, b int64) int64 { return a + b }); err != nil {
+			return err
+		}
+		alpha.End()
+
+		beta := r.Start("beta")
+		if _, err := comm.AllGather(c, []byte{byte(c.Rank())}); err != nil {
+			return err
+		}
+		beta.End()
+
+		build.End()
+		rep, err := MergedReport(c, r)
+		if err != nil {
+			return err
+		}
+		reports[c.Rank()] = rep
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rk := 1; rk < p; rk++ {
+		if reports[rk] != "" {
+			t.Errorf("rank %d returned a non-empty report", rk)
+		}
+	}
+	rep := reports[0]
+	iBuild := strings.Index(rep, "build")
+	iAlpha := strings.Index(rep, "alpha")
+	iBeta := strings.Index(rep, "beta")
+	if iBuild < 0 || iAlpha < 0 || iBeta < 0 {
+		t.Fatalf("report missing phases:\n%s", rep)
+	}
+	if !(iBuild < iAlpha && iAlpha < iBeta) {
+		t.Errorf("phases out of start order:\n%s", rep)
+	}
+	if !strings.Contains(rep, "4 ranks") {
+		t.Errorf("report missing rank count:\n%s", rep)
+	}
+}

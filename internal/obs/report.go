@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"pclouds/internal/comm"
+	"pclouds/internal/ooc"
+)
+
+// PhaseTotal aggregates every span of one name at one rank. Wall/Sim are
+// inclusive of nested phases; WallSelf/SimSelf and the Comm/IO deltas are
+// exclusive, so summing them across phases never double-counts and the
+// totals reconcile with the rank's comm.Stats and ooc.IOStats.
+type PhaseTotal struct {
+	Name     string      `json:"name"`
+	Count    int64       `json:"count"`
+	Wall     float64     `json:"wall"`
+	WallSelf float64     `json:"wall_self"`
+	Sim      float64     `json:"sim"`
+	SimSelf  float64     `json:"sim_self"`
+	Comm     comm.Stats  `json:"comm"`
+	IO       ooc.IOStats `json:"io"`
+	// firstSeq orders phases by first appearance, which is identical on
+	// every rank of an SPMD build.
+	FirstSeq int `json:"first_seq"`
+}
+
+// Summary aggregates the recorder's completed spans by phase name, ordered
+// by first appearance. Returns nil on a nil recorder.
+func (r *Recorder) Summary() []PhaseTotal {
+	if r == nil {
+		return nil
+	}
+	byName := make(map[string]*PhaseTotal)
+	var order []string
+	for _, s := range r.Spans() {
+		pt, ok := byName[s.Name]
+		if !ok {
+			pt = &PhaseTotal{Name: s.Name, FirstSeq: s.Seq}
+			byName[s.Name] = pt
+			order = append(order, s.Name)
+		}
+		pt.Count++
+		pt.Wall += s.DurWall
+		pt.WallSelf += s.SelfWall()
+		pt.Sim += s.DurSim
+		pt.SimSelf += s.SelfSim()
+		pt.Comm.Add(s.SelfComm())
+		pt.IO.Add(s.SelfIO())
+	}
+	out := make([]PhaseTotal, 0, len(order))
+	for _, name := range order {
+		out = append(out, *byName[name])
+	}
+	return out
+}
+
+// mergedPhase is one phase's cross-rank aggregate in the rank-0 report.
+type mergedPhase struct {
+	name     string
+	firstSeq int
+	count    int64
+	minWall, maxWall, sumWall float64
+	minSim, maxSim, sumSim    float64
+	ranks    int
+	comm     comm.Stats
+	io       ooc.IOStats
+	waitSec  float64
+}
+
+// MergedReport gathers every rank's phase summary at rank 0 (one Gather on
+// the group) and renders the cross-rank table the paper's evaluation is
+// built from: per phase, the max/min/avg exclusive wall and simulated
+// seconds across ranks, plus group-total communication, blocked-wait and
+// disk volumes. Every rank of the group must call it at the same point;
+// ranks other than 0 return "". Phases are ordered by first appearance (an
+// SPMD build starts phases in the same order everywhere), so the report is
+// deterministic up to the measured numbers.
+func MergedReport(c comm.Communicator, r *Recorder) (string, error) {
+	payload, err := json.Marshal(r.Summary())
+	if err != nil {
+		return "", fmt.Errorf("obs: encoding phase summary: %w", err)
+	}
+	parts, err := comm.Gather(c, 0, payload)
+	if err != nil {
+		return "", fmt.Errorf("obs: gathering phase summaries: %w", err)
+	}
+	if c.Rank() != 0 {
+		return "", nil
+	}
+	merged := make(map[string]*mergedPhase)
+	var order []string
+	for _, raw := range parts {
+		var sum []PhaseTotal
+		if err := json.Unmarshal(raw, &sum); err != nil {
+			return "", fmt.Errorf("obs: decoding phase summary: %w", err)
+		}
+		for _, pt := range sum {
+			m, ok := merged[pt.Name]
+			if !ok {
+				m = &mergedPhase{name: pt.Name, firstSeq: pt.FirstSeq,
+					minWall: pt.WallSelf, minSim: pt.SimSelf}
+				merged[pt.Name] = m
+				order = append(order, pt.Name)
+			}
+			m.count += pt.Count
+			m.ranks++
+			m.sumWall += pt.WallSelf
+			m.sumSim += pt.SimSelf
+			if pt.WallSelf < m.minWall {
+				m.minWall = pt.WallSelf
+			}
+			if pt.WallSelf > m.maxWall {
+				m.maxWall = pt.WallSelf
+			}
+			if pt.SimSelf < m.minSim {
+				m.minSim = pt.SimSelf
+			}
+			if pt.SimSelf > m.maxSim {
+				m.maxSim = pt.SimSelf
+			}
+			m.comm.Add(pt.Comm)
+			m.io.Add(pt.IO)
+			m.waitSec += pt.Comm.WaitSec
+		}
+	}
+	// Order by first appearance; ties (phases some ranks never started, or
+	// differing local orders) break by name for determinism.
+	sort.SliceStable(order, func(i, j int) bool {
+		a, b := merged[order[i]], merged[order[j]]
+		if a.firstSeq != b.firstSeq {
+			return a.firstSeq < b.firstSeq
+		}
+		return a.name < b.name
+	})
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "phase report (%d ranks; wall/sim are per-phase exclusive seconds)\n", c.Size())
+	tw := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "phase\tspans\twall-max\twall-min\twall-avg\tsim-max\tsim-min\tsim-avg\tcomm-bytes\twait-s\tread-B\twrite-B")
+	for _, name := range order {
+		m := merged[name]
+		fmt.Fprintf(tw, "%s\t%d\t%.6f\t%.6f\t%.6f\t%.6f\t%.6f\t%.6f\t%d\t%.6f\t%d\t%d\n",
+			m.name, m.count,
+			m.maxWall, m.minWall, m.sumWall/float64(m.ranks),
+			m.maxSim, m.minSim, m.sumSim/float64(m.ranks),
+			m.comm.BytesSent, m.waitSec, m.io.ReadBytes, m.io.WriteBytes)
+	}
+	if err := tw.Flush(); err != nil {
+		return "", err
+	}
+	return sb.String(), nil
+}

@@ -57,12 +57,24 @@ type backend interface {
 
 // Store is one rank's private disk namespace for records of one schema.
 type Store struct {
-	schema  *record.Schema
-	params  costmodel.Params
-	clock   *costmodel.Clock
-	b       backend
-	statsMu sync.Mutex
-	stats   IOStats
+	schema   *record.Schema
+	params   costmodel.Params
+	clock    *costmodel.Clock
+	b        backend
+	statsMu  sync.Mutex
+	stats    IOStats
+	observer func(write bool, bytes int64)
+}
+
+// SetObserver installs a callback invoked on every charged page transfer
+// (write=true for writes), letting live exporters (expvar, tracing) see I/O
+// as it happens without polling. A nil observer (the default) costs one
+// pointer comparison per page operation. The callback runs with the store's
+// stats lock held and must not call back into the store.
+func (s *Store) SetObserver(fn func(write bool, bytes int64)) {
+	s.statsMu.Lock()
+	s.observer = fn
+	s.statsMu.Unlock()
 }
 
 // NewFileStore creates a store over real files in dir (created if absent).
@@ -96,6 +108,9 @@ func (s *Store) chargeRead(bytes int) {
 	s.statsMu.Lock()
 	s.stats.ReadOps++
 	s.stats.ReadBytes += int64(bytes)
+	if s.observer != nil {
+		s.observer(false, int64(bytes))
+	}
 	s.statsMu.Unlock()
 }
 
@@ -104,6 +119,9 @@ func (s *Store) chargeWrite(bytes int) {
 	s.statsMu.Lock()
 	s.stats.WriteOps++
 	s.stats.WriteBytes += int64(bytes)
+	if s.observer != nil {
+		s.observer(true, int64(bytes))
+	}
 	s.statsMu.Unlock()
 }
 

@@ -32,6 +32,7 @@ func (b *pbuilder) deriveSplit(t *nodeTask) (clouds.Candidate, error) {
 	if local == nil {
 		// No fused statistics from the parent (the root, or fusion off):
 		// one streaming pass builds them now.
+		span := b.rec.Start("stats")
 		q := b.cfg.Clouds.QForNode(t.n, b.nRoot)
 		intervals := clouds.BuildIntervals(b.schema, t.sample, q)
 		local = clouds.NewNodeStats(b.schema, intervals)
@@ -45,8 +46,10 @@ func (b *pbuilder) deriveSplit(t *nodeTask) (clouds.Candidate, error) {
 		}
 		b.stats.Build.RecordReads += localN
 		b.chargeCPU(localN)
+		span.End()
 	}
 
+	bnd := b.rec.Start("boundary")
 	var boundaryBest clouds.Candidate
 	var alive []aliveInterval
 	var err error
@@ -62,6 +65,7 @@ func (b *pbuilder) deriveSplit(t *nodeTask) (clouds.Candidate, error) {
 	default:
 		err = fmt.Errorf("pclouds: unknown boundary method %d", b.cfg.Boundary)
 	}
+	bnd.End()
 	if err != nil {
 		return clouds.Candidate{}, err
 	}
@@ -74,7 +78,9 @@ func (b *pbuilder) deriveSplit(t *nodeTask) (clouds.Candidate, error) {
 	}
 	b.stats.Build.BoundaryEvaluated += t.n
 	tAlive := b.c.Clock().Time()
+	aspan := b.rec.Start("alive")
 	cand, err := b.evaluateAlive(t, local, boundaryBest, alive)
+	aspan.End()
 	b.stats.TimeAliveEval += b.c.Clock().Time() - tAlive
 	return cand, err
 }

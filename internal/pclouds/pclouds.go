@@ -37,6 +37,7 @@ import (
 	"pclouds/internal/clouds"
 	"pclouds/internal/comm"
 	"pclouds/internal/gini"
+	"pclouds/internal/obs"
 	"pclouds/internal/ooc"
 	"pclouds/internal/record"
 	"pclouds/internal/tree"
@@ -102,6 +103,12 @@ type Config struct {
 	// of a single owner, leaving no rank idle. The tree is unchanged; only
 	// the load balance improves.
 	RegroupIdle bool
+	// Trace, when non-nil, records per-phase spans, communication and I/O
+	// attribution for this rank (see package obs). It must be enabled on
+	// either every rank of the group or none: the end-of-build merged
+	// report is a collective. A nil Trace costs one pointer comparison per
+	// phase boundary.
+	Trace *obs.Recorder
 }
 
 // Stats aggregates one rank's view of a parallel build.
@@ -128,6 +135,9 @@ type Stats struct {
 	TimeAliveEval   float64
 	TimePartition   float64
 	TimeSmallPhase  float64
+	// PhaseReport is the rank-0 merged cross-rank phase table (empty on
+	// other ranks, and everywhere when tracing is off).
+	PhaseReport string
 }
 
 // nodeTask is one pending tree node, tracked identically on every rank.
@@ -154,6 +164,7 @@ type pbuilder struct {
 	nRoot  int64
 	stats  Stats
 	nextID int
+	rec    *obs.Recorder // nil when tracing is off
 }
 
 // Build runs pCLOUDS on this rank. The rank's partition of the training
@@ -164,7 +175,20 @@ func Build(cfg Config, c comm.Communicator, store *ooc.Store, rootName string, s
 	cfg.Clouds = cfg.Clouds.WithDefaults()
 	schema := store.Schema()
 
+	// Attach the tracer to this rank's clock, transport and store so every
+	// span carries simulated-time, communication and I/O deltas. All rec
+	// methods are no-ops on a nil recorder.
+	rec := cfg.Trace
+	rec.SetClock(c.Clock())
+	rec.SetComm(c.Stats)
+	rec.AddIO("store", store.Stats)
+	// Thread the recorder into the direct-method builder so shipped
+	// small-node subtrees appear nested under the small-node phase.
+	cfg.Clouds.Trace = rec
+	bspan := rec.StartID("build", rootName)
+
 	// Global root class counts (one counting pass + one combine).
+	pre := rec.Start("preprocess")
 	localCounts := make([]int64, schema.NumClasses)
 	var localN int64
 	if err := scanStore(store, rootName, func(r *record.Record) error {
@@ -175,6 +199,7 @@ func Build(cfg Config, c comm.Communicator, store *ooc.Store, rootName string, s
 		return nil, nil, err
 	}
 	globalCounts, err := comm.AllReduceInt64(c, localCounts, addI64)
+	pre.End()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -183,7 +208,7 @@ func Build(cfg Config, c comm.Communicator, store *ooc.Store, rootName string, s
 		return nil, nil, fmt.Errorf("pclouds: empty global training set")
 	}
 
-	b := &pbuilder{cfg: cfg, c: c, store: store, schema: schema, nRoot: n}
+	b := &pbuilder{cfg: cfg, c: c, store: store, schema: schema, nRoot: n, rec: rec}
 	b.stats.Build.RecordReads += localN
 	b.chargeCPU(localN)
 
@@ -213,6 +238,7 @@ func Build(cfg Config, c comm.Communicator, store *ooc.Store, rootName string, s
 	}
 
 	tSmall := c.Clock().Time()
+	sspan := rec.Start("small-phase")
 	if cfg.RegroupIdle && len(small) > 0 && len(small) < c.Size() {
 		if err := b.smallNodePhaseRegroup(small); err != nil {
 			return nil, nil, err
@@ -220,15 +246,27 @@ func Build(cfg Config, c comm.Communicator, store *ooc.Store, rootName string, s
 	} else if err := b.smallNodePhase(small); err != nil {
 		return nil, nil, err
 	}
+	sspan.End()
 	b.stats.TimeSmallPhase = c.Clock().Time() - tSmall
 
 	t := &tree.Tree{Schema: schema, Root: root}
 	b.stats.Build.Nodes = t.NumNodes()
 	b.stats.Build.Leaves = t.NumLeaves()
 	b.stats.Build.MaxDepth = t.Depth()
+	// Close the build span before reading the final counters so its deltas
+	// match Stats exactly; the merged report's own gather is deliberately
+	// outside both.
+	bspan.End()
 	b.stats.Comm = c.Stats()
 	b.stats.IO = store.Stats()
 	b.stats.SimTime = c.Clock().Time()
+	if rec != nil {
+		report, err := obs.MergedReport(c, rec)
+		if err != nil {
+			return nil, nil, fmt.Errorf("pclouds: merging phase report: %w", err)
+		}
+		b.stats.PhaseReport = report
+	}
 	st := b.stats
 	return t, &st, nil
 }
@@ -280,6 +318,8 @@ func (b *pbuilder) processLargeNode(t *nodeTask) ([]*nodeTask, error) {
 		return nil, nil
 	}
 	b.stats.LargeNodes++
+	node := b.rec.StartID("large-node", t.id)
+	defer node.End()
 
 	t0 := b.c.Clock().Time()
 	cand, err := b.deriveSplit(t)
@@ -325,6 +365,8 @@ func (b *pbuilder) processLargeNode(t *nodeTask) ([]*nodeTask, error) {
 	}
 
 	tPart := b.c.Clock().Time()
+	pspan := b.rec.Start("partition")
+	defer pspan.End()
 	defer func() { b.stats.TimePartition += b.c.Clock().Time() - tPart }()
 	b.nextID++
 	leftFile := fmt.Sprintf("%s-%dL", t.file, b.nextID)

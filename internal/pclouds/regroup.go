@@ -68,6 +68,7 @@ func (b *pbuilder) smallNodePhaseRegroup(small []*nodeTask) error {
 
 	// Ship each task's records to every member of its group, in one
 	// all-to-all.
+	rspan := b.rec.Start("small-redistribute")
 	perDest := make([][][]record.Record, p)
 	for d := range perDest {
 		perDest[d] = make([][]record.Record, len(small))
@@ -108,8 +109,10 @@ func (b *pbuilder) smallNodePhaseRegroup(small []*nodeTask) error {
 			return err
 		}
 	}
+	rspan.End()
 
 	// Identify this rank's group and build its tasks cooperatively.
+	gspan := b.rec.Start("small-solve")
 	results := make([][]byte, len(small))
 	myGroup := -1
 	for i, g := range groups {
@@ -138,8 +141,11 @@ func (b *pbuilder) smallNodePhaseRegroup(small []*nodeTask) error {
 	if sub.Rank() == 0 {
 		results[myGroup] = tree.Encode(&tree.Tree{Schema: b.schema, Root: nd})
 	}
+	gspan.End()
 
 	// Exchange the finished subtrees (as in the single-owner phase).
+	espan := b.rec.Start("small-exchange")
+	defer espan.End()
 	gathered, err := comm.AllGather(b.c, encodeSubtrees(results))
 	if err != nil {
 		return err

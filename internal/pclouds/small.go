@@ -32,6 +32,7 @@ func (b *pbuilder) smallNodePhase(small []*nodeTask) error {
 
 	// Ship every record of every small node to its owner, batched into one
 	// exchange. Frame per task: [u32 taskIdx][u32 n][n records].
+	rspan := b.rec.Start("small-redistribute")
 	perDest := make([][][]record.Record, p)
 	for d := range perDest {
 		perDest[d] = make([][]record.Record, len(small))
@@ -69,9 +70,11 @@ func (b *pbuilder) smallNodePhase(small []*nodeTask) error {
 			return err
 		}
 	}
+	rspan.End()
 
 	// Build owned subtrees locally; no further communication until the
 	// exchange of results.
+	bspan := b.rec.Start("small-solve")
 	results := make([][]byte, len(small))
 	for i, t := range small {
 		if owner[i] != rank {
@@ -87,8 +90,11 @@ func (b *pbuilder) smallNodePhase(small []*nodeTask) error {
 		b.stats.Build.LargeNodes += st.LargeNodes
 		results[i] = tree.Encode(&tree.Tree{Schema: b.schema, Root: nd})
 	}
+	bspan.End()
 
 	// Exchange the encoded subtrees so every rank attaches the same tree.
+	espan := b.rec.Start("small-exchange")
+	defer espan.End()
 	gathered, err := comm.AllGather(b.c, encodeSubtrees(results))
 	if err != nil {
 		return err
