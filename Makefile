@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: all check build vet test race bench experiments examples cover clean
+.PHONY: all check build vet vet-concurrency test race bench experiments examples cover clean
 
 all: build vet test
 
 # check is the full pre-commit gate: compile, vet, tests, and the
-# concurrency-heavy packages (transports and the SPMD driver) under the
-# race detector.
+# concurrency-heavy packages (the async I/O pipeline, transports and the
+# SPMD driver) under the race detector.
 check: build vet test race
 
 build:
@@ -18,8 +18,14 @@ vet:
 test:
 	$(GO) test ./...
 
-race:
-	$(GO) test -race ./internal/comm/... ./internal/pclouds/...
+# The ooc and comm/tcp tests enable the pipeline (read-ahead/write-behind
+# goroutines and the per-tag receive queues), so every build exercises the
+# new concurrency under the race detector.
+race: vet-concurrency
+	$(GO) test -race ./internal/ooc/... ./internal/comm/... ./internal/pclouds/...
+
+vet-concurrency:
+	$(GO) vet ./internal/ooc/... ./internal/comm/tcp/...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -26,6 +26,7 @@ import (
 
 	"pclouds/internal/experiments"
 	"pclouds/internal/obs"
+	"pclouds/internal/ooc"
 )
 
 func main() {
@@ -37,6 +38,8 @@ func main() {
 		format  = flag.String("format", "table", "output format: table or csv (fig1/fig2/fig3/table1 only)")
 		cpuprof = flag.String("cpuprofile", "", "write a CPU profile to this path")
 		memprof = flag.String("memprofile", "", "write a heap profile to this path at exit")
+		ioPipe  = flag.Bool("io-pipeline", false, "overlap disk I/O with computation (async read-ahead/write-behind)")
+		ioDepth = flag.Int("io-depth", ooc.DefaultPipelineDepth, "pages in flight per stream when -io-pipeline is on")
 	)
 	flag.Parse()
 
@@ -59,6 +62,7 @@ func main() {
 	h := experiments.DefaultHarness()
 	h.QRoot = *qroot
 	h.Seed = *seed
+	h.Pipeline = ooc.Pipeline{Enabled: *ioPipe, Depth: *ioDepth}
 
 	// The paper's sizes: 3.6, 4.8, 6.0, 7.2 million tuples; per-processor
 	// loads 0.2..0.6 million; processors 1..16.

@@ -51,6 +51,8 @@ func main() {
 		noFusion  = flag.Bool("no-fusion", false, "disable fused partitioning (extra stats pass per large node)")
 		traceOut  = flag.String("trace-out", "", "write a Chrome trace_event JSON of the parallel build to this path")
 		showStats = flag.Bool("stats", false, "print the merged per-phase report and per-rank comm/I/O tables")
+		ioPipe    = flag.Bool("io-pipeline", false, "overlap disk I/O with computation (async read-ahead/write-behind)")
+		ioDepth   = flag.Int("io-depth", ooc.DefaultPipelineDepth, "pages in flight per stream when -io-pipeline is on")
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile to this path")
 		memprof   = flag.String("memprofile", "", "write a heap profile to this path at exit")
 	)
@@ -120,7 +122,8 @@ func main() {
 		fmt.Printf("  record reads: %d, survival ratio: %.4f, large/small nodes: %d/%d\n",
 			st.RecordReads, st.SurvivalRatio(), st.LargeNodes, st.SmallNodes)
 	} else {
-		t, err = runParallel(cfg, *boundary, train, *procs, *regroup, *noFusion, *traceOut, *showStats)
+		pipe := ooc.Pipeline{Enabled: *ioPipe, Depth: *ioDepth}
+		t, err = runParallel(cfg, *boundary, train, *procs, *regroup, *noFusion, *traceOut, *showStats, pipe)
 		if err != nil {
 			fatal(err)
 		}
@@ -190,7 +193,7 @@ func classifyOnly(modelPath, testPath string, printTree bool) error {
 	return nil
 }
 
-func runParallel(cfg clouds.Config, boundary string, train *record.Dataset, p int, regroup, noFusion bool, traceOut string, showStats bool) (*tree.Tree, error) {
+func runParallel(cfg clouds.Config, boundary string, train *record.Dataset, p int, regroup, noFusion bool, traceOut string, showStats bool, pipe ooc.Pipeline) (*tree.Tree, error) {
 	pcfg := pclouds.Config{Clouds: cfg, RegroupIdle: regroup, DisableFusion: noFusion}
 	switch boundary {
 	case "attribute":
@@ -223,6 +226,7 @@ func runParallel(cfg clouds.Config, boundary string, train *record.Dataset, p in
 		go func(r int) {
 			defer func() { done <- struct{}{} }()
 			store := ooc.NewMemStore(train.Schema, params, comms[r].Clock())
+			store.SetPipeline(pipe)
 			w, err := store.CreateWriter("root")
 			if err != nil {
 				errs[r] = err

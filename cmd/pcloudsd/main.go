@@ -44,6 +44,8 @@ func main() {
 		timeout   = flag.Duration("dial-timeout", 30*time.Second, "mesh connection timeout")
 		traceOut  = flag.String("trace-out", "", "write this rank's trace JSON to this path (set on every rank)")
 		debugAddr = flag.String("debug-addr", "", "serve /debug/pprof and /debug/vars on this address (e.g. :6060)")
+		ioPipe    = flag.Bool("io-pipeline", false, "overlap disk I/O with computation (async read-ahead/write-behind)")
+		ioDepth   = flag.Int("io-depth", ooc.DefaultPipelineDepth, "pages in flight per stream when -io-pipeline is on")
 	)
 	flag.Parse()
 	addrs := strings.Split(*addrsFlag, ",")
@@ -87,6 +89,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	store.SetPipeline(ooc.Pipeline{Enabled: *ioPipe, Depth: *ioDepth})
 	w, err := store.CreateWriter("root")
 	if err != nil {
 		fatal(err)

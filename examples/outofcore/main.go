@@ -38,6 +38,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Overlap disk I/O with computation: scans are fed by a background
+	// read-ahead prefetcher and writes drain behind the build. Simulated
+	// costs and page counts are identical to the synchronous default.
+	store.SetPipeline(ooc.Pipeline{Enabled: true})
 	w, err := store.CreateWriter("train")
 	if err != nil {
 		log.Fatal(err)

@@ -35,14 +35,24 @@ type Config struct {
 	DialTimeout time.Duration
 }
 
+// peer is one connection of the mesh. Incoming frames are demultiplexed by
+// tag into per-tag FIFO queues, so a frame arriving for one tag can never
+// wedge a receiver waiting on another: a bounded single inbox would fill
+// with mismatched-tag frames and deadlock the whole connection once more
+// than its buffer depth arrived ahead of the matching Recv. The queues grow
+// with the traffic actually outstanding; comm.ChanBuffer no longer bounds
+// the TCP receive path.
 type peer struct {
 	conn  net.Conn
 	fr    *wire.Conn
 	sendM sync.Mutex
-	inbox chan wire.Frame
-	// readErr is set (before inbox closes) when the reader goroutine dies.
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queues map[int32][]wire.Frame
+	// readErr is set (before closed) when the reader goroutine dies.
 	readErr error
-	errMu   sync.Mutex
+	closed  bool
 }
 
 // Comm is one rank's handle to a TCP group.
@@ -114,9 +124,9 @@ func Dial(cfg Config) (*Comm, error) {
 	go func() {
 		defer wg.Done()
 		for j := cfg.Rank + 1; j < p; j++ {
-			conn, err := dialRetry(cfg.Addrs[j], cfg.DialTimeout)
+			conn, err := dialRetry(cfg.Addrs[j], cfg.Rank, j, cfg.DialTimeout)
 			if err != nil {
-				errc <- fmt.Errorf("tcpcomm: rank %d dial rank %d (%s): %w", cfg.Rank, j, cfg.Addrs[j], err)
+				errc <- err
 				return
 			}
 			fr := wire.NewConn(conn)
@@ -148,18 +158,34 @@ func Dial(cfg Config) (*Comm, error) {
 	return c, nil
 }
 
-func dialRetry(addr string, timeout time.Duration) (net.Conn, error) {
+// dialRetry connects to one peer, retrying until its listener is up. The
+// total time spent — including the final attempt — never exceeds timeout:
+// each attempt's own timeout is clamped to the time remaining, so the last
+// 1s try cannot overshoot the configured budget. Errors carry the peer's
+// rank and address so a failed mesh bring-up names the hole.
+func dialRetry(addr string, fromRank, toRank int, timeout time.Duration) (net.Conn, error) {
 	deadline := time.Now().Add(timeout)
+	var lastErr error
 	for {
-		conn, err := net.DialTimeout("tcp", addr, time.Second)
+		attempt := time.Second
+		if rem := time.Until(deadline); rem < attempt {
+			attempt = rem
+		}
+		if attempt <= 0 {
+			return nil, fmt.Errorf("tcpcomm: rank %d dial rank %d (%s): timed out after %v: %w",
+				fromRank, toRank, addr, timeout, lastErr)
+		}
+		conn, err := net.DialTimeout("tcp", addr, attempt)
 		if err == nil {
 			if tc, ok := conn.(*net.TCPConn); ok {
 				tc.SetNoDelay(true)
 			}
 			return conn, nil
 		}
-		if time.Now().After(deadline) {
-			return nil, err
+		lastErr = err
+		if !time.Now().Add(20 * time.Millisecond).Before(deadline) {
+			return nil, fmt.Errorf("tcpcomm: rank %d dial rank %d (%s): timed out after %v: %w",
+				fromRank, toRank, addr, timeout, lastErr)
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
@@ -169,21 +195,53 @@ func newPeer(conn net.Conn, fr *wire.Conn) *peer {
 	if tc, ok := conn.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
 	}
-	return &peer{conn: conn, fr: fr, inbox: make(chan wire.Frame, comm.ChanBuffer)}
+	pe := &peer{conn: conn, fr: fr, queues: make(map[int32][]wire.Frame)}
+	pe.cond = sync.NewCond(&pe.mu)
+	return pe
 }
 
 func (pe *peer) readLoop(rank int) {
 	for {
 		f, err := pe.fr.Recv()
+		pe.mu.Lock()
 		if err != nil {
-			pe.errMu.Lock()
 			pe.readErr = err
-			pe.errMu.Unlock()
-			close(pe.inbox)
+			pe.closed = true
+			pe.cond.Broadcast()
+			pe.mu.Unlock()
 			return
 		}
-		pe.inbox <- f
+		pe.queues[f.Tag] = append(pe.queues[f.Tag], f)
+		pe.cond.Broadcast()
+		pe.mu.Unlock()
 	}
+}
+
+// take dequeues the oldest frame of one tag, blocking until one arrives or
+// the connection dies. It reports the seconds spent blocked (zero when a
+// frame was already queued).
+func (pe *peer) take(tag int32) (wire.Frame, float64, error) {
+	pe.mu.Lock()
+	defer pe.mu.Unlock()
+	var wait float64
+	if len(pe.queues[tag]) == 0 && !pe.closed {
+		t0 := time.Now()
+		for len(pe.queues[tag]) == 0 && !pe.closed {
+			pe.cond.Wait()
+		}
+		wait = time.Since(t0).Seconds()
+	}
+	q := pe.queues[tag]
+	if len(q) == 0 {
+		return wire.Frame{}, wait, pe.readErr
+	}
+	f := q[0]
+	if len(q) == 1 {
+		delete(pe.queues, tag)
+	} else {
+		pe.queues[tag] = q[1:]
+	}
+	return f, wait, nil
 }
 
 // Rank implements comm.Communicator.
@@ -240,26 +298,9 @@ func (c *Comm) Recv(from int, tag comm.Tag) ([]byte, error) {
 	if pe == nil {
 		return nil, fmt.Errorf("tcpcomm: rank %d: no connection to rank %d", c.cfg.Rank, from)
 	}
-	// Time the blocked wait only when no frame is already queued, keeping
-	// the fast path free of clock reads.
-	var f wire.Frame
-	var ok bool
-	var wait float64
-	select {
-	case f, ok = <-pe.inbox:
-	default:
-		t0 := time.Now()
-		f, ok = <-pe.inbox
-		wait = time.Since(t0).Seconds()
-	}
-	if !ok {
-		pe.errMu.Lock()
-		err := pe.readErr
-		pe.errMu.Unlock()
+	f, wait, err := pe.take(int32(tag))
+	if err != nil {
 		return nil, fmt.Errorf("tcpcomm: rank %d: connection to rank %d failed: %w", c.cfg.Rank, from, err)
-	}
-	if comm.Tag(f.Tag) != tag {
-		return nil, fmt.Errorf("tcpcomm: rank %d: tag mismatch from %d: got %d want %d", c.cfg.Rank, from, f.Tag, tag)
 	}
 	c.clock.AlignTo(f.SentAt)
 	c.statsMu.Lock()

@@ -3,6 +3,7 @@ package tcpcomm
 import (
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -261,6 +262,115 @@ func TestBadHelloRejected(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("dial did not fail on bad hello")
+	}
+}
+
+// TestInterleavedTags is the regression test for the receive-path deadlock:
+// frames for one tag arriving ahead of the receiver's Recv for another must
+// not wedge the connection. The sender pushes more mismatched-tag frames
+// than any fixed inbox could buffer (comm.ChanBuffer was the old bound),
+// then the receiver drains them in the opposite order.
+func TestInterleavedTags(t *testing.T) {
+	const (
+		tagA = comm.TagUser
+		tagB = comm.TagUser + 1
+		nA   = comm.ChanBuffer + 64
+	)
+	comms := dialGroup(t, 2)
+	parallel(t, comms, func(c *Comm) error {
+		if c.Rank() == 0 {
+			for i := 0; i < nA; i++ {
+				if err := c.Send(1, tagA, []byte{byte(i), byte(i >> 8)}); err != nil {
+					return err
+				}
+			}
+			return c.Send(1, tagB, []byte("late tag"))
+		}
+		// Recv the late tag first: every tagA frame is already in flight
+		// ahead of it on the same connection.
+		got, err := c.Recv(0, tagB)
+		if err != nil {
+			return err
+		}
+		if string(got) != "late tag" {
+			return fmt.Errorf("tagB payload %q", got)
+		}
+		for i := 0; i < nA; i++ {
+			got, err := c.Recv(0, tagA)
+			if err != nil {
+				return err
+			}
+			if int(got[0])|int(got[1])<<8 != i {
+				return fmt.Errorf("tagA frame %d out of order: %v", i, got)
+			}
+		}
+		return nil
+	})
+}
+
+// TestConcurrentTagConsumers drains two tags from the same peer in separate
+// goroutines — the demultiplexed queues make per-tag Recv safe to overlap.
+func TestConcurrentTagConsumers(t *testing.T) {
+	const n = 200
+	comms := dialGroup(t, 2)
+	parallel(t, comms, func(c *Comm) error {
+		if c.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				if err := c.Send(1, comm.TagUser, []byte{1}); err != nil {
+					return err
+				}
+				if err := c.Send(1, comm.TagUser+1, []byte{2}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		errs := make(chan error, 2)
+		for k := 0; k < 2; k++ {
+			go func(tag comm.Tag, want byte) {
+				for i := 0; i < n; i++ {
+					got, err := c.Recv(0, tag)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if len(got) != 1 || got[0] != want {
+						errs <- fmt.Errorf("tag %d got %v", tag, got)
+						return
+					}
+				}
+				errs <- nil
+			}(comm.TagUser+comm.Tag(k), byte(k+1))
+		}
+		for k := 0; k < 2; k++ {
+			if err := <-errs; err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// TestDialDeadlineNotOvershot pins the dialRetry fix: the configured
+// timeout bounds the total connect time, including the final attempt, and
+// the error names the peer rank and address.
+func TestDialDeadlineNotOvershot(t *testing.T) {
+	addrs := freeAddrs(t, 2)
+	timeout := 300 * time.Millisecond
+	start := time.Now()
+	_, err := Dial(Config{Rank: 0, Addrs: addrs, DialTimeout: timeout})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("dial succeeded with no peer")
+	}
+	// Generous slack for scheduler jitter, but far below the old worst case
+	// of deadline + a full extra 1s DialTimeout attempt.
+	if elapsed > timeout+500*time.Millisecond {
+		t.Fatalf("dial took %v, overshooting the %v deadline", elapsed, timeout)
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, addrs[1]) || !strings.Contains(msg, "rank 1") {
+		t.Fatalf("error does not name the unreachable peer: %v", err)
 	}
 }
 

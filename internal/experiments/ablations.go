@@ -45,6 +45,7 @@ func (h Harness) StrategiesAblation(n, p int, switchN int64) ([]StrategyRow, err
 			go func(r int) {
 				defer func() { done <- struct{}{} }()
 				store := ooc.NewMemStore(schema, h.Params, comms[r].Clock())
+				store.SetPipeline(h.Pipeline)
 				var local []record.Record
 				for i := r; i < len(recs); i += p {
 					local = append(local, recs[i])

@@ -47,6 +47,10 @@ type Harness struct {
 	Regroup bool
 	// NoFusion disables fused partitioning (for the fusion ablation).
 	NoFusion bool
+	// Pipeline configures the stores' async I/O pipeline (read-ahead and
+	// write-behind). It changes wall time only: simulated costs and page
+	// counts are identical either way, so experiment shape is unaffected.
+	Pipeline ooc.Pipeline
 }
 
 // DefaultHarness returns the paper's configuration scaled for one host.
@@ -106,6 +110,7 @@ func (h Harness) Run(data *record.Dataset, sample []record.Record, p int) (*RunR
 	writers := make([]*ooc.Writer, p)
 	for r := 0; r < p; r++ {
 		stores[r] = ooc.NewMemStore(data.Schema, h.Params, comms[r].Clock())
+		stores[r].SetPipeline(h.Pipeline)
 		w, err := stores[r].CreateWriter("root")
 		if err != nil {
 			return nil, err

@@ -41,6 +41,7 @@ func (h Harness) MemoryAblation(n int, fractions []float64) ([]MemoryRow, error)
 	build := func(limit int64) (*tree.Tree, ooc.IOStats, float64, error) {
 		clock := costmodel.NewClock()
 		store := ooc.NewMemStore(data.Schema, h.Params, clock)
+		store.SetPipeline(h.Pipeline)
 		if err := store.WriteAll("root", data.Records); err != nil {
 			return nil, ooc.IOStats{}, 0, err
 		}

@@ -66,6 +66,7 @@ func WriteChromeTrace(w io.Writer, recs []*Recorder) error {
 				"wait_s":     s.Comm.WaitSec,
 				"read_B":     s.IO.ReadBytes,
 				"write_B":    s.IO.WriteBytes,
+				"io_wait_s":  s.IO.WaitSec,
 			}
 			if s.ID != "" {
 				args["id"] = s.ID

@@ -69,15 +69,10 @@ func (s *Span) SelfSim() float64 { return s.DurSim - s.childSim }
 // SelfComm is the communication delta exclusive of child spans.
 func (s *Span) SelfComm() comm.Stats { return s.Comm.Sub(s.childComm) }
 
-// SelfIO is the disk delta exclusive of child spans.
-func (s *Span) SelfIO() ooc.IOStats {
-	return ooc.IOStats{
-		ReadOps:    s.IO.ReadOps - s.childIO.ReadOps,
-		ReadBytes:  s.IO.ReadBytes - s.childIO.ReadBytes,
-		WriteOps:   s.IO.WriteOps - s.childIO.WriteOps,
-		WriteBytes: s.IO.WriteBytes - s.childIO.WriteBytes,
-	}
-}
+// SelfIO is the disk delta exclusive of child spans. Its WaitSec component
+// is the span's exclusive io-wait: time this phase actually stalled on the
+// async I/O pipeline rather than computing.
+func (s *Span) SelfIO() ooc.IOStats { return s.IO.Sub(s.childIO) }
 
 // Recorder collects one rank's spans and counters. The zero value is not
 // usable; create with New. A nil *Recorder is the disabled recorder: every
@@ -249,13 +244,7 @@ func (s *Span) finishLocked() {
 	if r.commFn != nil {
 		s.Comm = r.commFn().Sub(s.commStart)
 	}
-	end := r.ioNow()
-	s.IO = ooc.IOStats{
-		ReadOps:    end.ReadOps - s.ioStart.ReadOps,
-		ReadBytes:  end.ReadBytes - s.ioStart.ReadBytes,
-		WriteOps:   end.WriteOps - s.ioStart.WriteOps,
-		WriteBytes: end.WriteBytes - s.ioStart.WriteBytes,
-	}
+	s.IO = r.ioNow().Sub(s.ioStart)
 	if p := s.parent; p != nil {
 		p.childWall += s.DurWall
 		p.childSim += s.DurSim

@@ -70,6 +70,7 @@ type mergedPhase struct {
 	comm     comm.Stats
 	io       ooc.IOStats
 	waitSec  float64
+	ioWait   float64
 }
 
 // MergedReport gathers every rank's phase summary at rank 0 (one Gather on
@@ -126,6 +127,7 @@ func MergedReport(c comm.Communicator, r *Recorder) (string, error) {
 			m.comm.Add(pt.Comm)
 			m.io.Add(pt.IO)
 			m.waitSec += pt.Comm.WaitSec
+			m.ioWait += pt.IO.WaitSec
 		}
 	}
 	// Order by first appearance; ties (phases some ranks never started, or
@@ -141,14 +143,14 @@ func MergedReport(c comm.Communicator, r *Recorder) (string, error) {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "phase report (%d ranks; wall/sim are per-phase exclusive seconds)\n", c.Size())
 	tw := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "phase\tspans\twall-max\twall-min\twall-avg\tsim-max\tsim-min\tsim-avg\tcomm-bytes\twait-s\tread-B\twrite-B")
+	fmt.Fprintln(tw, "phase\tspans\twall-max\twall-min\twall-avg\tsim-max\tsim-min\tsim-avg\tcomm-bytes\twait-s\tread-B\twrite-B\tio-wait-s")
 	for _, name := range order {
 		m := merged[name]
-		fmt.Fprintf(tw, "%s\t%d\t%.6f\t%.6f\t%.6f\t%.6f\t%.6f\t%.6f\t%d\t%.6f\t%d\t%d\n",
+		fmt.Fprintf(tw, "%s\t%d\t%.6f\t%.6f\t%.6f\t%.6f\t%.6f\t%.6f\t%d\t%.6f\t%d\t%d\t%.6f\n",
 			m.name, m.count,
 			m.maxWall, m.minWall, m.sumWall/float64(m.ranks),
 			m.maxSim, m.minSim, m.sumSim/float64(m.ranks),
-			m.comm.BytesSent, m.waitSec, m.io.ReadBytes, m.io.WriteBytes)
+			m.comm.BytesSent, m.waitSec, m.io.ReadBytes, m.io.WriteBytes, m.ioWait)
 	}
 	if err := tw.Flush(); err != nil {
 		return "", err

@@ -17,6 +17,7 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"time"
 
 	"pclouds/internal/costmodel"
 	"pclouds/internal/record"
@@ -31,6 +32,12 @@ type IOStats struct {
 	ReadBytes  int64
 	WriteOps   int64
 	WriteBytes int64
+	// WaitSec is the wall-clock seconds the owning rank spent blocked on the
+	// asynchronous I/O pipeline — waiting for a prefetched page that was not
+	// ready, or for space in a write-behind queue. Always zero for
+	// synchronous stores (Pipeline disabled): there the whole transfer is
+	// inline, and inline time is attributed to the enclosing compute span.
+	WaitSec float64
 }
 
 // Add accumulates o into s.
@@ -39,10 +46,26 @@ func (s *IOStats) Add(o IOStats) {
 	s.ReadBytes += o.ReadBytes
 	s.WriteOps += o.WriteOps
 	s.WriteBytes += o.WriteBytes
+	s.WaitSec += o.WaitSec
+}
+
+// Sub returns s minus o, field by field.
+func (s IOStats) Sub(o IOStats) IOStats {
+	return IOStats{
+		ReadOps:    s.ReadOps - o.ReadOps,
+		ReadBytes:  s.ReadBytes - o.ReadBytes,
+		WriteOps:   s.WriteOps - o.WriteOps,
+		WriteBytes: s.WriteBytes - o.WriteBytes,
+		WaitSec:    s.WaitSec - o.WaitSec,
+	}
 }
 
 func (s IOStats) String() string {
-	return fmt.Sprintf("read %d ops/%d B, write %d ops/%d B", s.ReadOps, s.ReadBytes, s.WriteOps, s.WriteBytes)
+	out := fmt.Sprintf("read %d ops/%d B, write %d ops/%d B", s.ReadOps, s.ReadBytes, s.WriteOps, s.WriteBytes)
+	if s.WaitSec > 0 {
+		out += fmt.Sprintf(", io-wait %.6fs", s.WaitSec)
+	}
+	return out
 }
 
 // backend abstracts the storage medium.
@@ -61,6 +84,7 @@ type Store struct {
 	params   costmodel.Params
 	clock    *costmodel.Clock
 	b        backend
+	pipe     Pipeline
 	statsMu  sync.Mutex
 	stats    IOStats
 	observer func(write bool, bytes int64)
@@ -69,8 +93,12 @@ type Store struct {
 // SetObserver installs a callback invoked on every charged page transfer
 // (write=true for writes), letting live exporters (expvar, tracing) see I/O
 // as it happens without polling. A nil observer (the default) costs one
-// pointer comparison per page operation. The callback runs with the store's
-// stats lock held and must not call back into the store.
+// pointer comparison per page operation. The callback is invoked outside
+// the store's stats lock (the installed function is snapshotted under the
+// lock), so it may block or call back into the store — e.g. read Stats —
+// without stalling page transfers or deadlocking. The relaxed guarantee is
+// that a callback may observe a Stats snapshot that already includes
+// transfers whose callbacks have not run yet.
 func (s *Store) SetObserver(fn func(write bool, bytes int64)) {
 	s.statsMu.Lock()
 	s.observer = fn
@@ -108,10 +136,11 @@ func (s *Store) chargeRead(bytes int) {
 	s.statsMu.Lock()
 	s.stats.ReadOps++
 	s.stats.ReadBytes += int64(bytes)
-	if s.observer != nil {
-		s.observer(false, int64(bytes))
-	}
+	obs := s.observer
 	s.statsMu.Unlock()
+	if obs != nil {
+		obs(false, int64(bytes))
+	}
 }
 
 func (s *Store) chargeWrite(bytes int) {
@@ -119,9 +148,20 @@ func (s *Store) chargeWrite(bytes int) {
 	s.statsMu.Lock()
 	s.stats.WriteOps++
 	s.stats.WriteBytes += int64(bytes)
-	if s.observer != nil {
-		s.observer(true, int64(bytes))
+	obs := s.observer
+	s.statsMu.Unlock()
+	if obs != nil {
+		obs(true, int64(bytes))
 	}
+}
+
+// addIOWait records time the rank spent blocked on the async pipeline.
+func (s *Store) addIOWait(sec float64) {
+	if sec <= 0 {
+		return
+	}
+	s.statsMu.Lock()
+	s.stats.WaitSec += sec
 	s.statsMu.Unlock()
 }
 
@@ -152,12 +192,26 @@ func (s *Store) Count(name string) (int64, error) {
 }
 
 // Writer appends records to a named file with page-sized buffered writes.
+// With the store's Pipeline enabled, full pages are handed to a background
+// write-behind goroutine instead of being written inline; a background
+// write failure is sticky and surfaces on the next Write, Flush or Close.
 type Writer struct {
 	s    *Store
-	wc   io.WriteCloser
+	wc   io.WriteCloser // nil when write-behind owns the stream
 	buf  []byte
 	n    int64
 	name string
+	wb   *writeBehind // nil = synchronous
+}
+
+func (s *Store) newWriter(wc io.WriteCloser, name string) *Writer {
+	w := &Writer{s: s, buf: make([]byte, 0, PageSize), name: name}
+	if pl := s.Pipeline(); pl.Enabled {
+		w.wb = startWriteBehind(wc, pl.depth())
+	} else {
+		w.wc = wc
+	}
+	return w
 }
 
 // CreateWriter creates (truncates) a named file for appending records.
@@ -166,7 +220,7 @@ func (s *Store) CreateWriter(name string) (*Writer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ooc: creating %q: %w", name, err)
 	}
-	return &Writer{s: s, wc: wc, buf: make([]byte, 0, PageSize), name: name}, nil
+	return s.newWriter(wc, name), nil
 }
 
 // AppendWriter opens a named file for appending records after its existing
@@ -177,7 +231,7 @@ func (s *Store) AppendWriter(name string) (*Writer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ooc: appending to %q: %w", name, err)
 	}
-	return &Writer{s: s, wc: wc, buf: make([]byte, 0, PageSize), name: name}, nil
+	return s.newWriter(wc, name), nil
 }
 
 // Write appends one record.
@@ -197,6 +251,9 @@ func (w *Writer) flush() error {
 	if len(w.buf) == 0 {
 		return nil
 	}
+	if w.wb != nil {
+		return w.handoff()
+	}
 	if _, err := w.wc.Write(w.buf); err != nil {
 		return fmt.Errorf("ooc: writing %q: %w", w.name, err)
 	}
@@ -205,25 +262,94 @@ func (w *Writer) flush() error {
 	return nil
 }
 
-// Close flushes and closes the file.
-func (w *Writer) Close() error {
-	if err := w.flush(); err != nil {
-		w.wc.Close()
-		return err
+// handoff passes the current page to the write-behind goroutine, charging
+// its cost here — the same logical point the synchronous flush charges — so
+// accounting does not depend on when the physical write lands. Time spent
+// blocked on a full queue is recorded as I/O wait.
+func (w *Writer) handoff() error {
+	if err := w.wb.fail(); err != nil {
+		return fmt.Errorf("ooc: writing %q: %w", w.name, err)
 	}
-	return w.wc.Close()
+	w.s.chargeWrite(len(w.buf))
+	item := wbItem{data: w.buf}
+	select {
+	case w.wb.ch <- item:
+	default:
+		t0 := time.Now()
+		w.wb.ch <- item
+		w.s.addIOWait(time.Since(t0).Seconds())
+	}
+	select {
+	case b := <-w.wb.free:
+		w.buf = b
+	default:
+		w.buf = make([]byte, 0, PageSize)
+	}
+	return nil
 }
 
-// Reader scans a named file sequentially, one page at a time.
+// Flush forces every buffered record out: the current partial page is
+// written (or handed off) and, when write-behind is active, the call blocks
+// until the background goroutine has drained the queue — an explicit
+// barrier that also surfaces any background write error.
+func (w *Writer) Flush() error {
+	if err := w.flush(); err != nil {
+		return err
+	}
+	if w.wb == nil {
+		return nil
+	}
+	ack := make(chan error, 1)
+	t0 := time.Now()
+	w.wb.ch <- wbItem{ack: ack}
+	err := <-ack
+	w.s.addIOWait(time.Since(t0).Seconds())
+	if err != nil {
+		return fmt.Errorf("ooc: writing %q: %w", w.name, err)
+	}
+	return nil
+}
+
+// Close flushes and closes the file. With write-behind active it is the
+// final barrier: it waits for the background goroutine to drain the queue
+// and release the stream, and reports any write error still pending.
+func (w *Writer) Close() error {
+	if w.wb == nil {
+		if err := w.flush(); err != nil {
+			w.wc.Close()
+			return err
+		}
+		return w.wc.Close()
+	}
+	ferr := w.flush()
+	close(w.wb.ch)
+	<-w.wb.stopped
+	if ferr != nil {
+		return ferr
+	}
+	if err := w.wb.fail(); err != nil {
+		return fmt.Errorf("ooc: writing %q: %w", w.name, err)
+	}
+	if err := w.wb.closeErr; err != nil {
+		return fmt.Errorf("ooc: closing %q: %w", w.name, err)
+	}
+	return nil
+}
+
+// Reader scans a named file sequentially, one page at a time. With the
+// store's Pipeline enabled, pages are pulled ahead of the scan by a
+// background prefetcher; the records seen, the error behaviour and the
+// charged page counts are identical to the synchronous path.
 type Reader struct {
 	s    *Store
-	rc   io.ReadCloser
+	rc   io.ReadCloser // nil when the prefetcher owns the stream
 	buf  []byte
 	off  int
 	end  int
 	eof  bool
 	name string
 	rb   int
+	pf   *prefetcher // nil = synchronous
 }
 
 // OpenReader opens a named file for sequential scanning.
@@ -232,7 +358,15 @@ func (s *Store) OpenReader(name string) (*Reader, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ooc: opening %q: %w", name, err)
 	}
-	return &Reader{s: s, rc: rc, buf: make([]byte, PageSize), name: name, rb: s.schema.RecordBytes()}, nil
+	r := &Reader{s: s, buf: make([]byte, PageSize), name: name, rb: s.schema.RecordBytes()}
+	// Records wider than a page cannot be streamed; keep the synchronous
+	// path so the existing diagnostics fire unchanged.
+	if pl := s.Pipeline(); pl.Enabled && r.rb > 0 && r.rb <= PageSize {
+		r.pf = startPrefetch(rc, r.rb, pl.depth())
+	} else {
+		r.rc = rc
+	}
+	return r, nil
 }
 
 // Next reads the next record into rec. It returns false at end of file.
@@ -263,6 +397,9 @@ func (r *Reader) fill() error {
 	if r.eof {
 		return nil
 	}
+	if r.pf != nil {
+		return r.fillPrefetched()
+	}
 	n, err := io.ReadFull(r.rc, r.buf[r.end:cap(r.buf)])
 	if n > 0 {
 		r.s.chargeRead(n)
@@ -278,8 +415,49 @@ func (r *Reader) fill() error {
 	return nil
 }
 
-// Close releases the underlying file.
-func (r *Reader) Close() error { return r.rc.Close() }
+// fillPrefetched takes the next page from the background reader, charging
+// its cost here — the point the synchronous path would have performed the
+// read — and recording time the scan actually stalled as I/O wait.
+func (r *Reader) fillPrefetched() error {
+	var c pfChunk
+	var ok bool
+	select {
+	case c, ok = <-r.pf.ch:
+	default:
+		t0 := time.Now()
+		c, ok = <-r.pf.ch
+		r.s.addIOWait(time.Since(t0).Seconds())
+	}
+	if !ok {
+		r.eof = true
+		return nil
+	}
+	if c.err != nil {
+		r.eof = true
+		return fmt.Errorf("ooc: reading %q: %w", r.name, c.err)
+	}
+	n := copy(r.buf[r.end:cap(r.buf)], c.data)
+	if n != len(c.data) {
+		return fmt.Errorf("ooc: reading %q: prefetched page of %d bytes overflows %d-byte window", r.name, len(c.data), cap(r.buf)-r.end)
+	}
+	r.s.chargeRead(n)
+	r.end += n
+	select {
+	case r.pf.free <- c.data[:0]:
+	default:
+	}
+	return nil
+}
+
+// Close releases the underlying file. With the prefetcher active it also
+// cancels the background read-ahead — abandoning a scan mid-stream leaks
+// no goroutine — and waits for the stream to be released.
+func (r *Reader) Close() error {
+	if r.pf != nil {
+		return r.pf.stop()
+	}
+	return r.rc.Close()
+}
 
 // WriteAll writes an entire record slice to a named file.
 func (s *Store) WriteAll(name string, recs []record.Record) error {
