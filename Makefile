@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check build vet vet-concurrency test race bench experiments examples cover clean
+.PHONY: all check build vet vet-concurrency test race fuzz bench experiments examples cover clean
 
 all: build vet test
 
@@ -19,13 +19,19 @@ test:
 	$(GO) test ./...
 
 # The ooc and comm/tcp tests enable the pipeline (read-ahead/write-behind
-# goroutines and the per-tag receive queues), so every build exercises the
-# new concurrency under the race detector.
+# goroutines and the per-tag receive queues), and the serve tests drive the
+# hot-swap registry and batching engine under concurrent clients, so every
+# build exercises the concurrency under the race detector.
 race: vet-concurrency
-	$(GO) test -race ./internal/ooc/... ./internal/comm/... ./internal/pclouds/...
+	$(GO) test -race ./internal/ooc/... ./internal/comm/... ./internal/pclouds/... ./internal/serve/...
 
 vet-concurrency:
-	$(GO) vet ./internal/ooc/... ./internal/comm/tcp/...
+	$(GO) vet ./internal/ooc/... ./internal/comm/tcp/... ./internal/serve/...
+
+# Short fuzz pass over the prediction-server request decoders: malformed
+# JSON/binary rows must get a 4xx, never a panic.
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzClassifyRequest -fuzztime=10s ./internal/serve
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -177,6 +177,9 @@ func classifyOnly(modelPath, testPath string, printTree bool) error {
 	if err != nil {
 		return err
 	}
+	if err := t.Validate(); err != nil {
+		return fmt.Errorf("%s: %w", modelPath, err)
+	}
 	fmt.Printf("loaded model: %s\n", metrics.Summarize(t))
 	if testPath != "" {
 		test, err := record.LoadFile(t.Schema, testPath)

@@ -1,0 +1,216 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a concurrency-safe fixed-bucket histogram. Bucket i counts
+// observations v with v <= bounds[i]; a final implicit +Inf bucket catches
+// the rest. Quantiles are estimated by linear interpolation inside the
+// containing bucket, which is accurate enough for serving dashboards while
+// keeping Observe O(log buckets) and allocation-free.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []int64 // len(bounds)+1; last is the overflow bucket
+	count  int64
+	sum    float64
+	max    float64
+}
+
+// NewHistogram builds a histogram with the given ascending bucket bounds.
+func NewHistogram(bounds ...float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bound")
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		panic("obs: histogram bounds must be ascending")
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]int64, len(bounds)+1),
+	}
+}
+
+// ExpBounds returns n ascending bounds starting at lo, each factor× the
+// previous — the usual latency bucket layout.
+func ExpBounds(lo, factor float64, n int) []float64 {
+	b := make([]float64, n)
+	v := lo
+	for i := range b {
+		b[i] = v
+		v *= factor
+	}
+	return b
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.mu.Lock()
+	h.counts[i]++
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean returns the mean observed value (0 when empty).
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Max returns the largest observed value (0 when empty).
+func (h *Histogram) Max() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) by interpolating within
+// the containing bucket. Values in the overflow bucket report the observed
+// max. Returns 0 when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.count)
+	var cum int64
+	for i, c := range h.counts {
+		prev := cum
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i == len(h.bounds) {
+			return h.max
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		hi := h.bounds[i]
+		if c == 0 {
+			return hi
+		}
+		frac := (rank - float64(prev)) / float64(c)
+		if math.IsNaN(frac) || frac < 0 {
+			frac = 0
+		} else if frac > 1 {
+			frac = 1
+		}
+		return lo + frac*(hi-lo)
+	}
+	return h.max
+}
+
+// Snapshot returns bucket labels and counts for export (expvar/JSON).
+// Only buckets at or below the highest non-empty one are included, so the
+// export stays compact.
+func (h *Histogram) Snapshot() map[string]int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	last := -1
+	for i, c := range h.counts {
+		if c > 0 {
+			last = i
+		}
+	}
+	out := make(map[string]int64, last+1)
+	for i := 0; i <= last; i++ {
+		var label string
+		if i == len(h.bounds) {
+			label = "+inf"
+		} else {
+			label = fmt.Sprintf("le_%g", h.bounds[i])
+		}
+		out[label] = h.counts[i]
+	}
+	return out
+}
+
+// RateCounter tracks an event rate with one-second resolution over a
+// fixed ring of seconds. It answers "how many events in the last N
+// seconds" without storing per-event state, so it is safe at any QPS.
+// Add is lock-free; a handful of events can be misattributed when many
+// goroutines cross a second boundary simultaneously, which is harmless
+// for a rate gauge and keeps the serving hot path cheap.
+type RateCounter struct {
+	slots []rateSlot
+	now   func() time.Time
+}
+
+type rateSlot struct {
+	sec atomic.Int64 // which unix second this slot currently holds
+	n   atomic.Int64
+}
+
+// NewRateCounter builds a counter covering a window of the given number of
+// seconds (minimum 2).
+func NewRateCounter(windowSeconds int) *RateCounter {
+	if windowSeconds < 2 {
+		windowSeconds = 2
+	}
+	return &RateCounter{
+		slots: make([]rateSlot, windowSeconds),
+		now:   time.Now,
+	}
+}
+
+// Add records n events now.
+func (r *RateCounter) Add(n int64) {
+	sec := r.now().Unix()
+	s := &r.slots[int(sec%int64(len(r.slots)))]
+	if s.sec.Load() != sec {
+		s.sec.Store(sec)
+		s.n.Store(0)
+	}
+	s.n.Add(n)
+}
+
+// Rate returns events/second averaged over the last window seconds
+// (capped at the ring size, excluding the current partial second when
+// possible).
+func (r *RateCounter) Rate(window int) float64 {
+	if window < 1 {
+		window = 1
+	}
+	if window > len(r.slots)-1 {
+		window = len(r.slots) - 1
+	}
+	sec := r.now().Unix()
+	var total int64
+	for s := sec - int64(window); s < sec; s++ {
+		slot := &r.slots[int(s%int64(len(r.slots)))]
+		if slot.sec.Load() == s {
+			total += slot.n.Load()
+		}
+	}
+	return float64(total) / float64(window)
+}

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram(ExpBounds(1, 2, 10)...) // 1,2,4,...,512
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i % 100))
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 16 || p50 > 96 {
+		t.Fatalf("p50 = %g, want within a bucket of the true median ~49.5", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < p50 {
+		t.Fatalf("p99 %g < p50 %g", p99, p50)
+	}
+	if h.Quantile(1) > h.Max()+128 {
+		t.Fatalf("p100 %g far above max %g", h.Quantile(1), h.Max())
+	}
+	if got := h.Max(); got != 99 {
+		t.Fatalf("max = %g", got)
+	}
+	if m := h.Mean(); math.Abs(m-49.5) > 1 {
+		t.Fatalf("mean = %g", m)
+	}
+}
+
+func TestHistogramEmptyAndOverflow(t *testing.T) {
+	h := NewHistogram(1, 10)
+	if h.Quantile(0.5) != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	h.Observe(1e9) // overflow bucket
+	if got := h.Quantile(0.99); got != 1e9 {
+		t.Fatalf("overflow quantile = %g, want the observed max", got)
+	}
+	snap := h.Snapshot()
+	if snap["+inf"] != 1 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+}
+
+func TestHistogramSnapshotCompact(t *testing.T) {
+	h := NewHistogram(1, 2, 4, 8, 16)
+	h.Observe(1.5)
+	snap := h.Snapshot()
+	if _, ok := snap["le_16"]; ok {
+		t.Fatalf("empty trailing buckets exported: %v", snap)
+	}
+	if snap["le_2"] != 1 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+}
+
+func TestRateCounter(t *testing.T) {
+	r := NewRateCounter(10)
+	base := time.Unix(1_000_000, 0)
+	now := base
+	r.now = func() time.Time { return now }
+
+	// 100 events/sec for 5 seconds.
+	for s := 0; s < 5; s++ {
+		now = base.Add(time.Duration(s) * time.Second)
+		for i := 0; i < 100; i++ {
+			r.Add(1)
+		}
+	}
+	now = base.Add(5 * time.Second)
+	if got := r.Rate(5); got != 100 {
+		t.Fatalf("rate over 5s = %g, want 100", got)
+	}
+	// After a long quiet gap the stale slots must not be counted.
+	now = base.Add(100 * time.Second)
+	if got := r.Rate(5); got != 0 {
+		t.Fatalf("rate after gap = %g, want 0", got)
+	}
+}

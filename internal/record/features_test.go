@@ -1,0 +1,76 @@
+package record
+
+import "testing"
+
+func featSchema(t *testing.T) *Schema {
+	t.Helper()
+	return MustSchema([]Attribute{
+		{Name: "a", Kind: Numeric},
+		{Name: "c", Kind: Categorical, Cardinality: 4},
+		{Name: "b", Kind: Numeric},
+	}, 3)
+}
+
+func TestFeatureBytes(t *testing.T) {
+	s := featSchema(t)
+	if got, want := s.FeatureBytes(), 8*2+4*1; got != want {
+		t.Fatalf("FeatureBytes = %d, want %d", got, want)
+	}
+	if s.FeatureBytes() != s.RecordBytes()-4 {
+		t.Fatal("FeatureBytes must be RecordBytes minus the class label")
+	}
+}
+
+func TestFeatureRowRoundTrip(t *testing.T) {
+	s := featSchema(t)
+	in := Record{Num: []float64{1.5, -2.25}, Cat: []int32{3}, Class: 2}
+	row := in.EncodeFeatures(nil)
+	if len(row) != s.FeatureBytes() {
+		t.Fatalf("encoded %d bytes, want %d", len(row), s.FeatureBytes())
+	}
+	var out Record
+	n, err := out.DecodeFeatures(s, row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(row) {
+		t.Fatalf("consumed %d bytes, want %d", n, len(row))
+	}
+	if out.Num[0] != 1.5 || out.Num[1] != -2.25 || out.Cat[0] != 3 {
+		t.Fatalf("values lost: %+v", out)
+	}
+	if out.Class != 0 {
+		t.Fatalf("feature rows carry no class; got %d", out.Class)
+	}
+}
+
+func TestFeatureRowMatchesRecordPrefix(t *testing.T) {
+	in := Record{Num: []float64{4, 5}, Cat: []int32{1}, Class: 2}
+	full := in.Encode(nil)
+	feat := in.EncodeFeatures(nil)
+	if string(full[:len(feat)]) != string(feat) {
+		t.Fatal("feature row is not a prefix of the full record encoding")
+	}
+}
+
+func TestDecodeAllFeatures(t *testing.T) {
+	s := featSchema(t)
+	recs := []Record{
+		{Num: []float64{1, 2}, Cat: []int32{0}},
+		{Num: []float64{3, 4}, Cat: []int32{2}},
+	}
+	var buf []byte
+	for _, r := range recs {
+		buf = r.EncodeFeatures(buf)
+	}
+	got, err := DecodeAllFeatures(s, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[1].Num[0] != 3 || got[1].Cat[0] != 2 {
+		t.Fatalf("decoded %+v", got)
+	}
+	if _, err := DecodeAllFeatures(s, buf[:len(buf)-1]); err == nil {
+		t.Fatal("ragged buffer accepted")
+	}
+}

@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"pclouds/internal/record"
+)
+
+func TestEngineClassifiesSingleAndBatch(t *testing.T) {
+	m, data := trainedModel(t, 2000, "v1")
+	reg := NewStaticRegistry(m)
+	e := NewEngine(reg, EngineConfig{}, NewStats())
+	defer e.Close()
+
+	recs := data.Records[:100]
+	out, version, err := e.Classify(context.Background(), recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != "v1" || len(out) != len(recs) {
+		t.Fatalf("version=%q len=%d", version, len(out))
+	}
+	for i, r := range recs {
+		if want := m.Tree.Classify(r); out[i] != want {
+			t.Fatalf("record %d: engine %d, direct %d", i, out[i], want)
+		}
+	}
+	// Single-record requests agree too.
+	for i := 0; i < 20; i++ {
+		out, _, err := e.Classify(context.Background(), recs[i:i+1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := m.Tree.Classify(recs[i]); out[0] != want {
+			t.Fatalf("single %d: engine %d, direct %d", i, out[0], want)
+		}
+	}
+}
+
+func TestEngineNoModel(t *testing.T) {
+	e := NewEngine(NewStaticRegistry(nil), EngineConfig{}, nil)
+	defer e.Close()
+	_, _, err := e.Classify(context.Background(), []record.Record{leafRec()})
+	if !errors.Is(err, ErrNoModel) {
+		t.Fatalf("err = %v, want ErrNoModel", err)
+	}
+}
+
+// TestEngineHotSwapUnderLoad hammers the engine from many goroutines while
+// the active model is swapped concurrently. Every response must be
+// internally consistent: the predicted class must match the version that
+// claims to have answered. Run under -race this is the registry/engine
+// publication-safety test.
+func TestEngineHotSwapUnderLoad(t *testing.T) {
+	mA := leafModel(t, "A", 0) // always predicts 0
+	mB := leafModel(t, "B", 1) // always predicts 1
+	reg := NewStaticRegistry(mA)
+	e := NewEngine(reg, EngineConfig{Workers: 4, QueueSize: 256, MaxBatchRows: 32}, NewStats())
+	defer e.Close()
+
+	const clients = 8
+	const perClient = 400
+	var wg sync.WaitGroup
+	errc := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			recs := []record.Record{leafRec()}
+			for i := 0; i < perClient; i++ {
+				out, version, err := e.Classify(context.Background(), recs)
+				if err != nil {
+					if errors.Is(err, ErrOverloaded) {
+						continue // admission control is allowed to shed
+					}
+					errc <- err
+					return
+				}
+				want := map[string]int32{"A": 0, "B": 1}[version]
+				if out[0] != want {
+					errc <- fmt.Errorf("hot-swap inconsistency: version %q answered class %d", version, out[0])
+					return
+				}
+			}
+		}()
+	}
+	// Swap the active model back and forth while the clients run.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			if i%2 == 0 {
+				reg.SetActive(mB)
+			} else {
+				reg.SetActive(mA)
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+	wg.Wait()
+	<-done
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+}
+
+// TestEngineShedsWhenQueueFull uses a paused engine (no workers) so the
+// queue only fills: once QueueSize requests are waiting, the next one must
+// be rejected immediately with ErrOverloaded rather than blocking.
+func TestEngineShedsWhenQueueFull(t *testing.T) {
+	st := NewStats()
+	e := NewEngine(NewStaticRegistry(leafModel(t, "v", 0)),
+		EngineConfig{Workers: -1, QueueSize: 2}, st)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e.Classify(ctx, []record.Record{leafRec()}) //nolint:errcheck // released via cancel
+		}()
+	}
+	waitFor(t, func() bool { return e.QueueDepth() == 2 })
+
+	_, _, err := e.Classify(context.Background(), []record.Record{leafRec()})
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	if st.Shed() != 1 {
+		t.Fatalf("shed counter = %d", st.Shed())
+	}
+	cancel()
+	wg.Wait()
+	e.Close()
+}
+
+func TestEngineCloseDrainsAndRejects(t *testing.T) {
+	m, data := trainedModel(t, 1000, "v1")
+	e := NewEngine(NewStaticRegistry(m), EngineConfig{Workers: 2}, nil)
+
+	// In-flight work completes...
+	out, _, err := e.Classify(context.Background(), data.Records[:10])
+	if err != nil || len(out) != 10 {
+		t.Fatalf("pre-close classify: %v", err)
+	}
+	e.Close()
+	e.Close() // idempotent
+
+	// ...and post-close submissions are refused, not deadlocked.
+	_, _, err = e.Classify(context.Background(), data.Records[:1])
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-close err = %v, want ErrClosed", err)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

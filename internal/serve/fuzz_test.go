@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// fuzzServer is shared across fuzz iterations; building a model per input
+// would drown the fuzzer in setup cost.
+var (
+	fuzzOnce sync.Once
+	fuzzSrv  *Server
+)
+
+func fuzzHandler(t *testing.T) http.Handler {
+	fuzzOnce.Do(func() {
+		m, _ := trainedModel(t, 1000, "fuzz")
+		fuzzSrv = New(NewStaticRegistry(m), ServerConfig{
+			MaxBodyBytes: 1 << 20,
+			MaxRows:      256,
+		})
+	})
+	return fuzzSrv.Handler()
+}
+
+// FuzzClassifyRequest throws arbitrary bytes at both request decoders.
+// The contract: malformed rows get a 4xx, well-formed ones a 200 with a
+// well-shaped response — and the server never panics (a panic inside a
+// handler would surface as a failed iteration here).
+func FuzzClassifyRequest(f *testing.F) {
+	// Valid JSON single + batch, valid binary rows, and assorted garbage.
+	f.Add([]byte(`{"num":[1,2,3,4,5,6],"cat":[0,1,2]}`), false)
+	f.Add([]byte(`{"records":[{"num":[1,2,3,4,5,6],"cat":[0,1,2]}]}`), false)
+	f.Add([]byte(`{"records":[]}`), false)
+	f.Add([]byte(`{"num":[1],"cat":[99]}`), false)
+	f.Add([]byte("{"), false)
+	f.Add(bytes.Repeat([]byte{0}, 60), true) // one all-zero feature row
+	f.Add(bytes.Repeat([]byte{0xFF}, 61), true)
+	f.Add([]byte{}, true)
+	f.Add([]byte("garbage"), true)
+
+	f.Fuzz(func(t *testing.T, body []byte, bin bool) {
+		h := fuzzHandler(t)
+		path := "/v1/classify"
+		if bin {
+			path = "/v1/classify.bin"
+		}
+		req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		switch w.Code {
+		case http.StatusOK:
+			if bin {
+				if w.Body.Len()%4 != 0 {
+					t.Fatalf("binary 200 with ragged %d-byte body", w.Body.Len())
+				}
+				if w.Header().Get("X-Model-Version") == "" {
+					t.Fatal("binary 200 without X-Model-Version")
+				}
+			} else {
+				var cr classifyResponse
+				if err := json.Unmarshal(w.Body.Bytes(), &cr); err != nil {
+					t.Fatalf("200 with undecodable body: %v", err)
+				}
+				if len(cr.Classes) == 0 || cr.ModelVersion == "" {
+					t.Fatalf("200 with empty response %+v", cr)
+				}
+			}
+		case http.StatusBadRequest, http.StatusRequestEntityTooLarge:
+			// Malformed input correctly rejected.
+		default:
+			t.Fatalf("unexpected status %d for %d-byte input", w.Code, len(body))
+		}
+	})
+}

@@ -1,0 +1,293 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"pclouds/internal/datagen"
+	"pclouds/internal/record"
+)
+
+// Target is anything the load generator can classify against: the
+// in-process engine or a remote HTTP server.
+type Target interface {
+	// Classify returns one class per record, or an error; ErrOverloaded
+	// marks a shed request.
+	Classify(recs []record.Record) ([]int32, error)
+}
+
+// EngineTarget drives an Engine directly (in-process benchmark; no HTTP
+// overhead, measures the registry+queue+batch pipeline itself).
+type EngineTarget struct {
+	Engine *Engine
+	// Timeout bounds each request; 0 means unbounded (no per-request
+	// timer — the cheap path for throughput runs).
+	Timeout time.Duration
+}
+
+// Classify implements Target.
+func (t EngineTarget) Classify(recs []record.Record) ([]int32, error) {
+	ctx := context.Background()
+	if t.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, t.Timeout)
+		defer cancel()
+	}
+	out, _, err := t.Engine.Classify(ctx, recs)
+	return out, err
+}
+
+// HTTPTarget drives a remote pcloudsserve over /v1/classify (JSON) or
+// /v1/classify.bin (binary feature rows; requires Schema).
+type HTTPTarget struct {
+	BaseURL string
+	Binary  bool
+	Schema  *record.Schema // required when Binary
+	Client  *http.Client
+}
+
+// Classify implements Target.
+func (t HTTPTarget) Classify(recs []record.Record) ([]int32, error) {
+	client := t.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	var (
+		url  string
+		body []byte
+		ct   string
+	)
+	if t.Binary {
+		if t.Schema == nil {
+			return nil, fmt.Errorf("serve: HTTPTarget.Binary requires Schema")
+		}
+		for _, r := range recs {
+			body = r.EncodeFeatures(body)
+		}
+		url = strings.TrimSuffix(t.BaseURL, "/") + "/v1/classify.bin"
+		ct = "application/octet-stream"
+	} else {
+		rows := make([]jsonRow, len(recs))
+		for i, r := range recs {
+			rows[i] = jsonRow{Num: r.Num, Cat: r.Cat}
+		}
+		var err error
+		body, err = json.Marshal(classifyRequest{Records: rows})
+		if err != nil {
+			return nil, err
+		}
+		url = strings.TrimSuffix(t.BaseURL, "/") + "/v1/classify"
+		ct = "application/json"
+	}
+	resp, err := client.Post(url, ct, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		return nil, ErrOverloaded
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("serve: %s: %s: %s", url, resp.Status, bytes.TrimSpace(data))
+	}
+	if t.Binary {
+		if len(data)%4 != 0 {
+			return nil, fmt.Errorf("serve: ragged binary response (%d bytes)", len(data))
+		}
+		out := make([]int32, len(data)/4)
+		for i := range out {
+			out[i] = int32(binary.LittleEndian.Uint32(data[4*i:]))
+		}
+		return out, nil
+	}
+	var cr classifyResponse
+	if err := json.Unmarshal(data, &cr); err != nil {
+		return nil, err
+	}
+	return cr.Classes, nil
+}
+
+// LoadConfig shapes a load-generation run.
+type LoadConfig struct {
+	// QPS is the target request rate across all workers; 0 = unthrottled.
+	QPS float64
+	// Duration of the run. 0 means 3s.
+	Duration time.Duration
+	// Concurrency is the number of client workers. 0 means 8.
+	Concurrency int
+	// BatchRows is the rows per request. 0 means 1.
+	BatchRows int
+	// Records is the size of the synthetic record pool replayed by the
+	// workers. 0 means 8192.
+	Records int
+	// Function selects the datagen classification function. 0 means 2
+	// (the paper's experiments).
+	Function int
+	// Seed makes the replayed records deterministic.
+	Seed int64
+}
+
+func (c *LoadConfig) setDefaults() {
+	if c.Duration <= 0 {
+		c.Duration = 3 * time.Second
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 8
+	}
+	if c.BatchRows <= 0 {
+		c.BatchRows = 1
+	}
+	if c.Records <= 0 {
+		c.Records = 8192
+	}
+	if c.Function <= 0 {
+		c.Function = 2
+	}
+}
+
+// LoadReport is the result of a load run.
+type LoadReport struct {
+	Requests int64 // successful requests
+	Rows     int64 // rows in successful requests
+	Shed     int64 // requests answered with overload (503/ErrOverloaded)
+	Errors   int64 // any other failure
+	Elapsed  time.Duration
+	// Latency quantiles over successful requests (exact, from the full
+	// sample set).
+	P50, P90, P95, P99, Max time.Duration
+}
+
+// RowsPerSec is achieved classification throughput.
+func (r *LoadReport) RowsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Rows) / r.Elapsed.Seconds()
+}
+
+// ReqPerSec is achieved request throughput.
+func (r *LoadReport) ReqPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Requests) / r.Elapsed.Seconds()
+}
+
+// String renders the latency/throughput summary the CLI prints.
+func (r *LoadReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "load: %d requests (%d rows) in %.2fs: %.0f req/s, %.0f rows/s\n",
+		r.Requests, r.Rows, r.Elapsed.Seconds(), r.ReqPerSec(), r.RowsPerSec())
+	fmt.Fprintf(&b, "  shed: %d, errors: %d\n", r.Shed, r.Errors)
+	fmt.Fprintf(&b, "  latency: p50 %s  p90 %s  p95 %s  p99 %s  max %s",
+		r.P50, r.P90, r.P95, r.P99, r.Max)
+	return b.String()
+}
+
+// RunLoad replays datagen records against tgt for cfg.Duration and reports
+// achieved throughput and exact latency quantiles. Workers pace themselves
+// to cfg.QPS when set (each worker takes an even share), otherwise they
+// issue requests back-to-back. ctx cancels the run early.
+func RunLoad(ctx context.Context, tgt Target, cfg LoadConfig) (*LoadReport, error) {
+	cfg.setDefaults()
+	gen, err := datagen.New(datagen.Config{Function: cfg.Function, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	pool := gen.Generate(cfg.Records).Records
+
+	ctx, cancel := context.WithTimeout(ctx, cfg.Duration)
+	defer cancel()
+
+	type workerOut struct {
+		requests, rows, shed, errors int64
+		lats                         []time.Duration
+	}
+	outs := make([]workerOut, cfg.Concurrency)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for wkr := 0; wkr < cfg.Concurrency; wkr++ {
+		wg.Add(1)
+		go func(wkr int) {
+			defer wg.Done()
+			out := &outs[wkr]
+			var interval time.Duration
+			next := time.Now()
+			if cfg.QPS > 0 {
+				interval = time.Duration(float64(time.Second) * float64(cfg.Concurrency) / cfg.QPS)
+				// Stagger the workers so paced requests don't arrive in
+				// lockstep bursts.
+				next = next.Add(time.Duration(wkr) * interval / time.Duration(cfg.Concurrency))
+			}
+			idx := wkr * 131 % len(pool)
+			batch := make([]record.Record, cfg.BatchRows)
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				if interval > 0 {
+					d := time.Until(next)
+					if d > 0 {
+						select {
+						case <-ctx.Done():
+							return
+						case <-time.After(d):
+						}
+					}
+					next = next.Add(interval)
+				}
+				for i := range batch {
+					batch[i] = pool[idx]
+					idx++
+					if idx == len(pool) {
+						idx = 0
+					}
+				}
+				t0 := time.Now()
+				_, err := tgt.Classify(batch)
+				switch {
+				case err == nil:
+					out.requests++
+					out.rows += int64(len(batch))
+					out.lats = append(out.lats, time.Since(t0))
+				case err == ErrOverloaded:
+					out.shed++
+				case ctx.Err() != nil:
+					return // cancelled mid-request; don't count it
+				default:
+					out.errors++
+				}
+			}
+		}(wkr)
+	}
+	wg.Wait()
+	rep := &LoadReport{Elapsed: time.Since(start)}
+	var all []time.Duration
+	for i := range outs {
+		rep.Requests += outs[i].requests
+		rep.Rows += outs[i].rows
+		rep.Shed += outs[i].shed
+		rep.Errors += outs[i].errors
+		all = append(all, outs[i].lats...)
+	}
+	if len(all) > 0 {
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		q := func(p float64) time.Duration { return all[int(p*float64(len(all)-1))] }
+		rep.P50, rep.P90, rep.P95, rep.P99 = q(0.50), q(0.90), q(0.95), q(0.99)
+		rep.Max = all[len(all)-1]
+	}
+	return rep, nil
+}

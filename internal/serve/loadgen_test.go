@@ -1,0 +1,84 @@
+package serve
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestLoadHarnessThroughput is the serving benchmark the ISSUE pins down:
+// the harness must sustain >= 50k single-record classifications/sec
+// against a small tree on CI hardware, and its report must carry a
+// latency summary.
+func TestLoadHarnessThroughput(t *testing.T) {
+	m, _ := trainedModel(t, 5000, "bench")
+	e := NewEngine(NewStaticRegistry(m), EngineConfig{}, NewStats())
+	defer e.Close()
+
+	rep, err := RunLoad(context.Background(), EngineTarget{Engine: e}, LoadConfig{
+		Duration:    time.Second,
+		Concurrency: 8,
+		BatchRows:   1,
+		Records:     4096,
+		Seed:        5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors > 0 {
+		t.Fatalf("load run errored: %+v", rep)
+	}
+	if got := rep.RowsPerSec(); got < 50_000 {
+		t.Fatalf("sustained %.0f single-record classifications/sec, want >= 50k", got)
+	}
+	out := rep.String()
+	for _, want := range []string{"latency:", "p50", "p99", "rows/s"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report %q missing %q", out, want)
+		}
+	}
+	t.Logf("harness: %.0f rows/s\n%s", rep.RowsPerSec(), rep)
+}
+
+// TestLoadHarnessPacing checks the QPS throttle actually paces: a 200 QPS
+// target for half a second must come in far under the unthrottled rate.
+func TestLoadHarnessPacing(t *testing.T) {
+	m, _ := trainedModel(t, 1000, "pace")
+	e := NewEngine(NewStaticRegistry(m), EngineConfig{}, nil)
+	defer e.Close()
+
+	rep, err := RunLoad(context.Background(), EngineTarget{Engine: e}, LoadConfig{
+		QPS:         200,
+		Duration:    500 * time.Millisecond,
+		Concurrency: 4,
+		Records:     256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~100 expected; allow generous scheduling slack both ways.
+	if rep.Requests < 20 || rep.Requests > 300 {
+		t.Fatalf("paced run sent %d requests, want ~100", rep.Requests)
+	}
+}
+
+// TestLoadHarnessCountsShed drives a paused engine: every request must be
+// recorded as shed, none as errors.
+func TestLoadHarnessCountsShed(t *testing.T) {
+	m, _ := trainedModel(t, 1000, "shed")
+	e := NewEngine(NewStaticRegistry(m), EngineConfig{Workers: -1, QueueSize: 1}, nil)
+
+	rep, err := RunLoad(context.Background(), EngineTarget{Engine: e, Timeout: 50 * time.Millisecond},
+		LoadConfig{Duration: 300 * time.Millisecond, Concurrency: 4, Records: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Shed == 0 {
+		t.Fatalf("paused engine shed nothing: %+v", rep)
+	}
+	if rep.Requests > 0 {
+		t.Fatalf("paused engine completed requests: %+v", rep)
+	}
+	e.Close()
+}

@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"context"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"pclouds/internal/clouds"
+	"pclouds/internal/comm"
+	"pclouds/internal/costmodel"
+	"pclouds/internal/datagen"
+	"pclouds/internal/ooc"
+	"pclouds/internal/pclouds"
+	"pclouds/internal/record"
+	"pclouds/internal/tree"
+)
+
+// buildParallel trains a tree with the real pCLOUDS parallel builder
+// (p simulated ranks over in-memory stores), the way production models
+// are produced.
+func buildParallel(t *testing.T, data *record.Dataset, p int) *tree.Tree {
+	t.Helper()
+	cfg := pclouds.Config{
+		Clouds: clouds.Config{
+			Method: clouds.SSE, QRoot: 50, SmallNodeQ: 10,
+			MaxDepth: 8, MinNodeSize: 2, Seed: 3,
+		},
+		Boundary: pclouds.AttributeBased,
+	}
+	sample := cfg.Clouds.SampleFor(data)
+	params := costmodel.Default()
+	comms := comm.NewGroup(p, params)
+	trees := make([]*tree.Tree, p)
+	errs := make([]error, p)
+	done := make(chan struct{}, p)
+	for r := 0; r < p; r++ {
+		go func(r int) {
+			defer func() { done <- struct{}{} }()
+			store := ooc.NewMemStore(data.Schema, params, comms[r].Clock())
+			w, err := store.CreateWriter("root")
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			for i := r; i < data.Len(); i += p {
+				if err := w.Write(data.Records[i]); err != nil {
+					errs[r] = err
+					return
+				}
+			}
+			if err := w.Close(); err != nil {
+				errs[r] = err
+				return
+			}
+			trees[r], _, errs[r] = pclouds.Build(cfg, comms[r], store, "root", sample)
+		}(r)
+	}
+	for i := 0; i < p; i++ {
+		<-done
+	}
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	for r := 1; r < p; r++ {
+		if !tree.Equal(trees[0], trees[r]) {
+			t.Fatalf("rank %d built a different tree", r)
+		}
+	}
+	return trees[0]
+}
+
+// TestEndToEndParity is the full production loop: train with pclouds.Build,
+// persist with tree.SaveFile, load through the registry, serve over HTTP,
+// and require every serving path — JSON single, JSON batch, binary batch,
+// and the in-process engine — to answer exactly what direct tree.Classify
+// answers on a held-out datagen set.
+func TestEndToEndParity(t *testing.T) {
+	gen, err := datagen.New(datagen.Config{Function: 2, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := gen.Generate(4000)
+	heldout := gen.Generate(400).Records // disjoint draw from the same stream
+
+	built := buildParallel(t, train, 2)
+
+	// Persist + registry load.
+	dir := t.TempDir()
+	if err := tree.SaveFile(built, filepath.Join(dir, "v1.model")); err != nil {
+		t.Fatal(err)
+	}
+	reg, err := OpenRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded := reg.Active()
+	if loaded.Info.Version != "v1.model" {
+		t.Fatalf("loaded %q", loaded.Info.Version)
+	}
+	if !tree.Equal(built, loaded.Tree) {
+		t.Fatal("persisted model differs from the built tree")
+	}
+
+	srv := New(reg, ServerConfig{})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	defer srv.Engine().Close()
+
+	want := make([]int32, len(heldout))
+	for i, r := range heldout {
+		want[i] = built.Classify(r)
+	}
+
+	// In-process engine, one batch.
+	got, _, err := srv.Engine().Classify(context.Background(), heldout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("engine: record %d: %d vs %d", i, got[i], want[i])
+		}
+	}
+
+	// HTTP JSON batch.
+	jt := HTTPTarget{BaseURL: hs.URL}
+	got2, err := jt.Classify(heldout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// HTTP binary batch.
+	bt := HTTPTarget{BaseURL: hs.URL, Binary: true, Schema: built.Schema}
+	got3, err := bt.Classify(heldout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// HTTP JSON single, spot-checked across the held-out set.
+	for i := range want {
+		if got2[i] != want[i] {
+			t.Fatalf("json batch: record %d: %d vs %d", i, got2[i], want[i])
+		}
+		if got3[i] != want[i] {
+			t.Fatalf("binary batch: record %d: %d vs %d", i, got3[i], want[i])
+		}
+	}
+	for i := 0; i < len(heldout); i += 37 {
+		single, err := jt.Classify(heldout[i : i+1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if single[0] != want[i] {
+			t.Fatalf("json single: record %d: %d vs %d", i, single[0], want[i])
+		}
+	}
+}

@@ -1,0 +1,230 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pclouds/internal/tree"
+)
+
+// Registry is the versioned model store. It points at either a directory
+// of persisted models (the version is the file name; the newest file wins)
+// or a single model file, loads and validates candidates, and publishes
+// the active version through an atomic pointer so Classify paths read it
+// without locks.
+//
+// Hot reload is pull-based: Reload rescans and swaps if the best candidate
+// on disk differs from what is being served. Watch runs Reload on a
+// timer; cmd/pcloudsserve also triggers it on SIGHUP. Because tree.SaveFile
+// renames a complete, fsynced temp file into place, the poller can never
+// observe a torn model; and if a foreign writer does produce a corrupt
+// file, loading fails validation and the previous version keeps serving.
+type Registry struct {
+	path string // directory or file; "" for static registries
+
+	mu      sync.Mutex // serialises Reload/SetActive
+	active  atomic.Pointer[Model]
+	swaps   atomic.Int64
+	lastErr atomic.Pointer[string]
+	logf    func(format string, args ...any)
+}
+
+// OpenRegistry opens a registry rooted at path (a directory of model files
+// or one model file) and loads the initial model. It fails if no valid
+// model can be loaded, so a server never starts ready-but-empty.
+func OpenRegistry(path string) (*Registry, error) {
+	r := &Registry{path: path, logf: func(string, ...any) {}}
+	if _, _, err := r.Reload(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// NewStaticRegistry wraps an in-memory model (tests, -selftest). SetActive
+// swaps it later.
+func NewStaticRegistry(m *Model) *Registry {
+	r := &Registry{logf: func(string, ...any) {}}
+	if m != nil {
+		r.active.Store(m)
+	}
+	return r
+}
+
+// SetLogf installs a logger for swap/skip events (nil disables).
+func (r *Registry) SetLogf(logf func(format string, args ...any)) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	r.mu.Lock()
+	r.logf = logf
+	r.mu.Unlock()
+}
+
+// Active returns the model currently being served, or nil.
+func (r *Registry) Active() *Model { return r.active.Load() }
+
+// Swaps returns how many times the active version changed.
+func (r *Registry) Swaps() int64 { return r.swaps.Load() }
+
+// LastError returns the most recent reload error message ("" when the last
+// reload succeeded).
+func (r *Registry) LastError() string {
+	if s := r.lastErr.Load(); s != nil {
+		return *s
+	}
+	return ""
+}
+
+// SetActive force-publishes a model (static registries and tests).
+func (r *Registry) SetActive(m *Model) {
+	r.mu.Lock()
+	r.active.Store(m)
+	r.swaps.Add(1)
+	r.mu.Unlock()
+}
+
+// Reload rescans the registry path and atomically swaps in the best
+// candidate if it differs from the active version. It returns the model
+// now being served and whether a swap happened. A candidate that fails to
+// load or validate never displaces the active model: Reload records the
+// error, keeps serving, and returns the error so callers can log it.
+func (r *Registry) Reload() (*Model, bool, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.path == "" {
+		return r.active.Load(), false, nil
+	}
+	m, swapped, err := r.reloadLocked()
+	if err != nil {
+		msg := err.Error()
+		r.lastErr.Store(&msg)
+	} else {
+		empty := ""
+		r.lastErr.Store(&empty)
+	}
+	return m, swapped, err
+}
+
+func (r *Registry) reloadLocked() (*Model, bool, error) {
+	cur := r.active.Load()
+	cand, err := scanModels(r.path)
+	if err != nil {
+		return cur, false, err
+	}
+	if cur != nil && cur.Info.Path == cand.path &&
+		cur.Info.ModTime.Equal(cand.mod) && cur.Info.SizeBytes == cand.size {
+		return cur, false, nil // unchanged on disk
+	}
+	m, err := LoadModelFile(cand.path)
+	if err != nil {
+		if cur != nil {
+			r.logf("serve: registry: keeping %s; candidate %s unloadable: %v",
+				cur.Info.Version, cand.path, err)
+		}
+		return cur, false, err
+	}
+	r.active.Store(m)
+	r.swaps.Add(1)
+	from := "(none)"
+	if cur != nil {
+		from = cur.Info.Version
+	}
+	r.logf("serve: registry: active model %s -> %s (%d nodes, depth %d)",
+		from, m.Info.Version, m.Info.Nodes, m.Info.Depth)
+	return m, true, nil
+}
+
+// Watch polls Reload every interval until ctx is cancelled. Errors are
+// reported through the registry logger and LastError; the previous model
+// keeps serving.
+func (r *Registry) Watch(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if _, _, err := r.Reload(); err != nil {
+				r.mu.Lock()
+				logf := r.logf
+				r.mu.Unlock()
+				logf("serve: registry: reload: %v", err)
+			}
+		}
+	}
+}
+
+// LoadModelFile loads and validates one persisted model; the version is
+// the file's base name.
+func LoadModelFile(path string) (*Model, error) {
+	st, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	t, err := tree.LoadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("serve: loading model %s: %w", path, err)
+	}
+	m, err := NewModel(t, filepath.Base(path))
+	if err != nil {
+		return nil, err
+	}
+	m.Info.Path = path
+	m.Info.ModTime = st.ModTime()
+	m.Info.SizeBytes = st.Size()
+	return m, nil
+}
+
+type candidate struct {
+	path string
+	mod  time.Time
+	size int64
+}
+
+// scanModels picks the best model candidate under path: the path itself if
+// it is a file, otherwise the regular file in the directory with the
+// newest mtime (name descending as tiebreak). Dotfiles and tree.SaveFile
+// temporaries are skipped.
+func scanModels(path string) (candidate, error) {
+	st, err := os.Stat(path)
+	if err != nil {
+		return candidate{}, err
+	}
+	if !st.IsDir() {
+		return candidate{path: path, mod: st.ModTime(), size: st.Size()}, nil
+	}
+	entries, err := os.ReadDir(path)
+	if err != nil {
+		return candidate{}, err
+	}
+	var best candidate
+	found := false
+	for _, e := range entries {
+		name := e.Name()
+		if !e.Type().IsRegular() || strings.HasPrefix(name, ".") || strings.Contains(name, ".tmp-") {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		c := candidate{path: filepath.Join(path, name), mod: info.ModTime(), size: info.Size()}
+		if !found || c.mod.After(best.mod) || (c.mod.Equal(best.mod) && c.path > best.path) {
+			best, found = c, true
+		}
+	}
+	if !found {
+		return candidate{}, fmt.Errorf("serve: no model files in %s", path)
+	}
+	return best, nil
+}

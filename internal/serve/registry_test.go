@@ -1,0 +1,147 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"pclouds/internal/tree"
+)
+
+func saveModel(t *testing.T, m *Model, path string, mod time.Time) {
+	t.Helper()
+	if err := tree.SaveFile(m.Tree, path); err != nil {
+		t.Fatal(err)
+	}
+	// Pin mtimes so hot-reload ordering does not depend on filesystem
+	// timestamp granularity.
+	if err := os.Chtimes(path, mod, mod); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegistryLoadsNewestAndHotSwaps(t *testing.T) {
+	dir := t.TempDir()
+	base := time.Now().Add(-time.Hour)
+	saveModel(t, leafModel(t, "", 0), filepath.Join(dir, "m1.model"), base)
+
+	reg, err := OpenRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Active().Info.Version; got != "m1.model" {
+		t.Fatalf("active = %q, want m1.model", got)
+	}
+	if reg.Active().Tree.Classify(leafRec()) != 0 {
+		t.Fatal("m1 must predict 0")
+	}
+
+	// A newer file swaps in on reload.
+	saveModel(t, leafModel(t, "", 1), filepath.Join(dir, "m2.model"), base.Add(time.Minute))
+	m, swapped, err := reg.Reload()
+	if err != nil || !swapped {
+		t.Fatalf("reload: swapped=%v err=%v", swapped, err)
+	}
+	if m.Info.Version != "m2.model" || reg.Active().Tree.Classify(leafRec()) != 1 {
+		t.Fatalf("active = %q predicting %d", m.Info.Version, reg.Active().Tree.Classify(leafRec()))
+	}
+	if reg.Swaps() != 2 { // initial load + swap
+		t.Fatalf("swaps = %d", reg.Swaps())
+	}
+
+	// An unchanged directory must not churn the pointer.
+	before := reg.Active()
+	if _, swapped, err := reg.Reload(); err != nil || swapped {
+		t.Fatalf("idle reload: swapped=%v err=%v", swapped, err)
+	}
+	if reg.Active() != before {
+		t.Fatal("idle reload replaced the model pointer")
+	}
+}
+
+func TestRegistryKeepsServingPastBadCandidate(t *testing.T) {
+	dir := t.TempDir()
+	base := time.Now().Add(-time.Hour)
+	saveModel(t, leafModel(t, "", 0), filepath.Join(dir, "good.model"), base)
+	reg, err := OpenRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A corrupt newest file must be reported but never displace the
+	// serving model.
+	bad := filepath.Join(dir, "newer.model")
+	if err := os.WriteFile(bad, []byte("not a model"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(bad, base.Add(time.Minute), base.Add(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	m, swapped, err := reg.Reload()
+	if err == nil || swapped {
+		t.Fatalf("corrupt reload: swapped=%v err=%v", swapped, err)
+	}
+	if m == nil || m.Info.Version != "good.model" {
+		t.Fatalf("active after corrupt candidate = %+v", m)
+	}
+	if reg.LastError() == "" {
+		t.Fatal("LastError empty after failed reload")
+	}
+
+	// Replacing the corrupt file with a valid one recovers.
+	saveModel(t, leafModel(t, "", 1), bad, base.Add(2*time.Minute))
+	if _, swapped, err := reg.Reload(); err != nil || !swapped {
+		t.Fatalf("recovery reload: swapped=%v err=%v", swapped, err)
+	}
+	if reg.LastError() != "" {
+		t.Fatalf("LastError = %q after successful reload", reg.LastError())
+	}
+}
+
+func TestRegistrySingleFileMode(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "model.pcm")
+	base := time.Now().Add(-time.Hour)
+	saveModel(t, leafModel(t, "", 0), path, base)
+	reg, err := OpenRegistry(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.Active().Tree.Classify(leafRec()) != 0 {
+		t.Fatal("wrong initial model")
+	}
+	// Atomic overwrite with a different model, newer mtime.
+	saveModel(t, leafModel(t, "", 1), path, base.Add(time.Minute))
+	if _, swapped, err := reg.Reload(); err != nil || !swapped {
+		t.Fatalf("file reload: swapped=%v err=%v", swapped, err)
+	}
+	if reg.Active().Tree.Classify(leafRec()) != 1 {
+		t.Fatal("overwritten model not picked up")
+	}
+}
+
+func TestRegistrySkipsTempAndHiddenFiles(t *testing.T) {
+	dir := t.TempDir()
+	base := time.Now().Add(-time.Hour)
+	saveModel(t, leafModel(t, "", 0), filepath.Join(dir, "real.model"), base)
+	// Newer junk that must be ignored: an in-progress SaveFile temp and a
+	// dotfile.
+	for _, name := range []string{"real.model.tmp-123", ".hidden"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("junk"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg, err := OpenRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Active().Info.Version; got != "real.model" {
+		t.Fatalf("active = %q", got)
+	}
+}
+
+func TestOpenRegistryEmptyDirFails(t *testing.T) {
+	if _, err := OpenRegistry(t.TempDir()); err == nil {
+		t.Fatal("empty registry opened")
+	}
+}

@@ -1,0 +1,179 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pclouds/internal/obs"
+)
+
+// Stats aggregates the serving metrics the ROADMAP's "heavy traffic" goal
+// cares about: request/row throughput (windowed QPS), end-to-end latency
+// quantiles, how well the engine is batching, how deep the queue runs,
+// how much load is shed, and which model version answered. Everything is
+// cheap enough to update on every request at six-figure QPS.
+type Stats struct {
+	start time.Time
+
+	depthTick atomic.Int64 // admission counter for queue-depth sampling
+
+	mu         sync.Mutex
+	requests   int64 // completed successfully
+	rows       int64 // rows in successful requests
+	shed       int64 // requests rejected by admission control
+	shedRows   int64
+	errors     int64 // malformed requests (HTTP 4xx)
+	noModel    int64
+	perVersion map[string]int64 // successful requests per model version
+
+	reqRate *obs.RateCounter
+	rowRate *obs.RateCounter
+
+	latency    *obs.Histogram // seconds, enqueue -> done
+	batchRows  *obs.Histogram // rows per worker batch
+	batchTasks *obs.Histogram // requests per worker batch
+	queueDepth *obs.Histogram // queue depth sampled at admission
+}
+
+// NewStats builds an empty metrics bundle.
+func NewStats() *Stats {
+	return &Stats{
+		start:      time.Now(),
+		perVersion: make(map[string]int64),
+		reqRate:    obs.NewRateCounter(65),
+		rowRate:    obs.NewRateCounter(65),
+		latency:    obs.NewHistogram(obs.ExpBounds(25e-6, 2, 17)...), // 25µs .. ~3.3s
+		batchRows:  obs.NewHistogram(obs.ExpBounds(1, 2, 11)...),     // 1 .. 1024
+		batchTasks: obs.NewHistogram(obs.ExpBounds(1, 2, 11)...),
+		queueDepth: obs.NewHistogram(obs.ExpBounds(1, 2, 13)...), // 1 .. 4096
+	}
+}
+
+func (s *Stats) observeRequest(rows int, version string, d time.Duration, err error) {
+	if err != nil {
+		if errors.Is(err, ErrNoModel) {
+			s.mu.Lock()
+			s.noModel++
+			s.mu.Unlock()
+		}
+		return
+	}
+	s.mu.Lock()
+	s.requests++
+	s.rows += int64(rows)
+	s.perVersion[version]++
+	s.mu.Unlock()
+	s.reqRate.Add(1)
+	s.rowRate.Add(int64(rows))
+	s.latency.Observe(d.Seconds())
+}
+
+func (s *Stats) observeBatch(rows, tasks int) {
+	s.batchRows.Observe(float64(rows))
+	s.batchTasks.Observe(float64(tasks))
+}
+
+// observeQueueDepth samples 1 in 64 admissions: the histogram stays
+// representative while the per-request cost of the metric vanishes from
+// the hot path.
+func (s *Stats) observeQueueDepth(depth int) {
+	if s.depthTick.Add(1)&63 == 0 {
+		s.queueDepth.Observe(float64(depth))
+	}
+}
+
+func (s *Stats) incShed(rows int64) {
+	s.mu.Lock()
+	s.shed++
+	s.shedRows += rows
+	s.mu.Unlock()
+}
+
+// IncError counts a malformed request (the HTTP layer's 4xx path).
+func (s *Stats) IncError() {
+	s.mu.Lock()
+	s.errors++
+	s.mu.Unlock()
+}
+
+// Requests returns the number of successfully served requests.
+func (s *Stats) Requests() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.requests
+}
+
+// Shed returns the number of requests rejected by admission control.
+func (s *Stats) Shed() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.shed
+}
+
+// VersionCounts returns a copy of the per-model-version request counters.
+func (s *Stats) VersionCounts() map[string]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int64, len(s.perVersion))
+	for k, v := range s.perVersion {
+		out[k] = v
+	}
+	return out
+}
+
+// Snapshot renders every metric as a JSON-friendly map; it backs both
+// /v1/stats and the expvar export.
+func (s *Stats) Snapshot() map[string]any {
+	s.mu.Lock()
+	per := make(map[string]int64, len(s.perVersion))
+	for k, v := range s.perVersion {
+		per[k] = v
+	}
+	snap := map[string]any{
+		"uptime_s":      time.Since(s.start).Seconds(),
+		"requests":      s.requests,
+		"rows":          s.rows,
+		"shed_requests": s.shed,
+		"shed_rows":     s.shedRows,
+		"bad_requests":  s.errors,
+		"no_model":      s.noModel,
+		"per_version":   per,
+	}
+	s.mu.Unlock()
+
+	snap["req_per_s_10s"] = s.reqRate.Rate(10)
+	snap["rows_per_s_10s"] = s.rowRate.Rate(10)
+	snap["req_per_s_60s"] = s.reqRate.Rate(60)
+	snap["rows_per_s_60s"] = s.rowRate.Rate(60)
+	snap["latency_ms"] = map[string]any{
+		"count": s.latency.Count(),
+		"mean":  1e3 * s.latency.Mean(),
+		"p50":   1e3 * s.latency.Quantile(0.50),
+		"p95":   1e3 * s.latency.Quantile(0.95),
+		"p99":   1e3 * s.latency.Quantile(0.99),
+		"max":   1e3 * s.latency.Max(),
+	}
+	snap["batch_rows"] = map[string]any{
+		"mean": s.batchRows.Mean(),
+		"max":  s.batchRows.Max(),
+		"hist": s.batchRows.Snapshot(),
+	}
+	snap["batch_requests"] = map[string]any{
+		"mean": s.batchTasks.Mean(),
+		"hist": s.batchTasks.Snapshot(),
+	}
+	snap["queue_depth"] = map[string]any{
+		"mean": s.queueDepth.Mean(),
+		"max":  s.queueDepth.Max(),
+		"hist": s.queueDepth.Snapshot(),
+	}
+	return snap
+}
+
+// Publish exposes the snapshot under name at /debug/vars (idempotent, via
+// obs.Publish).
+func (s *Stats) Publish(name string) {
+	obs.Publish(name, func() any { return s.Snapshot() })
+}

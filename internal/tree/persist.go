@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"pclouds/internal/record"
 )
@@ -109,17 +110,39 @@ func Read(r io.Reader) (*Tree, error) {
 	return Decode(schema, blob)
 }
 
-// SaveFile writes the model to path.
+// SaveFile writes the model to path atomically: the bytes go to a
+// temporary file in the destination directory, are fsynced, and only then
+// renamed over path. A concurrent reader (e.g. the serving registry's
+// hot-reload poller) therefore sees either the old complete model or the
+// new complete model, never a torn file; a failed write leaves path
+// untouched and removes the temporary.
 func SaveFile(t *Tree, path string) error {
-	f, err := os.Create(path)
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err
 	}
-	if err := Write(f, t); err != nil {
+	tmp := f.Name()
+	fail := func(err error) error {
 		f.Close()
+		os.Remove(tmp)
 		return err
 	}
-	return f.Close()
+	if err := Write(f, t); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 // LoadFile reads a model written by SaveFile.

@@ -2,7 +2,9 @@ package tree
 
 import (
 	"bytes"
+	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -48,6 +50,64 @@ func TestModelFileRoundTrip(t *testing.T) {
 	}
 	if !Equal(tr, got) {
 		t.Fatal("file roundtrip changed the tree")
+	}
+}
+
+func TestSaveFileOverwritesAtomically(t *testing.T) {
+	tr := buildTestTree(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.pcm")
+	// Save twice over the same path; the second save must replace the first
+	// completely and leave no temporary files behind.
+	for i := 0; i < 2; i++ {
+		if err := SaveFile(tr, path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(tr, got) {
+		t.Fatal("overwritten model does not match")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("temporary file %q left behind", e.Name())
+		}
+	}
+	if len(entries) != 1 {
+		t.Fatalf("expected exactly the model file, got %d entries", len(entries))
+	}
+}
+
+func TestSaveFileFailureLeavesNoPartialFile(t *testing.T) {
+	tr := buildTestTree(t)
+	dir := t.TempDir()
+	// Make the destination "directory" a regular file so the temp-file
+	// creation (and hence the whole save) fails before path can exist.
+	blocker := filepath.Join(dir, "not-a-dir")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(blocker, "model.pcm")
+	if err := SaveFile(tr, path); err == nil {
+		t.Fatal("SaveFile into a non-directory succeeded")
+	}
+	if _, err := os.Stat(path); err == nil {
+		t.Fatal("partial file exists at destination")
+	}
+	// The parent dir must contain only the blocker file — no stray temps.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "not-a-dir" {
+		t.Fatalf("unexpected directory contents after failed save: %v", entries)
 	}
 }
 

@@ -37,11 +37,29 @@ type Splitter struct {
 }
 
 // GoesLeft evaluates the test on record r under schema s.
+//
+// Records that do not match the schema — a missing attribute slot or a
+// categorical value outside the trained cardinality (an "unseen category"
+// arriving at serving time) — are routed deterministically to the right
+// (the no-branch) instead of panicking. Training-time records are always
+// validated and in range, so this guard never changes a build.
 func (sp *Splitter) GoesLeft(s *record.Schema, r record.Record) bool {
 	if sp.Kind == NumericSplit {
-		return r.Num[s.NumericPos(sp.Attr)] <= sp.Threshold
+		j := s.NumericPos(sp.Attr)
+		if j < 0 || j >= len(r.Num) {
+			return false
+		}
+		return r.Num[j] <= sp.Threshold
 	}
-	return sp.InLeft[r.Cat[s.CategoricalPos(sp.Attr)]]
+	j := s.CategoricalPos(sp.Attr)
+	if j < 0 || j >= len(r.Cat) {
+		return false
+	}
+	v := r.Cat[j]
+	if v < 0 || int(v) >= len(sp.InLeft) {
+		return false
+	}
+	return sp.InLeft[v]
 }
 
 // String renders the test.

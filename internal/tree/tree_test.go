@@ -67,6 +67,32 @@ func TestClassifyRouting(t *testing.T) {
 	}
 }
 
+func TestGoesLeftUnseenCategoryRoutesRight(t *testing.T) {
+	tr := buildTestTree(t)
+	// color has cardinality 3; values 3, 99 and -1 were never seen in
+	// training. They must route to the right child (the no-branch) instead
+	// of panicking, so a serving-time request with an unseen category gets
+	// a deterministic prediction.
+	for _, color := range []int32{3, 99, -1} {
+		r := rec(5, color, 0, 0)
+		if got := tr.Classify(r); got != 1 {
+			t.Fatalf("color=%d: got class %d, want right-branch class 1", color, got)
+		}
+		sp := tr.Root.Left.Splitter
+		if sp.GoesLeft(tr.Schema, r) {
+			t.Fatalf("color=%d: GoesLeft returned true for out-of-range category", color)
+		}
+	}
+	// A record with missing attribute slots must also route right, not panic.
+	empty := record.Record{}
+	if tr.Root.Splitter.GoesLeft(tr.Schema, empty) {
+		t.Fatal("numeric GoesLeft on empty record returned true")
+	}
+	if tr.Root.Left.Splitter.GoesLeft(tr.Schema, empty) {
+		t.Fatal("categorical GoesLeft on empty record returned true")
+	}
+}
+
 func TestLeafReturnsSameAsClassify(t *testing.T) {
 	tr := buildTestTree(t)
 	r := rec(3, 1, 9, 0)
