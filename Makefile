@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check build vet vet-concurrency test race fuzz bench experiments examples cover clean
+.PHONY: all check build vet vet-concurrency test race chaos fuzz bench experiments examples cover clean
 
 all: build vet test
 
@@ -19,14 +19,25 @@ test:
 	$(GO) test ./...
 
 # The ooc and comm/tcp tests enable the pipeline (read-ahead/write-behind
-# goroutines and the per-tag receive queues), and the serve tests drive the
-# hot-swap registry and batching engine under concurrent clients, so every
-# build exercises the concurrency under the race detector.
+# goroutines and the per-tag receive queues), the fault tests drive the
+# deterministic injector from concurrent ranks, and the serve tests drive
+# the hot-swap registry and batching engine under concurrent clients, so
+# every build exercises the concurrency under the race detector.
 race: vet-concurrency
-	$(GO) test -race ./internal/ooc/... ./internal/comm/... ./internal/pclouds/... ./internal/serve/...
+	$(GO) test -race ./internal/ooc/... ./internal/comm/... ./internal/fault/... ./internal/pclouds/... ./internal/serve/...
 
 vet-concurrency:
-	$(GO) vet ./internal/ooc/... ./internal/comm/tcp/... ./internal/serve/...
+	$(GO) vet ./internal/ooc/... ./internal/comm/tcp/... ./internal/fault/... ./internal/serve/...
+
+# Fault-injection acceptance suite: killed/wedged ranks, dropped and
+# corrupted frames, slow and failing storage — every scenario must end in
+# either full recovery (bit-identical tree) or a clean attributed error
+# within the detection deadline, never a hang. Run under the race detector
+# because fault paths are where the detector earns its keep.
+chaos:
+	$(GO) test -race -run 'TestChaos' -v ./internal/pclouds/
+	$(GO) test -race ./internal/fault/... ./internal/comm/tcp/...
+	$(GO) test -race -run 'TestCheckpoint|TestResume|TestWriteBehind|TestPrefetch' ./internal/pclouds/ ./internal/fault/ ./internal/ooc/
 
 # Short fuzz pass over the prediction-server request decoders: malformed
 # JSON/binary rows must get a 4xx, never a panic.

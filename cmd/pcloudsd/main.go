@@ -10,6 +10,13 @@
 //	pcloudsd -rank 0 -addrs :7070,:7071,:7072 -train train.bin &
 //	pcloudsd -rank 1 -addrs :7070,:7071,:7072 -train train.bin &
 //	pcloudsd -rank 2 -addrs :7070,:7071,:7072 -train train.bin
+//
+// Fault tolerance: -heartbeat/-peer-timeout/-recv-timeout tune the failure
+// detector (a dead or wedged peer fails the build with an error naming the
+// rank instead of hanging), and -checkpoint-dir/-resume persist per-level
+// checkpoints so a killed job restarts from the last completed level and
+// produces the identical tree. On failure the process exits nonzero with
+// the failing phase named; a temp workdir is removed either way.
 package main
 
 import (
@@ -32,6 +39,17 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "pcloudsd:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the whole rank lifecycle. It returns (rather than exits) on
+// failure so deferred cleanups — temp workdir removal, mesh teardown — run,
+// and it wraps every error with the phase that produced it: a nonzero exit
+// always names whether staging, the mesh, the build, or the trace failed.
+func run() error {
 	var (
 		rank      = flag.Int("rank", -1, "this process's rank")
 		addrsFlag = flag.String("addrs", "", "comma-separated host:port per rank")
@@ -42,6 +60,11 @@ func main() {
 		maxDepth  = flag.Int("maxdepth", 0, "depth cap (0 = unlimited)")
 		seed      = flag.Int64("seed", 1, "sampling seed (must match across ranks)")
 		timeout   = flag.Duration("dial-timeout", 30*time.Second, "mesh connection timeout")
+		heartbeat = flag.Duration("heartbeat", 500*time.Millisecond, "liveness frame interval (negative disables)")
+		peerTO    = flag.Duration("peer-timeout", 10*time.Second, "declare a peer dead after this much silence (negative disables)")
+		recvTO    = flag.Duration("recv-timeout", 0, "bound any single blocked receive, even with live heartbeats (0 disables)")
+		ckptDir   = flag.String("checkpoint-dir", "", "persist a checkpoint after every completed tree level to this directory")
+		resume    = flag.Bool("resume", false, "resume from the checkpoint in -checkpoint-dir instead of starting fresh")
 		traceOut  = flag.String("trace-out", "", "write this rank's trace JSON to this path (set on every rank)")
 		debugAddr = flag.String("debug-addr", "", "serve /debug/pprof and /debug/vars on this address (e.g. :6060)")
 		ioPipe    = flag.Bool("io-pipeline", false, "overlap disk I/O with computation (async read-ahead/write-behind)")
@@ -50,12 +73,15 @@ func main() {
 	flag.Parse()
 	addrs := strings.Split(*addrsFlag, ",")
 	if *rank < 0 || *rank >= len(addrs) || *trainPath == "" {
-		fatal(fmt.Errorf("need -rank in [0,%d) and -train", len(addrs)))
+		return fmt.Errorf("usage: need -rank in [0,%d) and -train", len(addrs))
+	}
+	if *resume && *ckptDir == "" {
+		return fmt.Errorf("usage: -resume requires -checkpoint-dir")
 	}
 	if *debugAddr != "" {
 		bound, err := obs.ServeDebug(*debugAddr)
 		if err != nil {
-			fatal(err)
+			return fmt.Errorf("debug endpoint: %w", err)
 		}
 		fmt.Fprintf(os.Stderr, "rank %d: debug endpoint on http://%s/debug/pprof\n", *rank, bound)
 	}
@@ -63,7 +89,7 @@ func main() {
 	schema := datagen.Schema()
 	full, err := record.LoadFile(schema, *trainPath)
 	if err != nil {
-		fatal(err)
+		return fmt.Errorf("stage: load training data: %w", err)
 	}
 	cfg := clouds.Config{
 		Method:      clouds.SSE,
@@ -81,37 +107,41 @@ func main() {
 	if dir == "" {
 		dir, err = os.MkdirTemp("", fmt.Sprintf("pcloudsd-rank%d-", *rank))
 		if err != nil {
-			fatal(err)
+			return fmt.Errorf("stage: workdir: %w", err)
 		}
 		defer os.RemoveAll(dir)
 	}
 	store, err := ooc.NewFileStore(schema, filepath.Join(dir, "store"), costmodel.Zero(), nil)
 	if err != nil {
-		fatal(err)
+		return fmt.Errorf("stage: create store: %w", err)
 	}
 	store.SetPipeline(ooc.Pipeline{Enabled: *ioPipe, Depth: *ioDepth})
 	w, err := store.CreateWriter("root")
 	if err != nil {
-		fatal(err)
+		return fmt.Errorf("stage: create root file: %w", err)
 	}
 	for i := *rank; i < full.Len(); i += len(addrs) {
 		if err := w.Write(full.Records[i]); err != nil {
-			fatal(err)
+			w.Close()
+			return fmt.Errorf("stage: write records: %w", err)
 		}
 	}
 	if err := w.Close(); err != nil {
-		fatal(err)
+		return fmt.Errorf("stage: close root file: %w", err)
 	}
 
 	fmt.Fprintf(os.Stderr, "rank %d: connecting mesh (%d ranks)\n", *rank, len(addrs))
 	c, err := tcpcomm.Dial(tcpcomm.Config{
-		Rank:        *rank,
-		Addrs:       addrs,
-		Params:      costmodel.Zero(),
-		DialTimeout: *timeout,
+		Rank:              *rank,
+		Addrs:             addrs,
+		Params:            costmodel.Zero(),
+		DialTimeout:       *timeout,
+		HeartbeatInterval: *heartbeat,
+		PeerTimeout:       *peerTO,
+		RecvTimeout:       *recvTO,
 	})
 	if err != nil {
-		fatal(err)
+		return fmt.Errorf("mesh: %w", err)
 	}
 	defer c.Close()
 
@@ -126,40 +156,44 @@ func main() {
 	}
 
 	start := time.Now()
-	tr, stats, err := pclouds.Build(pclouds.Config{Clouds: cfg, Trace: rec}, c, store, "root", sample)
+	tr, stats, err := pclouds.Build(pclouds.Config{
+		Clouds:        cfg,
+		Trace:         rec,
+		CheckpointDir: *ckptDir,
+		Resume:        *resume,
+	}, c, store, "root", sample)
 	elapsed := time.Since(start)
 	// Report the rank's transport and disk counters even when the build
 	// failed: partial traffic is exactly what a post-mortem needs.
 	fmt.Fprintf(os.Stderr, "rank %d: done in %v (%s; store %s)\n", *rank, elapsed, c.Stats(), store.Stats())
 	fmt.Fprintf(os.Stderr, "rank %d: per-collective traffic:\n%s", *rank, c.Stats().Table())
 	if err != nil {
-		fatal(err)
+		return fmt.Errorf("build: %w", err)
 	}
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {
-			fatal(err)
+			return fmt.Errorf("trace: %w", err)
 		}
 		if err := rec.WriteJSON(f); err != nil {
 			f.Close()
-			fatal(err)
+			return fmt.Errorf("trace: %w", err)
 		}
 		if err := f.Close(); err != nil {
-			fatal(err)
+			return fmt.Errorf("trace: %w", err)
 		}
 		fmt.Fprintf(os.Stderr, "rank %d: trace written to %s\n", *rank, *traceOut)
 	}
 	if *rank == 0 {
 		fmt.Printf("pCLOUDS over TCP, %d ranks, %d records: %s\n", len(addrs), full.Len(), metrics.Summarize(tr))
 		fmt.Printf("large nodes: %d, small tasks: %d, wall time: %v\n", stats.LargeNodes, stats.SmallTasks, elapsed)
+		if stats.ResumedLevel > 0 {
+			fmt.Printf("resumed from checkpoint at level %d, %d checkpoints written\n", stats.ResumedLevel, stats.Checkpoints)
+		}
 		if stats.PhaseReport != "" {
 			fmt.Printf("per-phase report (across ranks):\n%s", stats.PhaseReport)
 		}
 		fmt.Printf("training accuracy: %.4f\n", metrics.Accuracy(tr, full))
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "pcloudsd:", err)
-	os.Exit(1)
+	return nil
 }

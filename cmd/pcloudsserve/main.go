@@ -117,6 +117,13 @@ func runServer(models, addr, debugAddr string, poll, drainTO time.Duration, cfg 
 	if debugAddr != "" {
 		srv.Stats().Publish("serve")
 		obs.Publish("serve_model", func() any { return reg.Active().Info })
+		obs.Publish("serve_registry", func() any {
+			return map[string]any{
+				"swaps":           reg.Swaps(),
+				"reload_failures": reg.ReloadFailures(),
+				"last_error":      reg.LastError(),
+			}
+		})
 		bound, err := obs.ServeDebug(debugAddr)
 		if err != nil {
 			return err

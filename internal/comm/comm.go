@@ -24,12 +24,71 @@
 package comm
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"time"
 
 	"pclouds/internal/costmodel"
 )
+
+// PeerDown reports that a member of the gang has been declared failed: its
+// process died, its connection broke, or it stayed silent past the failure
+// detector's deadline. Transports return it (wrapped) from Recv and the
+// collectives built on Recv, so a blocked rank gets a prompt, attributable
+// error naming the dead peer instead of hanging forever.
+type PeerDown struct {
+	// Rank is the failed peer's id in the group.
+	Rank int
+	// Addr is the peer's transport address ("" for in-process transports).
+	Addr string
+	// Cause describes how the failure was detected (connection error,
+	// heartbeat silence, receive deadline, ...).
+	Cause string
+}
+
+func (e *PeerDown) Error() string {
+	if e.Addr == "" {
+		return fmt.Sprintf("comm: peer rank %d down: %s", e.Rank, e.Cause)
+	}
+	return fmt.Sprintf("comm: peer rank %d (%s) down: %s", e.Rank, e.Addr, e.Cause)
+}
+
+// AsPeerDown unwraps err to the PeerDown it carries, if any.
+func AsPeerDown(err error) (*PeerDown, bool) {
+	var pd *PeerDown
+	if errors.As(err, &pd) {
+		return pd, true
+	}
+	return nil, false
+}
+
+// transientErr marks an error as transient: the failed operation did not
+// change any transport state, so retrying it is safe.
+type transientErr struct{ err error }
+
+func (t *transientErr) Error() string   { return t.err.Error() }
+func (t *transientErr) Unwrap() error   { return t.err }
+func (t *transientErr) Transient() bool { return true }
+
+// MarkTransient wraps err as transient: the caller guarantees the failed
+// operation left the transport unchanged (nothing was written to the wire),
+// so a bounded retry is safe. Fault injectors use it to model recoverable
+// send failures; nil stays nil.
+func MarkTransient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientErr{err: err}
+}
+
+// IsTransient reports whether err is marked transient (see MarkTransient).
+// Errors from a partially transmitted frame must never be marked: retrying
+// them would desynchronise the stream.
+func IsTransient(err error) bool {
+	var t interface{ Transient() bool }
+	return errors.As(err, &t) && t.Transient()
+}
 
 // Tag identifies the protocol context of a message. Collectives reserve the
 // tags below; applications should use tags >= TagUser.
@@ -190,6 +249,15 @@ type Stats struct {
 	BytesRecv int64
 	// WaitSec is the total wall time spent blocked in Recv.
 	WaitSec float64
+	// Fault-tolerance counters (nonzero only on transports with failure
+	// detection, i.e. TCP): out-of-band heartbeat frames exchanged,
+	// transient send failures that were retried, and peers this rank has
+	// declared down. Heartbeats are control traffic and are deliberately
+	// excluded from the message/byte counters above.
+	HeartbeatsSent int64
+	HeartbeatsRecv int64
+	SendRetries    int64
+	PeerDowns      int64
 	// Ops is the per-collective breakdown, indexed by OpClass.
 	Ops [NumOpClasses]OpStats
 }
@@ -201,6 +269,10 @@ func (s *Stats) Add(o Stats) {
 	s.MsgsRecv += o.MsgsRecv
 	s.BytesRecv += o.BytesRecv
 	s.WaitSec += o.WaitSec
+	s.HeartbeatsSent += o.HeartbeatsSent
+	s.HeartbeatsRecv += o.HeartbeatsRecv
+	s.SendRetries += o.SendRetries
+	s.PeerDowns += o.PeerDowns
 	for i := range s.Ops {
 		s.Ops[i].Add(o.Ops[i])
 	}
@@ -209,11 +281,15 @@ func (s *Stats) Add(o Stats) {
 // Sub returns s - o field-wise: the traffic between two snapshots.
 func (s Stats) Sub(o Stats) Stats {
 	d := Stats{
-		MsgsSent:  s.MsgsSent - o.MsgsSent,
-		BytesSent: s.BytesSent - o.BytesSent,
-		MsgsRecv:  s.MsgsRecv - o.MsgsRecv,
-		BytesRecv: s.BytesRecv - o.BytesRecv,
-		WaitSec:   s.WaitSec - o.WaitSec,
+		MsgsSent:       s.MsgsSent - o.MsgsSent,
+		BytesSent:      s.BytesSent - o.BytesSent,
+		MsgsRecv:       s.MsgsRecv - o.MsgsRecv,
+		BytesRecv:      s.BytesRecv - o.BytesRecv,
+		WaitSec:        s.WaitSec - o.WaitSec,
+		HeartbeatsSent: s.HeartbeatsSent - o.HeartbeatsSent,
+		HeartbeatsRecv: s.HeartbeatsRecv - o.HeartbeatsRecv,
+		SendRetries:    s.SendRetries - o.SendRetries,
+		PeerDowns:      s.PeerDowns - o.PeerDowns,
 	}
 	for i := range d.Ops {
 		d.Ops[i] = OpStats{
@@ -248,6 +324,10 @@ func (s Stats) Table() string {
 	}
 	fmt.Fprintf(&b, "%-10s %8s %10d %14d %10d %14d %12.6f\n",
 		"total", "", s.MsgsSent, s.BytesSent, s.MsgsRecv, s.BytesRecv, s.WaitSec)
+	if s.HeartbeatsSent != 0 || s.HeartbeatsRecv != 0 || s.SendRetries != 0 || s.PeerDowns != 0 {
+		fmt.Fprintf(&b, "fault: heartbeats %d sent/%d recv, send retries %d, peers down %d\n",
+			s.HeartbeatsSent, s.HeartbeatsRecv, s.SendRetries, s.PeerDowns)
+	}
 	return b.String()
 }
 

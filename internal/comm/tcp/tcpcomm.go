@@ -4,9 +4,42 @@
 // lower ranks and dials higher ranks, forming a full mesh. Frames use the
 // protocol of package wire; a hello frame carrying the peer rank
 // authenticates each connection.
+//
+// # Failure detection
+//
+// Unlike the static MPI gang of the paper, the transport detects dead and
+// wedged peers instead of hanging forever:
+//
+//   - Every rank sends lightweight heartbeat frames on an out-of-band tag to
+//     every peer (Config.HeartbeatInterval). Heartbeats are control traffic:
+//     they prove the peer process is alive but never appear in the
+//     message/byte statistics or the per-tag receive queues.
+//   - A peer that has sent nothing — data or heartbeat — for
+//     Config.PeerTimeout is declared down with a comm.PeerDown naming the
+//     rank, its address and the silence as cause. With heartbeats enabled
+//     the check runs continuously in the heartbeat loop; otherwise it fires
+//     from any Recv blocked on the silent peer. A broken connection (peer
+//     process died, network partition) surfaces the same way as soon as the
+//     read side errors.
+//   - Failures cascade: ranks that detect a dead peer abort and close their
+//     own connections, so their peers then see secondary connection
+//     failures. To keep the error actionable, the first comm.PeerDown
+//     observed by a rank wins attribution — later failures on other
+//     connections are reported as wrapping that root cause.
+//   - Config.RecvTimeout optionally bounds any single blocked Recv even
+//     while heartbeats keep arriving, catching peers that are alive but
+//     wedged (or injected frame loss).
+//   - Transient send failures (errors marked with comm.MarkTransient, i.e.
+//     guaranteed to have left no bytes on the wire) are retried with bounded
+//     exponential backoff before surfacing.
+//
+// Once a peer is declared down every pending and future Recv from it fails
+// promptly with the same comm.PeerDown; the deployment is expected to abort
+// or checkpoint-restart the job, as cmd/pcloudsd does.
 package tcpcomm
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -21,6 +54,21 @@ import (
 // and user tag spaces.
 const helloTag = -1
 
+// heartbeatTag marks out-of-band liveness frames; they are consumed by the
+// reader loop and never enter the per-tag receive queues.
+const heartbeatTag = -2
+
+// downTag marks out-of-band failure gossip: the 4-byte payload names a rank
+// the sender has declared down. Gossip makes root-cause attribution
+// deterministic during a cascade — a peer learns "rank 3 died" from the
+// rank that saw it, before that rank's own teardown breaks the connection.
+const downTag = -3
+
+// ErrClosed is the error observed by a Recv that was blocked (or issued)
+// after Close tore the communicator down locally. It is distinct from
+// comm.PeerDown: the local process decided to stop, no peer failed.
+var ErrClosed = errors.New("tcpcomm: communicator closed")
+
 // Config describes one rank of a TCP group.
 type Config struct {
 	// Rank is this process's id.
@@ -33,6 +81,52 @@ type Config struct {
 	// DialTimeout bounds the total time spent connecting to each peer
 	// (default 10s). Dials retry until the peer's listener is up.
 	DialTimeout time.Duration
+	// HelloTimeout bounds the hello exchange on each freshly established
+	// connection (default 10s): a peer that connects but never identifies
+	// itself fails mesh setup instead of wedging it.
+	HelloTimeout time.Duration
+	// HeartbeatInterval is the period of out-of-band liveness frames sent
+	// to every peer (default 500ms; negative disables heartbeats).
+	HeartbeatInterval time.Duration
+	// PeerTimeout declares a peer dead when a Recv is blocked on it and
+	// nothing — data or heartbeat — has arrived from it for this long
+	// (default 10s; negative disables silence-based detection). It must
+	// comfortably exceed HeartbeatInterval.
+	PeerTimeout time.Duration
+	// RecvTimeout, when positive, bounds the time any single Recv may stay
+	// blocked even while the peer's heartbeats keep arriving — it catches
+	// alive-but-wedged peers and lost frames at the cost of a false
+	// positive if a rank legitimately computes longer than this between
+	// sends. 0 (the default) disables it.
+	RecvTimeout time.Duration
+	// SendRetries is the number of times a transient send failure (see
+	// comm.MarkTransient) is retried with exponential backoff before
+	// surfacing (default 3; negative disables retry).
+	SendRetries int
+	// SendBackoff is the initial retry backoff (default 2ms; doubles per
+	// attempt).
+	SendBackoff time.Duration
+}
+
+func (cfg *Config) withDefaults() {
+	if cfg.DialTimeout == 0 {
+		cfg.DialTimeout = 10 * time.Second
+	}
+	if cfg.HelloTimeout == 0 {
+		cfg.HelloTimeout = 10 * time.Second
+	}
+	if cfg.HeartbeatInterval == 0 {
+		cfg.HeartbeatInterval = 500 * time.Millisecond
+	}
+	if cfg.PeerTimeout == 0 {
+		cfg.PeerTimeout = 10 * time.Second
+	}
+	if cfg.SendRetries == 0 {
+		cfg.SendRetries = 3
+	}
+	if cfg.SendBackoff == 0 {
+		cfg.SendBackoff = 2 * time.Millisecond
+	}
 }
 
 // peer is one connection of the mesh. Incoming frames are demultiplexed by
@@ -43,15 +137,27 @@ type Config struct {
 // with the traffic actually outstanding; comm.ChanBuffer no longer bounds
 // the TCP receive path.
 type peer struct {
-	conn  net.Conn
-	fr    *wire.Conn
+	rank int
+	addr string
+	conn net.Conn
+	fr   *wire.Conn
+	// onDown is invoked exactly once when the peer is declared failed with
+	// a comm.PeerDown (not on orderly local Close).
+	onDown func(*comm.PeerDown)
+
 	sendM sync.Mutex
 
-	mu     sync.Mutex
-	cond   *sync.Cond
-	queues map[int32][]wire.Frame
-	// readErr is set (before closed) when the reader goroutine dies.
-	readErr error
+	mu   sync.Mutex
+	cond *sync.Cond
+	// lastSeen is the arrival time of the most recent frame (data or
+	// heartbeat) from this peer; the failure detector's silence clock.
+	lastSeen time.Time
+	queues   map[int32][]wire.Frame
+	// failErr is set exactly once when the connection is declared dead (read
+	// error, failure detection, or local Close); closed flags that no more
+	// frames will arrive. Queued frames are still drained before failErr is
+	// surfaced to Recv.
+	failErr error
 	closed  bool
 }
 
@@ -63,7 +169,22 @@ type Comm struct {
 	clock    *costmodel.Clock
 	stats    comm.Stats
 	statsMu  sync.Mutex
+	quit     chan struct{}
 	closed   sync.Once
+	// firstDown is the first comm.PeerDown observed (any connection). It
+	// attributes the cascade: secondary connection failures caused by other
+	// ranks aborting are reported as wrapping this root cause. Guarded by
+	// statsMu.
+	firstDown *comm.PeerDown
+	// gossipOnce bounds failure gossip to the first detection: the root
+	// cause is broadcast once; re-gossiping gossip-derived downs would only
+	// echo the same rank.
+	gossipOnce sync.Once
+	// sendFault, when non-nil, is consulted before each physical frame
+	// write; a non-nil return is treated as that attempt's send error.
+	// In-package tests use it to exercise the transient-retry path without
+	// a faulty network.
+	sendFault func(to int) error
 }
 
 var _ comm.Communicator = (*Comm)(nil)
@@ -77,10 +198,8 @@ func Dial(cfg Config) (*Comm, error) {
 	if cfg.Rank < 0 || cfg.Rank >= p {
 		return nil, fmt.Errorf("tcpcomm: rank %d out of range for %d addrs", cfg.Rank, p)
 	}
-	if cfg.DialTimeout == 0 {
-		cfg.DialTimeout = 10 * time.Second
-	}
-	c := &Comm{cfg: cfg, peers: make([]*peer, p), clock: costmodel.NewClock()}
+	cfg.withDefaults()
+	c := &Comm{cfg: cfg, peers: make([]*peer, p), clock: costmodel.NewClock(), quit: make(chan struct{})}
 	ln, err := net.Listen("tcp", cfg.Addrs[cfg.Rank])
 	if err != nil {
 		return nil, fmt.Errorf("tcpcomm: rank %d listen %s: %w", cfg.Rank, cfg.Addrs[cfg.Rank], err)
@@ -90,7 +209,9 @@ func Dial(cfg Config) (*Comm, error) {
 	errc := make(chan error, 2)
 	var wg sync.WaitGroup
 
-	// Accept one connection from every lower rank.
+	// Accept one connection from every lower rank. The hello exchange runs
+	// under a read deadline: a peer that connects and goes silent fails the
+	// bring-up with an attributable error instead of wedging it forever.
 	lower := cfg.Rank
 	wg.Add(1)
 	go func() {
@@ -101,20 +222,22 @@ func Dial(cfg Config) (*Comm, error) {
 				errc <- fmt.Errorf("tcpcomm: rank %d accept: %w", cfg.Rank, err)
 				return
 			}
+			conn.SetReadDeadline(time.Now().Add(cfg.HelloTimeout))
 			fr := wire.NewConn(conn)
 			hello, err := fr.Recv()
 			if err != nil || hello.Tag != helloTag || len(hello.Payload) != 4 {
 				conn.Close()
-				errc <- fmt.Errorf("tcpcomm: rank %d bad hello: %v", cfg.Rank, err)
+				errc <- fmt.Errorf("tcpcomm: rank %d bad hello (deadline %v): %v", cfg.Rank, cfg.HelloTimeout, err)
 				return
 			}
+			conn.SetReadDeadline(time.Time{})
 			from := int(uint32(hello.Payload[0]) | uint32(hello.Payload[1])<<8 | uint32(hello.Payload[2])<<16 | uint32(hello.Payload[3])<<24)
 			if from < 0 || from >= cfg.Rank || c.peers[from] != nil {
 				conn.Close()
 				errc <- fmt.Errorf("tcpcomm: rank %d: invalid hello rank %d", cfg.Rank, from)
 				return
 			}
-			c.peers[from] = newPeer(conn, fr)
+			c.peers[from] = c.newPeer(from, conn, fr)
 		}
 		errc <- nil
 	}()
@@ -132,12 +255,14 @@ func Dial(cfg Config) (*Comm, error) {
 			fr := wire.NewConn(conn)
 			r := uint32(cfg.Rank)
 			hello := wire.Frame{Tag: helloTag, Payload: []byte{byte(r), byte(r >> 8), byte(r >> 16), byte(r >> 24)}}
+			conn.SetWriteDeadline(time.Now().Add(cfg.HelloTimeout))
 			if err := fr.Send(hello); err != nil {
 				conn.Close()
 				errc <- fmt.Errorf("tcpcomm: rank %d hello to %d: %w", cfg.Rank, j, err)
 				return
 			}
-			c.peers[j] = newPeer(conn, fr)
+			conn.SetWriteDeadline(time.Time{})
+			c.peers[j] = c.newPeer(j, conn, fr)
 		}
 		errc <- nil
 	}()
@@ -149,11 +274,15 @@ func Dial(cfg Config) (*Comm, error) {
 			return nil, err
 		}
 	}
-	// Start reader goroutines once the mesh is complete.
-	for r, pe := range c.peers {
+	// Start reader goroutines once the mesh is complete, then the failure
+	// detector's heartbeat pump.
+	for _, pe := range c.peers {
 		if pe != nil {
-			go pe.readLoop(r)
+			go c.readLoop(pe)
 		}
+	}
+	if cfg.HeartbeatInterval > 0 && p > 1 {
+		go c.heartbeatLoop(cfg.HeartbeatInterval)
 	}
 	return c, nil
 }
@@ -177,9 +306,6 @@ func dialRetry(addr string, fromRank, toRank int, timeout time.Duration) (net.Co
 		}
 		conn, err := net.DialTimeout("tcp", addr, attempt)
 		if err == nil {
-			if tc, ok := conn.(*net.TCPConn); ok {
-				tc.SetNoDelay(true)
-			}
 			return conn, nil
 		}
 		lastErr = err
@@ -191,25 +317,109 @@ func dialRetry(addr string, fromRank, toRank int, timeout time.Duration) (net.Co
 	}
 }
 
-func newPeer(conn net.Conn, fr *wire.Conn) *peer {
+func (c *Comm) newPeer(rank int, conn net.Conn, fr *wire.Conn) *peer {
 	if tc, ok := conn.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
+		// OS-level keep-alive backstops the application heartbeats: a peer
+		// host that vanishes without a FIN eventually fails the connection
+		// even if the failure detector is disabled.
+		tc.SetKeepAlive(true)
+		tc.SetKeepAlivePeriod(30 * time.Second)
 	}
-	pe := &peer{conn: conn, fr: fr, queues: make(map[int32][]wire.Frame)}
+	pe := &peer{
+		rank: rank, addr: c.cfg.Addrs[rank],
+		conn: conn, fr: fr,
+		lastSeen: time.Now(),
+		queues:   make(map[int32][]wire.Frame),
+	}
+	pe.onDown = func(pd *comm.PeerDown) {
+		c.statsMu.Lock()
+		c.stats.PeerDowns++
+		if c.firstDown == nil {
+			c.firstDown = pd
+		}
+		c.statsMu.Unlock()
+		c.gossipDown(pd.Rank)
+	}
 	pe.cond = sync.NewCond(&pe.mu)
 	return pe
 }
 
-func (pe *peer) readLoop(rank int) {
+// gossipDown broadcasts the first locally observed peer failure to every
+// other live peer on the control tag. Without it, attribution during a
+// cascade is a scheduling race: a rank whose own view of the dead peer is
+// delayed may first observe a *detector's* teardown and blame the wrong
+// rank. With it, the detector's last frame on each connection names the
+// root cause, and TCP ordering guarantees it is read before that
+// connection's EOF. The sends are synchronous, so by the time the failure
+// surfaces to the caller (and the caller tears the communicator down) the
+// gossip frames are already on the wire. onDown fires with the failed
+// peer's mutex held; the sends only take *other* peers' send mutexes, and
+// no path acquires a peer mutex while holding a send mutex, so the lock
+// order is acyclic. Send errors are ignored: gossip is best-effort.
+func (c *Comm) gossipDown(downRank int) {
+	c.gossipOnce.Do(func() {
+		payload := []byte{byte(downRank), byte(downRank >> 8), byte(downRank >> 16), byte(downRank >> 24)}
+		for _, pe := range c.peers {
+			if pe == nil || pe.rank == downRank || pe.dead() {
+				continue
+			}
+			pe.sendM.Lock()
+			pe.fr.Send(wire.Frame{Tag: downTag, Payload: payload}) //nolint:errcheck
+			pe.sendM.Unlock()
+		}
+	})
+}
+
+// fail declares the connection dead with err (idempotent: the first cause
+// wins). Every blocked and future take observes err once the queues drain;
+// the socket is closed so the reader goroutine and the remote end unblock.
+func (pe *peer) fail(err error) {
+	pe.mu.Lock()
+	pe.failLocked(err)
+	pe.mu.Unlock()
+}
+
+func (pe *peer) failLocked(err error) {
+	if pe.failErr != nil {
+		return
+	}
+	pe.failErr = err
+	pe.closed = true
+	if pd, ok := comm.AsPeerDown(err); ok && pe.onDown != nil {
+		pe.onDown(pd)
+	}
+	pe.conn.Close()
+	pe.cond.Broadcast()
+}
+
+// readLoop demultiplexes one peer's incoming frames. Heartbeats only feed
+// the silence clock; data frames are queued by tag. A read error — EOF from
+// a peer that exited, a reset from a dead host — declares the peer down.
+func (c *Comm) readLoop(pe *peer) {
 	for {
 		f, err := pe.fr.Recv()
-		pe.mu.Lock()
 		if err != nil {
-			pe.readErr = err
-			pe.closed = true
-			pe.cond.Broadcast()
-			pe.mu.Unlock()
+			pe.fail(&comm.PeerDown{Rank: pe.rank, Addr: pe.addr, Cause: fmt.Sprintf("connection failed: %v", err)})
 			return
+		}
+		pe.mu.Lock()
+		pe.lastSeen = time.Now()
+		if f.Tag == heartbeatTag {
+			pe.cond.Broadcast() // refresh deadlines of blocked takes
+			pe.mu.Unlock()
+			c.statsMu.Lock()
+			c.stats.HeartbeatsRecv++
+			c.statsMu.Unlock()
+			continue
+		}
+		if f.Tag == downTag {
+			pe.mu.Unlock()
+			if len(f.Payload) == 4 {
+				down := int(uint32(f.Payload[0]) | uint32(f.Payload[1])<<8 | uint32(f.Payload[2])<<16 | uint32(f.Payload[3])<<24)
+				c.peerReportedDown(down, pe.rank)
+			}
+			continue
 		}
 		pe.queues[f.Tag] = append(pe.queues[f.Tag], f)
 		pe.cond.Broadcast()
@@ -217,23 +427,124 @@ func (pe *peer) readLoop(rank int) {
 	}
 }
 
-// take dequeues the oldest frame of one tag, blocking until one arrives or
-// the connection dies. It reports the seconds spent blocked (zero when a
-// frame was already queued).
-func (pe *peer) take(tag int32) (wire.Frame, float64, error) {
+// peerReportedDown applies failure gossip: reporter has declared down dead,
+// so this rank declares it dead too (idempotently) instead of waiting for
+// its own detector or, worse, misattributing the reporter's teardown.
+func (c *Comm) peerReportedDown(down, reporter int) {
+	if down < 0 || down >= len(c.peers) || down == c.cfg.Rank || c.peers[down] == nil {
+		return
+	}
+	c.peers[down].fail(&comm.PeerDown{Rank: down, Addr: c.cfg.Addrs[down],
+		Cause: fmt.Sprintf("reported down by rank %d", reporter)})
+}
+
+// heartbeatLoop pumps liveness frames to every live peer until Close, and
+// doubles as the proactive silence monitor: a peer past PeerTimeout is
+// declared down on the spot, not only once some Recv happens to block on
+// it. That matters in collectives — a rank blocked receiving from a healthy
+// peer still detects a third, silent rank promptly and attributes it.
+func (c *Comm) heartbeatLoop(interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.quit:
+			return
+		case <-t.C:
+		}
+		for _, pe := range c.peers {
+			if pe == nil {
+				continue
+			}
+			if c.cfg.PeerTimeout > 0 {
+				pe.mu.Lock()
+				if pe.failErr == nil && time.Since(pe.lastSeen) > c.cfg.PeerTimeout {
+					pe.failLocked(&comm.PeerDown{Rank: pe.rank, Addr: pe.addr,
+						Cause: fmt.Sprintf("silent for %v (no data or heartbeat)", c.cfg.PeerTimeout)})
+				}
+				pe.mu.Unlock()
+			}
+			if pe.dead() {
+				continue
+			}
+			pe.sendM.Lock()
+			err := pe.fr.Send(wire.Frame{Tag: heartbeatTag})
+			pe.sendM.Unlock()
+			if err != nil {
+				pe.fail(&comm.PeerDown{Rank: pe.rank, Addr: pe.addr, Cause: fmt.Sprintf("heartbeat send: %v", err)})
+				continue
+			}
+			c.statsMu.Lock()
+			c.stats.HeartbeatsSent++
+			c.statsMu.Unlock()
+		}
+	}
+}
+
+func (pe *peer) dead() bool {
+	pe.mu.Lock()
+	defer pe.mu.Unlock()
+	return pe.failErr != nil
+}
+
+// take dequeues the oldest frame of one tag, blocking until one arrives,
+// the connection dies, or a failure-detection deadline expires. It reports
+// the seconds spent blocked (zero when a frame was already queued).
+//
+// Two deadlines guard the wait: peerTO fires when the peer has been
+// entirely silent (no data, no heartbeat) for that long; recvTO fires when
+// this take itself has been blocked for that long regardless of
+// heartbeats. Either expiry declares the peer down with a comm.PeerDown so
+// every other blocked receiver fails promptly too.
+func (pe *peer) take(tag int32, peerTO, recvTO time.Duration) (wire.Frame, float64, error) {
 	pe.mu.Lock()
 	defer pe.mu.Unlock()
 	var wait float64
 	if len(pe.queues[tag]) == 0 && !pe.closed {
 		t0 := time.Now()
+		var recvDL time.Time
+		if recvTO > 0 {
+			recvDL = t0.Add(recvTO)
+		}
 		for len(pe.queues[tag]) == 0 && !pe.closed {
+			var dl time.Time
+			if peerTO > 0 {
+				dl = pe.lastSeen.Add(peerTO)
+			}
+			if !recvDL.IsZero() && (dl.IsZero() || recvDL.Before(dl)) {
+				dl = recvDL
+			}
+			if dl.IsZero() {
+				pe.cond.Wait()
+				continue
+			}
+			now := time.Now()
+			if !now.Before(dl) {
+				var cause string
+				if !recvDL.IsZero() && !now.Before(recvDL) {
+					cause = fmt.Sprintf("receive deadline: blocked %v waiting for tag %d", recvTO, tag)
+				} else {
+					cause = fmt.Sprintf("silent for %v (no data or heartbeat)", peerTO)
+				}
+				pe.failLocked(&comm.PeerDown{Rank: pe.rank, Addr: pe.addr, Cause: cause})
+				break
+			}
+			// Arm a wake-up at the deadline; any frame arrival broadcasts
+			// sooner and the loop re-derives the (possibly pushed-back)
+			// deadline from the fresh lastSeen.
+			tm := time.AfterFunc(dl.Sub(now)+time.Millisecond, func() {
+				pe.mu.Lock()
+				pe.cond.Broadcast()
+				pe.mu.Unlock()
+			})
 			pe.cond.Wait()
+			tm.Stop()
 		}
 		wait = time.Since(t0).Seconds()
 	}
 	q := pe.queues[tag]
 	if len(q) == 0 {
-		return wire.Frame{}, wait, pe.readErr
+		return wire.Frame{}, wait, pe.failErr
 	}
 	f := q[0]
 	if len(q) == 1 {
@@ -267,7 +578,32 @@ func (c *Comm) CountCall(cl comm.OpClass) {
 	c.statsMu.Unlock()
 }
 
-// Send implements comm.Communicator.
+// attribute turns a proximate connection error into an actionable one.
+// During a failure cascade — one rank dies, its detectors abort and close
+// their own connections, breaking further connections — the error on the
+// secondary connection names the wrong rank. If an earlier PeerDown for a
+// *different* rank was recorded, the returned error reports the proximate
+// failure but wraps that first failure as the root cause.
+func (c *Comm) attribute(peerRank int, err error) error {
+	pd, ok := comm.AsPeerDown(err)
+	if !ok {
+		return fmt.Errorf("tcpcomm: rank %d: connection to rank %d failed: %w", c.cfg.Rank, peerRank, err)
+	}
+	c.statsMu.Lock()
+	first := c.firstDown
+	c.statsMu.Unlock()
+	if first != nil && first.Rank != pd.Rank {
+		return fmt.Errorf("tcpcomm: rank %d: connection to rank %d failed (%v); first peer failure: %w",
+			c.cfg.Rank, peerRank, pd, first)
+	}
+	return fmt.Errorf("tcpcomm: rank %d: connection to rank %d failed: %w", c.cfg.Rank, peerRank, err)
+}
+
+// Send implements comm.Communicator. Failures marked transient (see
+// comm.MarkTransient: the attempt is guaranteed to have written nothing to
+// the wire) are retried up to Config.SendRetries times with exponential
+// backoff; all other errors surface immediately, because retrying a
+// partially written frame would desynchronise the stream.
 func (c *Comm) Send(to int, tag comm.Tag, data []byte) error {
 	if to < 0 || to >= len(c.peers) || to == c.cfg.Rank {
 		return fmt.Errorf("tcpcomm: rank %d: invalid send target %d", c.cfg.Rank, to)
@@ -277,11 +613,30 @@ func (c *Comm) Send(to int, tag comm.Tag, data []byte) error {
 		return fmt.Errorf("tcpcomm: rank %d: no connection to rank %d", c.cfg.Rank, to)
 	}
 	c.clock.Advance(c.cfg.Params.MessageCost(len(data)))
-	pe.sendM.Lock()
-	err := pe.fr.Send(wire.Frame{Tag: int32(tag), SentAt: c.clock.Time(), Payload: data})
-	pe.sendM.Unlock()
-	if err != nil {
-		return fmt.Errorf("tcpcomm: rank %d send to %d: %w", c.cfg.Rank, to, err)
+	f := wire.Frame{Tag: int32(tag), SentAt: c.clock.Time(), Payload: data}
+	backoff := c.cfg.SendBackoff
+	for attempt := 0; ; attempt++ {
+		err := c.trySend(pe, f)
+		if err == nil {
+			break
+		}
+		if attempt >= c.cfg.SendRetries || !comm.IsTransient(err) {
+			// If the connection was already declared dead, report that
+			// declaration (and the cascade's root cause) rather than the raw
+			// socket error from writing to a closed connection.
+			pe.mu.Lock()
+			ferr := pe.failErr
+			pe.mu.Unlock()
+			if ferr != nil {
+				return c.attribute(to, ferr)
+			}
+			return fmt.Errorf("tcpcomm: rank %d send to %d: %w", c.cfg.Rank, to, err)
+		}
+		c.statsMu.Lock()
+		c.stats.SendRetries++
+		c.statsMu.Unlock()
+		time.Sleep(backoff)
+		backoff *= 2
 	}
 	c.statsMu.Lock()
 	c.stats.RecordSend(tag, len(data))
@@ -289,7 +644,22 @@ func (c *Comm) Send(to int, tag comm.Tag, data []byte) error {
 	return nil
 }
 
-// Recv implements comm.Communicator.
+func (c *Comm) trySend(pe *peer, f wire.Frame) error {
+	if hook := c.sendFault; hook != nil {
+		if err := hook(pe.rank); err != nil {
+			return err
+		}
+	}
+	pe.sendM.Lock()
+	err := pe.fr.Send(f)
+	pe.sendM.Unlock()
+	return err
+}
+
+// Recv implements comm.Communicator. When the peer is dead, wedged past
+// the configured deadlines, or the communicator was closed, Recv returns a
+// prompt error (wrapping comm.PeerDown or ErrClosed) instead of blocking
+// forever; frames that were already queued are still delivered first.
 func (c *Comm) Recv(from int, tag comm.Tag) ([]byte, error) {
 	if from < 0 || from >= len(c.peers) || from == c.cfg.Rank {
 		return nil, fmt.Errorf("tcpcomm: rank %d: invalid recv source %d", c.cfg.Rank, from)
@@ -298,9 +668,9 @@ func (c *Comm) Recv(from int, tag comm.Tag) ([]byte, error) {
 	if pe == nil {
 		return nil, fmt.Errorf("tcpcomm: rank %d: no connection to rank %d", c.cfg.Rank, from)
 	}
-	f, wait, err := pe.take(int32(tag))
+	f, wait, err := pe.take(int32(tag), c.cfg.PeerTimeout, c.cfg.RecvTimeout)
 	if err != nil {
-		return nil, fmt.Errorf("tcpcomm: rank %d: connection to rank %d failed: %w", c.cfg.Rank, from, err)
+		return nil, c.attribute(from, err)
 	}
 	c.clock.AlignTo(f.SentAt)
 	c.statsMu.Lock()
@@ -309,16 +679,20 @@ func (c *Comm) Recv(from int, tag comm.Tag) ([]byte, error) {
 	return f.Payload, nil
 }
 
-// Close tears down all connections and the listener.
+// Close tears down all connections and the listener, and stops the
+// heartbeat pump. Any Recv blocked on a peer — and any issued afterwards —
+// is woken promptly with an error wrapping ErrClosed; frames already
+// queued are still delivered before the error surfaces.
 func (c *Comm) Close() error {
 	var err error
 	c.closed.Do(func() {
+		close(c.quit)
 		if c.listener != nil {
 			err = c.listener.Close()
 		}
 		for _, pe := range c.peers {
 			if pe != nil {
-				pe.conn.Close()
+				pe.fail(ErrClosed)
 			}
 		}
 	})

@@ -1,0 +1,146 @@
+package fault
+
+import (
+	"io"
+	"time"
+
+	"pclouds/internal/ooc"
+)
+
+// Backend wraps an ooc.Backend, applying the injector's rules to file-level
+// operations (create/append/open/remove) and to every byte-level read and
+// write on the streams it hands out. Install it with Store.WrapBackend:
+//
+//	st.WrapBackend(fault.WrapBackend(inj, rank))
+type Backend struct {
+	inner ooc.Backend
+	inj   *Injector
+	rank  int
+}
+
+var _ ooc.Backend = (*Backend)(nil)
+
+// WrapBackend returns a wrapper suitable for ooc.Store.WrapBackend,
+// attributing the store's operations to the given rank.
+func WrapBackend(inj *Injector, rank int) func(ooc.Backend) ooc.Backend {
+	return func(b ooc.Backend) ooc.Backend {
+		return &Backend{inner: b, inj: inj, rank: rank}
+	}
+}
+
+// fileOp applies a file-level rule decision; it reports the injected error,
+// if any.
+func (b *Backend) fileOp(op Op) error {
+	r := b.inj.decide(b.rank, op, AnyClass)
+	if r == nil {
+		return nil
+	}
+	switch r.Action {
+	case Slow, Delay:
+		time.Sleep(r.Delay)
+		return nil
+	case Error:
+		return b.inj.injectedErr(r, b.rank, op)
+	}
+	return nil
+}
+
+// Create implements ooc.Backend.
+func (b *Backend) Create(name string) (io.WriteCloser, error) {
+	if err := b.fileOp(OpCreate); err != nil {
+		return nil, err
+	}
+	w, err := b.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultWriter{b: b, inner: w}, nil
+}
+
+// Append implements ooc.Backend.
+func (b *Backend) Append(name string) (io.WriteCloser, error) {
+	if err := b.fileOp(OpAppend); err != nil {
+		return nil, err
+	}
+	w, err := b.inner.Append(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultWriter{b: b, inner: w}, nil
+}
+
+// Open implements ooc.Backend.
+func (b *Backend) Open(name string) (io.ReadCloser, error) {
+	if err := b.fileOp(OpOpen); err != nil {
+		return nil, err
+	}
+	r, err := b.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultReader{b: b, inner: r}, nil
+}
+
+// Size implements ooc.Backend (never faulted: manifests and counters must
+// stay trustworthy or every test assertion becomes ambiguous).
+func (b *Backend) Size(name string) (int64, error) { return b.inner.Size(name) }
+
+// Remove implements ooc.Backend.
+func (b *Backend) Remove(name string) error {
+	if err := b.fileOp(OpRemove); err != nil {
+		return err
+	}
+	return b.inner.Remove(name)
+}
+
+// List implements ooc.Backend.
+func (b *Backend) List() ([]string, error) { return b.inner.List() }
+
+// Sync implements ooc.Backend.
+func (b *Backend) Sync(name string) error { return b.inner.Sync(name) }
+
+type faultWriter struct {
+	b     *Backend
+	inner io.WriteCloser
+}
+
+func (w *faultWriter) Write(p []byte) (int, error) {
+	r := w.b.inj.decide(w.b.rank, OpWrite, AnyClass)
+	if r != nil {
+		switch r.Action {
+		case Slow, Delay:
+			time.Sleep(r.Delay)
+		case Error:
+			return 0, w.b.inj.injectedErr(r, w.b.rank, OpWrite)
+		}
+	}
+	return w.inner.Write(p)
+}
+
+func (w *faultWriter) Close() error { return w.inner.Close() }
+
+type faultReader struct {
+	b     *Backend
+	inner io.ReadCloser
+}
+
+func (r *faultReader) Read(p []byte) (int, error) {
+	ru := r.b.inj.decide(r.b.rank, OpRead, AnyClass)
+	if ru != nil {
+		switch ru.Action {
+		case Slow, Delay:
+			time.Sleep(ru.Delay)
+		case Error:
+			return 0, r.b.inj.injectedErr(ru, r.b.rank, OpRead)
+		case ShortRead:
+			// Legal io.Reader behaviour: deliver a prefix. io.ReadFull
+			// callers must loop; sloppy ones lose records.
+			if len(p) > 1 {
+				p = p[:1+len(p)/4]
+			}
+		}
+	}
+	return r.inner.Read(p)
+}
+
+func (r *faultReader) Close() error { return r.inner.Close() }

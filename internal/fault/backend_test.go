@@ -1,0 +1,191 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"pclouds/internal/costmodel"
+	"pclouds/internal/ooc"
+	"pclouds/internal/record"
+)
+
+func testStore(t *testing.T) *ooc.Store {
+	t.Helper()
+	schema := record.MustSchema([]record.Attribute{{Name: "x", Kind: record.Numeric}}, 2)
+	return ooc.NewMemStore(schema, costmodel.Zero(), nil)
+}
+
+// fileTestStore is used where the test observes data mid-stream via Count:
+// the memory backend only publishes bytes at Close, files publish on write.
+func fileTestStore(t *testing.T) *ooc.Store {
+	t.Helper()
+	schema := record.MustSchema([]record.Attribute{{Name: "x", Kind: record.Numeric}}, 2)
+	st, err := ooc.NewFileStore(schema, t.TempDir(), costmodel.Zero(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func records(n int) []record.Record {
+	out := make([]record.Record, n)
+	for i := range out {
+		out[i] = record.Record{Num: []float64{float64(i)}, Class: int32(i % 2)}
+	}
+	return out
+}
+
+// TestBackendErrorSurfaces: injected storage errors propagate through the
+// store's writer with the injected marker intact.
+func TestBackendErrorSurfaces(t *testing.T) {
+	st := testStore(t)
+	in := NewInjector(5, Rule{Rank: AnyRank, Op: OpWrite, Class: AnyClass, Action: Error})
+	st.WrapBackend(WrapBackend(in, 0))
+	err := st.WriteAll("d", records(10000)) // enough to force a page flush
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want injected error, got %v", err)
+	}
+}
+
+// TestBackendShortReadsHarmless: short reads are legal reader behaviour;
+// the store's paged reader must reassemble every record regardless.
+func TestBackendShortReadsHarmless(t *testing.T) {
+	st := testStore(t)
+	if err := st.WriteAll("d", records(5000)); err != nil {
+		t.Fatal(err)
+	}
+	in := NewInjector(5, Rule{Rank: AnyRank, Op: OpRead, Class: AnyClass, Action: ShortRead, Prob: 0.5})
+	st.WrapBackend(WrapBackend(in, 0))
+	recs, err := st.ReadAll("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5000 {
+		t.Fatalf("read %d records under short reads, want 5000", len(recs))
+	}
+	if in.Stats().ShortReads == 0 {
+		t.Fatal("no short reads injected")
+	}
+}
+
+// TestWriteBehindBarriersUnderSlowIO: with the async pipeline enabled and
+// every physical write stalled, Flush and Close must still act as barriers —
+// after Flush returns, all records written so far are durably on the
+// backend; Close drains everything. A write-behind that dropped the barrier
+// under back-pressure would ack records the disk never saw.
+func TestWriteBehindBarriersUnderSlowIO(t *testing.T) {
+	st := fileTestStore(t)
+	st.SetPipeline(ooc.Pipeline{Enabled: true, Depth: 2})
+	in := NewInjector(5, Rule{Rank: AnyRank, Op: OpWrite, Class: AnyClass, Action: Slow, Delay: 20 * time.Millisecond})
+	st.WrapBackend(WrapBackend(in, 0))
+
+	w, err := st.CreateWriter("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := records(20000) // several pages, so the queue actually fills
+	half := len(recs) / 2
+	for _, rec := range recs[:half] {
+		if err := w.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Flush is a barrier: everything written so far must be on the backend
+	// even though each physical write is stalled.
+	n, err := st.Count("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(half) {
+		t.Fatalf("after Flush, backend holds %d records, want %d", n, half)
+	}
+	for _, rec := range recs[half:] {
+		if err := w.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	n, err = st.Count("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len(recs)) {
+		t.Fatalf("after Close, backend holds %d records, want %d", n, len(recs))
+	}
+	if in.Stats().Slows == 0 {
+		t.Fatal("no slow-write faults injected")
+	}
+	got, err := st.ReadAll("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rec := range got {
+		if rec.Num[0] != float64(i) {
+			t.Fatalf("record %d corrupted under slow I/O: %v", i, rec.Num[0])
+		}
+	}
+}
+
+// TestWriteBehindStickyErrorUnderStall: a write that fails while later
+// pages are queued must surface on the barrier (Flush/Close), not vanish.
+func TestWriteBehindStickyErrorUnderStall(t *testing.T) {
+	st := testStore(t)
+	st.SetPipeline(ooc.Pipeline{Enabled: true, Depth: 2})
+	// Rules are first-match: the error rule leads so it is reachable past
+	// its After window; earlier writes fall through to the stall rule.
+	in := NewInjector(5,
+		Rule{Rank: AnyRank, Op: OpWrite, Class: AnyClass, Action: Error, After: 2},
+		Rule{Rank: AnyRank, Op: OpWrite, Class: AnyClass, Action: Slow, Delay: 10 * time.Millisecond})
+	st.WrapBackend(WrapBackend(in, 0))
+
+	w, err := st.CreateWriter("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var failed error
+	for _, rec := range records(60000) {
+		if failed = w.Write(rec); failed != nil {
+			break
+		}
+	}
+	if failed == nil {
+		failed = w.Flush()
+	}
+	cerr := w.Close()
+	if failed == nil && cerr == nil {
+		t.Fatal("injected write error never surfaced through the barriers")
+	}
+	for _, err := range []error{failed, cerr} {
+		if err != nil && !errors.Is(err, ErrInjected) {
+			t.Fatalf("surfaced error lost the injected cause: %v", err)
+		}
+	}
+}
+
+// TestPrefetchUnderSlowReads: the read-ahead pipeline under uniformly slow
+// reads still yields every record exactly once, in order.
+func TestPrefetchUnderSlowReads(t *testing.T) {
+	st := testStore(t)
+	if err := st.WriteAll("d", records(8000)); err != nil {
+		t.Fatal(err)
+	}
+	st.SetPipeline(ooc.Pipeline{Enabled: true, Depth: 2})
+	in := NewInjector(5, Rule{Rank: AnyRank, Op: OpRead, Class: AnyClass, Action: Slow, Delay: 5 * time.Millisecond})
+	st.WrapBackend(WrapBackend(in, 0))
+	recs, err := st.ReadAll("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 8000 {
+		t.Fatalf("read %d records, want 8000", len(recs))
+	}
+	if in.Stats().Slows == 0 {
+		t.Fatal("no slow-read faults injected")
+	}
+}

@@ -20,19 +20,19 @@ func (f *fileBackend) path(name string) string {
 	return filepath.Join(f.dir, strings.ReplaceAll(name, "/", "__"))
 }
 
-func (f *fileBackend) create(name string) (io.WriteCloser, error) {
+func (f *fileBackend) Create(name string) (io.WriteCloser, error) {
 	return os.Create(f.path(name))
 }
 
-func (f *fileBackend) appendTo(name string) (io.WriteCloser, error) {
+func (f *fileBackend) Append(name string) (io.WriteCloser, error) {
 	return os.OpenFile(f.path(name), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
 }
 
-func (f *fileBackend) open(name string) (io.ReadCloser, error) {
+func (f *fileBackend) Open(name string) (io.ReadCloser, error) {
 	return os.Open(f.path(name))
 }
 
-func (f *fileBackend) size(name string) (int64, error) {
+func (f *fileBackend) Size(name string) (int64, error) {
 	st, err := os.Stat(f.path(name))
 	if err != nil {
 		return 0, err
@@ -40,11 +40,11 @@ func (f *fileBackend) size(name string) (int64, error) {
 	return st.Size(), nil
 }
 
-func (f *fileBackend) remove(name string) error {
+func (f *fileBackend) Remove(name string) error {
 	return os.Remove(f.path(name))
 }
 
-func (f *fileBackend) list() ([]string, error) {
+func (f *fileBackend) List() ([]string, error) {
 	entries, err := os.ReadDir(f.dir)
 	if err != nil {
 		return nil, err
@@ -56,6 +56,17 @@ func (f *fileBackend) list() ([]string, error) {
 		}
 	}
 	return names, nil
+}
+
+// Sync flushes a named file's data to stable storage (fsync); checkpoint
+// manifests must not reference record files the OS could still lose.
+func (f *fileBackend) Sync(name string) error {
+	fd, err := os.Open(f.path(name))
+	if err != nil {
+		return err
+	}
+	defer fd.Close()
+	return fd.Sync()
 }
 
 // memBackend stores files in memory; used by tests and large simulated
@@ -89,11 +100,11 @@ func (w *memWriter) Close() error {
 	return nil
 }
 
-func (m *memBackend) create(name string) (io.WriteCloser, error) {
+func (m *memBackend) Create(name string) (io.WriteCloser, error) {
 	return &memWriter{b: m, name: name}, nil
 }
 
-func (m *memBackend) appendTo(name string) (io.WriteCloser, error) {
+func (m *memBackend) Append(name string) (io.WriteCloser, error) {
 	w := &memWriter{b: m, name: name}
 	m.mu.Lock()
 	if existing, ok := m.files[name]; ok {
@@ -103,7 +114,7 @@ func (m *memBackend) appendTo(name string) (io.WriteCloser, error) {
 	return w, nil
 }
 
-func (m *memBackend) open(name string) (io.ReadCloser, error) {
+func (m *memBackend) Open(name string) (io.ReadCloser, error) {
 	m.mu.Lock()
 	data, ok := m.files[name]
 	m.mu.Unlock()
@@ -113,7 +124,7 @@ func (m *memBackend) open(name string) (io.ReadCloser, error) {
 	return io.NopCloser(bytes.NewReader(data)), nil
 }
 
-func (m *memBackend) size(name string) (int64, error) {
+func (m *memBackend) Size(name string) (int64, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	data, ok := m.files[name]
@@ -123,7 +134,7 @@ func (m *memBackend) size(name string) (int64, error) {
 	return int64(len(data)), nil
 }
 
-func (m *memBackend) remove(name string) error {
+func (m *memBackend) Remove(name string) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if _, ok := m.files[name]; !ok {
@@ -133,7 +144,18 @@ func (m *memBackend) remove(name string) error {
 	return nil
 }
 
-func (m *memBackend) list() ([]string, error) {
+// Sync is a no-op: memory-backed files are exactly as durable as the
+// process, there is no further level to flush to.
+func (m *memBackend) Sync(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[name]; !ok {
+		return fmt.Errorf("ooc: %w: %s", os.ErrNotExist, name)
+	}
+	return nil
+}
+
+func (m *memBackend) List() ([]string, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	names := make([]string, 0, len(m.files))

@@ -13,7 +13,7 @@ import (
 // configurable number of byte-level operations, exercising the error paths
 // of the streaming reader and writer.
 type faultBackend struct {
-	inner      backend
+	inner      Backend
 	failWrite  int // fail the Nth write (1-based; 0 = never)
 	failRead   int
 	writeCount int
@@ -52,33 +52,34 @@ func (r *faultReader) Read(p []byte) (int, error) {
 
 func (r *faultReader) Close() error { return r.inner.Close() }
 
-func (f *faultBackend) create(name string) (io.WriteCloser, error) {
-	w, err := f.inner.create(name)
+func (f *faultBackend) Create(name string) (io.WriteCloser, error) {
+	w, err := f.inner.Create(name)
 	if err != nil {
 		return nil, err
 	}
 	return &faultWriter{b: f, inner: w}, nil
 }
 
-func (f *faultBackend) appendTo(name string) (io.WriteCloser, error) {
-	w, err := f.inner.appendTo(name)
+func (f *faultBackend) Append(name string) (io.WriteCloser, error) {
+	w, err := f.inner.Append(name)
 	if err != nil {
 		return nil, err
 	}
 	return &faultWriter{b: f, inner: w}, nil
 }
 
-func (f *faultBackend) open(name string) (io.ReadCloser, error) {
-	r, err := f.inner.open(name)
+func (f *faultBackend) Open(name string) (io.ReadCloser, error) {
+	r, err := f.inner.Open(name)
 	if err != nil {
 		return nil, err
 	}
 	return &faultReader{b: f, inner: r}, nil
 }
 
-func (f *faultBackend) size(name string) (int64, error) { return f.inner.size(name) }
-func (f *faultBackend) remove(name string) error        { return f.inner.remove(name) }
-func (f *faultBackend) list() ([]string, error)         { return f.inner.list() }
+func (f *faultBackend) Size(name string) (int64, error) { return f.inner.Size(name) }
+func (f *faultBackend) Remove(name string) error        { return f.inner.Remove(name) }
+func (f *faultBackend) List() ([]string, error)         { return f.inner.List() }
+func (f *faultBackend) Sync(name string) error          { return f.inner.Sync(name) }
 
 func faultStore(t *testing.T, failWrite, failRead int) *Store {
 	t.Helper()

@@ -68,14 +68,24 @@ func (s IOStats) String() string {
 	return out
 }
 
-// backend abstracts the storage medium.
-type backend interface {
-	create(name string) (io.WriteCloser, error)
-	appendTo(name string) (io.WriteCloser, error)
-	open(name string) (io.ReadCloser, error)
-	size(name string) (int64, error)
-	remove(name string) error
-	list() ([]string, error)
+// Backend abstracts the storage medium. It is exported so cross-cutting
+// layers — fault injection, instrumentation — can wrap a store's medium via
+// WrapBackend without knowing whether files or memory sit underneath.
+type Backend interface {
+	// Create truncates (or creates) a named file for writing.
+	Create(name string) (io.WriteCloser, error)
+	// Append opens a named file for appending, creating it if absent.
+	Append(name string) (io.WriteCloser, error)
+	// Open opens a named file for sequential reading.
+	Open(name string) (io.ReadCloser, error)
+	// Size reports a named file's length in bytes.
+	Size(name string) (int64, error)
+	// Remove deletes a named file.
+	Remove(name string) error
+	// List enumerates all file names.
+	List() ([]string, error)
+	// Sync flushes a named file to stable storage (no-op for memory).
+	Sync(name string) error
 }
 
 // Store is one rank's private disk namespace for records of one schema.
@@ -83,12 +93,22 @@ type Store struct {
 	schema   *record.Schema
 	params   costmodel.Params
 	clock    *costmodel.Clock
-	b        backend
+	b        Backend
 	pipe     Pipeline
 	statsMu  sync.Mutex
 	stats    IOStats
 	observer func(write bool, bytes int64)
 }
+
+// WrapBackend replaces the store's medium with wrap(current). Install
+// wrappers before any I/O begins — readers and writers in flight keep the
+// streams they opened.
+func (s *Store) WrapBackend(wrap func(Backend) Backend) {
+	s.b = wrap(s.b)
+}
+
+// Sync flushes a named file to stable storage; see Backend.Sync.
+func (s *Store) Sync(name string) error { return s.b.Sync(name) }
 
 // SetObserver installs a callback invoked on every charged page transfer
 // (write=true for writes), letting live exporters (expvar, tracing) see I/O
@@ -166,11 +186,11 @@ func (s *Store) addIOWait(sec float64) {
 }
 
 // Remove deletes a named record file.
-func (s *Store) Remove(name string) error { return s.b.remove(name) }
+func (s *Store) Remove(name string) error { return s.b.Remove(name) }
 
 // List returns the names of all files in the store, sorted.
 func (s *Store) List() ([]string, error) {
-	names, err := s.b.list()
+	names, err := s.b.List()
 	if err != nil {
 		return nil, err
 	}
@@ -180,7 +200,7 @@ func (s *Store) List() ([]string, error) {
 
 // Count returns the number of records in a named file.
 func (s *Store) Count(name string) (int64, error) {
-	sz, err := s.b.size(name)
+	sz, err := s.b.Size(name)
 	if err != nil {
 		return 0, err
 	}
@@ -216,7 +236,7 @@ func (s *Store) newWriter(wc io.WriteCloser, name string) *Writer {
 
 // CreateWriter creates (truncates) a named file for appending records.
 func (s *Store) CreateWriter(name string) (*Writer, error) {
-	wc, err := s.b.create(name)
+	wc, err := s.b.Create(name)
 	if err != nil {
 		return nil, fmt.Errorf("ooc: creating %q: %w", name, err)
 	}
@@ -227,7 +247,7 @@ func (s *Store) CreateWriter(name string) (*Writer, error) {
 // contents; the file is created if absent. Used when records arrive from
 // several sources (e.g. task-parallel redistribution).
 func (s *Store) AppendWriter(name string) (*Writer, error) {
-	wc, err := s.b.appendTo(name)
+	wc, err := s.b.Append(name)
 	if err != nil {
 		return nil, fmt.Errorf("ooc: appending to %q: %w", name, err)
 	}
@@ -354,7 +374,7 @@ type Reader struct {
 
 // OpenReader opens a named file for sequential scanning.
 func (s *Store) OpenReader(name string) (*Reader, error) {
-	rc, err := s.b.open(name)
+	rc, err := s.b.Open(name)
 	if err != nil {
 		return nil, fmt.Errorf("ooc: opening %q: %w", name, err)
 	}

@@ -1,0 +1,328 @@
+package pclouds
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"pclouds/internal/comm"
+	"pclouds/internal/record"
+	"pclouds/internal/tree"
+)
+
+// Per-level checkpoint/restart. The level-order build has a natural
+// synchronisation point after every completed tree level: each rank holds
+// exactly one store file per frontier task, every rank agrees on the task
+// list, and rank 0's partial tree contains every node built so far. At that
+// point each rank persists a manifest of its frontier (and rank 0 the
+// partial tree) atomically — temp file, fsync, rename, the tree.SaveFile
+// pattern — so a later run can resume from the last complete level instead
+// of rebuilding from scratch. The resumed build re-derives frontier samples
+// by routing the shared root sample through the partial tree's splitters
+// and re-runs each frontier node's statistics pass (deriveSplit handles
+// tasks without fused statistics), which reproduces the uninterrupted
+// build's tree bit-identically.
+//
+// What is NOT checkpointed: progress inside a level or inside the deferred
+// small-node phase. A crash there resumes from the preceding level
+// boundary; if the crash corrupted the frontier's store files (e.g. partway
+// through the small phase's deletions), the record-count verification below
+// fails the resume with an explicit error rather than building from torn
+// data.
+
+// ckptVersion guards manifest compatibility.
+const ckptVersion = 1
+
+// ErrStopped is returned by Build when Config.StopAfterLevel ended the
+// build early at a checkpoint boundary: the checkpoint is complete and the
+// build is resumable, but no tree was produced. Chaos tests use it as a
+// deterministic, rank-synchronised "kill".
+var ErrStopped = errors.New("pclouds: build stopped after checkpointed level")
+
+// ckptTask is one frontier task in a manifest. Depth and the sample are
+// derived from ID at resume; LocalCount pins this rank's share so a
+// store/manifest mismatch is detected before any work happens.
+type ckptTask struct {
+	ID          string  `json:"id"`
+	File        string  `json:"file"`
+	N           int64   `json:"n"`
+	ClassCounts []int64 `json:"class_counts"`
+	LocalCount  int64   `json:"local_count"`
+}
+
+// ckptManifest is one rank's view of a completed level.
+type ckptManifest struct {
+	Version int        `json:"version"`
+	Level   int        `json:"level"`
+	Rank    int        `json:"rank"`
+	Size    int        `json:"size"`
+	NRoot   int64      `json:"n_root"`
+	NextID  int        `json:"next_id"`
+	Pending []ckptTask `json:"pending"`
+	Small   []ckptTask `json:"small"`
+}
+
+func manifestPath(dir string, rank int) string {
+	return filepath.Join(dir, fmt.Sprintf("rank%d.json", rank))
+}
+
+func treePath(dir string) string { return filepath.Join(dir, "tree.bin") }
+
+// atomicWrite persists data to path via temp+fsync+rename, the same
+// all-or-nothing discipline as tree.SaveFile.
+func atomicWrite(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+func taskManifest(b *pbuilder, tasks []*nodeTask) ([]ckptTask, error) {
+	out := make([]ckptTask, 0, len(tasks))
+	for _, t := range tasks {
+		// The frontier file must be durable before the manifest that
+		// references it: sync first, then record the count the resumed
+		// build will verify.
+		if err := b.store.Sync(t.file); err != nil {
+			return nil, fmt.Errorf("pclouds: checkpoint sync %q: %w", t.file, err)
+		}
+		n, err := b.store.Count(t.file)
+		if err != nil {
+			return nil, fmt.Errorf("pclouds: checkpoint count %q: %w", t.file, err)
+		}
+		out = append(out, ckptTask{
+			ID: t.id, File: t.file, N: t.n,
+			ClassCounts: append([]int64(nil), t.classCounts...),
+			LocalCount:  n,
+		})
+	}
+	return out, nil
+}
+
+// writeCheckpoint persists one completed level: this rank's manifest, and
+// on rank 0 the partial tree. It is not a collective — every rank writes
+// independently; consistency is checked at resume.
+func (b *pbuilder) writeCheckpoint(dir string, level int, root *tree.Node, pending, small []*nodeTask) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("pclouds: checkpoint dir: %w", err)
+	}
+	m := ckptManifest{
+		Version: ckptVersion, Level: level,
+		Rank: b.c.Rank(), Size: b.c.Size(),
+		NRoot: b.nRoot, NextID: b.nextID,
+	}
+	var err error
+	if m.Pending, err = taskManifest(b, pending); err != nil {
+		return err
+	}
+	if m.Small, err = taskManifest(b, small); err != nil {
+		return err
+	}
+	if b.c.Rank() == 0 {
+		blob := tree.EncodePartial(&tree.Tree{Schema: b.schema, Root: root})
+		if err := atomicWrite(treePath(dir), blob); err != nil {
+			return fmt.Errorf("pclouds: checkpoint tree: %w", err)
+		}
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := atomicWrite(manifestPath(dir, m.Rank), data); err != nil {
+		return fmt.Errorf("pclouds: checkpoint manifest: %w", err)
+	}
+	b.stats.Checkpoints++
+	b.rec.Count("checkpoints", 1)
+	return nil
+}
+
+// resumeState is a loaded checkpoint, ready to re-enter the level loop.
+type resumeState struct {
+	level  int
+	root   *tree.Node
+	queue  []*nodeTask
+	small  []*nodeTask
+	nRoot  int64
+	nextID int
+}
+
+// loadCheckpoint reads this rank's manifest, cross-checks the level with
+// every other rank, rebuilds the partial tree from rank 0's blob, and
+// reconstitutes the frontier tasks — samples re-derived from the shared
+// root sample, attach closures re-pointed into the decoded tree.
+func loadCheckpoint(cfg Config, c comm.Communicator, b *pbuilder, rootSample []record.Record) (*resumeState, error) {
+	dir := cfg.CheckpointDir
+	data, err := os.ReadFile(manifestPath(dir, c.Rank()))
+	if err != nil {
+		return nil, fmt.Errorf("pclouds: resume: %w", err)
+	}
+	var m ckptManifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("pclouds: resume: corrupt manifest: %w", err)
+	}
+	if m.Version != ckptVersion {
+		return nil, fmt.Errorf("pclouds: resume: manifest version %d, want %d", m.Version, ckptVersion)
+	}
+	if m.Rank != c.Rank() || m.Size != c.Size() {
+		return nil, fmt.Errorf("pclouds: resume: manifest is for rank %d of %d, this group is rank %d of %d",
+			m.Rank, m.Size, c.Rank(), c.Size())
+	}
+	// Every rank must hold a checkpoint of the same level; a crash between
+	// two ranks' checkpoint writes leaves them one level apart, which is
+	// unrecoverable without the older level's files (the build deletes
+	// parent files as it partitions).
+	lvl := []int64{int64(m.Level), -int64(m.Level)}
+	agg, err := comm.AllReduceInt64(c, lvl, func(a, b int64) int64 {
+		if a > b {
+			return a
+		}
+		return b
+	})
+	if err != nil {
+		return nil, err
+	}
+	if maxLvl, minLvl := agg[0], -agg[1]; maxLvl != minLvl {
+		return nil, fmt.Errorf("pclouds: resume: inconsistent checkpoint levels across ranks (min %d, max %d)", minLvl, maxLvl)
+	}
+
+	// Rank 0 owns the partial tree; everyone decodes the same bytes.
+	var blob []byte
+	if c.Rank() == 0 {
+		if blob, err = os.ReadFile(treePath(dir)); err != nil {
+			return nil, fmt.Errorf("pclouds: resume: %w", err)
+		}
+	}
+	if blob, err = comm.Broadcast(c, 0, blob); err != nil {
+		return nil, err
+	}
+	pt, err := tree.DecodePartial(b.schema, blob)
+	if err != nil {
+		return nil, fmt.Errorf("pclouds: resume: partial tree: %w", err)
+	}
+	if pt.Root == nil {
+		return nil, fmt.Errorf("pclouds: resume: checkpoint has no built nodes")
+	}
+
+	st := &resumeState{level: m.Level, root: pt.Root, nRoot: m.NRoot, nextID: m.NextID}
+	var restoreErr error
+	if st.queue, restoreErr = restoreTasks(b, pt.Root, rootSample, m.Pending); restoreErr == nil {
+		st.small, restoreErr = restoreTasks(b, pt.Root, rootSample, m.Small)
+	}
+	// Resume is all-or-nothing: if any rank's frontier failed verification,
+	// every rank must bail out here — a rank that proceeded alone would
+	// block forever in the first collective of the level loop.
+	ok := int64(1)
+	if restoreErr != nil {
+		ok = 0
+	}
+	allOK, err := comm.AllReduceInt64(c, []int64{ok}, func(a, b int64) int64 {
+		if a < b {
+			return a
+		}
+		return b
+	})
+	if err != nil {
+		return nil, err
+	}
+	if restoreErr != nil {
+		return nil, restoreErr
+	}
+	if allOK[0] == 0 {
+		return nil, fmt.Errorf("pclouds: resume: another rank failed to restore its checkpointed frontier")
+	}
+	return st, nil
+}
+
+func restoreTasks(b *pbuilder, root *tree.Node, rootSample []record.Record, ck []ckptTask) ([]*nodeTask, error) {
+	out := make([]*nodeTask, 0, len(ck))
+	for _, ct := range ck {
+		t, err := restoreTask(b, root, rootSample, ct)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// restoreTask rebuilds one frontier task from its manifest entry: verify
+// the store still holds exactly the records the checkpoint recorded,
+// re-derive the task's sample by routing the root sample down its tree
+// path, and point its attach closure at the pending slot in the partial
+// tree.
+func restoreTask(b *pbuilder, root *tree.Node, rootSample []record.Record, ct ckptTask) (*nodeTask, error) {
+	n, err := b.store.Count(ct.File)
+	if err != nil {
+		return nil, fmt.Errorf("pclouds: resume: task %s: %w", ct.ID, err)
+	}
+	if n != ct.LocalCount {
+		return nil, fmt.Errorf("pclouds: resume: task %s: store %q holds %d records, manifest says %d",
+			ct.ID, ct.File, n, ct.LocalCount)
+	}
+	if len(ct.ID) < 2 || ct.ID[0] != 'n' {
+		return nil, fmt.Errorf("pclouds: resume: malformed task id %q", ct.ID)
+	}
+	path := ct.ID[1:] // 'L'/'R' steps from the root
+
+	// Re-derive the sample: the uninterrupted build partitioned the shared
+	// root sample once per split along this path; replaying those exact
+	// splitters yields the identical slice.
+	sample := rootSample
+	cur := root
+	for i := 0; i < len(path)-1; i++ {
+		if cur == nil || cur.Splitter == nil {
+			return nil, fmt.Errorf("pclouds: resume: task %s: tree path broken at step %d", ct.ID, i)
+		}
+		l, r := partitionSample(b.schema, sample, cur.Splitter)
+		if path[i] == 'L' {
+			sample, cur = l, cur.Left
+		} else {
+			sample, cur = r, cur.Right
+		}
+	}
+	parent := cur
+	if parent == nil || parent.Splitter == nil {
+		return nil, fmt.Errorf("pclouds: resume: task %s: parent node missing from partial tree", ct.ID)
+	}
+	l, r := partitionSample(b.schema, sample, parent.Splitter)
+	last := path[len(path)-1]
+	var attach func(*tree.Node)
+	if last == 'L' {
+		sample = l
+		attach = func(nd *tree.Node) { parent.Left = nd }
+	} else {
+		sample = r
+		attach = func(nd *tree.Node) { parent.Right = nd }
+	}
+	return &nodeTask{
+		id: ct.ID, file: ct.File, sample: sample, depth: len(path),
+		n: ct.N, classCounts: append([]int64(nil), ct.ClassCounts...),
+		attach: attach,
+		// localStats stays nil: deriveSplit runs its own statistics pass for
+		// tasks without fused statistics, producing the identical split.
+	}, nil
+}

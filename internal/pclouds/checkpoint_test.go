@@ -1,0 +1,222 @@
+package pclouds
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"testing"
+
+	"pclouds/internal/clouds"
+	"pclouds/internal/comm"
+	"pclouds/internal/costmodel"
+	"pclouds/internal/ooc"
+	"pclouds/internal/record"
+	"pclouds/internal/tree"
+)
+
+// buildWithStores runs a p-rank channel-transport build over caller-owned
+// stores (so a later call can resume against the same data) and returns the
+// per-rank trees and errors without asserting success.
+func buildWithStores(cfg Config, comms []*comm.ChannelComm, stores []*ooc.Store, sample []record.Record) ([]*tree.Tree, []*Stats, []error) {
+	p := len(comms)
+	trees := make([]*tree.Tree, p)
+	stats := make([]*Stats, p)
+	errs := make([]error, p)
+	done := make(chan int, p)
+	for r := 0; r < p; r++ {
+		go func(r int) {
+			trees[r], stats[r], errs[r] = Build(cfg, comms[r], stores[r], "root", sample)
+			done <- r
+		}(r)
+	}
+	for i := 0; i < p; i++ {
+		<-done
+	}
+	return trees, stats, errs
+}
+
+// TestCheckpointResumeBitIdentical is the core recovery guarantee: a build
+// stopped at a level boundary and resumed from its checkpoint produces
+// exactly the tree of an uninterrupted build.
+func TestCheckpointResumeBitIdentical(t *testing.T) {
+	const p = 4
+	data := makeData(t, 4000, 2, 42)
+	cfg := testConfig(clouds.SSE)
+	sample := cfg.Clouds.SampleFor(data)
+
+	// Reference: uninterrupted parallel build.
+	ref, _ := buildParallel(t, cfg, data, sample, p)
+
+	for _, stopAt := range []int{1, 2, 3} {
+		ckptDir := t.TempDir()
+
+		// Phase 1: build with checkpointing, stopping after `stopAt` levels.
+		cfgStop := cfg
+		cfgStop.CheckpointDir = ckptDir
+		cfgStop.StopAfterLevel = stopAt
+		comms := comm.NewGroup(p, costmodel.Zero())
+		stores := distribute(t, data, p, costmodel.Zero(), comms)
+		_, _, errs := buildWithStores(cfgStop, comms, stores, sample)
+		for r, err := range errs {
+			if !errors.Is(err, ErrStopped) {
+				t.Fatalf("stop-at-%d: rank %d: want ErrStopped, got %v", stopAt, r, err)
+			}
+		}
+
+		// Phase 2: resume against the same stores; fresh comm group.
+		cfgRes := cfg
+		cfgRes.CheckpointDir = ckptDir
+		cfgRes.Resume = true
+		comms2 := comm.NewGroup(p, costmodel.Zero())
+		trees, stats, errs2 := buildWithStores(cfgRes, comms2, stores, sample)
+		for r, err := range errs2 {
+			if err != nil {
+				t.Fatalf("stop-at-%d: resume rank %d: %v", stopAt, r, err)
+			}
+		}
+		for r := 0; r < p; r++ {
+			if stats[r].ResumedLevel != stopAt {
+				t.Fatalf("stop-at-%d: rank %d resumed from level %d", stopAt, r, stats[r].ResumedLevel)
+			}
+			if !tree.Equal(ref, trees[r]) {
+				t.Fatalf("stop-at-%d: rank %d's resumed tree differs from the uninterrupted build", stopAt, r)
+			}
+		}
+	}
+}
+
+// TestCheckpointingDoesNotChangeTree: a build that checkpoints every level
+// but is never interrupted produces the identical tree (checkpointing is
+// observation, not perturbation).
+func TestCheckpointingDoesNotChangeTree(t *testing.T) {
+	const p = 3
+	data := makeData(t, 3000, 1, 7)
+	cfg := testConfig(clouds.SS)
+	sample := cfg.Clouds.SampleFor(data)
+	ref, _ := buildParallel(t, cfg, data, sample, p)
+
+	cfgCk := cfg
+	cfgCk.CheckpointDir = t.TempDir()
+	comms := comm.NewGroup(p, costmodel.Zero())
+	stores := distribute(t, data, p, costmodel.Zero(), comms)
+	trees, stats, errs := buildWithStores(cfgCk, comms, stores, sample)
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	for r := 0; r < p; r++ {
+		if !tree.Equal(ref, trees[r]) {
+			t.Fatalf("rank %d: checkpointing changed the tree", r)
+		}
+		if stats[r].Checkpoints == 0 {
+			t.Fatalf("rank %d wrote no checkpoints", r)
+		}
+	}
+}
+
+// TestResumeDetectsMissingStoreFile: a frontier file that vanished between
+// checkpoint and resume fails the resume with an explicit error instead of
+// silently rebuilding from torn data.
+func TestResumeDetectsMissingStoreFile(t *testing.T) {
+	const p = 2
+	data := makeData(t, 2000, 2, 9)
+	cfg := testConfig(clouds.SSE)
+	cfg.CheckpointDir = t.TempDir()
+	cfg.StopAfterLevel = 1
+	sample := cfg.Clouds.SampleFor(data)
+	comms := comm.NewGroup(p, costmodel.Zero())
+	stores := distribute(t, data, p, costmodel.Zero(), comms)
+	_, _, errs := buildWithStores(cfg, comms, stores, sample)
+	for r, err := range errs {
+		if !errors.Is(err, ErrStopped) {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	// Sabotage rank 1: delete one of its frontier files.
+	names, err := stores[1].List()
+	if err != nil || len(names) == 0 {
+		t.Fatalf("rank 1 store: %v (%d files)", err, len(names))
+	}
+	stores[1].Remove(names[0])
+
+	cfg.StopAfterLevel = 0
+	cfg.Resume = true
+	comms2 := comm.NewGroup(p, costmodel.Zero())
+	_, _, errs2 := buildWithStores(cfg, comms2, stores, sample)
+	if errs2[1] == nil {
+		t.Fatal("rank 1 resumed over a missing frontier file")
+	}
+}
+
+// TestResumeDetectsInconsistentLevels: manifests from different levels
+// (a crash between two ranks' checkpoint writes) abort the resume.
+func TestResumeDetectsInconsistentLevels(t *testing.T) {
+	const p = 2
+	data := makeData(t, 2000, 2, 9)
+	cfg := testConfig(clouds.SSE)
+	cfg.CheckpointDir = t.TempDir()
+	cfg.StopAfterLevel = 2
+	sample := cfg.Clouds.SampleFor(data)
+	comms := comm.NewGroup(p, costmodel.Zero())
+	stores := distribute(t, data, p, costmodel.Zero(), comms)
+	_, _, errs := buildWithStores(cfg, comms, stores, sample)
+	for r, err := range errs {
+		if !errors.Is(err, ErrStopped) {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	// Rewind rank 1's manifest to a different level.
+	mp := manifestPath(cfg.CheckpointDir, 1)
+	raw, err := os.ReadFile(mp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m ckptManifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	m.Level--
+	raw, _ = json.Marshal(m)
+	if err := os.WriteFile(mp, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.StopAfterLevel = 0
+	cfg.Resume = true
+	comms2 := comm.NewGroup(p, costmodel.Zero())
+	_, _, errs2 := buildWithStores(cfg, comms2, stores, sample)
+	for r, err := range errs2 {
+		if err == nil {
+			t.Fatalf("rank %d resumed from inconsistent levels", r)
+		}
+	}
+}
+
+// TestPartialTreeRoundTrip: the checkpoint encoding preserves frontier
+// holes exactly.
+func TestPartialTreeRoundTrip(t *testing.T) {
+	data := makeData(t, 500, 1, 3)
+	root := &tree.Node{
+		Splitter:    &tree.Splitter{Kind: tree.NumericSplit, Attr: 0, Threshold: 30},
+		N:           500,
+		ClassCounts: []int64{300, 200},
+		Left:        &tree.Node{N: 300, ClassCounts: []int64{300, 0}, Class: 0},
+		// Right child pending.
+	}
+	blob := tree.EncodePartial(&tree.Tree{Schema: data.Schema, Root: root})
+	got, err := tree.DecodePartial(data.Schema, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Root == nil || got.Root.Left == nil || got.Root.Right != nil {
+		t.Fatalf("partial shape not preserved: %+v", got.Root)
+	}
+	if got.Root.Splitter == nil || got.Root.Splitter.Threshold != 30 {
+		t.Fatal("splitter lost in partial roundtrip")
+	}
+	// A complete decoder must reject the pending marker.
+	if _, err := tree.Decode(data.Schema, blob); err == nil {
+		t.Fatal("Decode accepted a partial encoding")
+	}
+}

@@ -109,6 +109,21 @@ type Config struct {
 	// report is a collective. A nil Trace costs one pointer comparison per
 	// phase boundary.
 	Trace *obs.Recorder
+	// CheckpointDir, when non-empty, enables per-level checkpointing: after
+	// each completed tree level this rank writes its frontier manifest (and
+	// rank 0 the partial tree) atomically under this directory. See
+	// checkpoint.go for the recovery guarantees.
+	CheckpointDir string
+	// Resume restarts the build from the checkpoint in CheckpointDir
+	// instead of from rootName: the staged root file is not read (it no
+	// longer exists after the original run's partitioning), and the build
+	// continues from the last completed level, producing the identical tree.
+	Resume bool
+	// StopAfterLevel, when positive, aborts the build with ErrStopped right
+	// after checkpointing that many levels (if frontier work remains). It
+	// exists for crash-recovery tests: all ranks stop at the same
+	// deterministic boundary, simulating a coordinated kill.
+	StopAfterLevel int
 }
 
 // Stats aggregates one rank's view of a parallel build.
@@ -138,6 +153,10 @@ type Stats struct {
 	// PhaseReport is the rank-0 merged cross-rank phase table (empty on
 	// other ranks, and everywhere when tracing is off).
 	PhaseReport string
+	// Checkpoints counts the per-level checkpoints this rank wrote;
+	// ResumedLevel is the level the build restarted from (0 = fresh build).
+	Checkpoints  int
+	ResumedLevel int
 }
 
 // nodeTask is one pending tree node, tracked identically on every rank.
@@ -187,53 +206,92 @@ func Build(cfg Config, c comm.Communicator, store *ooc.Store, rootName string, s
 	cfg.Clouds.Trace = rec
 	bspan := rec.StartID("build", rootName)
 
-	// Global root class counts (one counting pass + one combine).
-	pre := rec.Start("preprocess")
-	localCounts := make([]int64, schema.NumClasses)
-	var localN int64
-	if err := scanStore(store, rootName, func(r *record.Record) error {
-		localCounts[r.Class]++
-		localN++
-		return nil
-	}); err != nil {
-		return nil, nil, err
-	}
-	globalCounts, err := comm.AllReduceInt64(c, localCounts, addI64)
-	pre.End()
-	if err != nil {
-		return nil, nil, err
-	}
-	n := gini.Sum(globalCounts)
-	if n == 0 {
-		return nil, nil, fmt.Errorf("pclouds: empty global training set")
-	}
-
-	b := &pbuilder{cfg: cfg, c: c, store: store, schema: schema, nRoot: n, rec: rec}
-	b.stats.Build.RecordReads += localN
-	b.chargeCPU(localN)
-
-	var root *tree.Node
-	rootTask := &nodeTask{
-		id: "n", file: rootName, sample: sample, depth: 0,
-		n: n, classCounts: globalCounts,
-		attach: func(nd *tree.Node) { root = nd },
-	}
-
-	var small []*nodeTask
-	queue := []*nodeTask{rootTask}
-	for len(queue) > 0 {
-		t := queue[0]
-		queue = queue[1:]
-		children, err := b.processLargeNode(t)
+	var (
+		b     *pbuilder
+		root  *tree.Node
+		queue []*nodeTask
+		small []*nodeTask
+		level int
+	)
+	if cfg.Resume {
+		// Restart from the last completed level: the frontier comes from
+		// the checkpoint manifest, the nodes above it from the persisted
+		// partial tree, and the staged root file is not consulted (it was
+		// consumed by the original run's partitioning).
+		if cfg.CheckpointDir == "" {
+			return nil, nil, fmt.Errorf("pclouds: Resume requires CheckpointDir")
+		}
+		b = &pbuilder{cfg: cfg, c: c, store: store, schema: schema, rec: rec}
+		rs, err := loadCheckpoint(cfg, c, b, sample)
 		if err != nil {
 			return nil, nil, err
 		}
-		for _, ch := range children {
-			if cfg.Clouds.IsSmall(ch.n, n) {
-				small = append(small, ch)
-			} else {
-				queue = append(queue, ch)
+		b.nRoot, b.nextID = rs.nRoot, rs.nextID
+		root, queue, small, level = rs.root, rs.queue, rs.small, rs.level
+		b.stats.ResumedLevel = level
+		b.rec.Count("resumed-level", int64(level))
+	} else {
+		// Global root class counts (one counting pass + one combine).
+		pre := rec.Start("preprocess")
+		localCounts := make([]int64, schema.NumClasses)
+		var localN int64
+		if err := scanStore(store, rootName, func(r *record.Record) error {
+			localCounts[r.Class]++
+			localN++
+			return nil
+		}); err != nil {
+			return nil, nil, err
+		}
+		globalCounts, err := comm.AllReduceInt64(c, localCounts, addI64)
+		pre.End()
+		if err != nil {
+			return nil, nil, err
+		}
+		n := gini.Sum(globalCounts)
+		if n == 0 {
+			return nil, nil, fmt.Errorf("pclouds: empty global training set")
+		}
+		b = &pbuilder{cfg: cfg, c: c, store: store, schema: schema, nRoot: n, rec: rec}
+		b.stats.Build.RecordReads += localN
+		b.chargeCPU(localN)
+		queue = []*nodeTask{{
+			id: "n", file: rootName, sample: sample, depth: 0,
+			n: n, classCounts: globalCounts,
+			attach: func(nd *tree.Node) { root = nd },
+		}}
+	}
+
+	// Level-order walk over the large nodes. Processing whole levels (in
+	// the same FIFO order the queue formulation used) creates the natural
+	// checkpoint boundary: after a level completes, every rank's store
+	// holds exactly one file per frontier task.
+	for len(queue) > 0 {
+		var next []*nodeTask
+		for _, t := range queue {
+			children, err := b.processLargeNode(t)
+			if err != nil {
+				return nil, nil, err
 			}
+			for _, ch := range children {
+				if cfg.Clouds.IsSmall(ch.n, b.nRoot) {
+					small = append(small, ch)
+				} else {
+					next = append(next, ch)
+				}
+			}
+		}
+		queue = next
+		level++
+		if cfg.CheckpointDir != "" {
+			cspan := rec.Start("checkpoint")
+			err := b.writeCheckpoint(cfg.CheckpointDir, level, root, queue, small)
+			cspan.End()
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+		if cfg.StopAfterLevel > 0 && level >= cfg.StopAfterLevel && (len(queue) > 0 || len(small) > 0) {
+			return nil, nil, fmt.Errorf("%w %d", ErrStopped, level)
 		}
 	}
 

@@ -282,16 +282,27 @@ func (s *Server) handleModel(w http.ResponseWriter, _ *http.Request) {
 			"categorical":   schema.NumCategorical(),
 			"feature_bytes": schema.FeatureBytes(),
 		},
-		"registry": map[string]any{
-			"swaps":      s.reg.Swaps(),
-			"last_error": s.reg.LastError(),
-		},
+		"registry": s.registrySnapshot(),
 	})
 }
 
+// registrySnapshot reports model-registry health: swap count, failed reload
+// attempts, and the most recent reload error (a failed reload keeps the
+// previous model serving, so the counter is the only externally visible
+// symptom).
+func (s *Server) registrySnapshot() map[string]any {
+	return map[string]any{
+		"swaps":           s.reg.Swaps(),
+		"reload_failures": s.reg.ReloadFailures(),
+		"last_error":      s.reg.LastError(),
+	}
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	snap := s.stats.Snapshot()
+	snap["registry"] = s.registrySnapshot()
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(s.stats.Snapshot()) //nolint:errcheck
+	json.NewEncoder(w).Encode(snap) //nolint:errcheck
 }
 
 func (s *Server) badRequest(w http.ResponseWriter, err error) {

@@ -241,6 +241,13 @@ func TestHTTPReadyzModelAndStats(t *testing.T) {
 	if snap["requests"].(float64) < 1 {
 		t.Fatalf("stats %+v", snap)
 	}
+	regSnap, ok := snap["registry"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats missing registry section: %+v", snap)
+	}
+	if _, ok := regSnap["reload_failures"]; !ok {
+		t.Fatalf("registry section missing reload_failures: %+v", regSnap)
+	}
 	if s.Stats().VersionCounts()["v1"] < 1 {
 		t.Fatal("per-version counter missing")
 	}

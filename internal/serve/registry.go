@@ -31,8 +31,13 @@ type Registry struct {
 	mu      sync.Mutex // serialises Reload/SetActive
 	active  atomic.Pointer[Model]
 	swaps   atomic.Int64
-	lastErr atomic.Pointer[string]
-	logf    func(format string, args ...any)
+	// reloadFailures counts Reload calls that returned an error (scan or
+	// load failure). The active model keeps serving through them, so this
+	// counter — not availability — is how an operator notices a corrupt or
+	// vanished model path.
+	reloadFailures atomic.Int64
+	lastErr        atomic.Pointer[string]
+	logf           func(format string, args ...any)
 }
 
 // OpenRegistry opens a registry rooted at path (a directory of model files
@@ -72,6 +77,9 @@ func (r *Registry) Active() *Model { return r.active.Load() }
 // Swaps returns how many times the active version changed.
 func (r *Registry) Swaps() int64 { return r.swaps.Load() }
 
+// ReloadFailures returns how many reload attempts failed since start.
+func (r *Registry) ReloadFailures() int64 { return r.reloadFailures.Load() }
+
 // LastError returns the most recent reload error message ("" when the last
 // reload succeeded).
 func (r *Registry) LastError() string {
@@ -102,6 +110,7 @@ func (r *Registry) Reload() (*Model, bool, error) {
 	}
 	m, swapped, err := r.reloadLocked()
 	if err != nil {
+		r.reloadFailures.Add(1)
 		msg := err.Error()
 		r.lastErr.Store(&msg)
 	} else {

@@ -88,6 +88,15 @@ func TestRegistryKeepsServingPastBadCandidate(t *testing.T) {
 	if reg.LastError() == "" {
 		t.Fatal("LastError empty after failed reload")
 	}
+	if got := reg.ReloadFailures(); got != 1 {
+		t.Fatalf("ReloadFailures = %d after one failed reload, want 1", got)
+	}
+	if _, _, err := reg.Reload(); err == nil {
+		t.Fatal("second reload over the corrupt candidate succeeded")
+	}
+	if got := reg.ReloadFailures(); got != 2 {
+		t.Fatalf("ReloadFailures = %d after two failed reloads, want 2", got)
+	}
 
 	// Replacing the corrupt file with a valid one recovers.
 	saveModel(t, leafModel(t, "", 1), bad, base.Add(2*time.Minute))
@@ -96,6 +105,9 @@ func TestRegistryKeepsServingPastBadCandidate(t *testing.T) {
 	}
 	if reg.LastError() != "" {
 		t.Fatalf("LastError = %q after successful reload", reg.LastError())
+	}
+	if got := reg.ReloadFailures(); got != 2 {
+		t.Fatalf("ReloadFailures = %d after recovery, want 2 (counter is cumulative)", got)
 	}
 }
 

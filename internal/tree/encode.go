@@ -17,14 +17,26 @@ import (
 //	leaf:        u32 class
 //	numeric:     u32 attr, f64 threshold, f64 gini
 //	categorical: u32 attr, f64 gini, u32 cardinality, that many u8 flags
+// tagPending additionally marks a nil child in partial encodings
+// (EncodePartial): an internal node whose subtree had not been built yet
+// when the tree was checkpointed mid-build.
 const (
 	tagLeaf        = 0
 	tagNumeric     = 1
 	tagCategorical = 2
+	tagPending     = 3
 )
 
 // Encode serialises the tree (without its schema) to bytes.
-func Encode(t *Tree) []byte {
+func Encode(t *Tree) []byte { return encode(t.Root, false) }
+
+// EncodePartial serialises a possibly incomplete tree: nil children (and a
+// nil root) are marked with a pending tag instead of panicking. Used by the
+// per-level build checkpoints, where nodes at the frontier have been split
+// but their subtrees not yet built.
+func EncodePartial(t *Tree) []byte { return encode(t.Root, true) }
+
+func encode(root *Node, partial bool) []byte {
 	var dst []byte
 	var enc func(n *Node)
 	put64 := func(v uint64) {
@@ -38,6 +50,13 @@ func Encode(t *Tree) []byte {
 		dst = append(dst, b[:]...)
 	}
 	enc = func(n *Node) {
+		if n == nil {
+			if !partial {
+				panic("tree: Encode on incomplete tree (use EncodePartial)")
+			}
+			dst = append(dst, tagPending)
+			return
+		}
 		if n.IsLeaf() {
 			dst = append(dst, tagLeaf)
 		} else if n.Splitter.Kind == NumericSplit {
@@ -73,13 +92,15 @@ func Encode(t *Tree) []byte {
 		enc(n.Left)
 		enc(n.Right)
 	}
-	enc(t.Root)
+	enc(root)
 	return dst
 }
 
 type decoder struct {
 	src []byte
 	off int
+	// partial accepts pending-child markers, decoding them as nil nodes.
+	partial bool
 }
 
 func (d *decoder) u8() (byte, error) {
@@ -113,6 +134,12 @@ func (d *decoder) node() (*Node, error) {
 	tag, err := d.u8()
 	if err != nil {
 		return nil, err
+	}
+	if tag == tagPending {
+		if !d.partial {
+			return nil, fmt.Errorf("tree: pending-node marker in complete encoding")
+		}
+		return nil, nil
 	}
 	nVal, err := d.u64()
 	if err != nil {
@@ -198,7 +225,17 @@ func (d *decoder) node() (*Node, error) {
 
 // Decode parses a tree encoded by Encode, attaching schema s.
 func Decode(s *record.Schema, src []byte) (*Tree, error) {
-	d := &decoder{src: src}
+	return decode(s, src, false)
+}
+
+// DecodePartial parses a tree encoded by EncodePartial; pending markers
+// decode to nil children (and possibly a nil root).
+func DecodePartial(s *record.Schema, src []byte) (*Tree, error) {
+	return decode(s, src, true)
+}
+
+func decode(s *record.Schema, src []byte, partial bool) (*Tree, error) {
+	d := &decoder{src: src, partial: partial}
 	root, err := d.node()
 	if err != nil {
 		return nil, err

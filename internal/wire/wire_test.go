@@ -69,11 +69,27 @@ func TestBadMagicDetected(t *testing.T) {
 }
 
 func TestOversizedFrameRejected(t *testing.T) {
-	var hdr [24]byte
+	var hdr [headerSize]byte
 	binary.LittleEndian.PutUint32(hdr[0:], Magic)
 	binary.LittleEndian.PutUint64(hdr[16:], MaxFrame+1)
 	if _, err := Read(bytes.NewReader(hdr[:])); err == nil {
 		t.Fatal("oversized frame should fail")
+	}
+}
+
+func TestCorruptPayloadDetected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, Frame{Tag: 1, Payload: []byte("precious records")}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[len(raw)-2] ^= 0x40 // flip one payload bit
+	_, err := Read(bytes.NewReader(raw))
+	if err == nil {
+		t.Fatal("corrupt payload should fail the checksum")
+	}
+	if !bytes.Contains([]byte(err.Error()), []byte("checksum")) {
+		t.Fatalf("expected checksum error, got %v", err)
 	}
 }
 
