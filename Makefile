@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: all check build vet vet-concurrency test race chaos fuzz bench experiments examples cover clean
+.PHONY: all check build vet vet-concurrency test race chaos chaos-quick fuzz bench experiments examples cover clean
 
 all: build vet test
 
-# check is the full pre-commit gate: compile, vet, tests, and the
+# check is the full pre-commit gate: compile, vet, tests, the
 # concurrency-heavy packages (the async I/O pipeline, transports and the
-# SPMD driver) under the race detector.
-check: build vet test race
+# SPMD driver) under the race detector, and the quick self-healing subset.
+check: build vet test race chaos-quick
 
 build:
 	$(GO) build ./...
@@ -24,10 +24,10 @@ test:
 # the hot-swap registry and batching engine under concurrent clients, so
 # every build exercises the concurrency under the race detector.
 race: vet-concurrency
-	$(GO) test -race ./internal/ooc/... ./internal/comm/... ./internal/fault/... ./internal/pclouds/... ./internal/serve/...
+	$(GO) test -race ./internal/ooc/... ./internal/comm/... ./internal/fault/... ./internal/pclouds/... ./internal/serve/... ./internal/driver/...
 
 vet-concurrency:
-	$(GO) vet ./internal/ooc/... ./internal/comm/tcp/... ./internal/fault/... ./internal/serve/...
+	$(GO) vet ./internal/ooc/... ./internal/comm/tcp/... ./internal/fault/... ./internal/serve/... ./internal/driver/...
 
 # Fault-injection acceptance suite: killed/wedged ranks, dropped and
 # corrupted frames, slow and failing storage — every scenario must end in
@@ -36,8 +36,17 @@ vet-concurrency:
 # because fault paths are where the detector earns its keep.
 chaos:
 	$(GO) test -race -run 'TestChaos' -v ./internal/pclouds/
-	$(GO) test -race ./internal/fault/... ./internal/comm/tcp/...
+	$(GO) test -race ./internal/fault/... ./internal/comm/tcp/... ./internal/driver/...
 	$(GO) test -race -run 'TestCheckpoint|TestResume|TestWriteBehind|TestPrefetch' ./internal/pclouds/ ./internal/fault/ ./internal/ooc/
+
+# chaos-quick is the self-healing subset that gates every commit: the
+# supervised kill-and-respawn acceptance test, generation fencing, and the
+# checkpoint GC/auto-resume tests, under the race detector with a tight
+# overall deadline so a hang fails fast instead of eating the gate.
+chaos-quick: vet
+	$(GO) test -race -timeout 300s -run 'TestSupervised|TestRunRank|TestSupervise' ./internal/driver/
+	$(GO) test -race -timeout 300s -run 'TestGeneration|TestDoorman|TestStale' ./internal/comm/tcp/
+	$(GO) test -race -timeout 300s -run 'TestCheckpointGC|TestAutoResume|TestDegraded|TestResume' ./internal/pclouds/
 
 # Short fuzz pass over the prediction-server request decoders: malformed
 # JSON/binary rows must get a 4xx, never a panic.

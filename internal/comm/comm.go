@@ -251,13 +251,15 @@ type Stats struct {
 	WaitSec float64
 	// Fault-tolerance counters (nonzero only on transports with failure
 	// detection, i.e. TCP): out-of-band heartbeat frames exchanged,
-	// transient send failures that were retried, and peers this rank has
-	// declared down. Heartbeats are control traffic and are deliberately
-	// excluded from the message/byte counters above.
-	HeartbeatsSent int64
-	HeartbeatsRecv int64
-	SendRetries    int64
-	PeerDowns      int64
+	// transient send failures that were retried, peers this rank has
+	// declared down, and connection attempts fenced off because they
+	// carried a stale build generation. Heartbeats are control traffic and
+	// are deliberately excluded from the message/byte counters above.
+	HeartbeatsSent    int64
+	HeartbeatsRecv    int64
+	SendRetries       int64
+	PeerDowns         int64
+	GenerationRejects int64
 	// Ops is the per-collective breakdown, indexed by OpClass.
 	Ops [NumOpClasses]OpStats
 }
@@ -273,6 +275,7 @@ func (s *Stats) Add(o Stats) {
 	s.HeartbeatsRecv += o.HeartbeatsRecv
 	s.SendRetries += o.SendRetries
 	s.PeerDowns += o.PeerDowns
+	s.GenerationRejects += o.GenerationRejects
 	for i := range s.Ops {
 		s.Ops[i].Add(o.Ops[i])
 	}
@@ -286,10 +289,11 @@ func (s Stats) Sub(o Stats) Stats {
 		MsgsRecv:       s.MsgsRecv - o.MsgsRecv,
 		BytesRecv:      s.BytesRecv - o.BytesRecv,
 		WaitSec:        s.WaitSec - o.WaitSec,
-		HeartbeatsSent: s.HeartbeatsSent - o.HeartbeatsSent,
-		HeartbeatsRecv: s.HeartbeatsRecv - o.HeartbeatsRecv,
-		SendRetries:    s.SendRetries - o.SendRetries,
-		PeerDowns:      s.PeerDowns - o.PeerDowns,
+		HeartbeatsSent:    s.HeartbeatsSent - o.HeartbeatsSent,
+		HeartbeatsRecv:    s.HeartbeatsRecv - o.HeartbeatsRecv,
+		SendRetries:       s.SendRetries - o.SendRetries,
+		PeerDowns:         s.PeerDowns - o.PeerDowns,
+		GenerationRejects: s.GenerationRejects - o.GenerationRejects,
 	}
 	for i := range d.Ops {
 		d.Ops[i] = OpStats{
@@ -324,9 +328,9 @@ func (s Stats) Table() string {
 	}
 	fmt.Fprintf(&b, "%-10s %8s %10d %14d %10d %14d %12.6f\n",
 		"total", "", s.MsgsSent, s.BytesSent, s.MsgsRecv, s.BytesRecv, s.WaitSec)
-	if s.HeartbeatsSent != 0 || s.HeartbeatsRecv != 0 || s.SendRetries != 0 || s.PeerDowns != 0 {
-		fmt.Fprintf(&b, "fault: heartbeats %d sent/%d recv, send retries %d, peers down %d\n",
-			s.HeartbeatsSent, s.HeartbeatsRecv, s.SendRetries, s.PeerDowns)
+	if s.HeartbeatsSent != 0 || s.HeartbeatsRecv != 0 || s.SendRetries != 0 || s.PeerDowns != 0 || s.GenerationRejects != 0 {
+		fmt.Fprintf(&b, "fault: heartbeats %d sent/%d recv, send retries %d, peers down %d, generation rejects %d\n",
+			s.HeartbeatsSent, s.HeartbeatsRecv, s.SendRetries, s.PeerDowns, s.GenerationRejects)
 	}
 	return b.String()
 }

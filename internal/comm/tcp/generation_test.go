@@ -1,0 +1,253 @@
+package tcpcomm
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"pclouds/internal/comm"
+	"pclouds/internal/costmodel"
+	"pclouds/internal/wire"
+)
+
+// dialGenGroup brings up a full TCP group in-process with every rank at the
+// given generation.
+func dialGenGroup(t *testing.T, p int, gen uint32) []*Comm {
+	t.Helper()
+	addrs := freeAddrs(t, p)
+	comms := make([]*Comm, p)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			comms[r], errs[r] = Dial(Config{Rank: r, Addrs: addrs, Params: costmodel.Zero(),
+				Generation: gen, DialTimeout: 10 * time.Second})
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d dial: %v", r, err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, c := range comms {
+			if c != nil {
+				c.Close()
+			}
+		}
+	})
+	return comms
+}
+
+// rawHello connects to addr pretending to be rank at generation gen, and
+// returns the ack frame's status and generation.
+func rawHello(t *testing.T, addr string, rank int, gen uint32) (status, theirGen uint32) {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		t.Fatalf("raw dial %s: %v", addr, err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+	fr := wire.NewConn(conn)
+	payload := make([]byte, 8)
+	putU32(payload[:4], uint32(rank))
+	putU32(payload[4:], gen)
+	if err := fr.Send(wire.Frame{Tag: helloTag, Payload: payload}); err != nil {
+		t.Fatalf("raw hello send: %v", err)
+	}
+	ack, err := fr.Recv()
+	if err != nil {
+		t.Fatalf("raw hello ack: %v", err)
+	}
+	if ack.Tag != helloAckTag || len(ack.Payload) != 8 {
+		t.Fatalf("bad ack frame: tag %d, %d bytes", ack.Tag, len(ack.Payload))
+	}
+	return getU32(ack.Payload[:4]), getU32(ack.Payload[4:])
+}
+
+// TestGenerationMatchMesh: a mesh where every rank carries the same nonzero
+// generation comes up and moves traffic like a generation-zero one.
+func TestGenerationMatchMesh(t *testing.T) {
+	comms := dialGenGroup(t, 3, 7)
+	parallel(t, comms, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, comm.TagUser, []byte("gen7"))
+		}
+		if c.Rank() == 1 {
+			_, err := c.Recv(0, comm.TagUser)
+			return err
+		}
+		return nil
+	})
+	for r, c := range comms {
+		if got := c.Stats().GenerationRejects; got != 0 {
+			t.Fatalf("rank %d: %d generation rejects on a clean mesh", r, got)
+		}
+	}
+}
+
+// TestDoormanFencesStaleHello is the acceptance scenario for generation
+// fencing: after the mesh is up, a pre-crash incarnation reconnecting with
+// an older generation is rejected by *every* survivor — each answers the
+// hello with a wrong-generation ack naming its own generation, and counts
+// the reject.
+func TestDoormanFencesStaleHello(t *testing.T) {
+	const gen = 3
+	comms := dialGenGroup(t, 3, gen)
+	for r, c := range comms {
+		status, theirs := rawHello(t, c.cfg.Addrs[r], 1, gen-1)
+		if status != ackWrongGeneration {
+			t.Fatalf("survivor %d: stale hello got status %d, want wrong-generation reject", r, status)
+		}
+		if theirs != gen {
+			t.Fatalf("survivor %d: reject names generation %d, want %d", r, theirs, gen)
+		}
+	}
+	// The reject is counted on every survivor; the mesh itself stays usable.
+	deadline := time.Now().Add(5 * time.Second)
+	for r, c := range comms {
+		for c.Stats().GenerationRejects == 0 {
+			if time.Now().After(deadline) {
+				t.Fatalf("survivor %d never counted the generation reject", r)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		_ = r
+	}
+	parallel(t, comms, func(c *Comm) error {
+		if c.Rank() == 1 {
+			return c.Send(2, comm.TagUser, []byte("still alive"))
+		}
+		if c.Rank() == 2 {
+			_, err := c.Recv(1, comm.TagUser)
+			return err
+		}
+		return nil
+	})
+}
+
+// TestDoormanRejectsDuplicateRank: a same-generation hello arriving after
+// bring-up cannot displace the connected rank; it is rejected as a
+// duplicate without disturbing the mesh.
+func TestDoormanRejectsDuplicateRank(t *testing.T) {
+	const gen = 2
+	comms := dialGenGroup(t, 2, gen)
+	status, theirs := rawHello(t, comms[1].cfg.Addrs[1], 0, gen)
+	if status != ackDuplicateRank {
+		t.Fatalf("duplicate hello got status %d, want duplicate-rank reject", status)
+	}
+	if theirs != gen {
+		t.Fatalf("duplicate reject names generation %d, want %d", theirs, gen)
+	}
+	if got := comms[1].Stats().GenerationRejects; got != 0 {
+		t.Fatalf("duplicate-rank reject must not count as a generation reject (got %d)", got)
+	}
+}
+
+// TestStaleDialerFailsFast pins the dial-path satellite fix: a dialer whose
+// generation is older than the acceptor's gets a terminal GenerationError
+// well before its DialTimeout instead of burning the whole deadline, and
+// its rejected hello does not consume the acceptor's mesh slot — the real
+// peer still connects.
+func TestStaleDialerFailsFast(t *testing.T) {
+	addrs := freeAddrs(t, 2)
+	newGen := make(chan error, 1)
+	var c1 *Comm
+	go func() {
+		var err error
+		c1, err = Dial(Config{Rank: 1, Addrs: addrs, Params: costmodel.Zero(),
+			Generation: 2, DialTimeout: 20 * time.Second})
+		newGen <- err
+	}()
+
+	// The stale incarnation of rank 0 dials with generation 1 and a long
+	// dial budget; the wrong-generation reject must surface immediately.
+	start := time.Now()
+	_, err := Dial(Config{Rank: 0, Addrs: addrs, Params: costmodel.Zero(),
+		Generation: 1, DialTimeout: 20 * time.Second})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("stale dial succeeded")
+	}
+	ge, ok := AsGenerationError(err)
+	if !ok {
+		t.Fatalf("stale dial error is not a GenerationError: %v", err)
+	}
+	if ge.Peer != 1 || ge.Ours != 1 || ge.Theirs != 2 {
+		t.Fatalf("GenerationError fields wrong: %+v", ge)
+	}
+	if elapsed > 10*time.Second {
+		t.Fatalf("stale dial burned %v of the deadline; wrong-generation must fail fast", elapsed)
+	}
+
+	// The fenced hello left rank 1's slot free: the real rank 0 connects.
+	c0, err := Dial(Config{Rank: 0, Addrs: addrs, Params: costmodel.Zero(),
+		Generation: 2, DialTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatalf("generation-2 rank 0 dial: %v", err)
+	}
+	defer c0.Close()
+	if err := <-newGen; err != nil {
+		t.Fatalf("rank 1 dial: %v", err)
+	}
+	defer c1.Close()
+	if got := c1.Stats().GenerationRejects; got < 1 {
+		t.Fatalf("rank 1 counted %d generation rejects, want >= 1", got)
+	}
+}
+
+// TestStaleAcceptorAdoptsNewerGeneration: when the *acceptor* is the stale
+// incarnation, it rejects the newer hello but fails its own bring-up with a
+// GenerationError carrying the newer generation — the rendezvous loop uses
+// that to adopt it — while the newer dialer retries within its budget and
+// succeeds once the rank re-dials at the new generation.
+func TestStaleAcceptorAdoptsNewerGeneration(t *testing.T) {
+	addrs := freeAddrs(t, 2)
+	newGen := make(chan error, 1)
+	var c0 *Comm
+	go func() {
+		var err error
+		c0, err = Dial(Config{Rank: 0, Addrs: addrs, Params: costmodel.Zero(),
+			Generation: 5, DialTimeout: 30 * time.Second})
+		newGen <- err
+	}()
+
+	// The stale rank 1 accepts the generation-5 hello and learns it is
+	// obsolete.
+	_, err := Dial(Config{Rank: 1, Addrs: addrs, Params: costmodel.Zero(),
+		Generation: 4, DialTimeout: 30 * time.Second})
+	if err == nil {
+		t.Fatal("stale acceptor bring-up succeeded")
+	}
+	ge, ok := AsGenerationError(err)
+	if !ok {
+		t.Fatalf("stale acceptor error is not a GenerationError: %v", err)
+	}
+	if ge.Peer != 0 || ge.Ours != 4 || ge.Theirs != 5 {
+		t.Fatalf("GenerationError fields wrong: %+v", ge)
+	}
+
+	// Adopt the newer generation and re-rendezvous; rank 0's dial, still
+	// retrying inside its budget, completes the mesh.
+	c1, err := Dial(Config{Rank: 1, Addrs: addrs, Params: costmodel.Zero(),
+		Generation: ge.Theirs, DialTimeout: 30 * time.Second})
+	if err != nil {
+		t.Fatalf("re-rendezvous at generation %d: %v", ge.Theirs, err)
+	}
+	defer c1.Close()
+	if err := <-newGen; err != nil {
+		t.Fatalf("rank 0 dial: %v", err)
+	}
+	defer c0.Close()
+	if err := c0.Send(1, comm.TagUser, []byte("hello gen5")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.Recv(0, comm.TagUser); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -36,6 +36,27 @@
 // Once a peer is declared down every pending and future Recv from it fails
 // promptly with the same comm.PeerDown; the deployment is expected to abort
 // or checkpoint-restart the job, as cmd/pcloudsd does.
+//
+// # Generation fencing
+//
+// Restarting a crashed rank raises a hazard the static gang never had: a
+// not-quite-dead pre-crash incarnation (or its lingering connections) can
+// reach the new mesh and poison it. Every process therefore carries a build
+// generation (Config.Generation); the hello frame sends it and is answered
+// with an explicit ack. A hello whose generation is *older* than the
+// acceptor's is answered with a reject naming the acceptor's generation and
+// the connection is dropped (counted in Stats.GenerationRejects) — without
+// consuming the mesh slot the real peer will fill. A hello *newer* than the
+// acceptor's means the acceptor itself is the stale incarnation: it rejects
+// too, but then fails its own bring-up with a GenerationError so the caller
+// can adopt the newer generation and re-rendezvous. On the dialing side a
+// reject from an older peer is retried within the dial budget (that stale
+// peer is about to be fenced and respawned at our generation), while a
+// reject from a newer peer surfaces immediately as a GenerationError
+// instead of burning the whole dial deadline. After bring-up a doorman
+// goroutine keeps answering — and rejecting — late hellos until Close, so a
+// stale dialer fails fast instead of wedging on a never-accepted
+// connection.
 package tcpcomm
 
 import (
@@ -64,10 +85,47 @@ const heartbeatTag = -2
 // rank that saw it, before that rank's own teardown breaks the connection.
 const downTag = -3
 
+// helloAckTag answers a hello frame; the 8-byte payload is
+// status u32 LE | acceptor-generation u32 LE. Generation fencing lives in
+// this exchange — see the package doc.
+const helloAckTag = -4
+
+// Hello ack statuses.
+const (
+	ackOK              = 0 // generations match; the connection is registered
+	ackWrongGeneration = 1 // generation mismatch; payload names the acceptor's
+	ackDuplicateRank   = 2 // same generation, but the rank slot is already held
+)
+
 // ErrClosed is the error observed by a Recv that was blocked (or issued)
 // after Close tore the communicator down locally. It is distinct from
 // comm.PeerDown: the local process decided to stop, no peer failed.
 var ErrClosed = errors.New("tcpcomm: communicator closed")
+
+// GenerationError reports a hello exchange that failed because a peer is at
+// a newer build generation: this process is the stale incarnation. Retrying
+// at the same generation can never succeed — the caller must adopt the
+// newer generation (re-rendezvous) or exit.
+type GenerationError struct {
+	Peer   int    // rank whose generation disagreed
+	Ours   uint32 // this process's generation
+	Theirs uint32 // the peer's newer generation
+}
+
+func (e *GenerationError) Error() string {
+	return fmt.Sprintf("tcpcomm: rank %d is at generation %d, ours is %d: this incarnation is stale and fenced",
+		e.Peer, e.Theirs, e.Ours)
+}
+
+// AsGenerationError reports whether any error in err's chain is a
+// *GenerationError, returning it.
+func AsGenerationError(err error) (*GenerationError, bool) {
+	var ge *GenerationError
+	if errors.As(err, &ge) {
+		return ge, true
+	}
+	return nil, false
+}
 
 // Config describes one rank of a TCP group.
 type Config struct {
@@ -78,6 +136,13 @@ type Config struct {
 	Addrs []string
 	// Params drives simulated-cost accounting; costmodel.Zero() disables it.
 	Params costmodel.Params
+	// Generation is the build generation ("incarnation number") of this
+	// process. The hello exchange carries it: two ranks connect only when
+	// their generations match. A supervisor bumps the generation on every
+	// recovery round so frames from a pre-crash incarnation are fenced out
+	// instead of poisoning the new mesh. Zero is a valid generation (a
+	// standalone, never-restarted build).
+	Generation uint32
 	// DialTimeout bounds the total time spent connecting to each peer
 	// (default 10s). Dials retry until the peer's listener is up.
 	DialTimeout time.Duration
@@ -209,60 +274,81 @@ func Dial(cfg Config) (*Comm, error) {
 	errc := make(chan error, 2)
 	var wg sync.WaitGroup
 
-	// Accept one connection from every lower rank. The hello exchange runs
-	// under a read deadline: a peer that connects and goes silent fails the
-	// bring-up with an attributable error instead of wedging it forever.
+	// Accept one connection from every lower rank. The whole accept phase
+	// runs under the same DialTimeout budget as the dial phase — a lower
+	// rank that never shows up (e.g. a crashed peer whose respawn never
+	// comes) fails the bring-up instead of blocking in Accept forever, so a
+	// rendezvous loop can retry. Each hello exchange additionally runs
+	// under its own read deadline, and hellos from a stale generation are
+	// fenced off without consuming the mesh slot the real peer will fill.
 	lower := cfg.Rank
+	if lower > 0 {
+		if d, ok := ln.(*net.TCPListener); ok {
+			d.SetDeadline(time.Now().Add(cfg.DialTimeout))
+		}
+	}
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		for i := 0; i < lower; i++ {
+		for connected := 0; connected < lower; {
 			conn, err := ln.Accept()
 			if err != nil {
 				errc <- fmt.Errorf("tcpcomm: rank %d accept: %w", cfg.Rank, err)
 				return
 			}
-			conn.SetReadDeadline(time.Now().Add(cfg.HelloTimeout))
-			fr := wire.NewConn(conn)
-			hello, err := fr.Recv()
-			if err != nil || hello.Tag != helloTag || len(hello.Payload) != 4 {
+			from, gen, fr, err := c.readHello(conn)
+			if err != nil {
 				conn.Close()
-				errc <- fmt.Errorf("tcpcomm: rank %d bad hello (deadline %v): %v", cfg.Rank, cfg.HelloTimeout, err)
+				errc <- fmt.Errorf("tcpcomm: rank %d %v", cfg.Rank, err)
 				return
 			}
-			conn.SetReadDeadline(time.Time{})
-			from := int(uint32(hello.Payload[0]) | uint32(hello.Payload[1])<<8 | uint32(hello.Payload[2])<<16 | uint32(hello.Payload[3])<<24)
-			if from < 0 || from >= cfg.Rank || c.peers[from] != nil {
+			switch {
+			case gen < cfg.Generation:
+				// A pre-crash incarnation: fence it off and keep waiting
+				// for the real peer.
+				c.rejectHello(fr, conn, ackWrongGeneration)
+			case gen > cfg.Generation:
+				// The dialer is from a newer build generation, so *this*
+				// process is the stale incarnation. Tell it our generation
+				// (it will retry until this rank is back at its
+				// generation), then fail bring-up so the caller can adopt
+				// the newer generation and re-rendezvous.
+				c.rejectHello(fr, conn, ackWrongGeneration)
+				errc <- &GenerationError{Peer: from, Ours: cfg.Generation, Theirs: gen}
+				return
+			case from < 0 || from >= cfg.Rank:
 				conn.Close()
 				errc <- fmt.Errorf("tcpcomm: rank %d: invalid hello rank %d", cfg.Rank, from)
 				return
+			case c.peers[from] != nil:
+				// Same generation, but the slot is taken: two processes
+				// claim one rank. Keep the mesh, reject the newcomer.
+				c.rejectHello(fr, conn, ackDuplicateRank)
+			default:
+				if err := c.sendAck(fr, conn, ackOK); err != nil {
+					conn.Close()
+					errc <- fmt.Errorf("tcpcomm: rank %d hello ack to %d: %w", cfg.Rank, from, err)
+					return
+				}
+				c.peers[from] = c.newPeer(from, conn, fr)
+				connected++
 			}
-			c.peers[from] = c.newPeer(from, conn, fr)
 		}
 		errc <- nil
 	}()
 
-	// Dial every higher rank, retrying until its listener is up.
+	// Dial every higher rank, retrying until its listener is up and it
+	// accepts our generation.
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
 		for j := cfg.Rank + 1; j < p; j++ {
-			conn, err := dialRetry(cfg.Addrs[j], cfg.Rank, j, cfg.DialTimeout)
+			pe, err := c.connectPeer(j)
 			if err != nil {
 				errc <- err
 				return
 			}
-			fr := wire.NewConn(conn)
-			r := uint32(cfg.Rank)
-			hello := wire.Frame{Tag: helloTag, Payload: []byte{byte(r), byte(r >> 8), byte(r >> 16), byte(r >> 24)}}
-			conn.SetWriteDeadline(time.Now().Add(cfg.HelloTimeout))
-			if err := fr.Send(hello); err != nil {
-				conn.Close()
-				errc <- fmt.Errorf("tcpcomm: rank %d hello to %d: %w", cfg.Rank, j, err)
-				return
-			}
-			conn.SetWriteDeadline(time.Time{})
-			c.peers[j] = c.newPeer(j, conn, fr)
+			c.peers[j] = pe
 		}
 		errc <- nil
 	}()
@@ -274,8 +360,13 @@ func Dial(cfg Config) (*Comm, error) {
 			return nil, err
 		}
 	}
+	// Bring-up is complete: lift the accept deadline so the doorman can
+	// keep fencing late hellos indefinitely.
+	if d, ok := ln.(*net.TCPListener); ok {
+		d.SetDeadline(time.Time{})
+	}
 	// Start reader goroutines once the mesh is complete, then the failure
-	// detector's heartbeat pump.
+	// detector's heartbeat pump and the doorman that fences late hellos.
 	for _, pe := range c.peers {
 		if pe != nil {
 			go c.readLoop(pe)
@@ -284,16 +375,76 @@ func Dial(cfg Config) (*Comm, error) {
 	if cfg.HeartbeatInterval > 0 && p > 1 {
 		go c.heartbeatLoop(cfg.HeartbeatInterval)
 	}
+	go c.doorman()
 	return c, nil
 }
 
-// dialRetry connects to one peer, retrying until its listener is up. The
-// total time spent — including the final attempt — never exceeds timeout:
-// each attempt's own timeout is clamped to the time remaining, so the last
-// 1s try cannot overshoot the configured budget. Errors carry the peer's
-// rank and address so a failed mesh bring-up names the hole.
-func dialRetry(addr string, fromRank, toRank int, timeout time.Duration) (net.Conn, error) {
-	deadline := time.Now().Add(timeout)
+func putU32(b []byte, v uint32) {
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+}
+
+func getU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+// readHello reads and validates one hello frame under HelloTimeout,
+// returning the sender's claimed rank and generation.
+func (c *Comm) readHello(conn net.Conn) (from int, gen uint32, fr *wire.Conn, err error) {
+	conn.SetReadDeadline(time.Now().Add(c.cfg.HelloTimeout))
+	fr = wire.NewConn(conn)
+	hello, err := fr.Recv()
+	if err != nil {
+		return 0, 0, nil, fmt.Errorf("bad hello (deadline %v): %w", c.cfg.HelloTimeout, err)
+	}
+	if hello.Tag != helloTag || len(hello.Payload) != 8 {
+		return 0, 0, nil, fmt.Errorf("bad hello frame (tag %d, %d bytes)", hello.Tag, len(hello.Payload))
+	}
+	conn.SetReadDeadline(time.Time{})
+	return int(int32(getU32(hello.Payload[:4]))), getU32(hello.Payload[4:]), fr, nil
+}
+
+// sendAck answers a hello with status and the local generation.
+func (c *Comm) sendAck(fr *wire.Conn, conn net.Conn, status uint32) error {
+	payload := make([]byte, 8)
+	putU32(payload[:4], status)
+	putU32(payload[4:], c.cfg.Generation)
+	conn.SetWriteDeadline(time.Now().Add(c.cfg.HelloTimeout))
+	err := fr.Send(wire.Frame{Tag: helloAckTag, Payload: payload})
+	conn.SetWriteDeadline(time.Time{})
+	return err
+}
+
+// rejectHello fences off a connection whose hello cannot be accepted: it
+// answers (best-effort) with the reject status and closes the connection.
+// Generation mismatches are counted in Stats.GenerationRejects.
+func (c *Comm) rejectHello(fr *wire.Conn, conn net.Conn, status uint32) {
+	c.sendAck(fr, conn, status) //nolint:errcheck
+	conn.Close()
+	if status == ackWrongGeneration {
+		c.statsMu.Lock()
+		c.stats.GenerationRejects++
+		c.statsMu.Unlock()
+	}
+}
+
+// connectPeer establishes the authenticated connection to one higher rank:
+// TCP connect, hello carrying (rank, generation), and the peer's ack. The
+// whole exchange — connect retries while the peer's listener is not up yet
+// *and* handshake retries while the peer is still at an older generation —
+// shares one DialTimeout budget, with each attempt clamped to the time
+// remaining so the budget is never overshot. A peer at a *newer* generation
+// is terminal: this process is the stale incarnation, and retrying would
+// only burn the deadline, so a GenerationError surfaces immediately.
+// Errors carry the peer's rank and address so a failed mesh bring-up names
+// the hole.
+func (c *Comm) connectPeer(j int) (*peer, error) {
+	cfg := &c.cfg
+	addr := cfg.Addrs[j]
+	deadline := time.Now().Add(cfg.DialTimeout)
+	fail := func(lastErr error) error {
+		return fmt.Errorf("tcpcomm: rank %d dial rank %d (%s): timed out after %v: %w",
+			cfg.Rank, j, addr, cfg.DialTimeout, lastErr)
+	}
 	var lastErr error
 	for {
 		attempt := time.Second
@@ -301,19 +452,93 @@ func dialRetry(addr string, fromRank, toRank int, timeout time.Duration) (net.Co
 			attempt = rem
 		}
 		if attempt <= 0 {
-			return nil, fmt.Errorf("tcpcomm: rank %d dial rank %d (%s): timed out after %v: %w",
-				fromRank, toRank, addr, timeout, lastErr)
+			return nil, fail(lastErr)
 		}
 		conn, err := net.DialTimeout("tcp", addr, attempt)
-		if err == nil {
-			return conn, nil
+		if err != nil {
+			lastErr = err
+		} else {
+			fr := wire.NewConn(conn)
+			status, theirs, herr := c.handshake(conn, fr)
+			switch {
+			case herr == nil && status == ackOK:
+				return c.newPeer(j, conn, fr), nil
+			case herr == nil && status == ackWrongGeneration && theirs > cfg.Generation:
+				conn.Close()
+				return nil, &GenerationError{Peer: j, Ours: cfg.Generation, Theirs: theirs}
+			case herr == nil && status == ackWrongGeneration:
+				// The peer is a stale incarnation that has not torn down
+				// yet; it is about to be fenced and respawned at our
+				// generation. Retry within the budget instead of burning
+				// the whole dial deadline on it.
+				conn.Close()
+				lastErr = fmt.Errorf("rank %d still at stale generation %d (ours %d)", j, theirs, cfg.Generation)
+			case herr == nil && status == ackDuplicateRank:
+				conn.Close()
+				return nil, fmt.Errorf("tcpcomm: rank %d hello to %d: rejected as duplicate — another generation-%d process already holds this rank",
+					cfg.Rank, j, cfg.Generation)
+			case herr == nil:
+				conn.Close()
+				return nil, fmt.Errorf("tcpcomm: rank %d hello to %d: unknown ack status %d", cfg.Rank, j, status)
+			default:
+				// Connected, but the handshake failed — the peer is mid
+				// bring-up or mid-teardown. Retry within the budget.
+				conn.Close()
+				lastErr = fmt.Errorf("hello to rank %d: %w", j, herr)
+			}
 		}
-		lastErr = err
 		if !time.Now().Add(20 * time.Millisecond).Before(deadline) {
-			return nil, fmt.Errorf("tcpcomm: rank %d dial rank %d (%s): timed out after %v: %w",
-				fromRank, toRank, addr, timeout, lastErr)
+			return nil, fail(lastErr)
 		}
 		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// handshake runs the dialer's half of the hello exchange under
+// HelloTimeout: send (rank, generation), read the ack.
+func (c *Comm) handshake(conn net.Conn, fr *wire.Conn) (status, theirGen uint32, err error) {
+	payload := make([]byte, 8)
+	putU32(payload[:4], uint32(c.cfg.Rank))
+	putU32(payload[4:], c.cfg.Generation)
+	conn.SetDeadline(time.Now().Add(c.cfg.HelloTimeout))
+	defer conn.SetDeadline(time.Time{})
+	if err := fr.Send(wire.Frame{Tag: helloTag, Payload: payload}); err != nil {
+		return 0, 0, err
+	}
+	ack, err := fr.Recv()
+	if err != nil {
+		return 0, 0, err
+	}
+	if ack.Tag != helloAckTag || len(ack.Payload) != 8 {
+		return 0, 0, fmt.Errorf("bad hello ack (tag %d, %d bytes)", ack.Tag, len(ack.Payload))
+	}
+	return getU32(ack.Payload[:4]), getU32(ack.Payload[4:]), nil
+}
+
+// doorman keeps accepting connections after bring-up so hellos from stale
+// incarnations of crashed peers are answered with a generation reject
+// instead of wedging the dialer until its timeout. It runs until Close
+// shuts the listener. Every post-bring-up hello is rejected: a mismatched
+// generation is fenced (and counted), and even a matching-generation hello
+// is a duplicate — the mesh slot for every rank is already connected.
+func (c *Comm) doorman() {
+	for {
+		conn, err := c.listener.Accept()
+		if err != nil {
+			return
+		}
+		go func(conn net.Conn) {
+			_, gen, fr, err := c.readHello(conn)
+			if err != nil {
+				conn.Close()
+				return
+			}
+			status := uint32(ackDuplicateRank)
+			if gen != c.cfg.Generation {
+				status = ackWrongGeneration
+			}
+			c.rejectHello(fr, conn, status)
+		}(conn)
 	}
 }
 

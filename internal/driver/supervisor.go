@@ -1,0 +1,232 @@
+package driver
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os/exec"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SupervisorConfig parameterises Supervise.
+type SupervisorConfig struct {
+	// Ranks is the number of rank processes to launch (one per rank).
+	Ranks int
+	// Generation is the starting build generation passed to the first
+	// incarnation of every rank. Each respawn carries a freshly bumped
+	// generation so survivors and the replacement converge quickly; the
+	// transport's adoption path reconciles any race.
+	Generation uint32
+	// MaxRestarts bounds the total respawns across all ranks (default 5;
+	// negative disables respawning). When exhausted, Supervise kills the
+	// remaining ranks and fails.
+	MaxRestarts int
+	// Backoff is the delay before a respawn (default 500ms; doubles per
+	// respawn, capped at 30s).
+	Backoff time.Duration
+	// Command builds the (unstarted) process for one incarnation of a rank.
+	// Stdout/Stderr may be pre-wired; the supervisor tees Stderr to capture
+	// the child's last line for failure reports.
+	Command func(rank int, generation uint32) *exec.Cmd
+	// Stop, when non-nil and closed, makes Supervise kill all ranks and
+	// return ErrStopped.
+	Stop <-chan struct{}
+	// Logf reports supervision events (nil disables).
+	Logf func(format string, args ...any)
+}
+
+// exitEvent is one child's termination, as seen by its waiter goroutine.
+type exitEvent struct {
+	rank int
+	gen  uint32
+	err  error // nil on exit 0
+	last string
+}
+
+// lastLineWriter tees writes and remembers the last non-empty line, so a
+// crashed child's final words make it into the supervisor's error.
+type lastLineWriter struct {
+	mu   sync.Mutex
+	buf  bytes.Buffer // trailing partial line
+	last string
+}
+
+func (w *lastLineWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf.Write(p)
+	for {
+		b := w.buf.Bytes()
+		i := bytes.IndexByte(b, '\n')
+		if i < 0 {
+			break
+		}
+		if line := bytes.TrimSpace(b[:i]); len(line) > 0 {
+			w.last = string(line)
+		}
+		w.buf.Next(i + 1)
+	}
+	return len(p), nil
+}
+
+func (w *lastLineWriter) Last() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if line := bytes.TrimSpace(w.buf.Bytes()); len(line) > 0 {
+		return string(line)
+	}
+	return w.last
+}
+
+// Supervise launches cfg.Ranks rank processes and restarts any that die,
+// passing each respawn a bumped build generation so the surviving ranks
+// (looping in their own RunRank rendezvous) and the replacement agree on
+// the new incarnation of the mesh. It returns nil once every rank has
+// exited 0, or an error when the restart budget is exhausted, a respawn
+// cannot be started, or Stop is closed.
+func Supervise(cfg SupervisorConfig) error {
+	if cfg.Ranks <= 0 {
+		return fmt.Errorf("driver: supervise: need at least 1 rank, got %d", cfg.Ranks)
+	}
+	if cfg.Command == nil {
+		return fmt.Errorf("driver: supervise: Command is required")
+	}
+	if cfg.Generation == 0 {
+		cfg.Generation = 1
+	}
+	if cfg.MaxRestarts == 0 {
+		cfg.MaxRestarts = 5
+	}
+	if cfg.Backoff == 0 {
+		cfg.Backoff = 500 * time.Millisecond
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	// generation is the global high-water mark: every respawn bumps it, so
+	// a replacement always joins at a generation no survivor has fenced.
+	var generation atomic.Uint32
+	generation.Store(cfg.Generation)
+
+	exits := make(chan exitEvent, cfg.Ranks)
+	procs := make([]*exec.Cmd, cfg.Ranks)
+
+	start := func(rank int) error {
+		gen := generation.Load()
+		cmd := cfg.Command(rank, gen)
+		if cmd == nil {
+			return fmt.Errorf("driver: supervise: Command returned nil for rank %d", rank)
+		}
+		tee := &lastLineWriter{}
+		if cmd.Stderr != nil {
+			cmd.Stderr = io.MultiWriter(cmd.Stderr, tee)
+		} else {
+			cmd.Stderr = tee
+		}
+		if cmd.WaitDelay == 0 {
+			// The tee is a pipe, and a killed child's orphaned grandchildren
+			// can hold its write side open; without a WaitDelay that would
+			// wedge Wait (and the whole supervisor) on their lifetime.
+			cmd.WaitDelay = 3 * time.Second
+		}
+		if err := cmd.Start(); err != nil {
+			return fmt.Errorf("driver: supervise: start rank %d: %w", rank, err)
+		}
+		procs[rank] = cmd
+		logf("driver: supervisor: rank %d up (pid %d, generation %d)", rank, cmd.Process.Pid, gen)
+		go func() {
+			err := cmd.Wait()
+			exits <- exitEvent{rank: rank, gen: gen, err: err, last: tee.Last()}
+		}()
+		return nil
+	}
+	killAll := func() {
+		for _, cmd := range procs {
+			if cmd != nil && cmd.Process != nil {
+				cmd.Process.Kill()
+			}
+		}
+	}
+
+	for r := 0; r < cfg.Ranks; r++ {
+		if err := start(r); err != nil {
+			killAll()
+			return err
+		}
+	}
+
+	budget := cfg.MaxRestarts
+	backoff := cfg.Backoff
+	running := cfg.Ranks
+	var firstFail *exitEvent
+	for running > 0 {
+		var ev exitEvent
+		select {
+		case ev = <-exits:
+		case <-cfg.Stop:
+			logf("driver: supervisor: stop requested, killing %d ranks", running)
+			killAll()
+			for running > 0 {
+				<-exits
+				running--
+			}
+			return ErrStopped
+		}
+		procs[ev.rank] = nil
+		if ev.err == nil {
+			running--
+			logf("driver: supervisor: rank %d finished", ev.rank)
+			continue
+		}
+		if firstFail == nil {
+			e := ev
+			firstFail = &e
+		}
+		if budget <= 0 {
+			logf("driver: supervisor: rank %d died (%v) with restart budget exhausted, killing survivors", ev.rank, ev.err)
+			killAll()
+			for running > 1 {
+				<-exits
+				running--
+			}
+			detail := ""
+			if firstFail.last != "" {
+				detail = fmt.Sprintf("; first failure: rank %d: %s", firstFail.rank, firstFail.last)
+			}
+			return fmt.Errorf("driver: supervise: restart budget exhausted; rank %d died at generation %d: %v%s",
+				ev.rank, ev.gen, ev.err, detail)
+		}
+		budget--
+		next := generation.Add(1)
+		logf("driver: supervisor: rank %d died at generation %d (%v; last stderr: %q); respawning at generation %d in %v (%d restarts left)",
+			ev.rank, ev.gen, ev.err, ev.last, next, backoff, budget)
+		select {
+		case <-time.After(backoff):
+		case <-cfg.Stop:
+			logf("driver: supervisor: stop requested during backoff, killing %d ranks", running-1)
+			killAll()
+			for running > 1 {
+				<-exits
+				running--
+			}
+			return ErrStopped
+		}
+		backoff *= 2
+		if backoff > 30*time.Second {
+			backoff = 30 * time.Second
+		}
+		if err := start(ev.rank); err != nil {
+			killAll()
+			for running > 1 {
+				<-exits
+				running--
+			}
+			return err
+		}
+	}
+	return nil
+}

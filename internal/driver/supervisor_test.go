@@ -1,0 +1,157 @@
+package driver_test
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pclouds/internal/driver"
+)
+
+// shCommand builds a Command callback running the given shell script with
+// $1=rank and $2=generation.
+func shCommand(script string) func(rank int, gen uint32) *exec.Cmd {
+	return func(rank int, gen uint32) *exec.Cmd {
+		return exec.Command("sh", "-c", script, "sh", fmt.Sprint(rank), fmt.Sprint(gen))
+	}
+}
+
+func TestSuperviseAllExitZero(t *testing.T) {
+	err := driver.Supervise(driver.SupervisorConfig{
+		Ranks:   3,
+		Backoff: 10 * time.Millisecond,
+		Command: shCommand("exit 0"),
+	})
+	if err != nil {
+		t.Fatalf("want nil, got %v", err)
+	}
+}
+
+// TestSuperviseRespawnsAtBumpedGeneration: every rank fails its first
+// incarnation; each respawn must run and must carry a generation strictly
+// above the one that died.
+func TestSuperviseRespawnsAtBumpedGeneration(t *testing.T) {
+	dir := t.TempDir()
+	var mu sync.Mutex
+	gens := make(map[int][]uint32)
+	err := driver.Supervise(driver.SupervisorConfig{
+		Ranks:       3,
+		MaxRestarts: 3,
+		Backoff:     10 * time.Millisecond,
+		Logf:        t.Logf,
+		Command: func(rank int, gen uint32) *exec.Cmd {
+			mu.Lock()
+			gens[rank] = append(gens[rank], gen)
+			mu.Unlock()
+			marker := filepath.Join(dir, fmt.Sprintf("ran-%d", rank))
+			return exec.Command("sh", "-c",
+				fmt.Sprintf("if [ -f %q ]; then exit 0; else touch %q; exit 1; fi", marker, marker))
+		},
+	})
+	if err != nil {
+		t.Fatalf("want recovery, got %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for rank, g := range gens {
+		if len(g) != 2 {
+			t.Fatalf("rank %d ran %d incarnations, want 2", rank, len(g))
+		}
+		if g[1] <= g[0] {
+			t.Errorf("rank %d respawned at generation %d, not above %d", rank, g[1], g[0])
+		}
+	}
+}
+
+// TestSuperviseBudgetExhausted: a rank that keeps dying exhausts the
+// restart budget; the error names the rank, is nonzero-clean (no hang),
+// and carries the child's last stderr line.
+func TestSuperviseBudgetExhausted(t *testing.T) {
+	start := time.Now()
+	err := driver.Supervise(driver.SupervisorConfig{
+		Ranks:       2,
+		MaxRestarts: 1,
+		Backoff:     10 * time.Millisecond,
+		Command: shCommand(`if [ "$1" = 1 ]; then echo "peer 0 vanished" >&2; exit 3; fi; sleep 30`),
+	})
+	if err == nil {
+		t.Fatal("want error, got nil")
+	}
+	if !strings.Contains(err.Error(), "restart budget exhausted") {
+		t.Errorf("error does not name the budget: %v", err)
+	}
+	if !strings.Contains(err.Error(), "rank 1") {
+		t.Errorf("error does not name the dying rank: %v", err)
+	}
+	if !strings.Contains(err.Error(), "peer 0 vanished") {
+		t.Errorf("error does not carry the child's last stderr line: %v", err)
+	}
+	// The sleeping survivor must have been killed, not waited out.
+	if e := time.Since(start); e > 10*time.Second {
+		t.Errorf("supervisor took %v; survivors were not killed", e)
+	}
+}
+
+// TestSuperviseStop: closing Stop kills the children and returns
+// ErrStopped promptly — the SIGINT path of pcloudsd -supervise.
+func TestSuperviseStop(t *testing.T) {
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- driver.Supervise(driver.SupervisorConfig{
+			Ranks:   2,
+			Backoff: 10 * time.Millisecond,
+			Stop:    stop,
+			Command: shCommand("sleep 30"),
+		})
+	}()
+	time.Sleep(200 * time.Millisecond) // let the children start
+	close(stop)
+	select {
+	case err := <-done:
+		if !errors.Is(err, driver.ErrStopped) {
+			t.Fatalf("want ErrStopped, got %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("supervisor did not stop")
+	}
+}
+
+// TestSuperviseStderrPassthrough: a pre-wired child Stderr still receives
+// the output (the supervisor tees rather than steals it).
+func TestSuperviseStderrPassthrough(t *testing.T) {
+	f, err := os.CreateTemp(t.TempDir(), "stderr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	serr := driver.Supervise(driver.SupervisorConfig{
+		Ranks:       1,
+		MaxRestarts: -1,
+		Backoff:     10 * time.Millisecond,
+		Command: func(rank int, gen uint32) *exec.Cmd {
+			cmd := exec.Command("sh", "-c", `echo "boom from child" >&2; exit 4`)
+			cmd.Stderr = f
+			return cmd
+		},
+	})
+	if serr == nil {
+		t.Fatal("want error")
+	}
+	if !strings.Contains(serr.Error(), "boom from child") {
+		t.Errorf("error missing captured stderr: %v", serr)
+	}
+	blob, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(blob), "boom from child") {
+		t.Errorf("pre-wired stderr lost the output: %q", blob)
+	}
+}

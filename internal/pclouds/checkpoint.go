@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"pclouds/internal/comm"
 	"pclouds/internal/record"
@@ -25,21 +26,51 @@ import (
 // tasks without fused statistics), which reproduces the uninterrupted
 // build's tree bit-identically.
 //
+// Checkpoints live in per-level directories (level-0001, level-0002, …)
+// under Config.CheckpointDir. Levels are written independently by each
+// rank; a commit collective after every level tells all ranks whether the
+// level is complete everywhere, gating garbage collection. Because a crash
+// can land between two ranks' checkpoint writes, ranks may legitimately
+// disagree by one level; resume therefore agrees (collectively) on the
+// newest level complete on *every* rank and restores from that. To make
+// the one-level fallback possible, a consumed frontier file is not deleted
+// when the build partitions it — its removal is deferred until every
+// checkpoint level referencing it has been pruned (keepLevels bounds the
+// retained window, so disk stays bounded).
+//
+// Degraded mode: a storage error during a checkpoint write is a warning,
+// not a build failure — the rank reports the level unusable in the commit
+// collective, every rank skips that level's GC, and the build carries on.
+// Resume simply never selects the incomplete level.
+//
 // What is NOT checkpointed: progress inside a level or inside the deferred
 // small-node phase. A crash there resumes from the preceding level
-// boundary; if the crash corrupted the frontier's store files (e.g. partway
-// through the small phase's deletions), the record-count verification below
-// fails the resume with an explicit error rather than building from torn
-// data.
+// boundary; if the crash corrupted the frontier's store files, the
+// record-count verification below fails the resume with an explicit error
+// rather than building from torn data.
 
-// ckptVersion guards manifest compatibility.
-const ckptVersion = 1
+// ckptVersion guards manifest compatibility. Version 2 moved checkpoints
+// into per-level directories with deferred frontier-file removal.
+const ckptVersion = 2
+
+// keepLevels is the retained checkpoint window: committing level L prunes
+// levels <= L-keepLevels. Two levels suffice — the commit collective after
+// every level bounds inter-rank skew to one level, so the newest level
+// complete on every rank is always L or L-1.
+const keepLevels = 2
 
 // ErrStopped is returned by Build when Config.StopAfterLevel ended the
 // build early at a checkpoint boundary: the checkpoint is complete and the
 // build is resumable, but no tree was produced. Chaos tests use it as a
 // deterministic, rank-synchronised "kill".
 var ErrStopped = errors.New("pclouds: build stopped after checkpointed level")
+
+// ErrNoCheckpoint is returned by a resume when no checkpoint level is
+// complete on every rank. With Config.ResumeAuto the build falls back to a
+// fresh start; with the strict Config.Resume it surfaces to the caller.
+// The decision is the result of a collective, so all ranks take the same
+// branch.
+var ErrNoCheckpoint = errors.New("pclouds: no usable checkpoint")
 
 // ckptTask is one frontier task in a manifest. Depth and the sample are
 // derived from ID at resume; LocalCount pins this rank's share so a
@@ -64,11 +95,52 @@ type ckptManifest struct {
 	Small   []ckptTask `json:"small"`
 }
 
-func manifestPath(dir string, rank int) string {
-	return filepath.Join(dir, fmt.Sprintf("rank%d.json", rank))
+func levelDir(dir string, level int) string {
+	return filepath.Join(dir, fmt.Sprintf("level-%04d", level))
 }
 
-func treePath(dir string) string { return filepath.Join(dir, "tree.bin") }
+func manifestPath(dir string, level, rank int) string {
+	return filepath.Join(levelDir(dir, level), fmt.Sprintf("rank%d.json", rank))
+}
+
+func treePath(dir string, level int) string {
+	return filepath.Join(levelDir(dir, level), "tree.bin")
+}
+
+// listLevels returns, ascending, the checkpoint levels under dir that hold
+// this rank's manifest (and, on rank 0, the partial tree). Levels another
+// rank wrote but this rank did not are this rank's holes — the resume
+// agreement below routes around them.
+func listLevels(dir string, rank int) ([]int, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var levels []int
+	for _, e := range ents {
+		var lvl int
+		if !e.IsDir() {
+			continue
+		}
+		if _, err := fmt.Sscanf(e.Name(), "level-%d", &lvl); err != nil || lvl < 1 {
+			continue
+		}
+		if _, err := os.Stat(manifestPath(dir, lvl, rank)); err != nil {
+			continue
+		}
+		if rank == 0 {
+			if _, err := os.Stat(treePath(dir, lvl)); err != nil {
+				continue
+			}
+		}
+		levels = append(levels, lvl)
+	}
+	sort.Ints(levels)
+	return levels, nil
+}
 
 // atomicWrite persists data to path via temp+fsync+rename, the same
 // all-or-nothing discipline as tree.SaveFile.
@@ -123,11 +195,12 @@ func taskManifest(b *pbuilder, tasks []*nodeTask) ([]ckptTask, error) {
 	return out, nil
 }
 
-// writeCheckpoint persists one completed level: this rank's manifest, and
-// on rank 0 the partial tree. It is not a collective — every rank writes
-// independently; consistency is checked at resume.
+// writeCheckpoint persists one completed level into its level directory:
+// this rank's manifest, and on rank 0 the partial tree. Every rank writes
+// independently; completeness is established by the commit collective in
+// checkpointLevel.
 func (b *pbuilder) writeCheckpoint(dir string, level int, root *tree.Node, pending, small []*nodeTask) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := os.MkdirAll(levelDir(dir, level), 0o755); err != nil {
 		return fmt.Errorf("pclouds: checkpoint dir: %w", err)
 	}
 	m := ckptManifest{
@@ -144,7 +217,7 @@ func (b *pbuilder) writeCheckpoint(dir string, level int, root *tree.Node, pendi
 	}
 	if b.c.Rank() == 0 {
 		blob := tree.EncodePartial(&tree.Tree{Schema: b.schema, Root: root})
-		if err := atomicWrite(treePath(dir), blob); err != nil {
+		if err := atomicWrite(treePath(dir, level), blob); err != nil {
 			return fmt.Errorf("pclouds: checkpoint tree: %w", err)
 		}
 	}
@@ -152,12 +225,139 @@ func (b *pbuilder) writeCheckpoint(dir string, level int, root *tree.Node, pendi
 	if err != nil {
 		return err
 	}
-	if err := atomicWrite(manifestPath(dir, m.Rank), data); err != nil {
+	if err := atomicWrite(manifestPath(dir, level, m.Rank), data); err != nil {
 		return fmt.Errorf("pclouds: checkpoint manifest: %w", err)
 	}
 	b.stats.Checkpoints++
 	b.rec.Count("checkpoints", 1)
 	return nil
+}
+
+// checkpointLevel writes this rank's checkpoint for the just-completed
+// level, then runs the commit collective: every rank learns whether the
+// level is complete everywhere. Only a globally complete level triggers
+// garbage collection of superseded levels; a rank whose write failed logs
+// the failure and the build continues without that level (degraded mode).
+// The only fatal errors here are communication failures.
+func (b *pbuilder) checkpointLevel(level int, root *tree.Node, pending, small []*nodeTask) error {
+	ok := int64(1)
+	if werr := b.writeCheckpoint(b.cfg.CheckpointDir, level, root, pending, small); werr != nil {
+		ok = 0
+		b.stats.CheckpointFailures++
+		b.rec.Count("checkpoint-failures", 1)
+		b.warnf("pclouds: rank %d: checkpoint level %d failed, continuing without it: %v", b.c.Rank(), level, werr)
+	}
+	allOK, err := comm.AllReduceInt64(b.c, []int64{ok}, minI64)
+	if err != nil {
+		return err
+	}
+	// Seal the batch of frontier files consumed while building this level:
+	// they are referenced by manifests of level-1 and older, so they become
+	// deletable once level-1 is pruned, whether or not this level's own
+	// checkpoint is usable.
+	if len(b.curConsumed) > 0 {
+		b.consumed[level] = b.curConsumed
+		b.curConsumed = nil
+	}
+	if allOK[0] == 0 {
+		// The level is unusable on some rank. Nobody prunes, so the newest
+		// globally complete level — and every file its restore needs —
+		// survives for the next resume.
+		return nil
+	}
+	b.gcCheckpoints(level)
+	return nil
+}
+
+// gcCheckpoints prunes checkpoint state superseded by the globally
+// committed level: level directories <= level-keepLevels (each rank removes
+// only its own files, so concurrent ranks sharing one checkpoint directory
+// never race), and the deferred frontier-file removals whose referencing
+// manifests are now all gone. GC errors are warnings — leaking a stale
+// level never corrupts a build.
+func (b *pbuilder) gcCheckpoints(level int) {
+	dir := b.cfg.CheckpointDir
+	levels, err := listLevels(dir, b.c.Rank())
+	if err != nil {
+		b.warnf("pclouds: rank %d: checkpoint GC: %v", b.c.Rank(), err)
+		return
+	}
+	kept := 0
+	for _, lvl := range levels {
+		if lvl > level-keepLevels {
+			kept++
+			continue
+		}
+		b.removeLevel(lvl)
+		b.stats.CheckpointsPruned++
+		b.rec.Count("checkpoints-pruned", 1)
+	}
+	b.stats.CheckpointsKept = kept
+	// A consumed batch sealed at level M is referenced by manifests M-1 and
+	// older; all of those are pruned once M-1 <= level-keepLevels.
+	for m, files := range b.consumed {
+		if m-1 > level-keepLevels {
+			continue
+		}
+		for _, f := range files {
+			b.store.Remove(f)
+		}
+		delete(b.consumed, m)
+	}
+}
+
+// removeLevel deletes this rank's artifacts of one checkpoint level (its
+// manifest; on rank 0 also the partial tree) and removes the level
+// directory once it is empty.
+func (b *pbuilder) removeLevel(lvl int) {
+	dir := b.cfg.CheckpointDir
+	os.Remove(manifestPath(dir, lvl, b.c.Rank()))
+	if b.c.Rank() == 0 {
+		os.Remove(treePath(dir, lvl))
+	}
+	// Succeeds only for the last rank out; earlier ranks' attempts fail
+	// with ENOTEMPTY, which is fine.
+	os.Remove(levelDir(dir, lvl))
+}
+
+// cleanOwnCheckpoints removes this rank's manifests from every checkpoint
+// level before a fresh build starts writing level 1. Without it, levels
+// left over from an earlier run could look newer than the fresh build's
+// own checkpoints and poison a later resume.
+func (b *pbuilder) cleanOwnCheckpoints() {
+	levels, err := listLevels(b.cfg.CheckpointDir, b.c.Rank())
+	if err != nil {
+		b.warnf("pclouds: rank %d: cleaning stale checkpoints: %v", b.c.Rank(), err)
+		return
+	}
+	for _, lvl := range levels {
+		b.removeLevel(lvl)
+	}
+}
+
+// finishCheckpoints is called after a successful build: the tree exists, so
+// every checkpoint level and every deferred frontier file is garbage.
+func (b *pbuilder) finishCheckpoints() {
+	for _, files := range b.consumed {
+		for _, f := range files {
+			b.store.Remove(f)
+		}
+	}
+	b.consumed = map[int][]string{}
+	for _, f := range b.curConsumed {
+		b.store.Remove(f)
+	}
+	b.curConsumed = nil
+	levels, err := listLevels(b.cfg.CheckpointDir, b.c.Rank())
+	if err != nil {
+		b.warnf("pclouds: rank %d: checkpoint cleanup: %v", b.c.Rank(), err)
+		return
+	}
+	for _, lvl := range levels {
+		b.removeLevel(lvl)
+		b.stats.CheckpointsPruned++
+	}
+	b.stats.CheckpointsKept = 0
 }
 
 // resumeState is a loaded checkpoint, ready to re-enter the level loop.
@@ -170,13 +370,70 @@ type resumeState struct {
 	nextID int
 }
 
-// loadCheckpoint reads this rank's manifest, cross-checks the level with
-// every other rank, rebuilds the partial tree from rank 0's blob, and
-// reconstitutes the frontier tasks — samples re-derived from the shared
-// root sample, attach closures re-pointed into the decoded tree.
+// agreeLevel finds the newest checkpoint level complete on every rank. The
+// loop is collective and deterministic: starting from the minimum of every
+// rank's newest level, it steps down until a candidate exists everywhere
+// (degraded-mode holes make "min of newest" insufficient on its own).
+// Returns ErrNoCheckpoint — on every rank — when no common level exists.
+func agreeLevel(c comm.Communicator, levels []int) (int, error) {
+	newestAtMost := func(bound int) int64 {
+		for i := len(levels) - 1; i >= 0; i-- {
+			if levels[i] <= bound {
+				return int64(levels[i])
+			}
+		}
+		return 0
+	}
+	cand, err := comm.AllReduceInt64(c, []int64{newestAtMost(int(^uint(0) >> 1))}, minI64)
+	if err != nil {
+		return 0, err
+	}
+	for cand[0] >= 1 {
+		have := int64(0)
+		for _, l := range levels {
+			if int64(l) == cand[0] {
+				have = 1
+			}
+		}
+		all, err := comm.AllReduceInt64(c, []int64{have}, minI64)
+		if err != nil {
+			return 0, err
+		}
+		if all[0] == 1 {
+			return int(cand[0]), nil
+		}
+		cand, err = comm.AllReduceInt64(c, []int64{newestAtMost(int(cand[0]) - 1)}, minI64)
+		if err != nil {
+			return 0, err
+		}
+	}
+	return 0, ErrNoCheckpoint
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// loadCheckpoint agrees with every other rank on the newest checkpoint
+// level complete everywhere, reads this rank's manifest for it, rebuilds
+// the partial tree from rank 0's blob, reconstitutes the frontier tasks —
+// samples re-derived from the shared root sample, attach closures
+// re-pointed into the decoded tree — and finally garbage-collects every
+// other (older or orphaned) checkpoint level.
 func loadCheckpoint(cfg Config, c comm.Communicator, b *pbuilder, rootSample []record.Record) (*resumeState, error) {
 	dir := cfg.CheckpointDir
-	data, err := os.ReadFile(manifestPath(dir, c.Rank()))
+	levels, err := listLevels(dir, c.Rank())
+	if err != nil {
+		return nil, fmt.Errorf("pclouds: resume: %w", err)
+	}
+	lvl, err := agreeLevel(c, levels)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(manifestPath(dir, lvl, c.Rank()))
 	if err != nil {
 		return nil, fmt.Errorf("pclouds: resume: %w", err)
 	}
@@ -191,28 +448,11 @@ func loadCheckpoint(cfg Config, c comm.Communicator, b *pbuilder, rootSample []r
 		return nil, fmt.Errorf("pclouds: resume: manifest is for rank %d of %d, this group is rank %d of %d",
 			m.Rank, m.Size, c.Rank(), c.Size())
 	}
-	// Every rank must hold a checkpoint of the same level; a crash between
-	// two ranks' checkpoint writes leaves them one level apart, which is
-	// unrecoverable without the older level's files (the build deletes
-	// parent files as it partitions).
-	lvl := []int64{int64(m.Level), -int64(m.Level)}
-	agg, err := comm.AllReduceInt64(c, lvl, func(a, b int64) int64 {
-		if a > b {
-			return a
-		}
-		return b
-	})
-	if err != nil {
-		return nil, err
-	}
-	if maxLvl, minLvl := agg[0], -agg[1]; maxLvl != minLvl {
-		return nil, fmt.Errorf("pclouds: resume: inconsistent checkpoint levels across ranks (min %d, max %d)", minLvl, maxLvl)
-	}
 
 	// Rank 0 owns the partial tree; everyone decodes the same bytes.
 	var blob []byte
 	if c.Rank() == 0 {
-		if blob, err = os.ReadFile(treePath(dir)); err != nil {
+		if blob, err = os.ReadFile(treePath(dir, lvl)); err != nil {
 			return nil, fmt.Errorf("pclouds: resume: %w", err)
 		}
 	}
@@ -239,12 +479,7 @@ func loadCheckpoint(cfg Config, c comm.Communicator, b *pbuilder, rootSample []r
 	if restoreErr != nil {
 		ok = 0
 	}
-	allOK, err := comm.AllReduceInt64(c, []int64{ok}, func(a, b int64) int64 {
-		if a < b {
-			return a
-		}
-		return b
-	})
+	allOK, err := comm.AllReduceInt64(c, []int64{ok}, minI64)
 	if err != nil {
 		return nil, err
 	}
@@ -254,6 +489,36 @@ func loadCheckpoint(cfg Config, c comm.Communicator, b *pbuilder, rootSample []r
 	if allOK[0] == 0 {
 		return nil, fmt.Errorf("pclouds: resume: another rank failed to restore its checkpointed frontier")
 	}
+
+	// The restore is committed; every other checkpoint level is garbage.
+	// Older levels were superseded; newer ones are orphans — incomplete on
+	// some rank (this rank possibly ahead of a crashed peer). The resumed
+	// build rewrites them. Frontier files referenced only by a pruned
+	// orphan (not by the restored level) are deleted with it.
+	keep := make(map[string]bool, len(m.Pending)+len(m.Small))
+	for _, ct := range m.Pending {
+		keep[ct.File] = true
+	}
+	for _, ct := range m.Small {
+		keep[ct.File] = true
+	}
+	for _, other := range levels {
+		if other == lvl {
+			continue
+		}
+		var om ckptManifest
+		if data, err := os.ReadFile(manifestPath(dir, other, c.Rank())); err == nil && json.Unmarshal(data, &om) == nil {
+			for _, ct := range append(om.Pending, om.Small...) {
+				if !keep[ct.File] {
+					b.store.Remove(ct.File)
+				}
+			}
+		}
+		b.removeLevel(other)
+		b.stats.CheckpointsPruned++
+		b.rec.Count("checkpoints-pruned", 1)
+	}
+	b.stats.CheckpointsKept = 1
 	return st, nil
 }
 

@@ -3,7 +3,11 @@ package pclouds
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
+	"sync"
 	"testing"
 
 	"pclouds/internal/clouds"
@@ -133,12 +137,23 @@ func TestResumeDetectsMissingStoreFile(t *testing.T) {
 			t.Fatalf("rank %d: %v", r, err)
 		}
 	}
-	// Sabotage rank 1: delete one of its frontier files.
-	names, err := stores[1].List()
-	if err != nil || len(names) == 0 {
-		t.Fatalf("rank 1 store: %v (%d files)", err, len(names))
+	// Sabotage rank 1: delete one of the frontier files its checkpoint
+	// references. (The staged root file still exists — removals are
+	// deferred while checkpointing — so picking an arbitrary store file is
+	// not enough.)
+	raw, err := os.ReadFile(manifestPath(cfg.CheckpointDir, 1, 1))
+	if err != nil {
+		t.Fatal(err)
 	}
-	stores[1].Remove(names[0])
+	var m ckptManifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	victims := append(m.Pending, m.Small...)
+	if len(victims) == 0 {
+		t.Fatal("level-1 checkpoint has no frontier tasks")
+	}
+	stores[1].Remove(victims[0].File)
 
 	cfg.StopAfterLevel = 0
 	cfg.Resume = true
@@ -149,12 +164,16 @@ func TestResumeDetectsMissingStoreFile(t *testing.T) {
 	}
 }
 
-// TestResumeDetectsInconsistentLevels: manifests from different levels
-// (a crash between two ranks' checkpoint writes) abort the resume.
-func TestResumeDetectsInconsistentLevels(t *testing.T) {
+// TestResumePicksNewestCommonLevel: a crash between two ranks' checkpoint
+// writes leaves them one level apart; the resume agrees on the newest level
+// complete on every rank — the older one — and still produces the
+// reference tree bit-identically.
+func TestResumePicksNewestCommonLevel(t *testing.T) {
 	const p = 2
 	data := makeData(t, 2000, 2, 9)
 	cfg := testConfig(clouds.SSE)
+	ref, _ := buildParallel(t, cfg, data, cfg.Clouds.SampleFor(data), p)
+
 	cfg.CheckpointDir = t.TempDir()
 	cfg.StopAfterLevel = 2
 	sample := cfg.Clouds.SampleFor(data)
@@ -166,19 +185,50 @@ func TestResumeDetectsInconsistentLevels(t *testing.T) {
 			t.Fatalf("rank %d: %v", r, err)
 		}
 	}
-	// Rewind rank 1's manifest to a different level.
-	mp := manifestPath(cfg.CheckpointDir, 1)
-	raw, err := os.ReadFile(mp)
-	if err != nil {
+	// Simulate rank 1 dying before its level-2 checkpoint landed.
+	if err := os.Remove(manifestPath(cfg.CheckpointDir, 2, 1)); err != nil {
 		t.Fatal(err)
 	}
-	var m ckptManifest
-	if err := json.Unmarshal(raw, &m); err != nil {
-		t.Fatal(err)
+
+	cfg.StopAfterLevel = 0
+	cfg.Resume = true
+	comms2 := comm.NewGroup(p, costmodel.Zero())
+	trees, stats, errs2 := buildWithStores(cfg, comms2, stores, sample)
+	for r, err := range errs2 {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
 	}
-	m.Level--
-	raw, _ = json.Marshal(m)
-	if err := os.WriteFile(mp, raw, 0o644); err != nil {
+	for r := 0; r < p; r++ {
+		if stats[r].ResumedLevel != 1 {
+			t.Fatalf("rank %d resumed from level %d, want the newest common level 1", r, stats[r].ResumedLevel)
+		}
+		if !tree.Equal(ref, trees[r]) {
+			t.Fatalf("rank %d's fallback-resumed tree differs from the uninterrupted build", r)
+		}
+	}
+}
+
+// TestStrictResumeFailsWithoutCommonLevel: when no checkpoint level is
+// complete on every rank, the strict Resume surfaces ErrNoCheckpoint on
+// all of them instead of restoring from torn state.
+func TestStrictResumeFailsWithoutCommonLevel(t *testing.T) {
+	const p = 2
+	data := makeData(t, 2000, 2, 9)
+	cfg := testConfig(clouds.SSE)
+	cfg.CheckpointDir = t.TempDir()
+	cfg.StopAfterLevel = 1
+	sample := cfg.Clouds.SampleFor(data)
+	comms := comm.NewGroup(p, costmodel.Zero())
+	stores := distribute(t, data, p, costmodel.Zero(), comms)
+	_, _, errs := buildWithStores(cfg, comms, stores, sample)
+	for r, err := range errs {
+		if !errors.Is(err, ErrStopped) {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	// Rank 1 never managed to write any checkpoint.
+	if err := os.Remove(manifestPath(cfg.CheckpointDir, 1, 1)); err != nil {
 		t.Fatal(err)
 	}
 
@@ -187,8 +237,8 @@ func TestResumeDetectsInconsistentLevels(t *testing.T) {
 	comms2 := comm.NewGroup(p, costmodel.Zero())
 	_, _, errs2 := buildWithStores(cfg, comms2, stores, sample)
 	for r, err := range errs2 {
-		if err == nil {
-			t.Fatalf("rank %d resumed from inconsistent levels", r)
+		if !errors.Is(err, ErrNoCheckpoint) {
+			t.Fatalf("rank %d: want ErrNoCheckpoint, got %v", r, err)
 		}
 	}
 }
@@ -218,5 +268,223 @@ func TestPartialTreeRoundTrip(t *testing.T) {
 	// A complete decoder must reject the pending marker.
 	if _, err := tree.Decode(data.Schema, blob); err == nil {
 		t.Fatal("Decode accepted a partial encoding")
+	}
+}
+
+// TestCheckpointGCPrunesOldLevels: committing level L prunes levels
+// <= L-keepLevels and, one commit later, the frontier files only those
+// pruned manifests referenced — the checkpoint directory stays bounded
+// instead of accumulating one level per tree depth.
+func TestCheckpointGCPrunesOldLevels(t *testing.T) {
+	const p = 4
+	data := makeData(t, 4000, 2, 42)
+	cfg := testConfig(clouds.SSE)
+	cfg.CheckpointDir = t.TempDir()
+	cfg.StopAfterLevel = 3
+	sample := cfg.Clouds.SampleFor(data)
+	comms := comm.NewGroup(p, costmodel.Zero())
+	stores := distribute(t, data, p, costmodel.Zero(), comms)
+	_, _, errs := buildWithStores(cfg, comms, stores, sample)
+	for r, err := range errs {
+		if !errors.Is(err, ErrStopped) {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	if _, err := os.Stat(levelDir(cfg.CheckpointDir, 1)); !os.IsNotExist(err) {
+		t.Fatalf("level 1 survived GC after level 3 committed (stat: %v)", err)
+	}
+	for _, lvl := range []int{2, 3} {
+		for r := 0; r < p; r++ {
+			if _, err := os.Stat(manifestPath(cfg.CheckpointDir, lvl, r)); err != nil {
+				t.Fatalf("retained level %d rank %d manifest missing: %v", lvl, r, err)
+			}
+		}
+	}
+
+	// The pruned level's exclusive frontier files are gone too, but the
+	// retained levels' frontiers must still verify — prove it by resuming.
+	cfg.StopAfterLevel = 0
+	cfg.Resume = true
+	comms2 := comm.NewGroup(p, costmodel.Zero())
+	trees, stats, errs2 := buildWithStores(cfg, comms2, stores, sample)
+	for r, err := range errs2 {
+		if err != nil {
+			t.Fatalf("resume rank %d: %v", r, err)
+		}
+	}
+	ref, _ := buildParallel(t, testConfig(clouds.SSE), data, sample, p)
+	for r := 0; r < p; r++ {
+		if stats[r].ResumedLevel != 3 {
+			t.Fatalf("rank %d resumed from level %d, want 3", r, stats[r].ResumedLevel)
+		}
+		if !tree.Equal(ref, trees[r]) {
+			t.Fatalf("rank %d resumed tree differs after GC", r)
+		}
+	}
+}
+
+// TestCheckpointGCCounters: the build stats expose kept/pruned counts.
+func TestCheckpointGCCounters(t *testing.T) {
+	const p = 4
+	data := makeData(t, 4000, 2, 42)
+	cfg := testConfig(clouds.SSE)
+	cfg.CheckpointDir = t.TempDir()
+	cfg.StopAfterLevel = 3
+	sample := cfg.Clouds.SampleFor(data)
+	comms := comm.NewGroup(p, costmodel.Zero())
+	stores := distribute(t, data, p, costmodel.Zero(), comms)
+	_, stats, errs := buildWithStores(cfg, comms, stores, sample)
+	for r, err := range errs {
+		if !errors.Is(err, ErrStopped) {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	for r := 0; r < p; r++ {
+		if stats[r] != nil {
+			t.Fatalf("rank %d returned stats despite ErrStopped", r)
+		}
+	}
+
+	// Finish the build: after success every remaining level is cleaned up,
+	// so pruned counts cover all checkpoints ever written and none are kept.
+	cfg.StopAfterLevel = 0
+	cfg.Resume = true
+	comms2 := comm.NewGroup(p, costmodel.Zero())
+	_, stats2, errs2 := buildWithStores(cfg, comms2, stores, sample)
+	for r, err := range errs2 {
+		if err != nil {
+			t.Fatalf("resume rank %d: %v", r, err)
+		}
+	}
+	for r := 0; r < p; r++ {
+		if stats2[r].CheckpointsPruned == 0 {
+			t.Fatalf("rank %d pruned no checkpoint levels", r)
+		}
+		if stats2[r].CheckpointsKept != 0 {
+			t.Fatalf("rank %d still keeps %d levels after a successful build", r, stats2[r].CheckpointsKept)
+		}
+	}
+	ents, err := os.ReadDir(cfg.CheckpointDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("checkpoint dir not empty after successful build: %v", ents)
+	}
+}
+
+// TestDegradedCheckpointingContinues: a checkpoint directory that cannot be
+// written (here: a path under a regular file) must not fail the build —
+// every level's checkpoint degrades to a warning and the tree still comes
+// out identical to the reference.
+func TestDegradedCheckpointingContinues(t *testing.T) {
+	const p = 2
+	data := makeData(t, 2000, 2, 9)
+	cfg := testConfig(clouds.SSE)
+	sample := cfg.Clouds.SampleFor(data)
+	ref, _ := buildParallel(t, cfg, data, sample, p)
+
+	blocker := filepath.Join(t.TempDir(), "blocker")
+	if err := os.WriteFile(blocker, []byte("not a directory"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var warnMu sync.Mutex
+	var warns []string
+	cfg.CheckpointDir = filepath.Join(blocker, "ck")
+	cfg.Warnf = func(format string, args ...any) {
+		warnMu.Lock()
+		warns = append(warns, fmt.Sprintf(format, args...))
+		warnMu.Unlock()
+	}
+	comms := comm.NewGroup(p, costmodel.Zero())
+	stores := distribute(t, data, p, costmodel.Zero(), comms)
+	trees, stats, errs := buildWithStores(cfg, comms, stores, sample)
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: degraded checkpointing failed the build: %v", r, err)
+		}
+	}
+	for r := 0; r < p; r++ {
+		if !tree.Equal(ref, trees[r]) {
+			t.Fatalf("rank %d: degraded-mode tree differs from reference", r)
+		}
+		if stats[r].CheckpointFailures == 0 {
+			t.Fatalf("rank %d recorded no checkpoint failures", r)
+		}
+		if stats[r].Checkpoints != 0 {
+			t.Fatalf("rank %d claims %d successful checkpoints into an unwritable dir", r, stats[r].Checkpoints)
+		}
+	}
+	warnMu.Lock()
+	defer warnMu.Unlock()
+	if len(warns) == 0 {
+		t.Fatal("degraded mode produced no warnings")
+	}
+	for _, w := range warns {
+		if strings.Contains(w, "checkpoint level") {
+			return
+		}
+	}
+	t.Fatalf("no warning names the failed checkpoint level: %v", warns)
+}
+
+// TestAutoResume: ResumeAuto restores from a checkpoint when one exists and
+// falls back to a fresh build when none does — both paths reaching the
+// reference tree.
+func TestAutoResume(t *testing.T) {
+	const p = 2
+	data := makeData(t, 2000, 2, 9)
+	cfg := testConfig(clouds.SSE)
+	sample := cfg.Clouds.SampleFor(data)
+	ref, _ := buildParallel(t, cfg, data, sample, p)
+
+	// Fresh fallback: no checkpoint anywhere.
+	cfg.CheckpointDir = t.TempDir()
+	cfg.ResumeAuto = true
+	comms := comm.NewGroup(p, costmodel.Zero())
+	stores := distribute(t, data, p, costmodel.Zero(), comms)
+	trees, stats, errs := buildWithStores(cfg, comms, stores, sample)
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("auto-fresh rank %d: %v", r, err)
+		}
+	}
+	for r := 0; r < p; r++ {
+		if stats[r].ResumedLevel != 0 {
+			t.Fatalf("auto-fresh rank %d claims resume from level %d", r, stats[r].ResumedLevel)
+		}
+		if !tree.Equal(ref, trees[r]) {
+			t.Fatalf("auto-fresh rank %d tree differs", r)
+		}
+	}
+
+	// Restore path: stop a checkpointed build, then ResumeAuto picks it up.
+	cfg2 := testConfig(clouds.SSE)
+	cfg2.CheckpointDir = t.TempDir()
+	cfg2.StopAfterLevel = 2
+	commsA := comm.NewGroup(p, costmodel.Zero())
+	storesA := distribute(t, data, p, costmodel.Zero(), commsA)
+	_, _, errsA := buildWithStores(cfg2, commsA, storesA, sample)
+	for r, err := range errsA {
+		if !errors.Is(err, ErrStopped) {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	cfg2.StopAfterLevel = 0
+	cfg2.ResumeAuto = true
+	commsB := comm.NewGroup(p, costmodel.Zero())
+	treesB, statsB, errsB := buildWithStores(cfg2, commsB, storesA, sample)
+	for r, err := range errsB {
+		if err != nil {
+			t.Fatalf("auto-resume rank %d: %v", r, err)
+		}
+	}
+	for r := 0; r < p; r++ {
+		if statsB[r].ResumedLevel != 2 {
+			t.Fatalf("auto-resume rank %d resumed from level %d, want 2", r, statsB[r].ResumedLevel)
+		}
+		if !tree.Equal(ref, treesB[r]) {
+			t.Fatalf("auto-resume rank %d tree differs", r)
+		}
 	}
 }

@@ -32,7 +32,9 @@
 package pclouds
 
 import (
+	"errors"
 	"fmt"
+	"log"
 
 	"pclouds/internal/clouds"
 	"pclouds/internal/comm"
@@ -115,15 +117,31 @@ type Config struct {
 	// checkpoint.go for the recovery guarantees.
 	CheckpointDir string
 	// Resume restarts the build from the checkpoint in CheckpointDir
-	// instead of from rootName: the staged root file is not read (it no
-	// longer exists after the original run's partitioning), and the build
-	// continues from the last completed level, producing the identical tree.
+	// instead of from rootName: the staged root file is not consulted, and
+	// the build continues from the newest checkpoint level complete on
+	// every rank, producing the identical tree. It fails with
+	// ErrNoCheckpoint when no such level exists.
 	Resume bool
+	// ResumeAuto is the self-healing variant of Resume: restore from the
+	// newest checkpoint level complete on every rank if one exists,
+	// otherwise fall back to a fresh build from the staged root file. The
+	// decision is collective, so all ranks take the same branch. The
+	// supervisor's respawned ranks use it — a crash before the first
+	// checkpoint simply starts over.
+	ResumeAuto bool
 	// StopAfterLevel, when positive, aborts the build with ErrStopped right
 	// after checkpointing that many levels (if frontier work remains). It
 	// exists for crash-recovery tests: all ranks stop at the same
 	// deterministic boundary, simulating a coordinated kill.
 	StopAfterLevel int
+	// LevelHook, when non-nil, runs after every completed level (after its
+	// checkpoint, if any, is committed) with the 1-based level number.
+	// Chaos tests use it to kill a rank at a deterministic boundary.
+	LevelHook func(level int)
+	// Warnf receives degraded-mode warnings (checkpoint write failures,
+	// garbage-collection hiccups — conditions the build survives but the
+	// operator should see). Nil logs to the standard logger.
+	Warnf func(format string, args ...any)
 }
 
 // Stats aggregates one rank's view of a parallel build.
@@ -157,6 +175,13 @@ type Stats struct {
 	// ResumedLevel is the level the build restarted from (0 = fresh build).
 	Checkpoints  int
 	ResumedLevel int
+	// Checkpoint garbage collection and degraded mode: levels this rank
+	// pruned (superseded, orphaned, or cleaned up after success), levels
+	// still retained at the last commit, and checkpoint writes that failed
+	// and were skipped without failing the build.
+	CheckpointsPruned  int
+	CheckpointsKept    int
+	CheckpointFailures int
 }
 
 // nodeTask is one pending tree node, tracked identically on every rank.
@@ -184,6 +209,34 @@ type pbuilder struct {
 	stats  Stats
 	nextID int
 	rec    *obs.Recorder // nil when tracing is off
+	// Deferred frontier-file removal (checkpointed builds only): files the
+	// build has consumed since the last checkpoint (curConsumed) and the
+	// batches sealed at each checkpoint level (consumed), physically
+	// deleted only once no retained checkpoint references them. See
+	// checkpoint.go.
+	curConsumed []string
+	consumed    map[int][]string
+}
+
+// warnf reports a survivable degradation (see Config.Warnf).
+func (b *pbuilder) warnf(format string, args ...any) {
+	if b.cfg.Warnf != nil {
+		b.cfg.Warnf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
+}
+
+// removeFile disposes of a consumed store file. With checkpointing off it
+// is removed immediately; with checkpointing on the physical removal is
+// deferred until every checkpoint level referencing the file has been
+// pruned, so a restart can fall back to an earlier level's frontier.
+func (b *pbuilder) removeFile(name string) {
+	if b.cfg.CheckpointDir == "" {
+		b.store.Remove(name)
+		return
+	}
+	b.curConsumed = append(b.curConsumed, name)
 }
 
 // Build runs pCLOUDS on this rank. The rank's partition of the training
@@ -213,24 +266,32 @@ func Build(cfg Config, c comm.Communicator, store *ooc.Store, rootName string, s
 		small []*nodeTask
 		level int
 	)
-	if cfg.Resume {
-		// Restart from the last completed level: the frontier comes from
-		// the checkpoint manifest, the nodes above it from the persisted
-		// partial tree, and the staged root file is not consulted (it was
-		// consumed by the original run's partitioning).
+	resumed := false
+	if cfg.Resume || cfg.ResumeAuto {
+		// Restart from the newest level complete on every rank: the
+		// frontier comes from the checkpoint manifest, the nodes above it
+		// from the persisted partial tree, and the staged root file is not
+		// consulted.
 		if cfg.CheckpointDir == "" {
 			return nil, nil, fmt.Errorf("pclouds: Resume requires CheckpointDir")
 		}
-		b = &pbuilder{cfg: cfg, c: c, store: store, schema: schema, rec: rec}
+		b = &pbuilder{cfg: cfg, c: c, store: store, schema: schema, rec: rec, consumed: map[int][]string{}}
 		rs, err := loadCheckpoint(cfg, c, b, sample)
-		if err != nil {
+		switch {
+		case err == nil:
+			b.nRoot, b.nextID = rs.nRoot, rs.nextID
+			root, queue, small, level = rs.root, rs.queue, rs.small, rs.level
+			b.stats.ResumedLevel = level
+			b.rec.Count("resumed-level", int64(level))
+			resumed = true
+		case errors.Is(err, ErrNoCheckpoint) && cfg.ResumeAuto:
+			// No usable checkpoint anywhere: fall back to a fresh build.
+			// agreeLevel is collective, so every rank falls back together.
+		default:
 			return nil, nil, err
 		}
-		b.nRoot, b.nextID = rs.nRoot, rs.nextID
-		root, queue, small, level = rs.root, rs.queue, rs.small, rs.level
-		b.stats.ResumedLevel = level
-		b.rec.Count("resumed-level", int64(level))
-	} else {
+	}
+	if !resumed {
 		// Global root class counts (one counting pass + one combine).
 		pre := rec.Start("preprocess")
 		localCounts := make([]int64, schema.NumClasses)
@@ -251,9 +312,16 @@ func Build(cfg Config, c comm.Communicator, store *ooc.Store, rootName string, s
 		if n == 0 {
 			return nil, nil, fmt.Errorf("pclouds: empty global training set")
 		}
-		b = &pbuilder{cfg: cfg, c: c, store: store, schema: schema, nRoot: n, rec: rec}
+		b = &pbuilder{cfg: cfg, c: c, store: store, schema: schema, nRoot: n, rec: rec, consumed: map[int][]string{}}
 		b.stats.Build.RecordReads += localN
 		b.chargeCPU(localN)
+		if cfg.CheckpointDir != "" {
+			// A fresh build invalidates whatever this rank checkpointed
+			// before (e.g. the ResumeAuto fallback after a crash with no
+			// usable checkpoint): remove it so stale levels can never look
+			// newer than the ones this build is about to write.
+			b.cleanOwnCheckpoints()
+		}
 		queue = []*nodeTask{{
 			id: "n", file: rootName, sample: sample, depth: 0,
 			n: n, classCounts: globalCounts,
@@ -284,11 +352,14 @@ func Build(cfg Config, c comm.Communicator, store *ooc.Store, rootName string, s
 		level++
 		if cfg.CheckpointDir != "" {
 			cspan := rec.Start("checkpoint")
-			err := b.writeCheckpoint(cfg.CheckpointDir, level, root, queue, small)
+			err := b.checkpointLevel(level, root, queue, small)
 			cspan.End()
 			if err != nil {
 				return nil, nil, err
 			}
+		}
+		if cfg.LevelHook != nil {
+			cfg.LevelHook(level)
 		}
 		if cfg.StopAfterLevel > 0 && level >= cfg.StopAfterLevel && (len(queue) > 0 || len(small) > 0) {
 			return nil, nil, fmt.Errorf("%w %d", ErrStopped, level)
@@ -306,6 +377,12 @@ func Build(cfg Config, c comm.Communicator, store *ooc.Store, rootName string, s
 	}
 	sspan.End()
 	b.stats.TimeSmallPhase = c.Clock().Time() - tSmall
+
+	if cfg.CheckpointDir != "" {
+		// The build succeeded; every checkpoint level and deferred frontier
+		// file is now garbage.
+		b.finishCheckpoints()
+	}
 
 	t := &tree.Tree{Schema: schema, Root: root}
 	b.stats.Build.Nodes = t.NumNodes()
@@ -365,7 +442,7 @@ func (b *pbuilder) leafNode(t *nodeTask) {
 	nd := &tree.Node{ClassCounts: gini.Clone(t.classCounts), N: t.n}
 	nd.Class = nd.Majority()
 	t.attach(nd)
-	b.store.Remove(t.file)
+	b.removeFile(t.file)
 }
 
 // processLargeNode runs the data-parallel pipeline of Section 5 on one
@@ -468,7 +545,7 @@ func (b *pbuilder) processLargeNode(t *nodeTask) ([]*nodeTask, error) {
 	if err != nil {
 		return nil, err
 	}
-	b.store.Remove(t.file)
+	b.removeFile(t.file)
 
 	nd := &tree.Node{Splitter: sp, ClassCounts: gini.Clone(t.classCounts), N: t.n}
 	nd.Class = nd.Majority()

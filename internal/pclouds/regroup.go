@@ -93,7 +93,7 @@ func (b *pbuilder) smallNodePhaseRegroup(small []*nodeTask) error {
 				b.stats.RecordsShipped += localN
 			}
 		}
-		b.store.Remove(t.file)
+		b.removeFile(t.file)
 	}
 	parts := make([][]byte, p)
 	for d := 0; d < p; d++ {

@@ -52,7 +52,7 @@ func (b *pbuilder) smallNodePhase(small []*nodeTask) error {
 		if d != rank {
 			b.stats.RecordsShipped += localN
 		}
-		b.store.Remove(t.file)
+		b.removeFile(t.file)
 	}
 	parts := make([][]byte, p)
 	for d := 0; d < p; d++ {
