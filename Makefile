@@ -1,13 +1,18 @@
 GO ?= go
 
-.PHONY: all check build vet vet-concurrency test race chaos chaos-quick fuzz bench experiments examples cover clean
+.PHONY: all check build vet vet-concurrency test race chaos chaos-quick fuzz bench bench-quick bench-trajectory experiments examples cover clean
+
+# BENCH_INDEX numbers the trajectory snapshot bench-trajectory writes;
+# bump it per PR (it tracks the stacked-PR sequence).
+BENCH_INDEX ?= 6
 
 all: build vet test
 
 # check is the full pre-commit gate: compile, vet, tests, the
 # concurrency-heavy packages (the async I/O pipeline, transports and the
-# SPMD driver) under the race detector, and the quick self-healing subset.
-check: build vet test race chaos-quick
+# SPMD driver) under the race detector, the quick self-healing subset, and
+# a benchmark smoke run that validates the trajectory schema.
+check: build vet test race chaos-quick bench-quick
 
 build:
 	$(GO) build ./...
@@ -53,8 +58,26 @@ chaos-quick: vet
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzClassifyRequest -fuzztime=10s ./internal/serve
 
+# -run='^$' keeps the benchmark pass from re-running the unit-test suite.
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -run='^$$' -bench=. -benchmem ./...
+
+# bench-quick is the smoke half of the trajectory workflow: a short
+# fixed-seed benchrun into a scratch directory, schema-validated and thrown
+# away — it proves the benchmarks and the BENCH_<n>.json format work without
+# touching the repo's trajectory or gating on performance.
+bench-quick:
+	@dir=$$(mktemp -d) && \
+	$(GO) run ./cmd/benchrun -quick -out $$dir && \
+	$(GO) run ./cmd/benchrun -validate $$dir/BENCH_1.json && \
+	rm -rf $$dir
+
+# bench-trajectory is the full run: write BENCH_$(BENCH_INDEX).json at the
+# repo root and fail if a gated metric regressed against the previous
+# snapshot.
+bench-trajectory:
+	$(GO) run ./cmd/benchrun -out . -index $(BENCH_INDEX)
+	$(GO) run ./cmd/benchdiff -dir .
 
 cover:
 	$(GO) test -cover ./...

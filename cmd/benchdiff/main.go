@@ -1,0 +1,67 @@
+// Command benchdiff compares the two newest snapshots of the performance
+// trajectory (BENCH_<n>.json files written by cmd/benchrun) and exits
+// nonzero when a gated metric regressed beyond the threshold. It is the
+// regression gate behind `make bench-trajectory`.
+//
+// Usage:
+//
+//	benchdiff [-dir .] [-threshold 0.25]
+//	benchdiff -old BENCH_5.json -new BENCH_6.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pclouds/internal/benchfmt"
+)
+
+func main() {
+	var (
+		dir       = flag.String("dir", ".", "trajectory directory (compares the two newest snapshots)")
+		oldPath   = flag.String("old", "", "explicit baseline snapshot (overrides -dir)")
+		newPath   = flag.String("new", "", "explicit candidate snapshot (overrides -dir)")
+		threshold = flag.Float64("threshold", 0.25, "relative worsening a gated metric may show before it regresses")
+	)
+	flag.Parse()
+
+	var prev, newest *benchfmt.File
+	var err error
+	switch {
+	case (*oldPath == "") != (*newPath == ""):
+		fatal(fmt.Errorf("-old and -new must be given together"))
+	case *oldPath != "":
+		if prev, err = benchfmt.Read(*oldPath); err != nil {
+			fatal(err)
+		}
+		if newest, err = benchfmt.Read(*newPath); err != nil {
+			fatal(err)
+		}
+	default:
+		if prev, newest, err = benchfmt.Latest(*dir); err != nil {
+			fatal(err)
+		}
+		if newest == nil {
+			fatal(fmt.Errorf("no BENCH_<n>.json snapshots in %s (run benchrun first)", *dir))
+		}
+		if prev == nil {
+			fmt.Printf("only one snapshot (BENCH_%d); nothing to compare yet\n", newest.Index)
+			return
+		}
+	}
+
+	rep := benchfmt.Compare(prev, newest, *threshold)
+	fmt.Print(rep)
+	if regs := rep.Regressions(); len(regs) > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d gated metric(s) regressed beyond %.0f%%\n",
+			len(regs), 100**threshold)
+		os.Exit(1)
+	}
+	fmt.Println("no gated regressions")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

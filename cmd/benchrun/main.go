@@ -1,0 +1,179 @@
+// Command benchrun measures the repo's fixed-seed build and serve
+// benchmarks and appends one snapshot to the performance trajectory: a
+// schema-versioned BENCH_<n>.json (see internal/benchfmt) that cmd/benchdiff
+// compares against the previous snapshot.
+//
+// The build benchmark runs the real SPMD pCLOUDS algorithm on simulated
+// ranks with the async I/O pipeline on, so one run yields both the
+// deterministic paper metrics (simulated seconds, bytes on the wire,
+// records shipped — gated) and host-dependent context (rows/s, io-wait —
+// informational). The serve benchmark drives the prediction engine with the
+// built tree for a fixed window.
+//
+// Usage:
+//
+//	benchrun [-out .] [-index 0] [-records 20000] [-procs 4] [-quick]
+//	benchrun -validate BENCH_6.json
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"pclouds/internal/benchfmt"
+	"pclouds/internal/experiments"
+	"pclouds/internal/ooc"
+	"pclouds/internal/serve"
+)
+
+func main() {
+	var (
+		out      = flag.String("out", ".", "directory holding the BENCH_<n>.json trajectory")
+		index    = flag.Int("index", 0, "trajectory index to write (0 = one past the newest in -out)")
+		records  = flag.Int("records", 20000, "training records for the build benchmark")
+		procs    = flag.Int("procs", 4, "simulated ranks for the build benchmark")
+		seed     = flag.Int64("seed", 1, "generation and sampling seed (fixed across snapshots)")
+		loadDur  = flag.Duration("load-duration", 2*time.Second, "serve benchmark window")
+		quick    = flag.Bool("quick", false, "shrink the workload for a smoke run (smaller data, shorter load)")
+		note     = flag.String("note", "", "free-form provenance recorded in the snapshot")
+		validate = flag.String("validate", "", "validate an existing trajectory file and exit")
+	)
+	flag.Parse()
+
+	if *validate != "" {
+		f, err := benchfmt.Read(*validate)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("ok: %s (schema %d, index %d, %d benchmarks)\n",
+			*validate, f.SchemaVersion, f.Index, len(f.Benchmarks))
+		return
+	}
+
+	if *quick {
+		*records = min(*records, 4000)
+		if *loadDur > 500*time.Millisecond {
+			*loadDur = 500 * time.Millisecond
+		}
+		if *note == "" {
+			*note = "quick"
+		}
+	}
+	idx := *index
+	if idx <= 0 {
+		existing, err := benchfmt.Indices(*out)
+		if err != nil {
+			fatal(err)
+		}
+		idx = 1
+		if len(existing) > 0 {
+			idx = existing[len(existing)-1] + 1
+		}
+	}
+
+	f, err := runAll(idx, *records, *procs, *seed, *loadDur, *note)
+	if err != nil {
+		fatal(err)
+	}
+	path, err := benchfmt.Write(*out, f)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("trajectory snapshot written to %s\n", path)
+	for _, b := range f.Benchmarks {
+		for _, m := range b.Metrics {
+			gate := ""
+			if m.Gate {
+				gate = " [gate]"
+			}
+			fmt.Printf("  %s/%s = %g %s%s\n", b.Name, m.Name, m.Value, m.Unit, gate)
+		}
+	}
+}
+
+func runAll(index, records, procs int, seed int64, loadDur time.Duration, note string) (*benchfmt.File, error) {
+	h := experiments.DefaultHarness()
+	h.Seed = seed
+	h.Pipeline = ooc.Pipeline{Enabled: true}
+	data, sample, err := h.Generate(records)
+	if err != nil {
+		return nil, fmt.Errorf("generate: %w", err)
+	}
+
+	fmt.Fprintf(os.Stderr, "benchrun: build: %d records, %d ranks, seed %d\n", records, procs, seed)
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	res, err := h.Run(data, sample, procs)
+	if err != nil {
+		return nil, fmt.Errorf("build: %w", err)
+	}
+	runtime.ReadMemStats(&after)
+	var shipped int64
+	for _, s := range res.Stats {
+		shipped += s.RecordsShipped
+	}
+	build := benchfmt.Benchmark{
+		Name: fmt.Sprintf("build/p%d", procs),
+		Metrics: []benchfmt.Metric{
+			{Name: "sim_seconds", Value: res.SimTime, Unit: "s", Better: benchfmt.LowerIsBetter, Gate: true},
+			{Name: "comm_bytes", Value: float64(res.TotalComm.BytesSent), Unit: "B", Better: benchfmt.LowerIsBetter, Gate: true},
+			{Name: "records_shipped", Value: float64(shipped), Unit: "records", Better: benchfmt.LowerIsBetter, Gate: true},
+			{Name: "allocs_per_row", Value: float64(after.Mallocs-before.Mallocs) / float64(records), Unit: "allocs", Better: benchfmt.LowerIsBetter, Gate: true},
+			{Name: "rows_per_sec", Value: float64(records) / res.WallTime.Seconds(), Unit: "rows/s", Better: benchfmt.HigherIsBetter},
+			{Name: "io_wait_seconds", Value: res.TotalIO.WaitSec, Unit: "s", Better: benchfmt.LowerIsBetter},
+		},
+	}
+
+	fmt.Fprintf(os.Stderr, "benchrun: serve: driving the engine for %s\n", loadDur)
+	model, err := serve.NewModel(res.Tree, "bench")
+	if err != nil {
+		return nil, fmt.Errorf("serve model: %w", err)
+	}
+	srv := serve.New(serve.NewStaticRegistry(model), serve.ServerConfig{})
+	defer srv.Engine().Close()
+	rep, err := serve.RunLoad(context.Background(), serve.EngineTarget{Engine: srv.Engine()}, serve.LoadConfig{
+		Duration:    loadDur,
+		Concurrency: 8,
+		BatchRows:   64,
+		Seed:        seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("serve load: %w", err)
+	}
+	if rep.Errors > 0 {
+		return nil, fmt.Errorf("serve load: %d errored requests", rep.Errors)
+	}
+	load := benchfmt.Benchmark{
+		Name: "serve/engine",
+		Metrics: []benchfmt.Metric{
+			{Name: "rows_per_sec", Value: rep.RowsPerSec(), Unit: "rows/s", Better: benchfmt.HigherIsBetter},
+			{Name: "p99_latency_seconds", Value: rep.P99.Seconds(), Unit: "s", Better: benchfmt.LowerIsBetter},
+			{Name: "shed_requests", Value: float64(rep.Shed), Unit: "requests", Better: benchfmt.LowerIsBetter},
+		},
+	}
+
+	return &benchfmt.File{
+		SchemaVersion: benchfmt.SchemaVersion,
+		Index:         index,
+		GoVersion:     runtime.Version(),
+		Note:          note,
+		Benchmarks:    []benchfmt.Benchmark{build, load},
+	}, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchrun:", err)
+	os.Exit(1)
+}

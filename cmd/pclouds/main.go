@@ -30,31 +30,32 @@ import (
 
 func main() {
 	var (
-		trainPath = flag.String("train", "", "binary training file (datagen schema)")
-		testPath  = flag.String("test", "", "optional binary test file")
-		procs     = flag.Int("procs", 1, "simulated processor count (1 = sequential CLOUDS)")
-		method    = flag.String("method", "sse", "splitting method: ss or sse")
-		qroot     = flag.Int("qroot", 200, "intervals per numeric attribute at the root")
-		small     = flag.Int("small", 10, "small-node switch threshold (intervals)")
-		sampleSz  = flag.Int("sample", 0, "pre-drawn sample size (0 = 10*qroot)")
-		maxDepth  = flag.Int("maxdepth", 0, "depth cap (0 = unlimited)")
-		seed      = flag.Int64("seed", 1, "sampling seed")
-		prune     = flag.Bool("prune", false, "apply MDL pruning")
-		printTree = flag.Bool("print-tree", false, "dump the finished tree")
-		boundary  = flag.String("boundary", "attribute", "boundary scheme: attribute, replicate, interval, or hybrid")
-		saveModel = flag.String("save-model", "", "write the finished model to this path")
-		loadModel = flag.String("load-model", "", "skip training: load a saved model and evaluate/classify")
-		dotPath   = flag.String("dot", "", "write the finished tree as Graphviz dot to this path")
-		inFormat  = flag.String("in", "binary", "training/test file format: binary, csv, or csv-auto (schema inferred; string categories allowed)")
-		holdout   = flag.Float64("holdout", 0.2, "held-out fraction for csv-auto evaluation")
-		regroup   = flag.Bool("regroup", false, "regroup idle processors in the small-node phase")
-		noFusion  = flag.Bool("no-fusion", false, "disable fused partitioning (extra stats pass per large node)")
-		traceOut  = flag.String("trace-out", "", "write a Chrome trace_event JSON of the parallel build to this path")
-		showStats = flag.Bool("stats", false, "print the merged per-phase report and per-rank comm/I/O tables")
-		ioPipe    = flag.Bool("io-pipeline", false, "overlap disk I/O with computation (async read-ahead/write-behind)")
-		ioDepth   = flag.Int("io-depth", ooc.DefaultPipelineDepth, "pages in flight per stream when -io-pipeline is on")
-		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile to this path")
-		memprof   = flag.String("memprofile", "", "write a heap profile to this path at exit")
+		trainPath   = flag.String("train", "", "binary training file (datagen schema)")
+		testPath    = flag.String("test", "", "optional binary test file")
+		procs       = flag.Int("procs", 1, "simulated processor count (1 = sequential CLOUDS)")
+		method      = flag.String("method", "sse", "splitting method: ss or sse")
+		qroot       = flag.Int("qroot", 200, "intervals per numeric attribute at the root")
+		small       = flag.Int("small", 10, "small-node switch threshold (intervals)")
+		sampleSz    = flag.Int("sample", 0, "pre-drawn sample size (0 = 10*qroot)")
+		maxDepth    = flag.Int("maxdepth", 0, "depth cap (0 = unlimited)")
+		seed        = flag.Int64("seed", 1, "sampling seed")
+		prune       = flag.Bool("prune", false, "apply MDL pruning")
+		printTree   = flag.Bool("print-tree", false, "dump the finished tree")
+		boundary    = flag.String("boundary", "attribute", "boundary scheme: attribute, replicate, interval, or hybrid")
+		saveModel   = flag.String("save-model", "", "write the finished model to this path")
+		loadModel   = flag.String("load-model", "", "skip training: load a saved model and evaluate/classify")
+		dotPath     = flag.String("dot", "", "write the finished tree as Graphviz dot to this path")
+		inFormat    = flag.String("in", "binary", "training/test file format: binary, csv, or csv-auto (schema inferred; string categories allowed)")
+		holdout     = flag.Float64("holdout", 0.2, "held-out fraction for csv-auto evaluation")
+		regroup     = flag.Bool("regroup", false, "regroup idle processors in the small-node phase")
+		noFusion    = flag.Bool("no-fusion", false, "disable fused partitioning (extra stats pass per large node)")
+		traceOut    = flag.String("trace-out", "", "write a Chrome trace_event JSON of the parallel build to this path")
+		progressOut = flag.String("progress-out", "", "write per-level progress records (all ranks) as JSON lines to this path")
+		showStats   = flag.Bool("stats", false, "print the merged per-phase report and per-rank comm/I/O tables")
+		ioPipe      = flag.Bool("io-pipeline", false, "overlap disk I/O with computation (async read-ahead/write-behind)")
+		ioDepth     = flag.Int("io-depth", ooc.DefaultPipelineDepth, "pages in flight per stream when -io-pipeline is on")
+		cpuprof     = flag.String("cpuprofile", "", "write a CPU profile to this path")
+		memprof     = flag.String("memprofile", "", "write a heap profile to this path at exit")
 	)
 	flag.Parse()
 
@@ -123,7 +124,7 @@ func main() {
 			st.RecordReads, st.SurvivalRatio(), st.LargeNodes, st.SmallNodes)
 	} else {
 		pipe := ooc.Pipeline{Enabled: *ioPipe, Depth: *ioDepth}
-		t, err = runParallel(cfg, *boundary, train, *procs, *regroup, *noFusion, *traceOut, *showStats, pipe)
+		t, err = runParallel(cfg, *boundary, train, *procs, *regroup, *noFusion, *traceOut, *progressOut, *showStats, pipe)
 		if err != nil {
 			fatal(err)
 		}
@@ -196,7 +197,7 @@ func classifyOnly(modelPath, testPath string, printTree bool) error {
 	return nil
 }
 
-func runParallel(cfg clouds.Config, boundary string, train *record.Dataset, p int, regroup, noFusion bool, traceOut string, showStats bool, pipe ooc.Pipeline) (*tree.Tree, error) {
+func runParallel(cfg clouds.Config, boundary string, train *record.Dataset, p int, regroup, noFusion bool, traceOut, progressOut string, showStats bool, pipe ooc.Pipeline) (*tree.Tree, error) {
 	pcfg := pclouds.Config{Clouds: cfg, RegroupIdle: regroup, DisableFusion: noFusion}
 	switch boundary {
 	case "attribute":
@@ -221,6 +222,16 @@ func runParallel(cfg clouds.Config, boundary string, train *record.Dataset, p in
 		recs = make([]*obs.Recorder, p)
 		for r := range recs {
 			recs[r] = obs.New(r)
+		}
+	}
+	// One progress writer is shared by every simulated rank: ProgressWriter
+	// serialises lines, so the stream interleaves ranks but never tears.
+	var prog *obs.ProgressWriter
+	if progressOut != "" {
+		var err error
+		prog, err = obs.CreateProgressFile(progressOut)
+		if err != nil {
+			return nil, fmt.Errorf("progress output: %w", err)
 		}
 	}
 	errs := make([]error, p)
@@ -250,6 +261,7 @@ func runParallel(cfg clouds.Config, boundary string, train *record.Dataset, p in
 			if recs != nil {
 				rcfg.Trace = recs[r]
 			}
+			rcfg.Progress = prog.Emit()
 			trees[r], stats[r], errs[r] = pclouds.Build(rcfg, comms[r], store, "root", sample)
 		}(r)
 	}
@@ -258,8 +270,15 @@ func runParallel(cfg clouds.Config, boundary string, train *record.Dataset, p in
 	}
 	for r, err := range errs {
 		if err != nil {
+			prog.Close()
 			return nil, fmt.Errorf("rank %d: %w", r, err)
 		}
+	}
+	if err := prog.Close(); err != nil {
+		return nil, fmt.Errorf("progress output: %w", err)
+	}
+	if progressOut != "" {
+		fmt.Printf("per-level progress written to %s\n", progressOut)
 	}
 	if traceOut != "" {
 		if err := obs.WriteChromeTraceFile(traceOut, recs); err != nil {

@@ -49,6 +49,7 @@ import (
 	"time"
 
 	"pclouds/internal/clouds"
+	"pclouds/internal/comm"
 	tcpcomm "pclouds/internal/comm/tcp"
 	"pclouds/internal/costmodel"
 	"pclouds/internal/datagen"
@@ -61,28 +62,29 @@ import (
 )
 
 var (
-	rank       = flag.Int("rank", -1, "this process's rank")
-	addrsFlag  = flag.String("addrs", "", "comma-separated host:port per rank")
-	trainPath  = flag.String("train", "", "binary training file (datagen schema)")
-	workDir    = flag.String("workdir", "", "scratch directory for the rank's store (default: temp)")
-	qroot      = flag.Int("qroot", 200, "intervals at the root")
-	small      = flag.Int("small", 10, "small-node switch threshold (intervals)")
-	maxDepth   = flag.Int("maxdepth", 0, "depth cap (0 = unlimited)")
-	seed       = flag.Int64("seed", 1, "sampling seed (must match across ranks)")
-	timeout    = flag.Duration("dial-timeout", 30*time.Second, "mesh connection timeout")
-	heartbeat  = flag.Duration("heartbeat", 500*time.Millisecond, "liveness frame interval (negative disables)")
-	peerTO     = flag.Duration("peer-timeout", 10*time.Second, "declare a peer dead after this much silence (negative disables)")
-	recvTO     = flag.Duration("recv-timeout", 0, "bound any single blocked receive, even with live heartbeats (0 disables)")
-	ckptDir    = flag.String("checkpoint-dir", "", "persist a checkpoint after every completed tree level to this directory")
-	resume     = flag.Bool("resume", false, "resume from the checkpoint in -checkpoint-dir instead of starting fresh")
-	traceOut   = flag.String("trace-out", "", "write this rank's trace JSON to this path (set on every rank)")
-	debugAddr  = flag.String("debug-addr", "", "serve /debug/pprof and /debug/vars on this address (e.g. :6060)")
-	ioPipe     = flag.Bool("io-pipeline", false, "overlap disk I/O with computation (async read-ahead/write-behind)")
-	ioDepth    = flag.Int("io-depth", ooc.DefaultPipelineDepth, "pages in flight per stream when -io-pipeline is on")
-	supervise  = flag.Bool("supervise", false, "launch and monitor one child process per rank, respawning dead ranks")
-	maxRestart = flag.Int("max-restarts", 5, "recovery attempts after a rank failure before giving up (negative disables)")
-	backoff    = flag.Duration("restart-backoff", 500*time.Millisecond, "initial delay before a recovery attempt (doubles, capped at 30s)")
-	generation = flag.Uint("generation", 1, "starting build generation (set by the supervisor on respawned ranks)")
+	rank        = flag.Int("rank", -1, "this process's rank")
+	addrsFlag   = flag.String("addrs", "", "comma-separated host:port per rank")
+	trainPath   = flag.String("train", "", "binary training file (datagen schema)")
+	workDir     = flag.String("workdir", "", "scratch directory for the rank's store (default: temp)")
+	qroot       = flag.Int("qroot", 200, "intervals at the root")
+	small       = flag.Int("small", 10, "small-node switch threshold (intervals)")
+	maxDepth    = flag.Int("maxdepth", 0, "depth cap (0 = unlimited)")
+	seed        = flag.Int64("seed", 1, "sampling seed (must match across ranks)")
+	timeout     = flag.Duration("dial-timeout", 30*time.Second, "mesh connection timeout")
+	heartbeat   = flag.Duration("heartbeat", 500*time.Millisecond, "liveness frame interval (negative disables)")
+	peerTO      = flag.Duration("peer-timeout", 10*time.Second, "declare a peer dead after this much silence (negative disables)")
+	recvTO      = flag.Duration("recv-timeout", 0, "bound any single blocked receive, even with live heartbeats (0 disables)")
+	ckptDir     = flag.String("checkpoint-dir", "", "persist a checkpoint after every completed tree level to this directory")
+	resume      = flag.Bool("resume", false, "resume from the checkpoint in -checkpoint-dir instead of starting fresh")
+	traceOut    = flag.String("trace-out", "", "write this rank's trace JSON to this path (set on every rank)")
+	progressOut = flag.String("progress-out", "", "write per-level progress records as JSON lines to this path")
+	debugAddr   = flag.String("debug-addr", "", "serve /debug/pprof and /debug/vars on this address (e.g. :6060)")
+	ioPipe      = flag.Bool("io-pipeline", false, "overlap disk I/O with computation (async read-ahead/write-behind)")
+	ioDepth     = flag.Int("io-depth", ooc.DefaultPipelineDepth, "pages in flight per stream when -io-pipeline is on")
+	supervise   = flag.Bool("supervise", false, "launch and monitor one child process per rank, respawning dead ranks")
+	maxRestart  = flag.Int("max-restarts", 5, "recovery attempts after a rank failure before giving up (negative disables)")
+	backoff     = flag.Duration("restart-backoff", 500*time.Millisecond, "initial delay before a recovery attempt (doubles, capped at 30s)")
+	generation  = flag.Uint("generation", 1, "starting build generation (set by the supervisor on respawned ranks)")
 )
 
 // phase names what the process is doing, for the signal handler's report.
@@ -177,6 +179,8 @@ func childArgs(rank int, gen uint32) []string {
 			// per-rank invocations.
 		case "trace-out":
 			args = append(args, "-trace-out="+rankPath(f.Value.String(), rank))
+		case "progress-out":
+			args = append(args, "-progress-out="+rankPath(f.Value.String(), rank))
 		case "workdir":
 			args = append(args, "-workdir="+filepath.Join(f.Value.String(), fmt.Sprintf("rank%d", rank)))
 		default:
@@ -264,25 +268,45 @@ func run(stop <-chan struct{}) error {
 		return w.Close()
 	}
 
-	// Live counters for /debug/vars; published unconditionally so that
-	// -debug-addr works without -trace-out. The comm pointer is repointed
-	// at each recovery attempt's fresh mesh.
+	// Live counters for /debug/vars and /metrics; published unconditionally
+	// so that -debug-addr works without -trace-out. The comm pointer is
+	// repointed at each recovery attempt's fresh mesh, and every registry
+	// series reads its source at scrape time, so both endpoints follow the
+	// current incarnation (generation rejects included).
 	var liveComm atomic.Pointer[tcpcomm.Comm]
-	obs.Publish("pcloudsd.comm", func() any {
+	liveStats := func() comm.Stats {
 		if c := liveComm.Load(); c != nil {
 			return c.Stats()
 		}
-		return nil
-	})
+		return comm.Stats{}
+	}
+	obs.Publish("pcloudsd.comm", func() any { return liveStats() })
 	obs.Publish("pcloudsd.io", func() any { return store.Stats() })
+	reg := obs.DefaultRegistry()
+	obs.RegisterCommStats(reg, liveStats)
+	obs.RegisterIOStats(reg, "store", store.Stats)
 
 	var rec *obs.Recorder
 	if *traceOut != "" {
 		rec = obs.New(*rank)
 	}
 
+	var prog *obs.ProgressWriter
+	if *progressOut != "" {
+		prog, err = obs.CreateProgressFile(*progressOut)
+		if err != nil {
+			return fmt.Errorf("progress: %w", err)
+		}
+		defer func() {
+			if cerr := prog.Close(); cerr != nil {
+				fmt.Fprintf(os.Stderr, "rank %d: progress output: %v\n", *rank, cerr)
+			}
+		}()
+	}
+
 	vars := &driver.Vars{}
 	obs.Publish("pcloudsd.driver", vars.Snapshot)
+	vars.Register(reg, *rank)
 
 	fmt.Fprintf(os.Stderr, "rank %d: connecting mesh (%d ranks, generation %d)\n", *rank, len(addrs), *generation)
 	setPhase("build")
@@ -303,6 +327,8 @@ func run(stop <-chan struct{}) error {
 		Build: pclouds.Config{
 			Clouds:        cfg,
 			Trace:         rec,
+			Progress:      prog.Emit(),
+			Metrics:       reg,
 			CheckpointDir: *ckptDir,
 			Resume:        *resume,
 			Warnf: func(format string, args ...any) {

@@ -116,6 +116,8 @@ func runServer(models, addr, debugAddr string, poll, drainTO time.Duration, cfg 
 	srv := serve.New(reg, cfg)
 	if debugAddr != "" {
 		srv.Stats().Publish("serve")
+		srv.Stats().Register(obs.DefaultRegistry())
+		reg.RegisterMetrics(obs.DefaultRegistry())
 		obs.Publish("serve_model", func() any { return reg.Active().Info })
 		obs.Publish("serve_registry", func() any {
 			return map[string]any{
@@ -128,7 +130,7 @@ func runServer(models, addr, debugAddr string, poll, drainTO time.Duration, cfg 
 		if err != nil {
 			return err
 		}
-		log.Printf("debug endpoints (pprof, expvar) on http://%s/debug/", bound)
+		log.Printf("debug endpoints (pprof, expvar, /metrics) on http://%s/", bound)
 	}
 
 	ctx, cancel := context.WithCancel(context.Background())

@@ -1,0 +1,336 @@
+// Package benchfmt defines the schema-versioned benchmark trajectory files
+// (BENCH_<n>.json) that cmd/benchrun writes and cmd/benchdiff compares. The
+// trajectory is the repo's performance history: one file per snapshot,
+// numbered monotonically, each holding the same fixed-seed benchmarks so any
+// two snapshots are directly comparable.
+//
+// Metrics carry a direction (higher- or lower-is-better) and a Gate flag.
+// Gated metrics are the deterministic ones — simulated seconds, bytes on the
+// wire, allocations — where any drift beyond the threshold is a real change
+// in the code, not noise; wall-clock metrics (rows/s, io-wait) ride along
+// as informational context because they vary with the host.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"text/tabwriter"
+)
+
+// SchemaVersion is written into every file; Read rejects files from a
+// different schema so a diff never compares across incompatible layouts.
+const SchemaVersion = 1
+
+// Directions for Metric.Better.
+const (
+	HigherIsBetter = "higher"
+	LowerIsBetter  = "lower"
+)
+
+// Metric is one measured value of one benchmark.
+type Metric struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+	Unit  string  `json:"unit"`
+	// Better is "higher" or "lower".
+	Better string `json:"better"`
+	// Gate marks the metric as regression-gating; ungated metrics are
+	// reported but never fail a diff.
+	Gate bool `json:"gate"`
+}
+
+// Benchmark is one named workload's metrics.
+type Benchmark struct {
+	Name    string   `json:"name"`
+	Metrics []Metric `json:"metrics"`
+}
+
+// File is one trajectory snapshot.
+type File struct {
+	SchemaVersion int    `json:"schema_version"`
+	Index         int    `json:"index"`
+	GoVersion     string `json:"go_version,omitempty"`
+	// Note is free-form provenance ("quick", a commit, a date).
+	Note       string      `json:"note,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Validate checks the invariants Read enforces: matching schema version, a
+// positive index, unique benchmark names, unique metric names per benchmark,
+// and a known direction on every metric.
+func (f *File) Validate() error {
+	if f.SchemaVersion != SchemaVersion {
+		return fmt.Errorf("benchfmt: schema version %d, want %d", f.SchemaVersion, SchemaVersion)
+	}
+	if f.Index <= 0 {
+		return fmt.Errorf("benchfmt: index %d, want positive", f.Index)
+	}
+	if len(f.Benchmarks) == 0 {
+		return fmt.Errorf("benchfmt: no benchmarks")
+	}
+	seenBench := make(map[string]bool)
+	for _, b := range f.Benchmarks {
+		if b.Name == "" {
+			return fmt.Errorf("benchfmt: benchmark with empty name")
+		}
+		if seenBench[b.Name] {
+			return fmt.Errorf("benchfmt: duplicate benchmark %q", b.Name)
+		}
+		seenBench[b.Name] = true
+		seenMetric := make(map[string]bool)
+		for _, m := range b.Metrics {
+			if m.Name == "" {
+				return fmt.Errorf("benchfmt: %s: metric with empty name", b.Name)
+			}
+			if seenMetric[m.Name] {
+				return fmt.Errorf("benchfmt: %s: duplicate metric %q", b.Name, m.Name)
+			}
+			seenMetric[m.Name] = true
+			if m.Better != HigherIsBetter && m.Better != LowerIsBetter {
+				return fmt.Errorf("benchfmt: %s/%s: better=%q, want %q or %q",
+					b.Name, m.Name, m.Better, HigherIsBetter, LowerIsBetter)
+			}
+		}
+	}
+	return nil
+}
+
+// Path returns dir/BENCH_<index>.json.
+func Path(dir string, index int) string {
+	return filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", index))
+}
+
+// Write validates f and writes it to dir/BENCH_<f.Index>.json.
+func Write(dir string, f *File) (string, error) {
+	if err := f.Validate(); err != nil {
+		return "", err
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := Path(dir, f.Index)
+	if err := os.WriteFile(path, append(data, '\n'), 0o666); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// Read loads and validates one trajectory file.
+func Read(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if err := f.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}
+
+var benchName = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// Indices returns the trajectory indices present in dir, ascending.
+func Indices(dir string) ([]int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []int
+	for _, e := range entries {
+		m := benchName.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		var n int
+		fmt.Sscanf(m[1], "%d", &n)
+		if n > 0 {
+			out = append(out, n)
+		}
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// Latest returns the two newest snapshots in dir (previous, newest). With
+// exactly one snapshot previous is nil; with none both are.
+func Latest(dir string) (prev, newest *File, err error) {
+	idx, err := Indices(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(idx) == 0 {
+		return nil, nil, nil
+	}
+	newest, err = Read(Path(dir, idx[len(idx)-1]))
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(idx) > 1 {
+		prev, err = Read(Path(dir, idx[len(idx)-2]))
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return prev, newest, nil
+}
+
+// Delta is one metric's change between two snapshots.
+type Delta struct {
+	Bench, Metric string
+	Unit          string
+	Old, New      float64
+	// Change is the signed relative change in the *worse* direction: +0.10
+	// means 10% worse, -0.10 means 10% better, regardless of the metric's
+	// polarity. NaN-free: a zero old value with a nonzero new one reports
+	// +Inf worth of change as 1e9.
+	Change float64
+	Gate   bool
+	// Regressed means the change is worse than the threshold on a gated
+	// metric.
+	Regressed bool
+}
+
+// Report is the outcome of comparing two snapshots.
+type Report struct {
+	OldIndex, NewIndex int
+	Deltas             []Delta
+	// Added/Removed name benchmarks or metrics present in only one side.
+	Added, Removed []string
+}
+
+// Regressions returns the regressed deltas.
+func (r *Report) Regressions() []Delta {
+	var out []Delta
+	for _, d := range r.Deltas {
+		if d.Regressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Compare diffs every metric present in both snapshots. threshold is the
+// relative worsening a gated metric may show before it counts as a
+// regression (0.25 = 25%).
+func Compare(old, new_ *File, threshold float64) *Report {
+	rep := &Report{OldIndex: old.Index, NewIndex: new_.Index}
+	oldBench := make(map[string]Benchmark, len(old.Benchmarks))
+	for _, b := range old.Benchmarks {
+		oldBench[b.Name] = b
+	}
+	seenBench := make(map[string]bool)
+	for _, nb := range new_.Benchmarks {
+		seenBench[nb.Name] = true
+		ob, ok := oldBench[nb.Name]
+		if !ok {
+			rep.Added = append(rep.Added, nb.Name)
+			continue
+		}
+		oldMetric := make(map[string]Metric, len(ob.Metrics))
+		for _, m := range ob.Metrics {
+			oldMetric[m.Name] = m
+		}
+		seenMetric := make(map[string]bool)
+		for _, nm := range nb.Metrics {
+			seenMetric[nm.Name] = true
+			om, ok := oldMetric[nm.Name]
+			if !ok {
+				rep.Added = append(rep.Added, nb.Name+"/"+nm.Name)
+				continue
+			}
+			d := Delta{
+				Bench: nb.Name, Metric: nm.Name, Unit: nm.Unit,
+				Old: om.Value, New: nm.Value,
+				// Gate only when both sides agree the metric gates, so a
+				// deliberate de-gating takes effect in one snapshot.
+				Gate: nm.Gate && om.Gate,
+			}
+			d.Change = worsening(om.Value, nm.Value, nm.Better)
+			d.Regressed = d.Gate && d.Change > threshold
+			rep.Deltas = append(rep.Deltas, d)
+		}
+		for _, om := range ob.Metrics {
+			if !seenMetric[om.Name] {
+				rep.Removed = append(rep.Removed, nb.Name+"/"+om.Name)
+			}
+		}
+	}
+	for _, ob := range old.Benchmarks {
+		if !seenBench[ob.Name] {
+			rep.Removed = append(rep.Removed, ob.Name)
+		}
+	}
+	return rep
+}
+
+// worsening returns the relative change in the worse direction.
+func worsening(old, new_ float64, better string) float64 {
+	if old == new_ {
+		return 0
+	}
+	if old == 0 {
+		// Appearing from zero: worse for lower-is-better, better otherwise.
+		if better == LowerIsBetter {
+			return 1e9
+		}
+		return -1e9
+	}
+	rel := (new_ - old) / old
+	if better == HigherIsBetter {
+		rel = -rel
+	}
+	return rel
+}
+
+// String renders the report as the table benchdiff prints.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "trajectory: BENCH_%d -> BENCH_%d\n", r.OldIndex, r.NewIndex)
+	tw := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "benchmark\tmetric\told\tnew\tchange\tgate\tverdict")
+	for _, d := range r.Deltas {
+		verdict := "ok"
+		if d.Regressed {
+			verdict = "REGRESSED"
+		}
+		gate := "-"
+		if d.Gate {
+			gate = "gate"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%.5g %s\t%.5g %s\t%s\t%s\t%s\n",
+			d.Bench, d.Metric, d.Old, d.Unit, d.New, d.Unit, changeString(d.Change), gate, verdict)
+	}
+	tw.Flush()
+	for _, a := range r.Added {
+		fmt.Fprintf(&sb, "added: %s\n", a)
+	}
+	for _, rm := range r.Removed {
+		fmt.Fprintf(&sb, "removed: %s\n", rm)
+	}
+	return sb.String()
+}
+
+func changeString(c float64) string {
+	switch {
+	case c >= 1e9:
+		return "worse (from zero)"
+	case c <= -1e9:
+		return "better (from zero)"
+	case c > 0:
+		return fmt.Sprintf("%.1f%% worse", 100*c)
+	case c < 0:
+		return fmt.Sprintf("%.1f%% better", -100*c)
+	default:
+		return "none"
+	}
+}

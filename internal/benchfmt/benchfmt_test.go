@@ -1,0 +1,144 @@
+package benchfmt
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleFile(index int, simSec, commBytes, rowsPerSec float64) *File {
+	return &File{
+		SchemaVersion: SchemaVersion,
+		Index:         index,
+		Benchmarks: []Benchmark{
+			{
+				Name: "build/p4",
+				Metrics: []Metric{
+					{Name: "sim_seconds", Value: simSec, Unit: "s", Better: LowerIsBetter, Gate: true},
+					{Name: "comm_bytes", Value: commBytes, Unit: "B", Better: LowerIsBetter, Gate: true},
+					{Name: "rows_per_sec", Value: rowsPerSec, Unit: "rows/s", Better: HigherIsBetter},
+				},
+			},
+		},
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	f := sampleFile(3, 1.5, 4096, 1e5)
+	path, err := Write(dir, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_3.json" {
+		t.Fatalf("wrote %s, want BENCH_3.json", path)
+	}
+	got, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Index != 3 || len(got.Benchmarks) != 1 || got.Benchmarks[0].Metrics[0].Value != 1.5 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := map[string]func(*File){
+		"schema":      func(f *File) { f.SchemaVersion = 99 },
+		"index":       func(f *File) { f.Index = 0 },
+		"empty":       func(f *File) { f.Benchmarks = nil },
+		"dup bench":   func(f *File) { f.Benchmarks = append(f.Benchmarks, f.Benchmarks[0]) },
+		"dup metric":  func(f *File) { b := &f.Benchmarks[0]; b.Metrics = append(b.Metrics, b.Metrics[0]) },
+		"bad better":  func(f *File) { f.Benchmarks[0].Metrics[0].Better = "sideways" },
+		"empty name":  func(f *File) { f.Benchmarks[0].Name = "" },
+		"metric name": func(f *File) { f.Benchmarks[0].Metrics[0].Name = "" },
+	}
+	for name, mutate := range cases {
+		f := sampleFile(1, 1, 1, 1)
+		mutate(f)
+		if err := f.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a broken file", name)
+		}
+	}
+	if err := sampleFile(1, 1, 1, 1).Validate(); err != nil {
+		t.Fatalf("valid file rejected: %v", err)
+	}
+}
+
+func TestIndicesAndLatest(t *testing.T) {
+	dir := t.TempDir()
+	if prev, newest, err := Latest(dir); err != nil || prev != nil || newest != nil {
+		t.Fatalf("empty dir: got %v %v %v", prev, newest, err)
+	}
+	for _, i := range []int{2, 10, 5} {
+		if _, err := Write(dir, sampleFile(i, float64(i), 1, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A stray file must not confuse the index scan.
+	os.WriteFile(filepath.Join(dir, "BENCH_x.json"), []byte("{}"), 0o666)
+	idx, err := Indices(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != 3 || idx[0] != 2 || idx[2] != 10 {
+		t.Fatalf("indices = %v, want [2 5 10]", idx)
+	}
+	prev, newest, err := Latest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newest.Index != 10 || prev.Index != 5 {
+		t.Fatalf("latest = %d/%d, want 5/10", prev.Index, newest.Index)
+	}
+}
+
+func TestCompareGating(t *testing.T) {
+	old := sampleFile(1, 1.0, 1000, 1e5)
+	// sim_seconds 40% worse (gated -> regression at 25%), comm_bytes 10%
+	// worse (within threshold), rows_per_sec halved (ungated -> reported,
+	// never regresses).
+	next := sampleFile(2, 1.4, 1100, 5e4)
+	rep := Compare(old, next, 0.25)
+	regs := rep.Regressions()
+	if len(regs) != 1 || regs[0].Metric != "sim_seconds" {
+		t.Fatalf("regressions = %+v, want only sim_seconds", regs)
+	}
+	var byName = map[string]Delta{}
+	for _, d := range rep.Deltas {
+		byName[d.Metric] = d
+	}
+	if d := byName["comm_bytes"]; d.Regressed || d.Change < 0.09 || d.Change > 0.11 {
+		t.Fatalf("comm_bytes delta wrong: %+v", d)
+	}
+	if d := byName["rows_per_sec"]; d.Regressed || d.Change < 0.49 {
+		t.Fatalf("rows_per_sec must be worse but ungated: %+v", d)
+	}
+	if s := rep.String(); !strings.Contains(s, "REGRESSED") || !strings.Contains(s, "sim_seconds") {
+		t.Fatalf("report missing regression marker:\n%s", s)
+	}
+
+	// Improvements never regress.
+	better := sampleFile(3, 0.5, 900, 2e5)
+	if regs := Compare(old, better, 0.25).Regressions(); len(regs) != 0 {
+		t.Fatalf("improvement flagged as regression: %+v", regs)
+	}
+}
+
+func TestCompareAddedRemoved(t *testing.T) {
+	old := sampleFile(1, 1, 1, 1)
+	next := sampleFile(2, 1, 1, 1)
+	next.Benchmarks = append(next.Benchmarks, Benchmark{
+		Name:    "serve/load",
+		Metrics: []Metric{{Name: "rows_per_sec", Value: 1, Unit: "rows/s", Better: HigherIsBetter}},
+	})
+	next.Benchmarks[0].Metrics = next.Benchmarks[0].Metrics[:2] // drop rows_per_sec
+	rep := Compare(old, next, 0.25)
+	if len(rep.Added) != 1 || rep.Added[0] != "serve/load" {
+		t.Fatalf("added = %v", rep.Added)
+	}
+	if len(rep.Removed) != 1 || rep.Removed[0] != "build/p4/rows_per_sec" {
+		t.Fatalf("removed = %v", rep.Removed)
+	}
+}

@@ -20,11 +20,13 @@ package driver
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync/atomic"
 	"time"
 
 	"pclouds/internal/comm"
 	tcpcomm "pclouds/internal/comm/tcp"
+	"pclouds/internal/obs"
 	"pclouds/internal/ooc"
 	"pclouds/internal/pclouds"
 	"pclouds/internal/record"
@@ -50,6 +52,20 @@ func (v *Vars) Snapshot() any {
 		"peer_downs": v.PeerDowns.Load(),
 		"adoptions":  v.Adoptions.Load(),
 	}
+}
+
+// Register wires the live counters onto reg as pclouds_driver_* series
+// labelled by rank, read at scrape time. Idempotent; the latest Vars for a
+// rank wins, so each recovery generation's registration simply repoints the
+// series.
+func (v *Vars) Register(reg *obs.Registry, rank int) {
+	r := strconv.Itoa(rank)
+	reg.Counter("pclouds_driver_attempts_total", "Build attempts, including the first.", "rank").
+		Func(func() float64 { return float64(v.Attempts.Load()) }, r)
+	reg.Counter("pclouds_driver_peer_downs_total", "Build attempts that ended in a peer failure.", "rank").
+		Func(func() float64 { return float64(v.PeerDowns.Load()) }, r)
+	reg.Counter("pclouds_driver_adoptions_total", "Generation adoptions after a fencing reject.", "rank").
+		Func(func() float64 { return float64(v.Adoptions.Load()) }, r)
 }
 
 // Config parameterises one rank's supervised run.

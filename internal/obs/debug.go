@@ -8,13 +8,20 @@ import (
 	"sync"
 )
 
+// metricsOnce guards the one-time /metrics registration on the default mux
+// (ServeDebug may be called more than once, e.g. by tests binding ":0").
+var metricsOnce sync.Once
+
 // ServeDebug starts an HTTP server on addr exposing the standard runtime
-// endpoints: /debug/pprof/* (CPU, heap, goroutine, block profiles) and
-// /debug/vars (expvar, including everything published via Publish). It
-// returns the bound address (useful with ":0") once the listener is up;
-// the server itself runs in a background goroutine for the life of the
-// process.
+// endpoints: /debug/pprof/* (CPU, heap, goroutine, block profiles),
+// /debug/vars (expvar, including everything published via Publish), and
+// /metrics (the DefaultRegistry in Prometheus text format). It returns the
+// bound address (useful with ":0") once the listener is up; the server
+// itself runs in a background goroutine for the life of the process.
 func ServeDebug(addr string) (string, error) {
+	metricsOnce.Do(func() {
+		http.Handle("/metrics", DefaultRegistry().Handler())
+	})
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err

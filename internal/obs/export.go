@@ -26,8 +26,10 @@ func (r *Recorder) WriteJSON(w io.Writer) error {
 }
 
 // chromeEvent is one Chrome trace_event entry. The exporter emits complete
-// ("X") events plus thread_name metadata, with pid 0 and tid = rank, so
-// about://tracing and Perfetto show one row per rank.
+// ("X") events plus process_name/thread_name metadata, with pid = tid =
+// rank: distributed ranks really are separate processes, and giving each
+// rank its own pid keeps about://tracing and Perfetto grouping per-rank
+// timelines the same way for simulated and TCP builds.
 type chromeEvent struct {
 	Name string         `json:"name"`
 	Cat  string         `json:"cat,omitempty"`
@@ -56,7 +58,10 @@ func WriteChromeTrace(w io.Writer, recs []*Recorder) error {
 			continue
 		}
 		trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
-			Name: "thread_name", Ph: "M", Pid: 0, Tid: r.Rank(),
+			Name: "process_name", Ph: "M", Pid: r.Rank(), Tid: r.Rank(),
+			Args: map[string]any{"name": fmt.Sprintf("rank %d", r.Rank())},
+		}, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: r.Rank(), Tid: r.Rank(),
 			Args: map[string]any{"name": fmt.Sprintf("rank %d", r.Rank())},
 		})
 		for _, s := range r.Spans() {
@@ -72,7 +77,7 @@ func WriteChromeTrace(w io.Writer, recs []*Recorder) error {
 				args["id"] = s.ID
 			}
 			trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
-				Name: s.Name, Cat: "build", Ph: "X", Pid: 0, Tid: s.Rank,
+				Name: s.Name, Cat: "build", Ph: "X", Pid: s.Rank, Tid: s.Rank,
 				Ts: s.StartWall * 1e6, Dur: s.DurWall * 1e6, Args: args,
 			})
 		}

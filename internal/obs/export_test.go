@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"pclouds/internal/comm"
+	"pclouds/internal/ooc"
+)
+
+// buildTestRecorders makes three ranks' recorders with two spans each, the
+// comm and io sources advancing between start and end so every span carries
+// nonzero deltas — rank r waits r*0.5s on the io pipeline.
+func buildTestRecorders(t *testing.T) []*Recorder {
+	t.Helper()
+	recs := make([]*Recorder, 3)
+	for r := range recs {
+		rec := New(r)
+		var cs comm.Stats
+		var io ooc.IOStats
+		rec.SetComm(func() comm.Stats { return cs })
+		rec.AddIO("store", func() ooc.IOStats { return io })
+		for _, name := range []string{"preprocess", "build"} {
+			s := rec.Start(name)
+			cs.BytesSent += int64(100 * (r + 1))
+			cs.MsgsSent++
+			io.ReadBytes += int64(1000 * (r + 1))
+			io.WaitSec += 0.5 * float64(r)
+			s.End()
+		}
+		recs[r] = rec
+	}
+	return recs
+}
+
+func decodeTrace(t *testing.T, data []byte) chromeTrace {
+	t.Helper()
+	var tr chromeTrace
+	if err := json.Unmarshal(data, &tr); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	return tr
+}
+
+func TestWriteChromeTraceMultiRank(t *testing.T) {
+	recs := buildTestRecorders(t)
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	tr := decodeTrace(t, buf.Bytes())
+
+	// Each rank contributes its own pid/tid pair: two metadata events plus
+	// one X event per span, all carrying pid == tid == rank.
+	meta := make(map[int]map[string]bool) // rank -> metadata names seen
+	spans := make(map[int][]chromeEvent)
+	for _, ev := range tr.TraceEvents {
+		if ev.Pid != ev.Tid {
+			t.Fatalf("event %q: pid %d != tid %d", ev.Name, ev.Pid, ev.Tid)
+		}
+		switch ev.Ph {
+		case "M":
+			if meta[ev.Pid] == nil {
+				meta[ev.Pid] = make(map[string]bool)
+			}
+			meta[ev.Pid][ev.Name] = true
+			if want := fmt.Sprintf("rank %d", ev.Pid); ev.Args["name"] != want {
+				t.Fatalf("metadata %q for pid %d names %v, want %q", ev.Name, ev.Pid, ev.Args["name"], want)
+			}
+		case "X":
+			spans[ev.Pid] = append(spans[ev.Pid], ev)
+		default:
+			t.Fatalf("unexpected event phase %q", ev.Ph)
+		}
+	}
+	for r := 0; r < 3; r++ {
+		if !meta[r]["process_name"] || !meta[r]["thread_name"] {
+			t.Fatalf("rank %d missing process/thread metadata: %v", r, meta[r])
+		}
+		if len(spans[r]) != 2 {
+			t.Fatalf("rank %d has %d span events, want 2", r, len(spans[r]))
+		}
+		// Span events stay in start order within a rank.
+		if spans[r][0].Name != "preprocess" || spans[r][1].Name != "build" {
+			t.Fatalf("rank %d span order: %q then %q", r, spans[r][0].Name, spans[r][1].Name)
+		}
+	}
+
+	// The io pipeline args ride on every span; rank 2's waits are nonzero.
+	for r := 0; r < 3; r++ {
+		for _, ev := range spans[r] {
+			if _, ok := ev.Args["io_wait_s"]; !ok {
+				t.Fatalf("rank %d span %q missing io_wait_s arg: %v", r, ev.Name, ev.Args)
+			}
+			if _, ok := ev.Args["comm_bytes"]; !ok {
+				t.Fatalf("rank %d span %q missing comm_bytes arg", r, ev.Name)
+			}
+		}
+	}
+	if got := spans[2][0].Args["io_wait_s"].(float64); got != 1.0 {
+		t.Fatalf("rank 2 first span io_wait_s = %v, want 1.0", got)
+	}
+	if got := spans[0][0].Args["io_wait_s"].(float64); got != 0 {
+		t.Fatalf("rank 0 io_wait_s = %v, want 0", got)
+	}
+}
+
+func TestWriteChromeTraceDeterministicOrder(t *testing.T) {
+	recs := buildTestRecorders(t)
+	var a, b bytes.Buffer
+	if err := WriteChromeTrace(&a, recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChromeTrace(&b, recs); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two exports of the same recorders differ")
+	}
+	// Events are grouped by recorder order: all of rank 0's events precede
+	// rank 1's, and so on — a merged multi-rank trace has a stable layout.
+	tr := decodeTrace(t, a.Bytes())
+	last := -1
+	for _, ev := range tr.TraceEvents {
+		if ev.Pid < last {
+			t.Fatalf("rank %d event after rank %d: merge order unstable", ev.Pid, last)
+		}
+		last = ev.Pid
+	}
+
+	// Nil recorders are skipped without disturbing the others.
+	var c bytes.Buffer
+	if err := WriteChromeTrace(&c, []*Recorder{nil, recs[1]}); err != nil {
+		t.Fatal(err)
+	}
+	tr = decodeTrace(t, c.Bytes())
+	for _, ev := range tr.TraceEvents {
+		if ev.Pid != 1 {
+			t.Fatalf("nil recorder produced events for pid %d", ev.Pid)
+		}
+	}
+}

@@ -204,8 +204,9 @@ func TestChromeTrace(t *testing.T) {
 			t.Errorf("unexpected event phase %q", e.Ph)
 		}
 	}
-	if meta != 2 || complete != 4 {
-		t.Errorf("got %d metadata / %d complete events, want 2/4", meta, complete)
+	// Two ranks, each announcing process_name and thread_name.
+	if meta != 4 || complete != 4 {
+		t.Errorf("got %d metadata / %d complete events, want 4/4", meta, complete)
 	}
 	if !tids[0] || !tids[1] || len(tids) != 2 {
 		t.Errorf("tids %v, want {0,1}", tids)

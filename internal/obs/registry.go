@@ -1,0 +1,392 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Kind classifies a metric family for exposition.
+type Kind int
+
+const (
+	// KindCounter is a monotonically increasing cumulative value.
+	KindCounter Kind = iota
+	// KindGauge is a value that can go up and down.
+	KindGauge
+	// KindHistogram is a bucketed distribution (see Histogram).
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Registry is a typed metrics registry: named families of counters, gauges
+// and histograms, each family carrying a fixed set of label keys and any
+// number of label-value series. It is the single scrapeable surface the
+// previously siloed counters (comm.Stats, ooc.IOStats, serve stats,
+// driver.Vars, checkpoint counters) are wired onto, and it renders the
+// Prometheus text exposition format.
+//
+// Registration is idempotent: asking for an existing family with the same
+// kind and label keys returns the existing one, so long-lived processes and
+// tests can re-register freely (mirroring obs.Publish). A kind or label-key
+// mismatch for an existing name panics — that is a programming error, not a
+// runtime condition.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*Family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*Family)}
+}
+
+var defaultRegistry = NewRegistry()
+
+// DefaultRegistry is the process-wide registry served at /metrics by
+// ServeDebug.
+func DefaultRegistry() *Registry { return defaultRegistry }
+
+// Family is one named metric with fixed label keys; each distinct
+// combination of label values is a Series.
+type Family struct {
+	name      string
+	help      string
+	kind      Kind
+	labelKeys []string
+	// bounds are the bucket bounds for histogram families (nil otherwise).
+	bounds []float64
+
+	mu     sync.Mutex
+	series map[string]*Series
+}
+
+func (r *Registry) family(name, help string, kind Kind, labelKeys []string) *Family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != kind || !equalStrings(f.labelKeys, labelKeys) {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s%v, was %s%v",
+				name, kind, labelKeys, f.kind, f.labelKeys))
+		}
+		return f
+	}
+	f := &Family{
+		name: name, help: help, kind: kind,
+		labelKeys: append([]string(nil), labelKeys...),
+		series:    make(map[string]*Series),
+	}
+	r.families[name] = f
+	return f
+}
+
+// Counter registers (or returns) a counter family.
+func (r *Registry) Counter(name, help string, labelKeys ...string) *Family {
+	return r.family(name, help, KindCounter, labelKeys)
+}
+
+// Gauge registers (or returns) a gauge family.
+func (r *Registry) Gauge(name, help string, labelKeys ...string) *Family {
+	return r.family(name, help, KindGauge, labelKeys)
+}
+
+// HistogramVec registers (or returns) a histogram family with the given
+// bucket bounds (used for series created via With; Attach ignores them).
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labelKeys ...string) *Family {
+	f := r.family(name, help, KindHistogram, labelKeys)
+	f.mu.Lock()
+	if f.bounds == nil {
+		f.bounds = append([]float64(nil), bounds...)
+	}
+	f.mu.Unlock()
+	return f
+}
+
+// Series is one label-value combination of a family. Counter and gauge
+// series hold a float64 (or a live callback); histogram series hold a
+// *Histogram.
+type Series struct {
+	fam         *Family
+	labelValues []string
+
+	mu   sync.Mutex
+	val  float64
+	fn   func() float64
+	hist *Histogram
+}
+
+func seriesKey(values []string) string { return strings.Join(values, "\x00") }
+
+func (f *Family) with(values []string) *Series {
+	if len(values) != len(f.labelKeys) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d",
+			f.name, len(f.labelKeys), len(values)))
+	}
+	key := seriesKey(values)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.series[key]
+	if !ok {
+		s = &Series{fam: f, labelValues: append([]string(nil), values...)}
+		if f.kind == KindHistogram {
+			bounds := f.bounds
+			if bounds == nil {
+				bounds = ExpBounds(1e-6, 4, 16)
+			}
+			s.hist = NewHistogram(bounds...)
+		}
+		f.series[key] = s
+	}
+	return s
+}
+
+// With returns the series for the given label values, creating it at zero
+// on first use.
+func (f *Family) With(labelValues ...string) *Series { return f.with(labelValues) }
+
+// Func installs (or replaces) a callback-backed series: the value is read
+// at scrape time. It is how live sources that keep their own counters —
+// comm.Stats, ooc.IOStats, driver.Vars — are wired onto the registry
+// without changing their internals.
+func (f *Family) Func(fn func() float64, labelValues ...string) {
+	if f.kind == KindHistogram {
+		panic(fmt.Sprintf("obs: metric %q: Func on a histogram family", f.name))
+	}
+	s := f.with(labelValues)
+	s.mu.Lock()
+	s.fn = fn
+	s.mu.Unlock()
+}
+
+// Attach installs (or replaces) an existing Histogram as a series of a
+// histogram family, so subsystems that already maintain obs.Histograms
+// (package serve) expose them without double bookkeeping.
+func (f *Family) Attach(h *Histogram, labelValues ...string) {
+	if f.kind != KindHistogram {
+		panic(fmt.Sprintf("obs: metric %q: Attach on a %s family", f.name, f.kind))
+	}
+	s := f.with(labelValues)
+	s.mu.Lock()
+	s.hist = h
+	s.mu.Unlock()
+}
+
+// Add increments a counter or gauge series by d. Counters reject negative
+// deltas.
+func (s *Series) Add(d float64) {
+	if s.fam.kind == KindHistogram {
+		panic(fmt.Sprintf("obs: metric %q: Add on a histogram series", s.fam.name))
+	}
+	if s.fam.kind == KindCounter && d < 0 {
+		panic(fmt.Sprintf("obs: metric %q: counter decremented", s.fam.name))
+	}
+	s.mu.Lock()
+	s.val += d
+	s.mu.Unlock()
+}
+
+// Inc is Add(1).
+func (s *Series) Inc() { s.Add(1) }
+
+// Set sets a gauge series to v.
+func (s *Series) Set(v float64) {
+	if s.fam.kind != KindGauge {
+		panic(fmt.Sprintf("obs: metric %q: Set on a %s series", s.fam.name, s.fam.kind))
+	}
+	s.mu.Lock()
+	s.val = v
+	s.mu.Unlock()
+}
+
+// Observe records v into a histogram series.
+func (s *Series) Observe(v float64) {
+	if s.fam.kind != KindHistogram {
+		panic(fmt.Sprintf("obs: metric %q: Observe on a %s series", s.fam.name, s.fam.kind))
+	}
+	s.hist.Observe(v)
+}
+
+// Value returns the series' current scalar value (callback-backed series
+// evaluate the callback; histograms return the observation count).
+func (s *Series) Value() float64 {
+	if s.fam.kind == KindHistogram {
+		return float64(s.hist.Count())
+	}
+	s.mu.Lock()
+	fn := s.fn
+	v := s.val
+	s.mu.Unlock()
+	if fn != nil {
+		return fn()
+	}
+	return v
+}
+
+// WritePrometheus renders every family in the Prometheus text exposition
+// format (version 0.0.4): families sorted by name, series sorted by label
+// values, histograms as cumulative _bucket/_sum/_count triples. The output
+// is deterministic for fixed metric values.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	fams := make(map[string]*Family, len(r.families))
+	for name, f := range r.families {
+		names = append(names, name)
+		fams[name] = f
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+
+	for _, name := range names {
+		f := fams[name]
+		f.mu.Lock()
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		series := make([]*Series, len(keys))
+		for i, k := range keys {
+			series[i] = f.series[k]
+		}
+		f.mu.Unlock()
+		if len(series) == 0 {
+			continue
+		}
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, s := range series {
+			if err := s.write(w); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (s *Series) write(w io.Writer) error {
+	f := s.fam
+	if f.kind != KindHistogram {
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, labelString(f.labelKeys, s.labelValues, "", ""), formatValue(s.Value()))
+		return err
+	}
+	bounds, cum, count, sum := s.hist.cumulative()
+	for i, b := range bounds {
+		le := formatValue(b)
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			f.name, labelString(f.labelKeys, s.labelValues, "le", le), cum[i]); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+		f.name, labelString(f.labelKeys, s.labelValues, "le", "+Inf"), count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n",
+		f.name, labelString(f.labelKeys, s.labelValues, "", ""), formatValue(sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n",
+		f.name, labelString(f.labelKeys, s.labelValues, "", ""), count)
+	return err
+}
+
+// cumulative exports the histogram's buckets as cumulative counts per
+// bound, for the Prometheus _bucket series.
+func (h *Histogram) cumulative() (bounds []float64, cum []int64, count int64, sum float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	bounds = append([]float64(nil), h.bounds...)
+	cum = make([]int64, len(h.bounds))
+	var running int64
+	for i := range h.bounds {
+		running += h.counts[i]
+		cum[i] = running
+	}
+	return bounds, cum, h.count, h.sum
+}
+
+// labelString renders {k="v",...}, appending one extra pair (for the
+// histogram "le" label) when extraKey is non-empty. Returns "" with no
+// labels.
+func labelString(keys, values []string, extraKey, extraVal string) string {
+	if len(keys) == 0 && extraKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if extraKey != "" {
+		if len(keys) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraKey)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(extraVal))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatValue(v float64) string {
+	// %g keeps integers exact and floats compact; Prometheus accepts both.
+	return strings.TrimSuffix(fmt.Sprintf("%g", v), ".0")
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeLabel(v string) string { return labelEscaper.Replace(v) }
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeHelp(v string) string { return helpEscaper.Replace(v) }
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Handler serves the registry in Prometheus text format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

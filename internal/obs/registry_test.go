@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"pclouds/internal/comm"
+	"pclouds/internal/ooc"
+)
+
+func TestRegistryPrometheusFormat(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("test_events_total", "Events by kind.", "kind")
+	c.With("good").Add(3)
+	c.With("bad").Inc()
+	g := reg.Gauge("test_depth", "Current depth.")
+	g.With().Set(7.5)
+	h := reg.HistogramVec("test_latency_seconds", "Latency.", []float64{0.1, 1})
+	h.With().Observe(0.05)
+	h.With().Observe(0.5)
+	h.With().Observe(5)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE test_events_total counter",
+		`test_events_total{kind="bad"} 1`,
+		`test_events_total{kind="good"} 3`,
+		"# TYPE test_depth gauge",
+		"test_depth 7.5",
+		"# TYPE test_latency_seconds histogram",
+		`test_latency_seconds_bucket{le="0.1"} 1`,
+		`test_latency_seconds_bucket{le="1"} 2`,
+		`test_latency_seconds_bucket{le="+Inf"} 3`,
+		"test_latency_seconds_sum 5.55",
+		"test_latency_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Families sorted by name, series by label values: deterministic output.
+	var b2 strings.Builder
+	if err := reg.WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if out != b2.String() {
+		t.Error("exposition is not deterministic")
+	}
+	if strings.Index(out, "test_depth") > strings.Index(out, "test_events_total") {
+		t.Error("families not sorted by name")
+	}
+}
+
+func TestRegistryIdempotentAndFunc(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("test_total", "", "k")
+	b := reg.Counter("test_total", "", "k")
+	if a != b {
+		t.Error("re-registration returned a different family")
+	}
+	v := 1.0
+	a.Func(func() float64 { return v }, "live")
+	v = 42
+	if got := a.With("live").Value(); got != 42 {
+		t.Errorf("func series read %v, want 42", got)
+	}
+	// Replacing a func series keeps one series, latest callback wins.
+	a.Func(func() float64 { return 7 }, "live")
+	if got := a.With("live").Value(); got != 7 {
+		t.Errorf("replaced func series read %v, want 7", got)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("kind mismatch did not panic")
+		}
+	}()
+	reg.Gauge("test_total", "", "k")
+}
+
+func TestRegistryLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.Gauge("test_esc", "", "path").With(`a"b\c` + "\n").Set(1)
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `test_esc{path="a\"b\\c\n"} 1`
+	if !strings.Contains(b.String(), want) {
+		t.Errorf("escaped series %q missing from:\n%s", want, b.String())
+	}
+}
+
+func TestRegisterCommAndIOStats(t *testing.T) {
+	reg := NewRegistry()
+	var cs comm.Stats
+	cs.RecordSend(comm.TagUser, 128)
+	cs.RecordRecv(comm.Tag(5), 256, 0.25) // a reserved collective tag
+	cs.GenerationRejects = 3
+	cs.PeerDowns = 1
+	RegisterCommStats(reg, func() comm.Stats { return cs })
+
+	io := ooc.IOStats{ReadOps: 2, ReadBytes: 4096, WriteOps: 1, WriteBytes: 512, WaitSec: 0.125}
+	RegisterIOStats(reg, "store", func() ooc.IOStats { return io })
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`pclouds_comm_bytes_total{dir="sent"} 128`,
+		`pclouds_comm_bytes_total{dir="recv"} 256`,
+		"pclouds_comm_wait_seconds_total 0.25",
+		"pclouds_comm_generation_rejects_total 3",
+		"pclouds_comm_peer_downs_total 1",
+		`pclouds_comm_op_bytes_total{op="p2p",dir="sent"} 128`,
+		`pclouds_io_bytes_total{store="store",dir="read"} 4096`,
+		`pclouds_io_wait_seconds_total{store="store"} 0.125`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryHandler(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("test_hits_total", "").With().Inc()
+	rr := httptest.NewRecorder()
+	reg.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rr.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	if !strings.Contains(rr.Body.String(), "test_hits_total 1") {
+		t.Errorf("handler body:\n%s", rr.Body.String())
+	}
+}

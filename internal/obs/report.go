@@ -61,16 +61,25 @@ func (r *Recorder) Summary() []PhaseTotal {
 
 // mergedPhase is one phase's cross-rank aggregate in the rank-0 report.
 type mergedPhase struct {
-	name     string
-	firstSeq int
-	count    int64
+	name                      string
+	firstSeq                  int
+	count                     int64
 	minWall, maxWall, sumWall float64
 	minSim, maxSim, sumSim    float64
-	ranks    int
-	comm     comm.Stats
-	io       ooc.IOStats
-	waitSec  float64
-	ioWait   float64
+	ranks                     int
+	comm                      comm.Stats
+	io                        ooc.IOStats
+	waitSec                   float64
+	ioWait                    float64
+}
+
+// rankReport is the per-rank payload of the merged-report gather: the
+// phase summary plus the free-form counters and per-level progress records
+// that are folded into the rank-0 report.
+type rankReport struct {
+	Phases   []PhaseTotal     `json:"phases"`
+	Counters map[string]int64 `json:"counters,omitempty"`
+	Levels   []LevelProgress  `json:"levels,omitempty"`
 }
 
 // MergedReport gathers every rank's phase summary at rank 0 (one Gather on
@@ -82,7 +91,15 @@ type mergedPhase struct {
 // SPMD build starts phases in the same order everywhere), so the report is
 // deterministic up to the measured numbers.
 func MergedReport(c comm.Communicator, r *Recorder) (string, error) {
-	payload, err := json.Marshal(r.Summary())
+	return MergedReportWith(c, r, nil)
+}
+
+// MergedReportWith is MergedReport plus per-level build telemetry: each
+// rank contributes its LevelProgress records (nil when the build tracked
+// none) in the same single gather, and the rank-0 report gains a per-level
+// table and a line summing the recorders' free-form counters across ranks.
+func MergedReportWith(c comm.Communicator, r *Recorder, levels []LevelProgress) (string, error) {
+	payload, err := json.Marshal(rankReport{Phases: r.Summary(), Counters: r.Counters(), Levels: levels})
 	if err != nil {
 		return "", fmt.Errorf("obs: encoding phase summary: %w", err)
 	}
@@ -95,12 +112,18 @@ func MergedReport(c comm.Communicator, r *Recorder) (string, error) {
 	}
 	merged := make(map[string]*mergedPhase)
 	var order []string
+	counters := make(map[string]int64)
+	var allLevels []LevelProgress
 	for _, raw := range parts {
-		var sum []PhaseTotal
-		if err := json.Unmarshal(raw, &sum); err != nil {
+		var rr rankReport
+		if err := json.Unmarshal(raw, &rr); err != nil {
 			return "", fmt.Errorf("obs: decoding phase summary: %w", err)
 		}
-		for _, pt := range sum {
+		for name, v := range rr.Counters {
+			counters[name] += v
+		}
+		allLevels = append(allLevels, rr.Levels...)
+		for _, pt := range rr.Phases {
 			m, ok := merged[pt.Name]
 			if !ok {
 				m = &mergedPhase{name: pt.Name, firstSeq: pt.FirstSeq,
@@ -154,6 +177,21 @@ func MergedReport(c comm.Communicator, r *Recorder) (string, error) {
 	}
 	if err := tw.Flush(); err != nil {
 		return "", err
+	}
+	if len(counters) > 0 {
+		names := make([]string, 0, len(counters))
+		for name := range counters {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		sb.WriteString("counters (all ranks summed):")
+		for _, name := range names {
+			fmt.Fprintf(&sb, " %s=%d", name, counters[name])
+		}
+		sb.WriteByte('\n')
+	}
+	if tbl := renderLevelTable(allLevels); tbl != "" {
+		sb.WriteString(tbl)
 	}
 	return sb.String(), nil
 }

@@ -138,6 +138,17 @@ type Config struct {
 	// checkpoint, if any, is committed) with the 1-based level number.
 	// Chaos tests use it to kill a rank at a deterministic boundary.
 	LevelHook func(level int)
+	// Progress, when non-nil, receives one obs.LevelProgress record per
+	// completed tree level with this rank's level deltas (records routed,
+	// split evaluations, comm bytes, io-wait) — the live build telemetry
+	// behind the -progress-out flags. The same records accumulate in
+	// Stats.Levels and fold into the rank-0 merged report regardless.
+	Progress func(obs.LevelProgress)
+	// Metrics, when non-nil, receives live build gauges and counters
+	// (current level, frontier size, records routed, checkpoint outcomes)
+	// labelled by rank, so a scrape of /metrics mid-build shows where the
+	// build is. Nil disables registry updates.
+	Metrics *obs.Registry
 	// Warnf receives degraded-mode warnings (checkpoint write failures,
 	// garbage-collection hiccups — conditions the build survives but the
 	// operator should see). Nil logs to the standard logger.
@@ -182,6 +193,10 @@ type Stats struct {
 	CheckpointsPruned  int
 	CheckpointsKept    int
 	CheckpointFailures int
+	// Levels holds this rank's per-level progress records (see
+	// Config.Progress); always collected — the per-level section of the
+	// rank-0 merged report is built from every rank's records.
+	Levels []obs.LevelProgress
 }
 
 // nodeTask is one pending tree node, tracked identically on every rank.
@@ -334,6 +349,7 @@ func Build(cfg Config, c comm.Communicator, store *ooc.Store, rootName string, s
 	// checkpoint boundary: after a level completes, every rank's store
 	// holds exactly one file per frontier task.
 	for len(queue) > 0 {
+		meter := b.startLevel()
 		var next []*nodeTask
 		for _, t := range queue {
 			children, err := b.processLargeNode(t)
@@ -358,6 +374,7 @@ func Build(cfg Config, c comm.Communicator, store *ooc.Store, rootName string, s
 				return nil, nil, err
 			}
 		}
+		b.finishLevel(meter, level, len(queue), len(small))
 		if cfg.LevelHook != nil {
 			cfg.LevelHook(level)
 		}
@@ -396,7 +413,15 @@ func Build(cfg Config, c comm.Communicator, store *ooc.Store, rootName string, s
 	b.stats.IO = store.Stats()
 	b.stats.SimTime = c.Clock().Time()
 	if rec != nil {
-		report, err := obs.MergedReport(c, rec)
+		// Surface the checkpoint lifecycle counters in the merged report's
+		// counters line, next to the comm/io columns of the phase table.
+		if cfg.CheckpointDir != "" {
+			rec.Count("checkpoints", int64(b.stats.Checkpoints))
+			rec.Count("checkpoints-pruned", int64(b.stats.CheckpointsPruned))
+			rec.Count("checkpoints-kept", int64(b.stats.CheckpointsKept))
+			rec.Count("checkpoint-failures", int64(b.stats.CheckpointFailures))
+		}
+		report, err := obs.MergedReportWith(c, rec, b.stats.Levels)
 		if err != nil {
 			return nil, nil, fmt.Errorf("pclouds: merging phase report: %w", err)
 		}

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pclouds/internal/obs"
 	"pclouds/internal/tree"
 )
 
@@ -28,9 +29,9 @@ import (
 type Registry struct {
 	path string // directory or file; "" for static registries
 
-	mu      sync.Mutex // serialises Reload/SetActive
-	active  atomic.Pointer[Model]
-	swaps   atomic.Int64
+	mu     sync.Mutex // serialises Reload/SetActive
+	active atomic.Pointer[Model]
+	swaps  atomic.Int64
 	// reloadFailures counts Reload calls that returned an error (scan or
 	// load failure). The active model keeps serving through them, so this
 	// counter — not availability — is how an operator notices a corrupt or
@@ -87,6 +88,15 @@ func (r *Registry) LastError() string {
 		return *s
 	}
 	return ""
+}
+
+// RegisterMetrics wires the reload counters onto reg as pclouds_serve_model_*
+// series, read at scrape time.
+func (r *Registry) RegisterMetrics(reg *obs.Registry) {
+	reg.Counter("pclouds_serve_model_swaps_total", "Active model version changes.").
+		Func(func() float64 { return float64(r.Swaps()) })
+	reg.Counter("pclouds_serve_model_reload_failures_total", "Model reload attempts that failed.").
+		Func(func() float64 { return float64(r.ReloadFailures()) })
 }
 
 // SetActive force-publishes a model (static registries and tests).

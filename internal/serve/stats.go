@@ -177,3 +177,38 @@ func (s *Stats) Snapshot() map[string]any {
 func (s *Stats) Publish(name string) {
 	obs.Publish(name, func() any { return s.Snapshot() })
 }
+
+// Register wires the serving metrics onto reg as pclouds_serve_* series.
+// The histograms are attached live — the engine keeps observing into the
+// same obs.Histogram the registry renders — and the scalar counters are
+// callback-backed, read at scrape time. Safe to call on the process-wide
+// registry: re-registering repoints the series at the latest Stats.
+func (s *Stats) Register(reg *obs.Registry) {
+	locked := func(get func() int64) func() float64 {
+		return func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(get())
+		}
+	}
+	reg.Counter("pclouds_serve_requests_total", "Requests served successfully.").
+		Func(locked(func() int64 { return s.requests }))
+	reg.Counter("pclouds_serve_rows_total", "Rows classified in successful requests.").
+		Func(locked(func() int64 { return s.rows }))
+	reg.Counter("pclouds_serve_shed_requests_total", "Requests rejected by admission control.").
+		Func(locked(func() int64 { return s.shed }))
+	reg.Counter("pclouds_serve_shed_rows_total", "Rows in shed requests.").
+		Func(locked(func() int64 { return s.shedRows }))
+	reg.Counter("pclouds_serve_bad_requests_total", "Malformed requests (HTTP 4xx).").
+		Func(locked(func() int64 { return s.errors }))
+	reg.Counter("pclouds_serve_no_model_total", "Requests refused for lack of an active model.").
+		Func(locked(func() int64 { return s.noModel }))
+	reg.HistogramVec("pclouds_serve_latency_seconds", "End-to-end request latency (enqueue to done).", nil).
+		Attach(s.latency)
+	reg.HistogramVec("pclouds_serve_batch_rows", "Rows per worker batch.", nil).
+		Attach(s.batchRows)
+	reg.HistogramVec("pclouds_serve_batch_requests", "Requests per worker batch.", nil).
+		Attach(s.batchTasks)
+	reg.HistogramVec("pclouds_serve_queue_depth", "Queue depth sampled at admission.", nil).
+		Attach(s.queueDepth)
+}
