@@ -3,8 +3,9 @@ GO ?= go
 .PHONY: all check build vet vet-concurrency test race chaos chaos-quick fuzz bench bench-quick bench-trajectory experiments examples cover clean
 
 # BENCH_INDEX numbers the trajectory snapshot bench-trajectory writes;
-# bump it per PR (it tracks the stacked-PR sequence).
-BENCH_INDEX ?= 6
+# "auto" picks one past the newest BENCH_<n>.json, tracking the
+# stacked-PR sequence without manual bumps.
+BENCH_INDEX ?= auto
 
 all: build vet test
 
@@ -25,14 +26,16 @@ test:
 
 # The ooc and comm/tcp tests enable the pipeline (read-ahead/write-behind
 # goroutines and the per-tag receive queues), the fault tests drive the
-# deterministic injector from concurrent ranks, and the serve tests drive
-# the hot-swap registry and batching engine under concurrent clients, so
-# every build exercises the concurrency under the race detector.
+# deterministic injector from concurrent ranks, the serve tests drive
+# the hot-swap registry and batching engine under concurrent clients, and
+# the pclouds/clouds tests run every split-finding protocol (sse, hist,
+# vote) across concurrent simulated ranks, so every build exercises the
+# concurrency under the race detector.
 race: vet-concurrency
-	$(GO) test -race ./internal/ooc/... ./internal/comm/... ./internal/fault/... ./internal/pclouds/... ./internal/serve/... ./internal/driver/...
+	$(GO) test -race ./internal/ooc/... ./internal/comm/... ./internal/fault/... ./internal/pclouds/... ./internal/clouds/... ./internal/serve/... ./internal/driver/...
 
 vet-concurrency:
-	$(GO) vet ./internal/ooc/... ./internal/comm/tcp/... ./internal/fault/... ./internal/serve/... ./internal/driver/...
+	$(GO) vet ./internal/ooc/... ./internal/comm/tcp/... ./internal/fault/... ./internal/pclouds/... ./internal/clouds/... ./internal/serve/... ./internal/driver/...
 
 # Fault-injection acceptance suite: killed/wedged ranks, dropped and
 # corrupted frames, slow and failing storage — every scenario must end in
@@ -65,7 +68,9 @@ bench:
 # bench-quick is the smoke half of the trajectory workflow: a short
 # fixed-seed benchrun into a scratch directory, schema-validated and thrown
 # away — it proves the benchmarks and the BENCH_<n>.json format work without
-# touching the repo's trajectory or gating on performance.
+# touching the repo's trajectory or gating on performance. Quick mode
+# includes one hist-protocol build (split/hist/p4), so make check always
+# exercises the quantized split path end to end.
 bench-quick:
 	@dir=$$(mktemp -d) && \
 	$(GO) run ./cmd/benchrun -quick -out $$dir && \

@@ -10,9 +10,14 @@
 // informational). The serve benchmark drives the prediction engine with the
 // built tree for a fixed window.
 //
+// The split benchmark series builds the same workload under each
+// split-finding protocol (sse, hist, vote) at 4, 16, and 64 simulated ranks
+// and records each protocol's split-derivation traffic, so the trajectory
+// tracks the communication saving the quantized protocols buy.
+//
 // Usage:
 //
-//	benchrun [-out .] [-index 0] [-records 20000] [-procs 4] [-quick]
+//	benchrun [-out .] [-index auto] [-records 20000] [-procs 4] [-quick]
 //	benchrun -validate BENCH_6.json
 package main
 
@@ -22,18 +27,21 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
 	"time"
 
 	"pclouds/internal/benchfmt"
+	"pclouds/internal/clouds"
 	"pclouds/internal/experiments"
 	"pclouds/internal/ooc"
+	"pclouds/internal/record"
 	"pclouds/internal/serve"
 )
 
 func main() {
 	var (
 		out      = flag.String("out", ".", "directory holding the BENCH_<n>.json trajectory")
-		index    = flag.Int("index", 0, "trajectory index to write (0 = one past the newest in -out)")
+		index    = flag.String("index", "auto", `trajectory index to write ("auto" = one past the newest in -out)`)
 		records  = flag.Int("records", 20000, "training records for the build benchmark")
 		procs    = flag.Int("procs", 4, "simulated ranks for the build benchmark")
 		seed     = flag.Int64("seed", 1, "generation and sampling seed (fixed across snapshots)")
@@ -63,19 +71,12 @@ func main() {
 			*note = "quick"
 		}
 	}
-	idx := *index
-	if idx <= 0 {
-		existing, err := benchfmt.Indices(*out)
-		if err != nil {
-			fatal(err)
-		}
-		idx = 1
-		if len(existing) > 0 {
-			idx = existing[len(existing)-1] + 1
-		}
+	idx, err := resolveIndex(*index, *out)
+	if err != nil {
+		fatal(err)
 	}
 
-	f, err := runAll(idx, *records, *procs, *seed, *loadDur, *note)
+	f, err := runAll(idx, *records, *procs, *seed, *loadDur, *note, *quick)
 	if err != nil {
 		fatal(err)
 	}
@@ -95,7 +96,29 @@ func main() {
 	}
 }
 
-func runAll(index, records, procs int, seed int64, loadDur time.Duration, note string) (*benchfmt.File, error) {
+// resolveIndex turns the -index flag into a concrete trajectory index:
+// "auto" (or the pre-string-flag spelling "0") discovers the highest
+// existing BENCH_<n>.json in dir and picks one past it; anything else must
+// be a positive integer.
+func resolveIndex(s, dir string) (int, error) {
+	if s == "" || s == "auto" || s == "0" {
+		existing, err := benchfmt.Indices(dir)
+		if err != nil {
+			return 0, err
+		}
+		if len(existing) == 0 {
+			return 1, nil
+		}
+		return existing[len(existing)-1] + 1, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf(`-index %q: want a positive integer or "auto"`, s)
+	}
+	return n, nil
+}
+
+func runAll(index, records, procs int, seed int64, loadDur time.Duration, note string, quick bool) (*benchfmt.File, error) {
 	h := experiments.DefaultHarness()
 	h.Seed = seed
 	h.Pipeline = ooc.Pipeline{Enabled: true}
@@ -157,13 +180,71 @@ func runAll(index, records, procs int, seed int64, loadDur time.Duration, note s
 		},
 	}
 
+	benches := []benchfmt.Benchmark{build, load}
+	split, err := splitComparison(h, data, sample, quick)
+	if err != nil {
+		return nil, err
+	}
+	benches = append(benches, split...)
+
 	return &benchfmt.File{
 		SchemaVersion: benchfmt.SchemaVersion,
 		Index:         index,
 		GoVersion:     runtime.Version(),
 		Note:          note,
-		Benchmarks:    []benchfmt.Benchmark{build, load},
+		Benchmarks:    benches,
 	}, nil
+}
+
+// splitComparison builds the benchmark workload once per split-finding
+// protocol and rank count and records each run's split-derivation traffic
+// (the comm.Stats delta attributed to splitting-point derivation). The
+// full run covers sse/hist/vote at 4, 16, and 64 ranks and prints the
+// bytes-on-the-wire comparison table; quick mode runs the single hist case
+// that smoke-tests the quantized-protocol path.
+func splitComparison(h experiments.Harness, data *record.Dataset, sample []record.Record, quick bool) ([]benchfmt.Benchmark, error) {
+	procs := []int{4, 16, 64}
+	methods := []clouds.SplitMethod{clouds.SplitSSE, clouds.SplitHist, clouds.SplitVote}
+	if quick {
+		procs = []int{4}
+		methods = []clouds.SplitMethod{clouds.SplitHist}
+	}
+	bytes := make(map[string]map[int]int64)
+	var benches []benchfmt.Benchmark
+	for _, p := range procs {
+		for _, m := range methods {
+			hm := h
+			hm.Split = m
+			fmt.Fprintf(os.Stderr, "benchrun: split: %s at %d ranks\n", m, p)
+			res, err := hm.Run(data, sample, p)
+			if err != nil {
+				return nil, fmt.Errorf("split %s/p%d: %w", m, p, err)
+			}
+			if bytes[m.String()] == nil {
+				bytes[m.String()] = make(map[int]int64)
+			}
+			bytes[m.String()][p] = res.TotalSplitComm.BytesSent
+			benches = append(benches, benchfmt.Benchmark{
+				Name: fmt.Sprintf("split/%s/p%d", m, p),
+				Metrics: []benchfmt.Metric{
+					{Name: "split_comm_bytes", Value: float64(res.TotalSplitComm.BytesSent), Unit: "B", Better: benchfmt.LowerIsBetter, Gate: true},
+					{Name: "comm_bytes", Value: float64(res.TotalComm.BytesSent), Unit: "B", Better: benchfmt.LowerIsBetter},
+					{Name: "sim_seconds", Value: res.SimTime, Unit: "s", Better: benchfmt.LowerIsBetter},
+				},
+			})
+		}
+	}
+	if !quick {
+		fmt.Printf("split-derivation bytes on the wire (sum over ranks, lower is better):\n")
+		fmt.Printf("  %5s %12s %12s %12s\n", "ranks", "sse", "hist", "vote")
+		for _, p := range procs {
+			fmt.Printf("  %5d %12d %12d %12d\n", p,
+				bytes[clouds.SplitSSE.String()][p],
+				bytes[clouds.SplitHist.String()][p],
+				bytes[clouds.SplitVote.String()][p])
+		}
+	}
+	return benches, nil
 }
 
 func min(a, b int) int {

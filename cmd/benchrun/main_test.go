@@ -1,0 +1,60 @@
+package main
+
+import (
+	"testing"
+
+	"pclouds/internal/benchfmt"
+)
+
+func writeSnapshot(t *testing.T, dir string, index int) {
+	t.Helper()
+	f := &benchfmt.File{
+		SchemaVersion: benchfmt.SchemaVersion,
+		Index:         index,
+		Benchmarks: []benchfmt.Benchmark{{
+			Name: "build/p4",
+			Metrics: []benchfmt.Metric{
+				{Name: "sim_seconds", Value: 1, Unit: "s", Better: benchfmt.LowerIsBetter},
+			},
+		}},
+	}
+	if _, err := benchfmt.Write(dir, f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResolveIndex(t *testing.T) {
+	dir := t.TempDir()
+
+	// An empty trajectory starts at 1.
+	for _, s := range []string{"auto", "", "0"} {
+		if got, err := resolveIndex(s, dir); err != nil || got != 1 {
+			t.Errorf("resolveIndex(%q, empty dir) = %d, %v; want 1", s, got, err)
+		}
+	}
+
+	// auto discovers the highest BENCH_<n>.json even across gaps.
+	for _, i := range []int{2, 6, 10} {
+		writeSnapshot(t, dir, i)
+	}
+	if got, err := resolveIndex("auto", dir); err != nil || got != 11 {
+		t.Errorf("resolveIndex(auto) = %d, %v; want 11", got, err)
+	}
+
+	// An explicit positive integer wins regardless of what exists.
+	if got, err := resolveIndex("7", dir); err != nil || got != 7 {
+		t.Errorf("resolveIndex(7) = %d, %v; want 7", got, err)
+	}
+
+	// Garbage and negatives are rejected, not treated as auto.
+	for _, s := range []string{"x", "-3", "1.5", "auto7"} {
+		if _, err := resolveIndex(s, dir); err == nil {
+			t.Errorf("resolveIndex(%q): want error", s)
+		}
+	}
+
+	// A missing directory surfaces the underlying error.
+	if _, err := resolveIndex("auto", dir+"/nope"); err == nil {
+		t.Error("resolveIndex(auto, missing dir): want error")
+	}
+}

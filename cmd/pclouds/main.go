@@ -34,6 +34,9 @@ func main() {
 		testPath    = flag.String("test", "", "optional binary test file")
 		procs       = flag.Int("procs", 1, "simulated processor count (1 = sequential CLOUDS)")
 		method      = flag.String("method", "sse", "splitting method: ss or sse")
+		splitMethod = flag.String("split-method", "sse", "split-finding protocol: sse (exact), hist (fixed-bin histograms), or vote (top-k attribute voting)")
+		histBins    = flag.Int("hist-bins", 0, "fixed bin count for -split-method hist/vote (0 = 16)")
+		voteTopK    = flag.Int("vote-top-k", 0, "attributes each rank nominates for -split-method vote (0 = 2)")
 		qroot       = flag.Int("qroot", 200, "intervals per numeric attribute at the root")
 		small       = flag.Int("small", 10, "small-node switch threshold (intervals)")
 		sampleSz    = flag.Int("sample", 0, "pre-drawn sample size (0 = 10*qroot)")
@@ -102,6 +105,8 @@ func main() {
 		MaxDepth:    *maxDepth,
 		MinNodeSize: 2,
 		Seed:        *seed,
+		HistBins:    *histBins,
+		VoteTopK:    *voteTopK,
 	}
 	switch *method {
 	case "ss":
@@ -110,6 +115,9 @@ func main() {
 		cfg.Method = clouds.SSE
 	default:
 		fatal(fmt.Errorf("unknown method %q", *method))
+	}
+	if cfg.Split, err = clouds.ParseSplitMethod(*splitMethod); err != nil {
+		fatal(err)
 	}
 
 	var t *tree.Tree
@@ -291,8 +299,8 @@ func runParallel(cfg clouds.Config, boundary string, train *record.Dataset, p in
 			return nil, fmt.Errorf("rank %d produced a different tree", r)
 		}
 	}
-	fmt.Printf("pCLOUDS (%s, %s, p=%d): %d records -> %s\n",
-		cfg.Method, pcfg.Boundary, p, train.Len(), metrics.Summarize(trees[0]))
+	fmt.Printf("pCLOUDS (%s, split=%s, %s, p=%d): %d records -> %s\n",
+		cfg.Method, cfg.Split, pcfg.Boundary, p, train.Len(), metrics.Summarize(trees[0]))
 	fmt.Printf("  simulated time: %.4fs, large nodes: %d, small tasks: %d\n",
 		comm.MaxClock(comms), stats[0].LargeNodes, stats[0].SmallTasks)
 	var shipped int64

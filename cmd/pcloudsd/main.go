@@ -68,6 +68,9 @@ var (
 	workDir     = flag.String("workdir", "", "scratch directory for the rank's store (default: temp)")
 	qroot       = flag.Int("qroot", 200, "intervals at the root")
 	small       = flag.Int("small", 10, "small-node switch threshold (intervals)")
+	splitMethod = flag.String("split-method", "sse", "split-finding protocol: sse (exact), hist (fixed-bin histograms), or vote (top-k attribute voting)")
+	histBins    = flag.Int("hist-bins", 0, "fixed bin count for -split-method hist/vote (0 = 16)")
+	voteTopK    = flag.Int("vote-top-k", 0, "attributes each rank nominates for -split-method vote (0 = 2)")
 	maxDepth    = flag.Int("maxdepth", 0, "depth cap (0 = unlimited)")
 	seed        = flag.Int64("seed", 1, "sampling seed (must match across ranks)")
 	timeout     = flag.Duration("dial-timeout", 30*time.Second, "mesh connection timeout")
@@ -227,10 +230,17 @@ func run(stop <-chan struct{}) error {
 	if err != nil {
 		return fmt.Errorf("stage: load training data: %w", err)
 	}
+	split, err := clouds.ParseSplitMethod(*splitMethod)
+	if err != nil {
+		return fmt.Errorf("usage: %w", err)
+	}
 	cfg := clouds.Config{
 		Method:      clouds.SSE,
+		Split:       split,
 		QRoot:       *qroot,
 		SmallNodeQ:  *small,
+		HistBins:    *histBins,
+		VoteTopK:    *voteTopK,
 		MaxDepth:    *maxDepth,
 		MinNodeSize: 2,
 		Seed:        *seed,
@@ -370,7 +380,7 @@ func run(stop <-chan struct{}) error {
 		fmt.Fprintf(os.Stderr, "rank %d: trace written to %s\n", *rank, *traceOut)
 	}
 	if *rank == 0 {
-		fmt.Printf("pCLOUDS over TCP, %d ranks, %d records: %s\n", len(addrs), full.Len(), metrics.Summarize(tr))
+		fmt.Printf("pCLOUDS over TCP (split=%s), %d ranks, %d records: %s\n", cfg.Split, len(addrs), full.Len(), metrics.Summarize(tr))
 		fmt.Printf("large nodes: %d, small tasks: %d, wall time: %v\n", stats.LargeNodes, stats.SmallTasks, elapsed)
 		if res.Attempts > 1 {
 			fmt.Printf("recovered from %d failed attempts; final generation %d\n", res.Attempts-1, res.Generation)

@@ -35,11 +35,79 @@ func (m Method) String() string {
 	}
 }
 
+// SplitMethod selects the split-finding protocol for large nodes: how much
+// statistics volume crosses the wire (in pCLOUDS) before a splitting point
+// is chosen. It is orthogonal to Method, which only applies to SplitSSE.
+type SplitMethod int
+
+const (
+	// SplitSSE is the paper's exact protocol: SS/SSE interval statistics,
+	// boundary evaluation under the configured replication scheme, and the
+	// alive-interval exact search with point shipping.
+	SplitSSE SplitMethod = iota
+	// SplitHist replaces the SSE refinement rounds with fixed-bin quantized
+	// feature histograms: per frontier node, each rank accumulates class
+	// frequencies over HistBins quantile bins (built once per node from the
+	// node's shared sample), the histograms merge associatively in a single
+	// all-reduce, and every rank evaluates the merged boundaries
+	// identically. No alive search, no point shipping; the split threshold
+	// is quantized to a bin edge.
+	SplitHist
+	// SplitVote is PV-Tree-style two-round top-k attribute voting over the
+	// same fixed-bin histograms: each rank nominates its VoteTopK locally
+	// best attributes (one tiny all-gather), a deterministic majority
+	// election picks up to 2*VoteTopK global candidates, and full interval
+	// statistics are exchanged only for the elected attributes. The split
+	// is exact over the elected set; attributes that look poor on every
+	// rank are never shipped.
+	SplitVote
+)
+
+func (m SplitMethod) String() string {
+	switch m {
+	case SplitSSE:
+		return "sse"
+	case SplitHist:
+		return "hist"
+	case SplitVote:
+		return "vote"
+	default:
+		return fmt.Sprintf("SplitMethod(%d)", int(m))
+	}
+}
+
+// ParseSplitMethod maps the -split-method flag values to SplitMethod.
+func ParseSplitMethod(s string) (SplitMethod, error) {
+	switch s {
+	case "sse":
+		return SplitSSE, nil
+	case "hist":
+		return SplitHist, nil
+	case "vote":
+		return SplitVote, nil
+	default:
+		return SplitSSE, fmt.Errorf("clouds: unknown split method %q (want sse, hist, or vote)", s)
+	}
+}
+
 // Config parameterises tree construction. The zero value is not usable; see
 // Defaults.
 type Config struct {
-	// Method is the large-node splitting method (SS or SSE).
+	// Method is the large-node splitting method (SS or SSE). It applies
+	// only when Split is SplitSSE.
 	Method Method
+	// Split selects the split-finding protocol (exact SSE, fixed-bin
+	// histograms, or attribute voting). The zero value is SplitSSE.
+	Split SplitMethod
+	// HistBins is the per-attribute bin count of the SplitHist and
+	// SplitVote histograms. It is fixed — unlike QForNode it does not grow
+	// with node size — so the mergeable payload stays constant per node.
+	// 0 means 16.
+	HistBins int
+	// VoteTopK is the number of attributes each rank nominates per node
+	// under SplitVote; up to 2*VoteTopK attributes win the election.
+	// 0 means 2.
+	VoteTopK int
 	// QRoot is the number of intervals per numeric attribute at the root
 	// (the paper uses 10,000 for 3.6–7.2M records).
 	QRoot int
@@ -99,6 +167,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MinNodeSize <= 0 {
 		c.MinNodeSize = d.MinNodeSize
+	}
+	if c.HistBins <= 0 {
+		c.HistBins = 16
+	}
+	if c.VoteTopK <= 0 {
+		c.VoteTopK = 2
 	}
 	return c
 }
@@ -285,8 +359,32 @@ func (b *builder) build(recs []record.Record, sample []record.Record, depth int)
 	return nd
 }
 
-// largeNodeSplit runs the SS or SSE method over in-memory records.
+// fixedBinStats accumulates the node's records over the fixed-bin quantized
+// histograms of the hist/vote split methods: HistBins quantile bins per
+// numeric attribute, built from the node's sample regardless of node size.
+func (b *builder) fixedBinStats(recs, sample []record.Record, n int64) *NodeStats {
+	ns := NewNodeStats(b.schema, BuildIntervals(b.schema, sample, b.cfg.HistBins))
+	for _, r := range recs {
+		ns.Add(r)
+	}
+	b.stats.RecordReads += n
+	return ns
+}
+
+// largeNodeSplit runs the configured split-finding protocol over in-memory
+// records: the SS/SSE method (default), or the fixed-bin hist/vote
+// evaluation the parallel communication-efficient modes are built on.
 func (b *builder) largeNodeSplit(recs, sample []record.Record, n int64) Candidate {
+	switch b.cfg.Split {
+	case SplitHist:
+		return BestBoundarySplit(b.fixedBinStats(recs, sample, n))
+	case SplitVote:
+		// One in-memory builder is a single-rank vote: it nominates its
+		// top-k attributes, all of them win the election, and the best
+		// elected candidate — the global best attribute's — is chosen.
+		cands := AttributeBest(b.fixedBinStats(recs, sample, n))
+		return BestOfAttrs(cands, TopKAttrs(cands, b.cfg.VoteTopK))
+	}
 	// An empty sample partition degenerates to a single interval per
 	// attribute; the SSE alive search then covers the whole range. The
 	// parallel build behaves identically, keeping the two deterministic.

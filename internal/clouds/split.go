@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sort"
 
 	"pclouds/internal/gini"
 	"pclouds/internal/tree"
@@ -147,72 +148,140 @@ func DecodeCandidate(src []byte) (Candidate, error) {
 	return c, nil
 }
 
+// bestNumericBoundary evaluates one numeric attribute's interval boundaries
+// (prefix sums over the frequency rows, gini at each cut) against the node
+// totals and returns the attribute's best candidate. Records with value
+// exactly equal to a cut are counted in the interval left of it (Locate's
+// "records at a cut belong left" rule), so every boundary candidate is the
+// splitter "attr <= cut".
+func bestNumericBoundary(nst *NumericStats, total []int64, nTotal int64) Candidate {
+	best := Candidate{Valid: false, Gini: math.Inf(1)}
+	left := make([]int64, len(total))
+	right := make([]int64, len(total))
+	var nLeft int64
+	for b := 0; b < nst.Intervals.NumBounds(); b++ {
+		gini.Add(left, nst.Freq[b])
+		nLeft += gini.Sum(nst.Freq[b])
+		if nLeft == 0 || nLeft == nTotal {
+			continue
+		}
+		for i := range right {
+			right[i] = total[i] - left[i]
+		}
+		cand := Candidate{
+			Valid:     true,
+			Gini:      gini.SplitIndex(left, right),
+			Attr:      nst.Attr,
+			Kind:      tree.NumericSplit,
+			Threshold: nst.Intervals.Cuts[b],
+			LeftN:     nLeft,
+		}
+		if cand.Better(best) {
+			cand.LeftCounts = gini.Clone(left)
+			best = cand
+		}
+	}
+	return best
+}
+
+// bestCategorical evaluates one categorical attribute's subset split.
+func bestCategorical(cm *gini.CountMatrix, attr int, total []int64, nTotal int64) Candidate {
+	ss := cm.BestSubsetSplit()
+	var nLeft int64
+	for v, in := range ss.InLeft {
+		if in {
+			nLeft += gini.Sum(cm.Counts[v])
+		}
+	}
+	if nLeft == 0 || nLeft == nTotal {
+		return Candidate{Valid: false, Gini: math.Inf(1)}
+	}
+	cand := Candidate{
+		Valid:  true,
+		Gini:   ss.Gini,
+		Attr:   attr,
+		Kind:   tree.CategoricalSplit,
+		InLeft: ss.InLeft,
+		LeftN:  nLeft,
+	}
+	left := make([]int64, len(total))
+	for v, in := range ss.InLeft {
+		if in {
+			gini.Add(left, cm.Counts[v])
+		}
+	}
+	cand.LeftCounts = left
+	return cand
+}
+
 // BestBoundarySplit evaluates every candidate the single statistics pass
 // yields: the gini at every numeric interval boundary and the best
 // categorical subset split per categorical attribute. It returns the best
 // candidate under the deterministic order (gini_min of the SS method).
+// Because Better is a total order with a unique maximum, folding the
+// per-attribute bests selects exactly the candidate the flat scan would.
 func BestBoundarySplit(ns *NodeStats) Candidate {
 	best := Candidate{Valid: false, Gini: math.Inf(1)}
-	total := ns.Class
-	nTotal := gini.Sum(total)
-	left := make([]int64, len(total))
-	right := make([]int64, len(total))
+	nTotal := gini.Sum(ns.Class)
 	for _, nst := range ns.Numeric {
-		for i := range left {
-			left[i] = 0
-		}
-		var nLeft int64
-		for b := 0; b < nst.Intervals.NumBounds(); b++ {
-			gini.Add(left, nst.Freq[b])
-			nLeft += gini.Sum(nst.Freq[b])
-			if nLeft == 0 || nLeft == nTotal {
-				continue
-			}
-			for i := range right {
-				right[i] = total[i] - left[i]
-			}
-			cand := Candidate{
-				Valid:     true,
-				Gini:      gini.SplitIndex(left, right),
-				Attr:      nst.Attr,
-				Kind:      tree.NumericSplit,
-				Threshold: nst.Intervals.Cuts[b],
-				LeftN:     nLeft,
-			}
-			if cand.Better(best) {
-				cand.LeftCounts = gini.Clone(left)
-				best = cand
-			}
+		if cand := bestNumericBoundary(nst, ns.Class, nTotal); cand.Better(best) {
+			best = cand
 		}
 	}
 	for j, cm := range ns.Cat {
-		ss := cm.BestSubsetSplit()
-		var nLeft int64
-		for v, in := range ss.InLeft {
-			if in {
-				nLeft += gini.Sum(cm.Counts[v])
-			}
-		}
-		if nLeft == 0 || nLeft == nTotal {
-			continue
-		}
-		cand := Candidate{
-			Valid:  true,
-			Gini:   ss.Gini,
-			Attr:   ns.Schema.CategoricalIndices()[j],
-			Kind:   tree.CategoricalSplit,
-			InLeft: ss.InLeft,
-			LeftN:  nLeft,
-		}
-		if cand.Better(best) {
-			left := make([]int64, len(total))
-			for v, in := range ss.InLeft {
-				if in {
-					gini.Add(left, cm.Counts[v])
-				}
-			}
-			cand.LeftCounts = left
+		if cand := bestCategorical(cm, ns.Schema.CategoricalIndices()[j], ns.Class, nTotal); cand.Better(best) {
 			best = cand
+		}
+	}
+	return best
+}
+
+// AttributeBest evaluates every attribute independently and returns each
+// attribute's best boundary candidate, indexed by schema attribute
+// position. Attributes with no valid split (constant value, empty side)
+// hold an invalid candidate. The vote protocol nominates from this vector;
+// folding it with BestOfAttrs over all attributes equals BestBoundarySplit.
+func AttributeBest(ns *NodeStats) []Candidate {
+	out := make([]Candidate, len(ns.Schema.Attrs))
+	for i := range out {
+		out[i] = Candidate{Valid: false, Gini: math.Inf(1)}
+	}
+	nTotal := gini.Sum(ns.Class)
+	for _, nst := range ns.Numeric {
+		out[nst.Attr] = bestNumericBoundary(nst, ns.Class, nTotal)
+	}
+	for j, cm := range ns.Cat {
+		attr := ns.Schema.CategoricalIndices()[j]
+		out[attr] = bestCategorical(cm, attr, ns.Class, nTotal)
+	}
+	return out
+}
+
+// TopKAttrs returns the attribute ids of the (at most) k best valid
+// candidates in cands (a vector indexed by attribute id, as AttributeBest
+// returns), ordered best-first under the deterministic total order. These
+// are one rank's nominations in the vote protocol.
+func TopKAttrs(cands []Candidate, k int) []int {
+	attrs := make([]int, 0, len(cands))
+	for a, c := range cands {
+		if c.Valid {
+			attrs = append(attrs, a)
+		}
+	}
+	sort.Slice(attrs, func(i, j int) bool { return cands[attrs[i]].Better(cands[attrs[j]]) })
+	if len(attrs) > k {
+		attrs = attrs[:k]
+	}
+	return attrs
+}
+
+// BestOfAttrs folds the candidates of the given attribute ids under the
+// deterministic order.
+func BestOfAttrs(cands []Candidate, attrs []int) Candidate {
+	best := Candidate{Valid: false, Gini: math.Inf(1)}
+	for _, a := range attrs {
+		if cands[a].Better(best) {
+			best = cands[a]
 		}
 	}
 	return best

@@ -1,0 +1,231 @@
+package clouds
+
+import (
+	"testing"
+
+	"pclouds/internal/metrics"
+	"pclouds/internal/record"
+	"pclouds/internal/tree"
+)
+
+func splitCfg(sm SplitMethod) Config {
+	cfg := testCfg(SSE)
+	cfg.Split = sm
+	return cfg
+}
+
+func TestParseSplitMethodRoundTrip(t *testing.T) {
+	for _, sm := range []SplitMethod{SplitSSE, SplitHist, SplitVote} {
+		got, err := ParseSplitMethod(sm.String())
+		if err != nil || got != sm {
+			t.Fatalf("round trip of %v: got %v, %v", sm, got, err)
+		}
+	}
+	if _, err := ParseSplitMethod("exact"); err == nil {
+		t.Fatal("unknown method must error")
+	}
+}
+
+func TestSplitMethodDefaults(t *testing.T) {
+	cfg := Config{}.WithDefaults()
+	if cfg.Split != SplitSSE {
+		t.Fatalf("default split %v", cfg.Split)
+	}
+	if cfg.HistBins != 16 || cfg.VoteTopK != 2 {
+		t.Fatalf("defaults HistBins=%d VoteTopK=%d", cfg.HistBins, cfg.VoteTopK)
+	}
+}
+
+func TestHistAndVoteLearnFunction2(t *testing.T) {
+	train := genData(t, 6000, 2, 1)
+	test := genData(t, 2000, 2, 2)
+	for _, sm := range []SplitMethod{SplitHist, SplitVote} {
+		tr, st, err := BuildInCore(splitCfg(sm), train, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("%v: tree fails invariants: %v", sm, err)
+		}
+		if acc := metrics.Accuracy(tr, test); acc < 0.93 {
+			t.Errorf("%v: accuracy %.3f < 0.93", sm, acc)
+		}
+		if st.AlivePoints != 0 || st.AliveIntervals != 0 {
+			t.Errorf("%v: ran the SSE alive search: %+v", sm, st)
+		}
+	}
+}
+
+func TestSequentialVoteEqualsHist(t *testing.T) {
+	// A single builder's vote nominates its top-k, which contains the global
+	// best attribute, so the elected winner equals the hist winner. The trees
+	// must be identical.
+	train := genData(t, 4000, 5, 11)
+	sample := splitCfg(SplitHist).SampleFor(train)
+	trH, _, err := BuildInCore(splitCfg(SplitHist), train, sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trV, _, err := BuildInCore(splitCfg(SplitVote), train, sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tree.Equal(trH, trV) {
+		t.Fatal("sequential vote tree differs from hist tree")
+	}
+}
+
+func TestAttributeBestFoldsToBoundaryBest(t *testing.T) {
+	// Folding the per-attribute bests over ALL attributes must reproduce
+	// BestBoundarySplit exactly — the property the vote election relies on.
+	for seed := int64(0); seed < 6; seed++ {
+		data := genData(t, 900, 1+int(seed%10), 300+seed)
+		sample := testCfg(SSE).SampleFor(data)
+		ns := NewNodeStats(data.Schema, BuildIntervals(data.Schema, sample, 16))
+		for _, r := range data.Records {
+			ns.Add(r)
+		}
+		cands := AttributeBest(ns)
+		all := make([]int, len(cands))
+		for a := range all {
+			all[a] = a
+		}
+		got := BestOfAttrs(cands, all)
+		want := BestBoundarySplit(ns)
+		if got.Valid != want.Valid || got.Gini != want.Gini || got.Attr != want.Attr ||
+			got.Kind != want.Kind || got.Threshold != want.Threshold {
+			t.Fatalf("seed %d: fold %+v != boundary best %+v", seed, got, want)
+		}
+	}
+}
+
+func TestTopKAttrsOrdering(t *testing.T) {
+	data := genData(t, 900, 2, 21)
+	sample := testCfg(SSE).SampleFor(data)
+	ns := NewNodeStats(data.Schema, BuildIntervals(data.Schema, sample, 16))
+	for _, r := range data.Records {
+		ns.Add(r)
+	}
+	cands := AttributeBest(ns)
+	top := TopKAttrs(cands, 3)
+	if len(top) == 0 || len(top) > 3 {
+		t.Fatalf("top-3 returned %v", top)
+	}
+	for i := 1; i < len(top); i++ {
+		if !cands[top[i-1]].Better(cands[top[i]]) {
+			t.Fatalf("nominations not best-first: %v", top)
+		}
+	}
+	// The first nomination is the global best attribute.
+	if best := BestBoundarySplit(ns); best.Valid && top[0] != best.Attr {
+		t.Fatalf("top nomination %d != best attribute %d", top[0], best.Attr)
+	}
+	if got := TopKAttrs(cands, 0); len(got) != 0 {
+		t.Fatalf("top-0 returned %v", got)
+	}
+}
+
+func TestFlattenAttrsRoundTrip(t *testing.T) {
+	data := genData(t, 700, 3, 13)
+	sample := testCfg(SSE).SampleFor(data)
+	intervals := BuildIntervals(data.Schema, sample, 8)
+	ns := NewNodeStats(data.Schema, intervals)
+	for _, r := range data.Records {
+		ns.Add(r)
+	}
+	// One numeric and one categorical attribute.
+	attrs := []int{data.Schema.NumericIndices()[1], data.Schema.CategoricalIndices()[0]}
+	if attrs[0] > attrs[1] {
+		attrs[0], attrs[1] = attrs[1], attrs[0]
+	}
+	flat, err := ns.FlattenAttrs(attrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flat) != ns.AttrFlatLen(attrs) {
+		t.Fatalf("flatten length %d != AttrFlatLen %d", len(flat), ns.AttrFlatLen(attrs))
+	}
+	ns2 := NewNodeStats(data.Schema, intervals)
+	if err := ns2.UnflattenAttrs(attrs, flat); err != nil {
+		t.Fatal(err)
+	}
+	flat2, err := ns2.FlattenAttrs(attrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range flat {
+		if flat[i] != flat2[i] {
+			t.Fatalf("round trip lost counts at %d", i)
+		}
+	}
+	// Untouched attributes stay zero.
+	other := data.Schema.NumericIndices()[0]
+	rows, _ := ns2.attrCounters(other)
+	for _, row := range rows {
+		for _, v := range row {
+			if v != 0 {
+				t.Fatal("unflatten touched an attribute outside the set")
+			}
+		}
+	}
+	if err := ns2.UnflattenAttrs(attrs, flat[:len(flat)-1]); err == nil {
+		t.Fatal("short vector must error")
+	}
+	if _, err := ns.FlattenAttrs([]int{999}); err == nil {
+		t.Fatal("unknown attribute must error")
+	}
+}
+
+// TestBoundaryValueGoesLeft: a record whose value equals Cuts[i] must land
+// in the interval left of boundary i, so the candidate splitter "attr <=
+// Cuts[i]" counts it on the left — in the NodeStats accumulation and in the
+// tree every split method builds.
+func TestBoundaryValueGoesLeft(t *testing.T) {
+	schema := record.MustSchema([]record.Attribute{{Name: "x", Kind: record.Numeric}}, 2)
+	// Class 0 at {1, 2, 2}, class 1 at {3, 4, 5}: the pure split is exactly
+	// "x <= 2", and both records AT the cut must go left for gini 0.
+	d := record.NewDataset(schema)
+	for _, v := range []float64{1, 2, 2} {
+		d.Append(record.Record{Num: []float64{v}, Class: 0})
+	}
+	for _, v := range []float64{3, 4, 5} {
+		d.Append(record.Record{Num: []float64{v}, Class: 1})
+	}
+
+	// Statistics layer: with cuts {2, 3}, both v=2 records accumulate into
+	// interval 0 (left of boundary 0).
+	ns := NewNodeStats(schema, BuildIntervals(schema, d.Records, 3))
+	for _, r := range d.Records {
+		ns.Add(r)
+	}
+	if cuts := ns.Numeric[0].Intervals.Cuts; len(cuts) == 0 || cuts[0] != 2 {
+		t.Fatalf("expected a cut at 2, got %v", cuts)
+	}
+	if got := ns.Numeric[0].Freq[0][0]; got != 3 {
+		t.Fatalf("interval 0 holds %d class-0 records, want 3 (ties at the cut must land left)", got)
+	}
+	best := BestBoundarySplit(ns)
+	if !best.Valid || best.Threshold != 2 || best.LeftN != 3 || best.Gini != 0 {
+		t.Fatalf("boundary best %+v, want pure x<=2 with LeftN 3", best)
+	}
+
+	// Every split method must build the same root split and route the
+	// boundary records left.
+	for _, sm := range []SplitMethod{SplitSSE, SplitHist, SplitVote} {
+		cfg := Config{Split: sm, QRoot: 3, QMin: 3, SmallNodeQ: 1, MinNodeSize: 1, HistBins: 3, SampleSize: 6}
+		tr, _, err := BuildInCore(cfg, d, d.Records)
+		if err != nil {
+			t.Fatal(err)
+		}
+		root := tr.Root
+		if root.IsLeaf() || root.Splitter.Threshold != 2 {
+			t.Fatalf("%v: root %+v, want split at x<=2", sm, root.Splitter)
+		}
+		if root.Left.N != 3 || root.Right.N != 3 {
+			t.Fatalf("%v: partition %d/%d, want 3/3 (v==cut must go left)", sm, root.Left.N, root.Right.N)
+		}
+		if !root.Splitter.GoesLeft(schema, record.Record{Num: []float64{2}}) {
+			t.Fatalf("%v: GoesLeft(v==threshold) is false", sm)
+		}
+	}
+}

@@ -154,6 +154,87 @@ func (ns *NodeStats) Unflatten(flat []int64) error {
 	return nil
 }
 
+// attrCounters resolves a schema attribute id to its counters: the interval
+// frequency rows of a numeric attribute, or the count matrix of a
+// categorical one. Both are nil for an unknown id.
+func (ns *NodeStats) attrCounters(attr int) ([][]int64, *gini.CountMatrix) {
+	for _, nst := range ns.Numeric {
+		if nst.Attr == attr {
+			return nst.Freq, nil
+		}
+	}
+	for j, a := range ns.Schema.CategoricalIndices() {
+		if a == attr {
+			return nil, ns.Cat[j]
+		}
+	}
+	return nil, nil
+}
+
+// AttrFlatLen returns the length of a FlattenAttrs vector for the given
+// schema attribute ids.
+func (ns *NodeStats) AttrFlatLen(attrs []int) int {
+	n := 0
+	for _, a := range attrs {
+		if rows, cm := ns.attrCounters(a); rows != nil {
+			n += len(rows) * len(ns.Class)
+		} else if cm != nil {
+			n += cm.Cardinality() * cm.Classes()
+		}
+	}
+	return n
+}
+
+// FlattenAttrs packs only the given attributes' counters into one int64
+// vector — the vote protocol's elected-set exchange. attrs must be sorted
+// ascending and duplicate-free so every rank produces the same layout;
+// interval/cardinality shapes are assumed identical across ranks, as
+// elsewhere in the replication scheme.
+func (ns *NodeStats) FlattenAttrs(attrs []int) ([]int64, error) {
+	out := make([]int64, 0, ns.AttrFlatLen(attrs))
+	for _, a := range attrs {
+		rows, cm := ns.attrCounters(a)
+		switch {
+		case rows != nil:
+			for _, f := range rows {
+				out = append(out, f...)
+			}
+		case cm != nil:
+			out = append(out, cm.Flatten()...)
+		default:
+			return nil, fmt.Errorf("clouds: flatten of unknown attribute %d", a)
+		}
+	}
+	return out, nil
+}
+
+// UnflattenAttrs scatters a FlattenAttrs vector back into ns, leaving the
+// counters of attributes outside attrs untouched.
+func (ns *NodeStats) UnflattenAttrs(attrs []int, flat []int64) error {
+	if len(flat) != ns.AttrFlatLen(attrs) {
+		return fmt.Errorf("clouds: unflatten-attrs length %d, want %d", len(flat), ns.AttrFlatLen(attrs))
+	}
+	c := len(ns.Class)
+	for _, a := range attrs {
+		rows, cm := ns.attrCounters(a)
+		switch {
+		case rows != nil:
+			for i := range rows {
+				copy(rows[i], flat[:c])
+				flat = flat[c:]
+			}
+		case cm != nil:
+			for v := 0; v < cm.Cardinality(); v++ {
+				copy(cm.Counts[v], flat[:c])
+				flat = flat[c:]
+			}
+		default:
+			return fmt.Errorf("clouds: unflatten of unknown attribute %d", a)
+		}
+	}
+	return nil
+}
+
 // BuildIntervals constructs the per-numeric-attribute interval structures
 // for a node from its sample records, with q intervals per attribute. The
 // same sample and q on every rank yields identical structures everywhere,

@@ -308,6 +308,21 @@ func (s Stats) Sub(o Stats) Stats {
 	return d
 }
 
+// Scope attributes traffic to one region of code: it snapshots a
+// communicator's counters at construction, and Delta returns everything the
+// rank sent and received since. Purely observational — it never alters the
+// counters it reads.
+type Scope struct {
+	c     Communicator
+	start Stats
+}
+
+// NewScope opens a scope at the communicator's current counters.
+func NewScope(c Communicator) *Scope { return &Scope{c: c, start: c.Stats()} }
+
+// Delta returns the traffic since the scope was opened.
+func (s *Scope) Delta() Stats { return s.c.Stats().Sub(s.start) }
+
 func (s Stats) String() string {
 	return fmt.Sprintf("sent %d msgs/%d B, recv %d msgs/%d B", s.MsgsSent, s.BytesSent, s.MsgsRecv, s.BytesRecv)
 }

@@ -1,6 +1,7 @@
 package comm
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -144,5 +145,35 @@ func TestClassOf(t *testing.T) {
 		if got := ClassOf(tag); got != want {
 			t.Errorf("ClassOf(%d) = %s, want %s", tag, got, want)
 		}
+	}
+}
+
+func TestScopeDelta(t *testing.T) {
+	err := Run(2, costmodel.Zero(), func(c *ChannelComm) error {
+		// Traffic before the scope opens must not appear in its delta.
+		if _, err := AllReduceInt64(c, []int64{1}, func(a, b int64) int64 { return a + b }); err != nil {
+			return err
+		}
+		sc := NewScope(c)
+		if d := sc.Delta(); d.BytesSent != 0 || d.MsgsRecv != 0 {
+			return fmt.Errorf("fresh scope delta not empty: %+v", d)
+		}
+		if _, err := AllGather(c, []byte{1, 2, 3}); err != nil {
+			return err
+		}
+		d := sc.Delta()
+		if d.BytesSent == 0 || d.BytesRecv == 0 {
+			return fmt.Errorf("scope missed the all-gather: %+v", d)
+		}
+		if d.Ops[OpAllGather].BytesSent == 0 || d.Ops[OpReduce].BytesSent != 0 {
+			return fmt.Errorf("scope per-class delta wrong: %+v", d.Ops)
+		}
+		if total := c.Stats(); d.BytesSent >= total.BytesSent {
+			return fmt.Errorf("delta %d not smaller than lifetime total %d", d.BytesSent, total.BytesSent)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
 }

@@ -39,6 +39,8 @@ type Harness struct {
 	QRoot int
 	// SmallNodeQ is the data→task parallelism switch (paper: 10 intervals).
 	SmallNodeQ int
+	// Split selects the split-finding protocol (sse, hist, or vote).
+	Split clouds.SplitMethod
 	// MaxDepth caps the built trees to bound experiment time (0 = off).
 	MaxDepth int
 	// Boundary selects the boundary-statistics scheme.
@@ -69,6 +71,7 @@ func DefaultHarness() Harness {
 func (h Harness) cloudsConfig() clouds.Config {
 	return clouds.Config{
 		Method:      clouds.SSE,
+		Split:       h.Split,
 		QRoot:       h.QRoot,
 		QMin:        max(8, h.QRoot/20),
 		SmallNodeQ:  h.SmallNodeQ,
@@ -99,7 +102,10 @@ type RunResult struct {
 	Tree      *tree.Tree
 	Stats     []*pclouds.Stats // per rank
 	TotalComm comm.Stats
-	TotalIO   ooc.IOStats
+	// TotalSplitComm is the subset of TotalComm spent deriving splitting
+	// points — the traffic the hist and vote protocols exist to shrink.
+	TotalSplitComm comm.Stats
+	TotalIO        ooc.IOStats
 }
 
 // Run executes pCLOUDS on p simulated ranks over data (round-robin
@@ -177,6 +183,7 @@ func (h Harness) Run(data *record.Dataset, sample []record.Record, p int) (*RunR
 			res.SimTime = stats[r].SimTime
 		}
 		res.TotalComm.Add(stats[r].Comm)
+		res.TotalSplitComm.Add(stats[r].SplitComm)
 		res.TotalIO.Add(stats[r].IO)
 	}
 	return res, nil

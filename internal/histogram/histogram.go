@@ -8,6 +8,7 @@ package histogram
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -33,17 +34,30 @@ func (iv *Intervals) NumIntervals() int { return len(iv.Cuts) + 1 }
 // NumBounds returns the number of candidate boundary split points.
 func (iv *Intervals) NumBounds() int { return len(iv.Cuts) }
 
-// Locate returns the interval index that value v falls into.
+// Locate returns the interval index that value v falls into. NaN is mapped
+// to the last interval explicitly: every comparison against a cut is false
+// for NaN, so a NaN record never satisfies "v <= Cuts[i]" and always falls
+// on the right of every candidate splitter — the same unseen-value policy
+// as tree.Splitter.GoesLeft (NaN goes right). ±Inf need no special case:
+// -Inf lands in the first interval, +Inf in the last.
 func (iv *Intervals) Locate(v float64) int {
+	if math.IsNaN(v) {
+		return len(iv.Cuts)
+	}
 	// First cut >= v; records at a cut belong to the interval left of it.
 	return sort.SearchFloat64s(iv.Cuts, v)
 }
 
-// Validate checks that cuts are strictly increasing.
+// Validate checks that cuts are strictly increasing and finite-comparable:
+// a NaN cut can never be strictly ordered, so it is rejected even when it is
+// the only cut.
 func (iv *Intervals) Validate() error {
-	for i := 1; i < len(iv.Cuts); i++ {
-		if !(iv.Cuts[i-1] < iv.Cuts[i]) {
-			return fmt.Errorf("histogram: cuts not strictly increasing at %d: %g >= %g", i, iv.Cuts[i-1], iv.Cuts[i])
+	for i, c := range iv.Cuts {
+		if math.IsNaN(c) {
+			return fmt.Errorf("histogram: NaN cut at %d", i)
+		}
+		if i > 0 && !(iv.Cuts[i-1] < c) {
+			return fmt.Errorf("histogram: cuts not strictly increasing at %d: %g >= %g", i, iv.Cuts[i-1], c)
 		}
 	}
 	return nil
@@ -53,15 +67,25 @@ func (iv *Intervals) Validate() error {
 // sample is copied and sorted; cut points are sample quantiles. Duplicate
 // quantile values are merged, so the result may have fewer than q intervals
 // (e.g. for heavily repeated values). A sample smaller than q yields one
-// interval per distinct adjacent pair.
+// interval per distinct adjacent pair. NaN sample values are dropped before
+// the quantiles are taken: sort.Float64s orders NaN ahead of every number,
+// so a NaN quantile would both violate the strictly-increasing invariant
+// itself and — because c > NaN is false for every c — suppress all later
+// cuts. NaN records are instead routed by Locate's explicit last-interval
+// rule.
 func FromSample(sample []float64, q int) *Intervals {
 	if q < 1 {
 		q = 1
 	}
-	if len(sample) == 0 || q == 1 {
+	s := make([]float64, 0, len(sample))
+	for _, v := range sample {
+		if !math.IsNaN(v) {
+			s = append(s, v)
+		}
+	}
+	if len(s) == 0 || q == 1 {
 		return &Intervals{}
 	}
-	s := append([]float64(nil), sample...)
 	sort.Float64s(s)
 	cuts := make([]float64, 0, q-1)
 	for k := 1; k < q; k++ {
@@ -69,6 +93,9 @@ func FromSample(sample []float64, q int) *Intervals {
 		if idx < 0 {
 			idx = 0
 		}
+		// The strict > (not >=) against the previous cut is the dedupe that
+		// keeps heavily tied samples from emitting equal, invariant-breaking
+		// cuts and the empty intervals they imply.
 		c := s[idx]
 		if len(cuts) == 0 || c > cuts[len(cuts)-1] {
 			cuts = append(cuts, c)

@@ -1,6 +1,7 @@
 package histogram
 
 import (
+	"math"
 	"math/rand"
 	"sort"
 	"testing"
@@ -83,6 +84,105 @@ func TestFromSampleEdgeCases(t *testing.T) {
 	// All-equal sample: no valid cut exists.
 	if iv := FromSample([]float64{4, 4, 4, 4}, 3); iv.NumBounds() != 0 {
 		t.Fatalf("all-equal sample produced cuts: %v", iv.Cuts)
+	}
+}
+
+func TestFromSampleTiedRegression(t *testing.T) {
+	// Regression: heavily tied samples at several plateau values. Every
+	// quantile lands on a plateau, so without dedupe adjacent cuts repeat
+	// and Validate fails with empty intervals in between.
+	cases := [][]float64{
+		{2, 2, 2, 2, 2, 2, 7, 7, 7, 7, 7, 7},
+		{1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 2},
+		{0, 0, 0, 5, 5, 5, 5, 5, 5, 9, 9, 9},
+	}
+	for _, sample := range cases {
+		for q := 2; q <= 2*len(sample); q++ {
+			iv := FromSample(sample, q)
+			if err := iv.Validate(); err != nil {
+				t.Fatalf("sample %v q=%d: %v (cuts %v)", sample, q, err, iv.Cuts)
+			}
+		}
+	}
+}
+
+func TestFromSampleNaN(t *testing.T) {
+	nan := math.NaN()
+	// NaN values sort ahead of every number; before the construction-time
+	// filter they could become a (Validate-breaking) first cut and suppress
+	// every later one. They must simply be ignored.
+	sample := []float64{nan, nan, 1, 2, 3, 4, 5, 6, 7, 8}
+	iv := FromSample(sample, 4)
+	if err := iv.Validate(); err != nil {
+		t.Fatalf("NaN sample: %v (cuts %v)", err, iv.Cuts)
+	}
+	if iv.NumBounds() == 0 {
+		t.Fatal("NaN values suppressed every cut")
+	}
+	clean := FromSample([]float64{1, 2, 3, 4, 5, 6, 7, 8}, 4)
+	if len(iv.Cuts) != len(clean.Cuts) {
+		t.Fatalf("NaN-polluted cuts %v differ from clean cuts %v", iv.Cuts, clean.Cuts)
+	}
+	for i := range iv.Cuts {
+		if iv.Cuts[i] != clean.Cuts[i] {
+			t.Fatalf("NaN-polluted cuts %v differ from clean cuts %v", iv.Cuts, clean.Cuts)
+		}
+	}
+	// All-NaN degenerates to the single whole-line interval.
+	if iv := FromSample([]float64{nan, nan, nan}, 5); iv.NumIntervals() != 1 {
+		t.Fatalf("all-NaN sample produced cuts: %v", iv.Cuts)
+	}
+}
+
+func TestFromSampleInf(t *testing.T) {
+	inf := math.Inf(1)
+	// +Inf can only ever be the final quantile, which equals the sample
+	// maximum and is dropped; -Inf is an ordinary (if degenerate) low cut.
+	iv := FromSample([]float64{1, 2, 3, inf, inf, inf, inf, inf}, 4)
+	if err := iv.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range iv.Cuts {
+		if math.IsInf(c, 1) {
+			t.Fatalf("+Inf cut survived: %v", iv.Cuts)
+		}
+	}
+	iv = FromSample([]float64{math.Inf(-1), math.Inf(-1), 1, 2, 3, 4, 5, 6}, 4)
+	if err := iv.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLocateNaNGoesRight(t *testing.T) {
+	// The unseen-value policy of tree.Splitter.GoesLeft: a NaN never
+	// satisfies "v <= threshold", so it goes right of every candidate
+	// splitter. Locate must agree by placing NaN in the last interval —
+	// explicitly, not as a sort.SearchFloat64s accident.
+	iv := &Intervals{Cuts: []float64{10, 20, 30}}
+	if got := iv.Locate(math.NaN()); got != iv.NumIntervals()-1 {
+		t.Fatalf("Locate(NaN) = %d, want last interval %d", got, iv.NumIntervals()-1)
+	}
+	if got := iv.Locate(math.Inf(-1)); got != 0 {
+		t.Fatalf("Locate(-Inf) = %d, want 0", got)
+	}
+	if got := iv.Locate(math.Inf(1)); got != iv.NumIntervals()-1 {
+		t.Fatalf("Locate(+Inf) = %d, want last interval", got)
+	}
+	// Empty structure: everything, NaN included, is interval 0.
+	empty := &Intervals{}
+	if got := empty.Locate(math.NaN()); got != 0 {
+		t.Fatalf("empty Locate(NaN) = %d, want 0", got)
+	}
+}
+
+func TestValidateRejectsNaNCut(t *testing.T) {
+	iv := &Intervals{Cuts: []float64{math.NaN()}}
+	if err := iv.Validate(); err == nil {
+		t.Fatal("a lone NaN cut must fail validation")
+	}
+	iv = &Intervals{Cuts: []float64{math.NaN(), 1, 2}}
+	if err := iv.Validate(); err == nil {
+		t.Fatal("a leading NaN cut must fail validation")
 	}
 }
 

@@ -23,11 +23,31 @@ type aliveInterval struct {
 	leftBefore []int64
 }
 
-// deriveSplit derives the node's splitting point: local statistics pass,
+// deriveSplit derives the node's splitting point under the configured
+// split-finding protocol. All ranks return the same candidate. The traffic
+// of the whole derivation is attributed to Stats.SplitComm, so the three
+// protocols' bytes on the wire are directly comparable.
+func (b *pbuilder) deriveSplit(t *nodeTask) (clouds.Candidate, error) {
+	sc := comm.NewScope(b.c)
+	var cand clouds.Candidate
+	var err error
+	switch b.cfg.Clouds.Split {
+	case clouds.SplitHist:
+		cand, err = b.deriveSplitHist(t)
+	case clouds.SplitVote:
+		cand, err = b.deriveSplitVote(t)
+	default:
+		cand, err = b.deriveSplitSSE(t)
+	}
+	b.stats.SplitComm.Add(sc.Delta())
+	return cand, err
+}
+
+// deriveSplitSSE is the paper's exact protocol: local statistics pass,
 // boundary evaluation under the configured replication scheme, and — for
 // the SSE method — alive-interval determination and exact evaluation under
-// the single-assignment approach. All ranks return the same candidate.
-func (b *pbuilder) deriveSplit(t *nodeTask) (clouds.Candidate, error) {
+// the single-assignment approach.
+func (b *pbuilder) deriveSplitSSE(t *nodeTask) (clouds.Candidate, error) {
 	local := t.localStats
 	if local == nil {
 		// No fused statistics from the parent (the root, or fusion off):

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"sort"
 
+	"pclouds/internal/clouds"
 	"pclouds/internal/comm"
 	"pclouds/internal/record"
 	"pclouds/internal/tree"
@@ -91,6 +92,11 @@ type ckptManifest struct {
 	Size    int        `json:"size"`
 	NRoot   int64      `json:"n_root"`
 	NextID  int        `json:"next_id"`
+	// Split records the -split-method the build ran under. A resume under a
+	// different method would re-derive the remaining splits with a different
+	// protocol and silently produce a different tree, so it is rejected.
+	// Empty (manifests from before the field existed) means "sse".
+	Split   string     `json:"split,omitempty"`
 	Pending []ckptTask `json:"pending"`
 	Small   []ckptTask `json:"small"`
 }
@@ -207,6 +213,7 @@ func (b *pbuilder) writeCheckpoint(dir string, level int, root *tree.Node, pendi
 		Version: ckptVersion, Level: level,
 		Rank: b.c.Rank(), Size: b.c.Size(),
 		NRoot: b.nRoot, NextID: b.nextID,
+		Split: b.cfg.Clouds.Split.String(),
 	}
 	var err error
 	if m.Pending, err = taskManifest(b, pending); err != nil {
@@ -447,6 +454,14 @@ func loadCheckpoint(cfg Config, c comm.Communicator, b *pbuilder, rootSample []r
 	if m.Rank != c.Rank() || m.Size != c.Size() {
 		return nil, fmt.Errorf("pclouds: resume: manifest is for rank %d of %d, this group is rank %d of %d",
 			m.Rank, m.Size, c.Rank(), c.Size())
+	}
+	ckptSplit := m.Split
+	if ckptSplit == "" {
+		ckptSplit = clouds.SplitSSE.String()
+	}
+	if got := cfg.Clouds.Split.String(); ckptSplit != got {
+		return nil, fmt.Errorf("pclouds: resume: checkpoint was written with -split-method %s, this build uses %s",
+			ckptSplit, got)
 	}
 
 	// Rank 0 owns the partial tree; everyone decodes the same bytes.

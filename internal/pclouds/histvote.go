@@ -1,0 +1,187 @@
+package pclouds
+
+// Communication-efficient split finding. The SSE protocol's per-node
+// traffic grows with the node's interval count and pays extra rounds for
+// the alive-interval exact search (boundary.go). The two protocols here
+// trade split exactness for constant, mergeable payloads:
+//
+//   - hist: every rank accumulates class frequencies over HistBins fixed
+//     quantile bins per numeric attribute (built from the node's shared
+//     sample, so all ranks agree on the bin edges), the histograms merge
+//     associatively in a single all-reduce, and every rank evaluates the
+//     merged boundaries identically. One collective per node; the split
+//     threshold is quantized to a bin edge.
+//
+//   - vote: PV-Tree-style two-round attribute voting over the same bins.
+//     Round 1: each rank nominates its VoteTopK locally best attributes
+//     (a tiny all-gather) and a deterministic majority election picks up
+//     to 2*VoteTopK candidates. Round 2: full bin statistics are
+//     all-reduced for the elected attributes only, and the exact (within
+//     bin resolution) winner over the elected set is chosen. Attributes
+//     that look poor on every rank never cross the wire.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"pclouds/internal/clouds"
+	"pclouds/internal/comm"
+	"pclouds/internal/histogram"
+	"pclouds/internal/record"
+)
+
+// childIntervals builds the interval structures a child node's fused
+// statistics accumulate over: the size-proportional QForNode count under
+// SSE, the fixed HistBins count under hist/vote.
+func (b *pbuilder) childIntervals(sample []record.Record, n int64) []*histogram.Intervals {
+	q := b.cfg.Clouds.QForNode(n, b.nRoot)
+	if b.cfg.Clouds.Split != clouds.SplitSSE {
+		q = b.cfg.Clouds.HistBins
+	}
+	return clouds.BuildIntervals(b.schema, sample, q)
+}
+
+// localFixedBinStats returns this rank's fixed-bin statistics for the node:
+// the fused statistics from the parent's partition pass when available,
+// otherwise one streaming pass now (the root, resumed frontier tasks, or
+// fusion off).
+func (b *pbuilder) localFixedBinStats(t *nodeTask) (*clouds.NodeStats, error) {
+	if t.localStats != nil {
+		return t.localStats, nil
+	}
+	span := b.rec.Start("stats")
+	defer span.End()
+	local := clouds.NewNodeStats(b.schema, clouds.BuildIntervals(b.schema, t.sample, b.cfg.Clouds.HistBins))
+	var localN int64
+	if err := scanStore(b.store, t.file, func(r *record.Record) error {
+		local.Add(*r)
+		localN++
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	b.stats.Build.RecordReads += localN
+	b.chargeCPU(localN)
+	return local, nil
+}
+
+// deriveSplitHist merges every rank's fixed-bin histograms in one
+// all-reduce and evaluates the merged boundaries identically on every rank.
+func (b *pbuilder) deriveSplitHist(t *nodeTask) (clouds.Candidate, error) {
+	local, err := b.localFixedBinStats(t)
+	if err != nil {
+		return clouds.Candidate{}, err
+	}
+	bnd := b.rec.Start("boundary")
+	defer bnd.End()
+	flat, err := comm.AllReduceInt64(b.c, local.Flatten(), addI64)
+	if err != nil {
+		return clouds.Candidate{}, err
+	}
+	global := clouds.NewNodeStats(b.schema, intervalsOf(local))
+	if err := global.Unflatten(flat); err != nil {
+		return clouds.Candidate{}, err
+	}
+	return clouds.BestBoundarySplit(global), nil
+}
+
+// deriveSplitVote runs the two voting rounds. Every step after the
+// all-gather is a deterministic function of identical inputs, so all ranks
+// elect the same attributes and return the same candidate.
+func (b *pbuilder) deriveSplitVote(t *nodeTask) (clouds.Candidate, error) {
+	local, err := b.localFixedBinStats(t)
+	if err != nil {
+		return clouds.Candidate{}, err
+	}
+	bnd := b.rec.Start("boundary")
+	defer bnd.End()
+
+	// Round 1: nominate this rank's locally best attributes and elect.
+	nominated := clouds.TopKAttrs(clouds.AttributeBest(local), b.cfg.Clouds.VoteTopK)
+	ballots, err := comm.AllGather(b.c, encodeVote(nominated))
+	if err != nil {
+		return clouds.Candidate{}, err
+	}
+	votes := make([][]int, len(ballots))
+	for i, raw := range ballots {
+		if votes[i], err = decodeVote(raw); err != nil {
+			return clouds.Candidate{}, err
+		}
+	}
+	elected := electAttrs(votes, 2*b.cfg.Clouds.VoteTopK)
+	if len(elected) == 0 {
+		// No rank found any valid local split; the node becomes a leaf.
+		return clouds.Candidate{Valid: false}, nil
+	}
+
+	// Round 2: merge full bin statistics for the elected attributes only.
+	flat, err := local.FlattenAttrs(elected)
+	if err != nil {
+		return clouds.Candidate{}, err
+	}
+	gflat, err := comm.AllReduceInt64(b.c, flat, addI64)
+	if err != nil {
+		return clouds.Candidate{}, err
+	}
+	global := clouds.NewNodeStats(b.schema, intervalsOf(local))
+	global.N = t.n
+	copy(global.Class, t.classCounts)
+	if err := global.UnflattenAttrs(elected, gflat); err != nil {
+		return clouds.Candidate{}, err
+	}
+	return clouds.BestOfAttrs(clouds.AttributeBest(global), elected), nil
+}
+
+// electAttrs tallies every rank's nominations and elects up to electCount
+// attributes: most votes first, lower attribute id breaking ties — a
+// deterministic election every rank computes identically from the gathered
+// ballots. The result is sorted ascending, the canonical layout order
+// FlattenAttrs requires.
+func electAttrs(ballots [][]int, electCount int) []int {
+	tally := map[int]int{}
+	for _, bal := range ballots {
+		for _, a := range bal {
+			tally[a]++
+		}
+	}
+	attrs := make([]int, 0, len(tally))
+	for a := range tally {
+		attrs = append(attrs, a)
+	}
+	sort.Slice(attrs, func(i, j int) bool {
+		if tally[attrs[i]] != tally[attrs[j]] {
+			return tally[attrs[i]] > tally[attrs[j]]
+		}
+		return attrs[i] < attrs[j]
+	})
+	if len(attrs) > electCount {
+		attrs = attrs[:electCount]
+	}
+	sort.Ints(attrs)
+	return attrs
+}
+
+func encodeVote(attrs []int) []byte {
+	out := make([]byte, 4+4*len(attrs))
+	binary.LittleEndian.PutUint32(out, uint32(len(attrs)))
+	for i, a := range attrs {
+		binary.LittleEndian.PutUint32(out[4+4*i:], uint32(a))
+	}
+	return out
+}
+
+func decodeVote(src []byte) ([]int, error) {
+	if len(src) < 4 {
+		return nil, fmt.Errorf("pclouds: truncated vote")
+	}
+	n := int(binary.LittleEndian.Uint32(src))
+	if len(src) != 4+4*n {
+		return nil, fmt.Errorf("pclouds: vote length %d, want %d", len(src), 4+4*n)
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = int(binary.LittleEndian.Uint32(src[4+4*i:]))
+	}
+	return out, nil
+}

@@ -169,6 +169,10 @@ type Stats struct {
 	// Comm and IO are this rank's transport and disk counters.
 	Comm comm.Stats
 	IO   ooc.IOStats
+	// SplitComm is the subset of Comm attributable to splitting-point
+	// derivation (the deriveSplit scope) — the traffic the -split-method
+	// protocols compete on.
+	SplitComm comm.Stats
 	// SimTime is this rank's simulated clock after the build.
 	SimTime float64
 	// Phase timings: simulated seconds this rank spent in each phase of
@@ -413,6 +417,9 @@ func Build(cfg Config, c comm.Communicator, store *ooc.Store, rootName string, s
 	b.stats.IO = store.Stats()
 	b.stats.SimTime = c.Clock().Time()
 	if rec != nil {
+		// Surface the split-derivation traffic in the merged report's
+		// counters line — the number the -split-method comparison reads.
+		rec.Count("split-comm-bytes", b.stats.SplitComm.BytesSent)
 		// Surface the checkpoint lifecycle counters in the merged report's
 		// counters line, next to the comm/io columns of the phase table.
 		if cfg.CheckpointDir != "" {
@@ -516,12 +523,10 @@ func (b *pbuilder) processLargeNode(t *nodeTask) ([]*nodeTask, error) {
 	var leftStats, rightStats *clouds.NodeStats
 	fuse := !b.cfg.DisableFusion
 	if fuse && !b.cfg.Clouds.IsSmall(nl, b.nRoot) && !b.cfg.Clouds.ShouldStop(leftCounts, nl, t.depth+1) {
-		q := b.cfg.Clouds.QForNode(nl, b.nRoot)
-		leftStats = clouds.NewNodeStats(b.schema, clouds.BuildIntervals(b.schema, leftSample, q))
+		leftStats = clouds.NewNodeStats(b.schema, b.childIntervals(leftSample, nl))
 	}
 	if fuse && !b.cfg.Clouds.IsSmall(nr, b.nRoot) && !b.cfg.Clouds.ShouldStop(rightCounts, nr, t.depth+1) {
-		q := b.cfg.Clouds.QForNode(nr, b.nRoot)
-		rightStats = clouds.NewNodeStats(b.schema, clouds.BuildIntervals(b.schema, rightSample, q))
+		rightStats = clouds.NewNodeStats(b.schema, b.childIntervals(rightSample, nr))
 	}
 
 	tPart := b.c.Clock().Time()
