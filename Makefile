@@ -32,10 +32,10 @@ test:
 # vote) across concurrent simulated ranks, so every build exercises the
 # concurrency under the race detector.
 race: vet-concurrency
-	$(GO) test -race ./internal/ooc/... ./internal/comm/... ./internal/fault/... ./internal/pclouds/... ./internal/clouds/... ./internal/serve/... ./internal/driver/...
+	$(GO) test -race ./internal/ooc/... ./internal/comm/... ./internal/fault/... ./internal/pclouds/... ./internal/clouds/... ./internal/serve/... ./internal/driver/... ./internal/stream/...
 
 vet-concurrency:
-	$(GO) vet ./internal/ooc/... ./internal/comm/tcp/... ./internal/fault/... ./internal/pclouds/... ./internal/clouds/... ./internal/serve/... ./internal/driver/...
+	$(GO) vet ./internal/ooc/... ./internal/comm/tcp/... ./internal/fault/... ./internal/pclouds/... ./internal/clouds/... ./internal/serve/... ./internal/driver/... ./internal/stream/...
 
 # Fault-injection acceptance suite: killed/wedged ranks, dropped and
 # corrupted frames, slow and failing storage — every scenario must end in
@@ -44,7 +44,7 @@ vet-concurrency:
 # because fault paths are where the detector earns its keep.
 chaos:
 	$(GO) test -race -run 'TestChaos' -v ./internal/pclouds/
-	$(GO) test -race ./internal/fault/... ./internal/comm/tcp/... ./internal/driver/...
+	$(GO) test -race ./internal/fault/... ./internal/comm/tcp/... ./internal/driver/... ./internal/stream/...
 	$(GO) test -race -run 'TestCheckpoint|TestResume|TestWriteBehind|TestPrefetch' ./internal/pclouds/ ./internal/fault/ ./internal/ooc/
 
 # chaos-quick is the self-healing subset that gates every commit: the

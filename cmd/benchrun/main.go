@@ -32,10 +32,14 @@ import (
 
 	"pclouds/internal/benchfmt"
 	"pclouds/internal/clouds"
+	"pclouds/internal/comm"
+	"pclouds/internal/costmodel"
+	"pclouds/internal/datagen"
 	"pclouds/internal/experiments"
 	"pclouds/internal/ooc"
 	"pclouds/internal/record"
 	"pclouds/internal/serve"
+	"pclouds/internal/stream"
 )
 
 func main() {
@@ -186,6 +190,11 @@ func runAll(index, records, procs int, seed int64, loadDur time.Duration, note s
 		return nil, err
 	}
 	benches = append(benches, split...)
+	sb, err := streamBench(seed, quick)
+	if err != nil {
+		return nil, err
+	}
+	benches = append(benches, sb)
 
 	return &benchfmt.File{
 		SchemaVersion: benchfmt.SchemaVersion,
@@ -245,6 +254,121 @@ func splitComparison(h experiments.Harness, data *record.Dataset, sample []recor
 		}
 	}
 	return benches, nil
+}
+
+// streamBench runs the windowed streaming pipeline on 4 simulated ranks
+// (6 windows full, 3 quick) with a registry watcher polling the publish
+// directory, and records the sketch-merge traffic (deterministic —
+// gated), the ingest rate, and the publish-to-ready latency: how long a
+// freshly published window's model takes to become the served version.
+func streamBench(seed int64, quick bool) (benchfmt.Benchmark, error) {
+	const procs = 4
+	windows := 6
+	if quick {
+		windows = 3
+	}
+	dir, err := os.MkdirTemp("", "benchrun-stream-")
+	if err != nil {
+		return benchfmt.Benchmark{}, err
+	}
+	defer os.RemoveAll(dir)
+	cfg := stream.Config{
+		Schema: datagen.Schema(),
+		Clouds: clouds.Config{
+			Split:       clouds.SplitHist,
+			HistBins:    8,
+			MaxDepth:    8,
+			MinNodeSize: 2,
+			Seed:        seed,
+		},
+		WindowRecords:  512,
+		SampleEvery:    4,
+		ReservoirCap:   2048,
+		RefreshEvery:   3,
+		GrowMinRecords: 32,
+		MaxWindows:     windows,
+		PublishDir:     dir,
+	}
+
+	// Watcher: poll the publish directory the way pcloudsserve's poller
+	// does and record publish-to-ready latency (model mtime to swap
+	// observed) for every version that becomes active.
+	watchStop := make(chan struct{})
+	watchDone := make(chan struct{})
+	var readySum time.Duration
+	var readyN int
+	go func() {
+		defer close(watchDone)
+		var reg *serve.Registry
+		observe := func() {
+			if m := reg.Active(); m != nil {
+				if lat := time.Since(m.Info.ModTime); lat >= 0 {
+					readySum += lat
+					readyN++
+				}
+			}
+		}
+		t := time.NewTicker(time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-watchStop:
+				return
+			case <-t.C:
+			}
+			if reg == nil {
+				if r, err := serve.OpenRegistry(dir); err == nil {
+					reg = r
+					observe()
+				}
+				continue
+			}
+			if _, swapped, _ := reg.Reload(); swapped {
+				observe()
+			}
+		}
+	}()
+
+	fmt.Fprintf(os.Stderr, "benchrun: stream: %d windows of %d records, %d ranks\n",
+		windows, cfg.WindowRecords, procs)
+	results := make([]*stream.Result, procs)
+	start := time.Now()
+	err = comm.Run(procs, costmodel.Zero(), func(c *comm.ChannelComm) error {
+		src, err := stream.NewSynthetic(datagen.Config{Function: 2, Seed: 42}, 0)
+		if err != nil {
+			return err
+		}
+		defer src.Close()
+		res, err := stream.Run(cfg, c, src)
+		if err != nil {
+			return fmt.Errorf("rank %d: %w", c.Rank(), err)
+		}
+		results[c.Rank()] = res
+		return nil
+	})
+	wall := time.Since(start)
+	close(watchStop)
+	<-watchDone
+	if err != nil {
+		return benchfmt.Benchmark{}, fmt.Errorf("stream/p%d: %w", procs, err)
+	}
+
+	var sketchBytes int64
+	for _, r := range results {
+		sketchBytes += r.Stats.SketchBytes
+	}
+	ready := 0.0
+	if readyN > 0 {
+		ready = (readySum / time.Duration(readyN)).Seconds()
+	}
+	return benchfmt.Benchmark{
+		Name: fmt.Sprintf("stream/p%d", procs),
+		Metrics: []benchfmt.Metric{
+			{Name: "sketch_merge_bytes", Value: float64(sketchBytes), Unit: "B", Better: benchfmt.LowerIsBetter, Gate: true},
+			{Name: "records_per_sec", Value: float64(results[0].Stats.Scanned) / wall.Seconds(), Unit: "rows/s", Better: benchfmt.HigherIsBetter},
+			{Name: "publish_ready_seconds", Value: ready, Unit: "s", Better: benchfmt.LowerIsBetter},
+		},
+	}, nil
 }
 
 func min(a, b int) int {

@@ -6,24 +6,38 @@
 //
 //	datagen -n 100000 -function 2 -seed 1 -format binary -o train.bin
 //	datagen -n 1000 -format csv -o - | head
+//
+// With -stream, datagen becomes a live writer: it appends binary records
+// to -o at -rate records per second (creating the file if needed) until -n
+// records are written or it is interrupted. The output is the fixed-width
+// layout pcloudsstream's tail source follows, so
+//
+//	datagen -stream -rate 500 -n 0 -o train.bin
+//
+// feeds a streaming build indefinitely.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"pclouds/internal/datagen"
 )
 
 func main() {
 	var (
-		n      = flag.Int("n", 100000, "number of records to generate")
+		n      = flag.Int("n", 100000, "number of records to generate (0 with -stream = unbounded)")
 		fn     = flag.Int("function", 2, "classification function (1..10)")
 		seed   = flag.Int64("seed", 1, "generator seed")
 		noise  = flag.Float64("noise", 0, "label noise probability in [0,1)")
 		format = flag.String("format", "binary", "output format: binary or csv")
 		out    = flag.String("o", "train.bin", "output path ('-' for stdout)")
+		strm   = flag.Bool("stream", false, "append binary records to -o at -rate records/s instead of writing a batch")
+		rate   = flag.Float64("rate", 1000, "records per second in -stream mode")
 	)
 	flag.Parse()
 
@@ -31,6 +45,14 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	if *strm {
+		if err := streamRecords(g, *out, *n, *rate); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	data := g.Generate(*n)
 
 	w := os.Stdout
@@ -56,6 +78,62 @@ func main() {
 	if *out != "-" {
 		fmt.Fprintf(os.Stderr, "wrote %d records (%s, function %d) to %s\n", *n, *format, *fn, *out)
 	}
+}
+
+// streamRecords appends binary records to path at roughly rate records per
+// second. Records are written whole (one Write per batch of complete
+// records), so a tailer never observes a torn record from a single write —
+// and the tail source additionally waits out short reads.
+func streamRecords(g *datagen.Generator, path string, n int, rate float64) error {
+	if path == "-" {
+		return fmt.Errorf("-stream needs a file path, not stdout")
+	}
+	if rate <= 0 {
+		return fmt.Errorf("-rate must be positive")
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	const tick = 20 * time.Millisecond
+	perTick := rate * tick.Seconds()
+	t := time.NewTicker(tick)
+	defer t.Stop()
+
+	written, carry := 0, 0.0
+	var buf []byte
+	for n <= 0 || written < n {
+		select {
+		case <-stop:
+			fmt.Fprintf(os.Stderr, "datagen: interrupted after %d records\n", written)
+			return nil
+		case <-t.C:
+		}
+		carry += perTick
+		batch := int(carry)
+		carry -= float64(batch)
+		if n > 0 && written+batch > n {
+			batch = n - written
+		}
+		if batch == 0 {
+			continue
+		}
+		buf = buf[:0]
+		for i := 0; i < batch; i++ {
+			buf = g.Next().Encode(buf)
+		}
+		if _, err := f.Write(buf); err != nil {
+			return err
+		}
+		written += batch
+	}
+	fmt.Fprintf(os.Stderr, "streamed %d records (%.0f/s) to %s\n", written, rate, path)
+	return nil
 }
 
 func fatal(err error) {

@@ -156,12 +156,70 @@ func (cfg *Config) withDefaults() {
 // tuning knob.
 const adoptionCap = 100
 
-// RunRank runs one rank of a distributed build to completion, recovering
-// from peer failures by re-dialling the mesh at a bumped generation and
-// auto-resuming from the newest complete checkpoint. It returns the built
-// tree, or an error wrapping the root-cause comm.PeerDown once the
-// recovery budget is exhausted.
-func RunRank(cfg Config) (*RankResult, error) {
+// LoopConfig parameterises the generic rendezvous loop shared by every
+// supervised rank workload: batch builds (RunRank) and the streaming engine
+// (cmd/pcloudsstream). It carries the mesh identity and recovery knobs; the
+// workload itself is the body passed to Loop.
+type LoopConfig struct {
+	// Rank, Addrs and Generation identify this rank in the mesh; Generation
+	// grows over the run exactly as documented on Config.
+	Rank       int
+	Addrs      []string
+	Generation uint32
+	// MaxRestarts and Backoff follow Config's semantics and defaults.
+	MaxRestarts int
+	Backoff     time.Duration
+	// Comm is the transport template; Rank, Addrs and Generation are
+	// overwritten per attempt.
+	Comm tcpcomm.Config
+	// Stage, when non-nil, runs before every attempt to (re-)prepare local
+	// state (e.g. restage the root partition). attempt is 1-based and counts
+	// bodies started so far plus one.
+	Stage func(attempt int) error
+	// Stop aborts the loop when closed (Loop returns ErrStopped); an
+	// in-flight body is unblocked by closing its communicator.
+	Stop <-chan struct{}
+	Logf func(format string, args ...any)
+	Vars *Vars
+	// OnAttempt, when non-nil, observes the freshly connected communicator
+	// at the start of every attempt.
+	OnAttempt func(c *tcpcomm.Comm)
+}
+
+// LoopResult summarises a Loop run that completed.
+type LoopResult struct {
+	// Comm holds the transport counters of the mesh that completed.
+	Comm comm.Stats
+	// Attempts counts bodies started, including the successful one;
+	// Generation is the generation of the mesh that completed.
+	Attempts   int
+	Generation uint32
+}
+
+func (cfg *LoopConfig) withDefaults() {
+	if cfg.MaxRestarts == 0 {
+		cfg.MaxRestarts = 5
+	}
+	if cfg.Backoff == 0 {
+		cfg.Backoff = 500 * time.Millisecond
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	if cfg.Vars == nil {
+		cfg.Vars = &Vars{}
+	}
+}
+
+// Loop runs body to completion under the self-healing rendezvous protocol:
+// stage local state, bring the mesh up at the current generation (adopting
+// newer generations announced by fencing rejects), run the body, and — when
+// the body fails with a comm.PeerDown — tear down, bump the generation and
+// rendezvous again, within a bounded recovery budget. The body must be
+// restartable: on every attempt it is responsible for restoring its own
+// progress (batch builds auto-resume from checkpoints; the streaming engine
+// re-runs its collective window-resume agreement).
+func Loop(cfg LoopConfig, body func(c *tcpcomm.Comm, attempt int) error) (*LoopResult, error) {
 	cfg.withDefaults()
 	gen := cfg.Generation
 	backoff := cfg.Backoff
@@ -169,7 +227,7 @@ func RunRank(cfg Config) (*RankResult, error) {
 	var rootCause *comm.PeerDown
 	attempts := 0
 
-	fail := func(err error) (*RankResult, error) {
+	fail := func(err error) (*LoopResult, error) {
 		if rootCause != nil {
 			return nil, fmt.Errorf("driver: rank %d: recovery budget exhausted after %d attempts (%v); root cause: %w",
 				cfg.Rank, attempts, err, rootCause)
@@ -207,11 +265,13 @@ func RunRank(cfg Config) (*RankResult, error) {
 			return nil, ErrStopped
 		}
 
-		// Rendezvous barrier: (re-)stage the root partition, then bring the
-		// mesh up at the current generation, adopting newer generations
-		// announced by fencing rejects.
-		if err := cfg.Stage(cfg.Store); err != nil {
-			return nil, fmt.Errorf("driver: rank %d: stage: %w", cfg.Rank, err)
+		// Rendezvous barrier: (re-)stage local state, then bring the mesh up
+		// at the current generation, adopting newer generations announced by
+		// fencing rejects.
+		if cfg.Stage != nil {
+			if err := cfg.Stage(attempts + 1); err != nil {
+				return nil, fmt.Errorf("driver: rank %d: stage: %w", cfg.Rank, err)
+			}
 		}
 		var c *tcpcomm.Comm
 		adoptions := 0
@@ -258,18 +318,8 @@ func RunRank(cfg Config) (*RankResult, error) {
 		if cfg.OnAttempt != nil {
 			cfg.OnAttempt(c)
 		}
-		bc := cfg.Build
-		if bc.CheckpointDir != "" && !bc.Resume {
-			bc.ResumeAuto = true
-		}
-		if attempts > 1 {
-			// The strict Resume (if any) applied to the first attempt; a
-			// recovery attempt must tolerate "no checkpoint yet".
-			bc.Resume = false
-			bc.ResumeAuto = bc.CheckpointDir != ""
-		}
-		// A Stop while the build is in flight closes the communicator, which
-		// fails the build's next collective and unblocks it.
+		// A Stop while the body is in flight closes the communicator, which
+		// fails the body's next collective and unblocks it.
 		watch := make(chan struct{})
 		if cfg.Stop != nil {
 			go func() {
@@ -280,12 +330,12 @@ func RunRank(cfg Config) (*RankResult, error) {
 				}
 			}()
 		}
-		tr, stats, err := pclouds.Build(bc, c, cfg.Store, cfg.RootName, cfg.Sample)
+		err := body(c, attempts)
 		close(watch)
 		cs := c.Stats()
 		c.Close()
 		if err == nil {
-			return &RankResult{Tree: tr, Stats: stats, Comm: cs, Attempts: attempts, Generation: gen}, nil
+			return &LoopResult{Comm: cs, Attempts: attempts, Generation: gen}, nil
 		}
 		if stopped() {
 			return nil, ErrStopped
@@ -305,4 +355,50 @@ func RunRank(cfg Config) (*RankResult, error) {
 		cfg.Logf("driver: rank %d: peer failure (%v); rendezvousing at generation %d (%d attempts left)",
 			cfg.Rank, pd, gen, budget)
 	}
+}
+
+// RunRank runs one rank of a distributed build to completion, recovering
+// from peer failures by re-dialling the mesh at a bumped generation and
+// auto-resuming from the newest complete checkpoint. It returns the built
+// tree, or an error wrapping the root-cause comm.PeerDown once the
+// recovery budget is exhausted. It is the batch-build body on top of the
+// generic rendezvous Loop.
+func RunRank(cfg Config) (*RankResult, error) {
+	cfg.withDefaults()
+	var tr *tree.Tree
+	var stats *pclouds.Stats
+	res, err := Loop(LoopConfig{
+		Rank:        cfg.Rank,
+		Addrs:       cfg.Addrs,
+		Generation:  cfg.Generation,
+		MaxRestarts: cfg.MaxRestarts,
+		Backoff:     cfg.Backoff,
+		Comm:        cfg.Comm,
+		Stage:       func(int) error { return cfg.Stage(cfg.Store) },
+		Stop:        cfg.Stop,
+		Logf:        cfg.Logf,
+		Vars:        cfg.Vars,
+		OnAttempt:   cfg.OnAttempt,
+	}, func(c *tcpcomm.Comm, attempt int) error {
+		bc := cfg.Build
+		if bc.CheckpointDir != "" && !bc.Resume {
+			bc.ResumeAuto = true
+		}
+		if attempt > 1 {
+			// The strict Resume (if any) applied to the first attempt; a
+			// recovery attempt must tolerate "no checkpoint yet".
+			bc.Resume = false
+			bc.ResumeAuto = bc.CheckpointDir != ""
+		}
+		t, s, err := pclouds.Build(bc, c, cfg.Store, cfg.RootName, cfg.Sample)
+		if err != nil {
+			return err
+		}
+		tr, stats = t, s
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &RankResult{Tree: tr, Stats: stats, Comm: res.Comm, Attempts: res.Attempts, Generation: res.Generation}, nil
 }

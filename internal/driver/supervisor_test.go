@@ -78,7 +78,7 @@ func TestSuperviseBudgetExhausted(t *testing.T) {
 		Ranks:       2,
 		MaxRestarts: 1,
 		Backoff:     10 * time.Millisecond,
-		Command: shCommand(`if [ "$1" = 1 ]; then echo "peer 0 vanished" >&2; exit 3; fi; sleep 30`),
+		Command:     shCommand(`if [ "$1" = 1 ]; then echo "peer 0 vanished" >&2; exit 3; fi; sleep 30`),
 	})
 	if err == nil {
 		t.Fatal("want error, got nil")

@@ -75,7 +75,10 @@ func (b *pbuilder) deriveSplitHist(t *nodeTask) (clouds.Candidate, error) {
 	}
 	bnd := b.rec.Start("boundary")
 	defer bnd.End()
-	flat, err := comm.AllReduceInt64(b.c, local.Flatten(), addI64)
+	// histogram.MergeCount is the shared associative histogram combine; the
+	// streaming frontier (internal/stream) merges its window sketches with
+	// the exact same op, so both layers inherit the same order-independence.
+	flat, err := comm.AllReduceInt64(b.c, local.Flatten(), histogram.MergeCount)
 	if err != nil {
 		return clouds.Candidate{}, err
 	}
@@ -120,7 +123,7 @@ func (b *pbuilder) deriveSplitVote(t *nodeTask) (clouds.Candidate, error) {
 	if err != nil {
 		return clouds.Candidate{}, err
 	}
-	gflat, err := comm.AllReduceInt64(b.c, flat, addI64)
+	gflat, err := comm.AllReduceInt64(b.c, flat, histogram.MergeCount)
 	if err != nil {
 		return clouds.Candidate{}, err
 	}

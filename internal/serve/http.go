@@ -292,9 +292,10 @@ func (s *Server) handleModel(w http.ResponseWriter, _ *http.Request) {
 // symptom).
 func (s *Server) registrySnapshot() map[string]any {
 	return map[string]any{
-		"swaps":           s.reg.Swaps(),
-		"reload_failures": s.reg.ReloadFailures(),
-		"last_error":      s.reg.LastError(),
+		"swaps":             s.reg.Swaps(),
+		"reload_failures":   s.reg.ReloadFailures(),
+		"last_error":        s.reg.LastError(),
+		"model_age_seconds": s.reg.ModelAge().Seconds(),
 	}
 }
 

@@ -81,6 +81,30 @@ func (r *Registry) Swaps() int64 { return r.swaps.Load() }
 // ReloadFailures returns how many reload attempts failed since start.
 func (r *Registry) ReloadFailures() int64 { return r.reloadFailures.Load() }
 
+// ModelAge returns how old the active model is: time since the model file
+// was written (its mtime), or — for in-memory models without a file —
+// since it was loaded. Zero when no model is active. In a streaming
+// pipeline this is the serving tier's freshness signal: it resets on every
+// published window and grows when the trainer stalls.
+func (r *Registry) ModelAge() time.Duration {
+	m := r.active.Load()
+	if m == nil {
+		return 0
+	}
+	ref := m.Info.ModTime
+	if ref.IsZero() {
+		ref = m.Info.Loaded
+	}
+	if ref.IsZero() {
+		return 0
+	}
+	age := time.Since(ref)
+	if age < 0 {
+		return 0
+	}
+	return age
+}
+
 // LastError returns the most recent reload error message ("" when the last
 // reload succeeded).
 func (r *Registry) LastError() string {
@@ -97,6 +121,8 @@ func (r *Registry) RegisterMetrics(reg *obs.Registry) {
 		Func(func() float64 { return float64(r.Swaps()) })
 	reg.Counter("pclouds_serve_model_reload_failures_total", "Model reload attempts that failed.").
 		Func(func() float64 { return float64(r.ReloadFailures()) })
+	reg.Gauge("pclouds_serve_model_age_seconds", "Age of the active model (mtime-based; loaded-time for in-memory models).").
+		Func(func() float64 { return r.ModelAge().Seconds() })
 }
 
 // SetActive force-publishes a model (static registries and tests).

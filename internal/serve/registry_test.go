@@ -157,3 +157,26 @@ func TestOpenRegistryEmptyDirFails(t *testing.T) {
 		t.Fatal("empty registry opened")
 	}
 }
+
+func TestRegistryModelAge(t *testing.T) {
+	if age := NewStaticRegistry(nil).ModelAge(); age != 0 {
+		t.Fatalf("empty registry age %v, want 0", age)
+	}
+
+	// File-backed: age is measured from the model file's mtime.
+	dir := t.TempDir()
+	saveModel(t, leafModel(t, "", 0), filepath.Join(dir, "m.model"), time.Now().Add(-time.Hour))
+	reg, err := OpenRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if age := reg.ModelAge(); age < 59*time.Minute || age > 61*time.Minute {
+		t.Fatalf("file-backed age %v, want ~1h", age)
+	}
+
+	// Static: no mtime, so age falls back to the load time.
+	sreg := NewStaticRegistry(leafModel(t, "", 0))
+	if age := sreg.ModelAge(); age < 0 || age > time.Minute {
+		t.Fatalf("static age %v, want ~0", age)
+	}
+}

@@ -1,0 +1,258 @@
+package stream
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"pclouds/internal/clouds"
+	tcpcomm "pclouds/internal/comm/tcp"
+	"pclouds/internal/costmodel"
+	"pclouds/internal/datagen"
+	"pclouds/internal/driver"
+)
+
+// The supervised chaos test re-execs this test binary as the rank
+// processes (the driver package's pattern): TestMain diverts to
+// streamRankMain when the helper env var is set, so the injected os.Exit
+// kills a real process and the survivors see a real vanished peer.
+func TestMain(m *testing.M) {
+	if os.Getenv("PCLOUDS_STREAM_HELPER") == "1" {
+		os.Exit(streamRankMain())
+	}
+	os.Exit(m.Run())
+}
+
+const chaosDeadline = 120 * time.Second
+
+// chaosConfig is the streaming configuration shared by the helper
+// processes and the in-test reference run; the two must match exactly for
+// the bit-identical comparison to be meaningful.
+func chaosConfig(publishDir, ckptDir string) Config {
+	return Config{
+		Schema: datagen.Schema(),
+		Clouds: clouds.Config{
+			Split:       clouds.SplitHist,
+			HistBins:    8,
+			MaxDepth:    6,
+			MinNodeSize: 2,
+			Seed:        1,
+		},
+		WindowRecords:  200,
+		SampleEvery:    2,
+		ReservoirCap:   600,
+		RefreshEvery:   3,
+		GrowMinRecords: 20,
+		MaxWindows:     6,
+		PublishDir:     publishDir,
+		CheckpointDir:  ckptDir,
+	}
+}
+
+func chaosSource() (Source, error) {
+	return NewSynthetic(datagen.Config{Function: 2, Seed: 42}, 0)
+}
+
+func reservePorts(t *testing.T, p int) []string {
+	t.Helper()
+	addrs := make([]string, p)
+	lns := make([]net.Listener, p)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return addrs
+}
+
+// streamRankMain is the helper-process entry: one supervised streaming
+// rank. Configuration arrives via environment variables; an entry
+// "rank@window:idx" in PCLOUDS_STREAM_KILL makes that rank os.Exit(3) the
+// first time it scans global record idx inside that window — once,
+// recorded by a marker file so its respawn survives.
+func streamRankMain() int {
+	fail := func(err error) int {
+		fmt.Fprintf(os.Stderr, "helper: %v\n", err)
+		return 1
+	}
+	rank, err := strconv.Atoi(os.Getenv("PCLOUDS_STREAM_RANK"))
+	if err != nil {
+		return fail(err)
+	}
+	gen, err := strconv.ParseUint(os.Getenv("PCLOUDS_STREAM_GEN"), 10, 32)
+	if err != nil {
+		return fail(err)
+	}
+	addrs := strings.Split(os.Getenv("PCLOUDS_STREAM_ADDRS"), ",")
+	workDir := os.Getenv("PCLOUDS_STREAM_DIR") // models, checkpoints, markers
+
+	cfg := chaosConfig(filepath.Join(workDir, "models"), filepath.Join(workDir, "ckpt"))
+	cfg.Logf = func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	for _, spec := range strings.Split(os.Getenv("PCLOUDS_STREAM_KILL"), ",") {
+		var kr, kw int
+		var ki int64
+		if _, err := fmt.Sscanf(spec, "%d@%d:%d", &kr, &kw, &ki); err != nil || kr != rank {
+			continue
+		}
+		marker := filepath.Join(workDir, fmt.Sprintf("killed-rank%d", rank))
+		cfg.RecordHook = func(window int, idx int64) {
+			if window != kw || idx != ki {
+				return
+			}
+			if _, err := os.Stat(marker); err == nil {
+				return // this incarnation is the respawn; die only once
+			}
+			if err := os.WriteFile(marker, []byte("x"), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "helper rank %d: marker: %v\n", rank, err)
+			}
+			fmt.Fprintf(os.Stderr, "helper rank %d: injected crash at window %d record %d\n", rank, window, idx)
+			os.Exit(3)
+		}
+	}
+
+	_, err = driver.Loop(driver.LoopConfig{
+		Rank:        rank,
+		Addrs:       addrs,
+		Generation:  uint32(gen),
+		MaxRestarts: 6,
+		Backoff:     100 * time.Millisecond,
+		Comm: tcpcomm.Config{
+			Params:            costmodel.Zero(),
+			DialTimeout:       20 * time.Second,
+			HeartbeatInterval: 100 * time.Millisecond,
+			PeerTimeout:       2 * time.Second,
+		},
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	}, func(c *tcpcomm.Comm, attempt int) error {
+		// A fresh source per attempt: the engine's collective resume
+		// replays it to the agreed checkpoint high-water mark.
+		src, err := chaosSource()
+		if err != nil {
+			return err
+		}
+		defer src.Close()
+		res, err := Run(cfg, c, src)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "helper rank %d: done (%d windows, resumed at %d, attempt %d)\n",
+			rank, res.Stats.Windows, res.Stats.ResumedAt, attempt)
+		return nil
+	})
+	if err != nil {
+		return fail(err)
+	}
+	return 0
+}
+
+// TestStreamSupervisedChaosBitIdentical is the streaming acceptance
+// scenario: a 4-rank supervised streaming build loses rank 1 mid-window
+// (a real process, a real os.Exit after two windows committed). The
+// supervisor respawns it at a bumped generation, the group agrees on the
+// newest common window checkpoint, replays the stream to it, and the
+// published model sequence — recovery window included — is bit-identical
+// to an undisturbed run.
+func TestStreamSupervisedChaosBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("supervised chaos test is slow")
+	}
+	const p = 4
+
+	// Reference: the undisturbed published sequence over the in-process
+	// channel transport.
+	refDir := t.TempDir()
+	ref := chaosConfig(refDir, "")
+	runRanks(t, p, ref, func(int) Source {
+		src, err := chaosSource()
+		if err != nil {
+			t.Error(err)
+			return nil
+		}
+		return src
+	})
+	want := publishedModels(t, refDir)
+	if len(want) != 6 {
+		t.Fatalf("reference published %d models, want 6", len(want))
+	}
+
+	workDir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(workDir, "models"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	addrs := reservePorts(t, p)
+	self, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// Kill rank 1 at global record 450 — mid-ingest of window 2, after
+		// two windows committed and checkpointed.
+		err := driver.Supervise(driver.SupervisorConfig{
+			Ranks:       p,
+			MaxRestarts: 5,
+			Backoff:     200 * time.Millisecond,
+			Logf:        t.Logf,
+			Command: func(rank int, gen uint32) *exec.Cmd {
+				cmd := exec.Command(self)
+				cmd.Env = append(os.Environ(),
+					"PCLOUDS_STREAM_HELPER=1",
+					fmt.Sprintf("PCLOUDS_STREAM_RANK=%d", rank),
+					fmt.Sprintf("PCLOUDS_STREAM_GEN=%d", gen),
+					"PCLOUDS_STREAM_ADDRS="+strings.Join(addrs, ","),
+					"PCLOUDS_STREAM_DIR="+workDir,
+					"PCLOUDS_STREAM_KILL=1@2:450",
+				)
+				cmd.Stderr = os.Stderr
+				return cmd
+			},
+		})
+		if err != nil {
+			t.Errorf("supervise: %v", err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(chaosDeadline):
+		t.Fatalf("supervised streaming build still running after %v — a rank is hung", chaosDeadline)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// The injected kill must actually have happened.
+	if _, err := os.Stat(filepath.Join(workDir, "killed-rank1")); err != nil {
+		t.Fatalf("rank 1 was never killed: %v", err)
+	}
+	// The recovered pipeline's published sequence is bit-identical to the
+	// undisturbed reference — the windows before the crash, the recovery
+	// window, and everything after.
+	got := publishedModels(t, filepath.Join(workDir, "models"))
+	if fmt.Sprint(sortedNames(got)) != fmt.Sprint(sortedNames(want)) {
+		t.Fatalf("published names differ: got %v, want %v", sortedNames(got), sortedNames(want))
+	}
+	for name, blob := range want {
+		if !bytes.Equal(got[name], blob) {
+			t.Errorf("model %s differs from undisturbed run", name)
+		}
+	}
+}

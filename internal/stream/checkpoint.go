@@ -1,0 +1,272 @@
+package stream
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"pclouds/internal/comm"
+	"pclouds/internal/record"
+	"pclouds/internal/tree"
+)
+
+// Window checkpoints. After every committed window each rank persists its
+// replicated engine state — committed window count, the stream high-water
+// mark, the current tree and the sample reservoir — into its own
+// subdirectory of Config.CheckpointDir:
+//
+//	<dir>/rank-<r>/window-<w>.ck
+//
+// The state is identical on every rank (that is the engine's core
+// invariant), but each rank writes its own copy so recovery never depends
+// on a shared file being written by the rank that died. On (re)start the
+// ranks agree collectively on the newest window every rank still has
+// (all-reduce min over each rank's newest loadable checkpoint, the same
+// newest-common agreement as the batch layer's level checkpoints) and all
+// load that window; a minimum of zero means a collective fresh start.
+// Because the commit protocol keeps ranks within one window of each other,
+// keeping keepWindows >= 2 checkpoints guarantees the agreed window is
+// still on every disk.
+//
+// File layout (little-endian):
+//
+//	magic       u64  "PCSTRMW1"
+//	fingerprint u32  config fingerprint; a mismatch refuses to resume
+//	window      u32  committed windows
+//	nextIdx     i64  global stream index of the first unprocessed record
+//	treeLen     u32  tree.Encode bytes (0 = no model yet)
+//	tree        treeLen bytes
+//	resCount    u32  reservoir records, fixed-width record encoding
+//	reservoir   resCount * Schema.RecordBytes() bytes
+
+const ckptMagic = "PCSTRMW1"
+
+// keepWindows is how many committed-window checkpoints each rank retains.
+// 2 suffices for the <=1 window commit skew; 3 adds one window of slack
+// against a rank whose checkpoint write failed degraded-style.
+const keepWindows = 3
+
+// ckptState is the replicated engine state one checkpoint round-trips.
+type ckptState struct {
+	window    int
+	nextIdx   int64
+	tree      *tree.Tree // nil before the first refresh
+	reservoir []record.Record
+}
+
+// fingerprint hashes every configuration knob that shapes the deterministic
+// state machine. Resuming under a different configuration would silently
+// diverge the replay, so it is refused instead.
+func (cfg *Config) fingerprint() uint32 {
+	h := fnv.New32a()
+	fmt.Fprintf(h, "%d|%d|%d|%d|%d|%d|%d|%d|%d|%d",
+		cfg.WindowRecords, cfg.SampleEvery, cfg.ReservoirCap, cfg.RefreshEvery,
+		cfg.GrowMinRecords, cfg.Clouds.HistBins, cfg.Clouds.Seed, int(cfg.Clouds.Split),
+		cfg.Clouds.MaxDepth, cfg.Schema.RecordBytes())
+	return h.Sum32()
+}
+
+func rankDir(dir string, rank int) string {
+	return filepath.Join(dir, fmt.Sprintf("rank-%03d", rank))
+}
+
+func ckptPath(dir string, rank, window int) string {
+	return filepath.Join(rankDir(dir, rank), fmt.Sprintf("window-%06d.ck", window))
+}
+
+func encodeCkpt(fp uint32, st *ckptState) []byte {
+	var treeBytes []byte
+	if st.tree != nil {
+		treeBytes = tree.Encode(st.tree)
+	}
+	res := record.EncodeAll(st.reservoir)
+	out := make([]byte, 0, 8+4+4+8+4+len(treeBytes)+4+len(res))
+	out = append(out, ckptMagic...)
+	out = binary.LittleEndian.AppendUint32(out, fp)
+	out = binary.LittleEndian.AppendUint32(out, uint32(st.window))
+	out = binary.LittleEndian.AppendUint64(out, uint64(st.nextIdx))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(treeBytes)))
+	out = append(out, treeBytes...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(st.reservoir)))
+	out = append(out, res...)
+	return out
+}
+
+func decodeCkpt(schema *record.Schema, fp uint32, src []byte) (*ckptState, error) {
+	if len(src) < 8+4+4+8+4 || string(src[:8]) != ckptMagic {
+		return nil, fmt.Errorf("stream: not a window checkpoint")
+	}
+	src = src[8:]
+	if got := binary.LittleEndian.Uint32(src); got != fp {
+		return nil, fmt.Errorf("stream: checkpoint fingerprint %08x does not match configuration %08x (window size, sampling, seed or split changed)", got, fp)
+	}
+	st := &ckptState{}
+	st.window = int(binary.LittleEndian.Uint32(src[4:]))
+	st.nextIdx = int64(binary.LittleEndian.Uint64(src[8:]))
+	treeLen := int(binary.LittleEndian.Uint32(src[16:]))
+	src = src[20:]
+	if len(src) < treeLen+4 {
+		return nil, fmt.Errorf("stream: truncated checkpoint tree")
+	}
+	if treeLen > 0 {
+		t, err := tree.Decode(schema, src[:treeLen])
+		if err != nil {
+			return nil, fmt.Errorf("stream: checkpoint tree: %w", err)
+		}
+		st.tree = t
+	}
+	src = src[treeLen:]
+	resCount := int(binary.LittleEndian.Uint32(src))
+	src = src[4:]
+	if len(src) != resCount*schema.RecordBytes() {
+		return nil, fmt.Errorf("stream: checkpoint reservoir: %d bytes for %d records", len(src), resCount)
+	}
+	recs, err := record.DecodeAll(schema, src)
+	if err != nil {
+		return nil, fmt.Errorf("stream: checkpoint reservoir: %w", err)
+	}
+	st.reservoir = recs
+	return st, nil
+}
+
+// writeCkpt persists st atomically (temp + fsync + rename, the
+// tree.SaveFile discipline) into this rank's checkpoint directory and
+// prunes checkpoints older than the keep horizon.
+func writeCkpt(dir string, rank int, fp uint32, st *ckptState) error {
+	rd := rankDir(dir, rank)
+	if err := os.MkdirAll(rd, 0o755); err != nil {
+		return err
+	}
+	final := ckptPath(dir, rank, st.window)
+	tmp, err := os.CreateTemp(rd, ".tmp-window-")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(encodeCkpt(fp, st)); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		return err
+	}
+	pruneCkpts(rd, st.window)
+	return nil
+}
+
+// pruneCkpts removes this rank's checkpoints older than the keep horizon.
+// Best-effort: pruning failures leave garbage, never break correctness.
+func pruneCkpts(rd string, newest int) {
+	entries, err := os.ReadDir(rd)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		var w int
+		if _, err := fmt.Sscanf(e.Name(), "window-%d.ck", &w); err != nil {
+			continue
+		}
+		if w <= newest-keepWindows {
+			os.Remove(filepath.Join(rd, e.Name()))
+		}
+	}
+}
+
+// newestCkpt scans this rank's checkpoint directory and returns the newest
+// loadable state (nil when there is none). Unreadable or mismatched files
+// are skipped, so one corrupt checkpoint degrades to the previous window
+// instead of wedging recovery.
+func newestCkpt(dir string, rank int, schema *record.Schema, fp uint32) *ckptState {
+	rd := rankDir(dir, rank)
+	entries, err := os.ReadDir(rd)
+	if err != nil {
+		return nil
+	}
+	var windows []int
+	for _, e := range entries {
+		var w int
+		if _, err := fmt.Sscanf(e.Name(), "window-%d.ck", &w); err == nil {
+			windows = append(windows, w)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(windows)))
+	for _, w := range windows {
+		raw, err := os.ReadFile(ckptPath(dir, rank, w))
+		if err != nil {
+			continue
+		}
+		st, err := decodeCkpt(schema, fp, raw)
+		if err != nil || st.window != w {
+			continue
+		}
+		return st
+	}
+	return nil
+}
+
+// loadCkpt loads this rank's checkpoint for one specific window.
+func loadCkpt(dir string, rank, window int, schema *record.Schema, fp uint32) (*ckptState, error) {
+	raw, err := os.ReadFile(ckptPath(dir, rank, window))
+	if err != nil {
+		return nil, err
+	}
+	st, err := decodeCkpt(schema, fp, raw)
+	if err != nil {
+		return nil, err
+	}
+	if st.window != window {
+		return nil, fmt.Errorf("stream: checkpoint window %d in file for window %d", st.window, window)
+	}
+	return st, nil
+}
+
+// agreeResume runs the collective resume agreement: every rank reports its
+// newest loadable checkpoint window, the group all-reduces the minimum, and
+// every rank loads exactly that window. A minimum of zero (some rank has
+// nothing) is a collective fresh start: every rank wipes its own
+// checkpoints so stale state can never resurface after the replayed stream
+// diverges from it.
+func agreeResume(cfg *Config, c comm.Communicator) (*ckptState, error) {
+	fp := cfg.fingerprint()
+	newest := 0
+	var local *ckptState
+	if st := newestCkpt(cfg.CheckpointDir, c.Rank(), cfg.Schema, fp); st != nil {
+		newest, local = st.window, st
+	}
+	agreed, err := comm.AllReduceInt64(c, []int64{int64(newest)}, minI64)
+	if err != nil {
+		return nil, err
+	}
+	w := int(agreed[0])
+	if w <= 0 {
+		if err := os.RemoveAll(rankDir(cfg.CheckpointDir, c.Rank())); err != nil {
+			return nil, fmt.Errorf("stream: clearing stale checkpoints: %w", err)
+		}
+		return nil, nil
+	}
+	if local != nil && local.window == w {
+		return local, nil
+	}
+	st, err := loadCkpt(cfg.CheckpointDir, c.Rank(), w, cfg.Schema, fp)
+	if err != nil {
+		return nil, fmt.Errorf("stream: rank %d cannot load agreed window %d: %w", c.Rank(), w, err)
+	}
+	return st, nil
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,134 @@
+package stream
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"pclouds/internal/datagen"
+	"pclouds/internal/record"
+)
+
+// Source yields the global record stream. Every rank opens the same source
+// and scans the same global sequence; ownership of individual records is
+// decided by the engine (round-robin on the global index), so a source does
+// not need to know the rank count. Next fills rec and reports whether a
+// record was produced; (false, nil) is a clean end of stream, after which
+// the engine commits the final (possibly partial) window and returns.
+//
+// Determinism contract: two opens of the same source must yield the same
+// record sequence. SyntheticSource regenerates it from the seed;
+// TailSource re-reads the fixed-width file from the top. The engine relies
+// on this to replay the stream up to a checkpoint's high-water mark after
+// recovery.
+type Source interface {
+	Next(rec *record.Record) (bool, error)
+	Close() error
+}
+
+// SyntheticSource streams the Agrawal generator: an unbounded (or
+// limit-bounded) deterministic record sequence derived from the seed.
+type SyntheticSource struct {
+	g     *datagen.Generator
+	limit int64
+	read  int64
+}
+
+// NewSynthetic builds a synthetic stream. limit > 0 bounds the stream to
+// that many records; 0 streams forever (the engine's MaxWindows then bounds
+// the run).
+func NewSynthetic(cfg datagen.Config, limit int64) (*SyntheticSource, error) {
+	g, err := datagen.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &SyntheticSource{g: g, limit: limit}, nil
+}
+
+// Schema returns the generator's record schema.
+func (s *SyntheticSource) Schema() *record.Schema { return s.g.Schema() }
+
+func (s *SyntheticSource) Next(rec *record.Record) (bool, error) {
+	if s.limit > 0 && s.read >= s.limit {
+		return false, nil
+	}
+	*rec = s.g.Next()
+	s.read++
+	return true, nil
+}
+
+func (s *SyntheticSource) Close() error { return nil }
+
+// TailOptions tunes a TailSource.
+type TailOptions struct {
+	// Poll is how often the tail re-checks the file for appended records
+	// when it has caught up (default 50ms).
+	Poll time.Duration
+	// Limit > 0 ends the stream cleanly after that many records; 0 tails
+	// forever.
+	Limit int64
+	// Stop, when non-nil, ends the stream cleanly when closed — the tail
+	// equivalent of the writer closing the pipe.
+	Stop <-chan struct{}
+}
+
+// TailSource follows a fixed-width binary record file (the record package's
+// headerless WriteBinary layout, as produced by `datagen -stream`) the way
+// `tail -f` follows a log: it reads whole records as they are appended and
+// polls when it has caught up. A partially-appended record is never
+// surfaced — Next waits until all Schema.RecordBytes() bytes of it are
+// visible.
+type TailSource struct {
+	schema *record.Schema
+	f      *os.File
+	opts   TailOptions
+	off    int64
+	read   int64
+	buf    []byte
+}
+
+// TailFile opens path for tailing. The file must exist (create it empty
+// before starting the writer if needed).
+func TailFile(schema *record.Schema, path string, opts TailOptions) (*TailSource, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Poll <= 0 {
+		opts.Poll = 50 * time.Millisecond
+	}
+	return &TailSource{schema: schema, f: f, opts: opts, buf: make([]byte, schema.RecordBytes())}, nil
+}
+
+func (s *TailSource) Next(rec *record.Record) (bool, error) {
+	if s.opts.Limit > 0 && s.read >= s.opts.Limit {
+		return false, nil
+	}
+	for {
+		n, err := s.f.ReadAt(s.buf, s.off)
+		if n == len(s.buf) {
+			if _, err := rec.Decode(s.schema, s.buf); err != nil {
+				return false, fmt.Errorf("stream: tail %s at offset %d: %w", s.f.Name(), s.off, err)
+			}
+			s.off += int64(n)
+			s.read++
+			return true, nil
+		}
+		if err != nil && err != io.EOF {
+			return false, fmt.Errorf("stream: tail %s: %w", s.f.Name(), err)
+		}
+		// Caught up (or a record is mid-append): wait for the writer.
+		if s.opts.Stop != nil {
+			select {
+			case <-s.opts.Stop:
+				return false, nil
+			case <-time.After(s.opts.Poll):
+			}
+		} else {
+			time.Sleep(s.opts.Poll)
+		}
+	}
+}
+
+func (s *TailSource) Close() error { return s.f.Close() }
