@@ -46,6 +46,8 @@ chaos:
 	$(GO) test -race -run 'TestChaos' -v ./internal/pclouds/
 	$(GO) test -race ./internal/fault/... ./internal/comm/tcp/... ./internal/driver/... ./internal/stream/...
 	$(GO) test -race -run 'TestCheckpoint|TestResume|TestWriteBehind|TestPrefetch' ./internal/pclouds/ ./internal/fault/ ./internal/ooc/
+	$(GO) test -race -run 'TestDrift|TestStationary|TestCorruptPublish' -v ./internal/stream/
+	$(GO) test -race -run 'TestRegistryQuarantines|TestRegistryRollback|TestRegistrySingleFile' ./internal/serve/
 
 # chaos-quick is the self-healing subset that gates every commit: the
 # supervised kill-and-respawn acceptance test, generation fencing, and the
@@ -56,10 +58,13 @@ chaos-quick: vet
 	$(GO) test -race -timeout 300s -run 'TestGeneration|TestDoorman|TestStale' ./internal/comm/tcp/
 	$(GO) test -race -timeout 300s -run 'TestCheckpointGC|TestAutoResume|TestDegraded|TestResume' ./internal/pclouds/
 
-# Short fuzz pass over the prediction-server request decoders: malformed
-# JSON/binary rows must get a 4xx, never a panic.
+# Short fuzz passes: the prediction-server request decoders (malformed
+# JSON/binary rows must get a 4xx, never a panic) and the stream window
+# checkpoint decoder (garbage must error, accepted bytes must re-encode
+# identically).
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzClassifyRequest -fuzztime=10s ./internal/serve
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeCheckpoint -fuzztime=10s ./internal/stream
 
 # -run='^$' keeps the benchmark pass from re-running the unit-test suite.
 bench:

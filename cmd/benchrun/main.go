@@ -15,6 +15,10 @@
 // and records each protocol's split-derivation traffic, so the trajectory
 // tracks the communication saving the quantized protocols buy.
 //
+// The stream-drift series (skipped in -quick) streams a concept-flipping
+// generator through the holdout-gated pipeline and records detection
+// latency and gate rejections — informational robustness context.
+//
 // Usage:
 //
 //	benchrun [-out .] [-index auto] [-records 20000] [-procs 4] [-quick]
@@ -195,6 +199,13 @@ func runAll(index, records, procs int, seed int64, loadDur time.Duration, note s
 		return nil, err
 	}
 	benches = append(benches, sb)
+	if !quick {
+		sd, err := streamDriftBench(seed)
+		if err != nil {
+			return nil, err
+		}
+		benches = append(benches, sd)
+	}
 
 	return &benchfmt.File{
 		SchemaVersion: benchfmt.SchemaVersion,
@@ -367,6 +378,81 @@ func streamBench(seed int64, quick bool) (benchfmt.Benchmark, error) {
 			{Name: "sketch_merge_bytes", Value: float64(sketchBytes), Unit: "B", Better: benchfmt.LowerIsBetter, Gate: true},
 			{Name: "records_per_sec", Value: float64(results[0].Stats.Scanned) / wall.Seconds(), Unit: "rows/s", Better: benchfmt.HigherIsBetter},
 			{Name: "publish_ready_seconds", Value: ready, Unit: "s", Better: benchfmt.LowerIsBetter},
+		},
+	}, nil
+}
+
+// streamDriftBench runs the drift-defense scenario on 4 simulated ranks:
+// a holdout-scored stream whose generator flips concept mid-run. It
+// records how many windows the Page-Hinkley detector needed to alarm
+// after the flip and how many degraded candidates the publish gate
+// rejected. Both are informational — the series characterizes reaction
+// latency, it does not gate — and the run is skipped in -quick mode.
+func streamDriftBench(seed int64) (benchfmt.Benchmark, error) {
+	const (
+		procs      = 4
+		windows    = 12
+		windowRecs = 400
+		flipAt     = 2400 // mid-window 7: windows 1-6 are stationary
+	)
+	dir, err := os.MkdirTemp("", "benchrun-stream-drift-")
+	if err != nil {
+		return benchfmt.Benchmark{}, err
+	}
+	defer os.RemoveAll(dir)
+	cfg := stream.Config{
+		Schema: datagen.Schema(),
+		Clouds: clouds.Config{
+			Split:       clouds.SplitHist,
+			HistBins:    8,
+			MaxDepth:    8,
+			MinNodeSize: 2,
+			Seed:        seed,
+		},
+		WindowRecords:  windowRecs,
+		SampleEvery:    1,
+		ReservoirCap:   2400,
+		RefreshEvery:   100, // the detector, not the schedule, forces refreshes
+		GrowMinRecords: 32,
+		MaxWindows:     windows,
+		HoldoutEvery:   4,
+		GateTolerance:  -1, // any regression blocks the publish
+		PublishDir:     dir,
+	}
+
+	fmt.Fprintf(os.Stderr, "benchrun: stream-drift: %d windows of %d records, concept flip at record %d, %d ranks\n",
+		windows, windowRecs, flipAt, procs)
+	results := make([]*stream.Result, procs)
+	err = comm.Run(procs, costmodel.Zero(), func(c *comm.ChannelComm) error {
+		src, err := stream.NewSynthetic(datagen.Config{
+			Function: 2, Seed: 42, DriftAfter: flipAt, DriftTo: 5,
+		}, 0)
+		if err != nil {
+			return err
+		}
+		defer src.Close()
+		res, err := stream.Run(cfg, c, src)
+		if err != nil {
+			return fmt.Errorf("rank %d: %w", c.Rank(), err)
+		}
+		results[c.Rank()] = res
+		return nil
+	})
+	if err != nil {
+		return benchfmt.Benchmark{}, fmt.Errorf("stream-drift/p%d: %w", procs, err)
+	}
+
+	st := results[0].Stats
+	if st.DriftFires == 0 {
+		return benchfmt.Benchmark{}, fmt.Errorf("stream-drift/p%d: detector never fired on a drifting stream", procs)
+	}
+	firstDrifted := flipAt/windowRecs + 1 // first window containing post-flip records
+	return benchfmt.Benchmark{
+		Name: fmt.Sprintf("stream-drift/p%d", procs),
+		Metrics: []benchfmt.Metric{
+			{Name: "windows_to_detection", Value: float64(st.FirstDriftWindow - firstDrifted), Unit: "windows", Better: benchfmt.LowerIsBetter},
+			{Name: "gate_rejected_publishes", Value: float64(st.GateSkips), Unit: "publishes", Better: benchfmt.LowerIsBetter},
+			{Name: "final_holdout_error", Value: st.HoldoutErr, Unit: "ratio", Better: benchfmt.LowerIsBetter},
 		},
 	}, nil
 }

@@ -14,7 +14,12 @@
 //
 //	datagen -stream -rate 500 -n 0 -o train.bin
 //
-// feeds a streaming build indefinitely.
+// feeds a streaming build indefinitely. -drift-after N flips the labelling
+// concept to -drift-to mid-stream (feature rows are unchanged, labels
+// diverge), which is how the drift-detection tests exercise the real
+// tailed-file writer path:
+//
+//	datagen -stream -rate 500 -drift-after 5000 -drift-to 5 -o train.bin
 package main
 
 import (
@@ -38,10 +43,12 @@ func main() {
 		out    = flag.String("o", "train.bin", "output path ('-' for stdout)")
 		strm   = flag.Bool("stream", false, "append binary records to -o at -rate records/s instead of writing a batch")
 		rate   = flag.Float64("rate", 1000, "records per second in -stream mode")
+		drift  = flag.Int64("drift-after", 0, "flip the labelling concept to -drift-to after this many records (0 disables)")
+		dto    = flag.Int("drift-to", 5, "post-drift classification function (with -drift-after)")
 	)
 	flag.Parse()
 
-	g, err := datagen.New(datagen.Config{Function: *fn, Seed: *seed, Noise: *noise})
+	g, err := datagen.New(datagen.Config{Function: *fn, Seed: *seed, Noise: *noise, DriftAfter: *drift, DriftTo: *dto})
 	if err != nil {
 		fatal(err)
 	}

@@ -13,6 +13,12 @@
 // load with 503 + Retry-After instead of queueing without bound; SIGINT/
 // SIGTERM drain gracefully.
 //
+// Robustness: a model file that fails to load is quarantined (renamed
+// aside with a .quarantined suffix) and the next-best candidate is tried;
+// SIGUSR2 — or POST /v1/rollback on -debug-addr — rolls back to the
+// last-known-good model and pins the displaced version out until a newer
+// model appears.
+//
 // Load harness: -selftest trains a small tree in-process, serves it, and
 // drives the engine at full speed, printing a throughput/latency summary;
 // -loadgen URL replays the same traffic against a running server:
@@ -26,6 +32,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -123,14 +130,17 @@ func runServer(models, addr, debugAddr string, poll, drainTO time.Duration, cfg 
 			return map[string]any{
 				"swaps":           reg.Swaps(),
 				"reload_failures": reg.ReloadFailures(),
+				"quarantined":     reg.Quarantined(),
+				"rollbacks":       reg.Rollbacks(),
 				"last_error":      reg.LastError(),
 			}
 		})
+		http.Handle("/v1/rollback", serve.RollbackHandler(reg))
 		bound, err := obs.ServeDebug(debugAddr)
 		if err != nil {
 			return err
 		}
-		log.Printf("debug endpoints (pprof, expvar, /metrics) on http://%s/", bound)
+		log.Printf("debug endpoints (pprof, expvar, /metrics, /v1/rollback) on http://%s/", bound)
 	}
 
 	ctx, cancel := context.WithCancel(context.Background())
@@ -146,6 +156,15 @@ func runServer(models, addr, debugAddr string, poll, drainTO time.Duration, cfg 
 				log.Printf("SIGHUP reload: %v", err)
 			} else if !swapped {
 				log.Printf("SIGHUP reload: model unchanged")
+			}
+		}
+	}()
+	usr2 := make(chan os.Signal, 1)
+	signal.Notify(usr2, syscall.SIGUSR2)
+	go func() {
+		for range usr2 {
+			if _, err := reg.Rollback(); err != nil {
+				log.Printf("SIGUSR2 rollback: %v", err)
 			}
 		}
 	}()

@@ -21,6 +21,15 @@
 //	pcloudsstream -supervise -addrs :7070,:7071 -max-windows 10 \
 //	    -publish-dir /tmp/models -checkpoint-dir /tmp/ckpt
 //
+// With -holdout-every N, every Nth global record is held out of training
+// and scores each window's candidate model. The holdout error feeds a
+// Page-Hinkley drift detector (an alarm forces a refresh on the next
+// window, with -refresh-every as the ceiling) and a publish gate: a
+// candidate that regresses more than -gate-tolerance against the
+// last-published model is committed but not published. Both decisions ride
+// the window commit collective, so every rank agrees on them and the
+// published model sequence stays bit-identical at any rank count.
+//
 // Fault tolerance follows pcloudsd: a dead rank is respawned at a bumped
 // generation, survivors rendezvous with it, and with -checkpoint-dir the
 // group agrees on the newest window checkpoint every rank still has and
@@ -61,6 +70,8 @@ var (
 	function   = flag.Int("function", 2, "generator classification function (-source synthetic)")
 	dataSeed   = flag.Int64("data-seed", 1, "generator seed (-source synthetic; must match across ranks)")
 	noise      = flag.Float64("noise", 0, "generator label noise probability (-source synthetic)")
+	driftAfter = flag.Int64("drift-after", 0, "flip the generator concept to -drift-to after this many records (-source synthetic; 0 disables)")
+	driftTo    = flag.Int("drift-to", 5, "post-drift classification function (with -drift-after)")
 	limit      = flag.Int64("limit", 0, "end the stream after this many records (0 = unbounded)")
 
 	windowRecs = flag.Int("window", 1024, "tumbling window size in global records")
@@ -68,8 +79,12 @@ var (
 	maxWindows = flag.Int("max-windows", 0, "stop after this many committed windows (0 = until the stream ends)")
 	sampleEv   = flag.Int("sample-every", 8, "reservoir sampling period (1 retains every record)")
 	reservoir  = flag.Int("reservoir", 4096, "sample reservoir capacity (oldest evicted)")
-	refreshEv  = flag.Int("refresh-every", 4, "full rebuild period in windows (windows in between grow the frontier)")
+	refreshEv  = flag.Int("refresh-every", 4, "full rebuild period in windows (windows in between grow the frontier; a ceiling when drift detection is on)")
 	growMin    = flag.Int64("grow-min", 64, "minimum merged window records before a frontier leaf may split")
+	holdoutEv  = flag.Int("holdout-every", 0, "hold every Nth global record out of training and score window candidates on it (0 disables drift detection and gating)")
+	driftDelta = flag.Float64("drift-delta", 0, "Page-Hinkley tolerated per-window error deviation (0 = 0.005; with -holdout-every)")
+	driftLam   = flag.Float64("drift-lambda", 0, "Page-Hinkley alarm threshold; an alarm schedules an adaptive refresh (0 = 0.25; with -holdout-every)")
+	gateTol    = flag.Float64("gate-tolerance", 0, "publish gate: max holdout-error regression vs the last-published model (0 = 0.05, negative = exactly zero; with -holdout-every)")
 	histBins   = flag.Int("hist-bins", 0, "fixed bin count for frontier sketches and refresh builds (0 = 16)")
 	maxDepth   = flag.Int("maxdepth", 0, "depth cap (0 = unlimited)")
 	seed       = flag.Int64("seed", 1, "build sampling seed (must match across ranks)")
@@ -182,7 +197,10 @@ func childArgs(rank int, gen uint32) []string {
 func openSource(stop <-chan struct{}) (stream.Source, error) {
 	switch *sourceKind {
 	case "synthetic":
-		return stream.NewSynthetic(datagen.Config{Function: *function, Seed: *dataSeed, Noise: *noise}, *limit)
+		return stream.NewSynthetic(datagen.Config{
+			Function: *function, Seed: *dataSeed, Noise: *noise,
+			DriftAfter: *driftAfter, DriftTo: *driftTo,
+		}, *limit)
 	case "tail":
 		if *tailPath == "" {
 			return nil, fmt.Errorf("usage: -source tail needs -tail <file>")
@@ -225,6 +243,10 @@ func run(stop <-chan struct{}) error {
 		ReservoirCap:   *reservoir,
 		RefreshEvery:   *refreshEv,
 		GrowMinRecords: *growMin,
+		HoldoutEvery:   *holdoutEv,
+		DriftDelta:     *driftDelta,
+		DriftLambda:    *driftLam,
+		GateTolerance:  *gateTol,
 		PublishDir:     *publishDir,
 		CheckpointDir:  *ckptDir,
 		Stop:           stop,
@@ -291,6 +313,13 @@ func run(stop <-chan struct{}) error {
 			len(addrs), st.Windows, st.Refreshes, st.Grown, st.Published)
 		fmt.Printf("this rank owned %d of %d scanned records; sketch traffic %d bytes; reservoir %d\n",
 			st.Records, st.Scanned, st.SketchBytes, st.Reservoir)
+		if *holdoutEv > 0 {
+			fmt.Printf("holdout: %d records, final error %.4f; drift alarms %d", st.HoldoutRecords, st.HoldoutErr, st.DriftFires)
+			if st.DriftFires > 0 {
+				fmt.Printf(" (first at window %d)", st.FirstDriftWindow)
+			}
+			fmt.Printf("; %d publishes gated off\n", st.GateSkips)
+		}
 		if st.ResumedAt > 0 {
 			fmt.Printf("resumed from window %d checkpoint\n", st.ResumedAt)
 		}

@@ -57,13 +57,23 @@ type Config struct {
 	// classification function is applied (the original generator's
 	// "perturbation"); 0 disables noise.
 	Noise float64
+	// DriftAfter, when > 0, switches the labelling function to DriftTo
+	// after that many records — a mid-stream concept flip. Attribute
+	// generation (and therefore the RNG sequence) is unchanged, so two
+	// generators differing only in drift configuration emit identical
+	// feature rows; only the labels diverge past the flip point.
+	DriftAfter int64
+	// DriftTo is the post-drift classification function (1..10); required
+	// when DriftAfter > 0.
+	DriftTo int
 }
 
 // Generator produces synthetic records.
 type Generator struct {
-	cfg    Config
-	schema *record.Schema
-	rng    *rand.Rand
+	cfg     Config
+	schema  *record.Schema
+	rng     *rand.Rand
+	emitted int64
 }
 
 // New creates a generator; it validates the function number.
@@ -73,6 +83,9 @@ func New(cfg Config) (*Generator, error) {
 	}
 	if cfg.Noise < 0 || cfg.Noise >= 1 {
 		return nil, fmt.Errorf("datagen: noise must be in [0,1), got %g", cfg.Noise)
+	}
+	if cfg.DriftAfter > 0 && (cfg.DriftTo < 1 || cfg.DriftTo > NumFunctions) {
+		return nil, fmt.Errorf("datagen: drift function must be in 1..%d, got %d", NumFunctions, cfg.DriftTo)
 	}
 	return &Generator{
 		cfg:    cfg,
@@ -109,8 +122,13 @@ func (g *Generator) Next() record.Record {
 		salary: salary, commission: commission, age: age,
 		elevel: int(elevel), hvalue: hvalue, hyears: hyears, loan: loan,
 	}
+	fn := g.cfg.Function
+	if g.cfg.DriftAfter > 0 && g.emitted >= g.cfg.DriftAfter {
+		fn = g.cfg.DriftTo
+	}
+	g.emitted++
 	class := int32(0)
-	if groupA(g.cfg.Function, v) {
+	if groupA(fn, v) {
 		class = 1
 	}
 	if g.cfg.Noise > 0 && g.rng.Float64() < g.cfg.Noise {

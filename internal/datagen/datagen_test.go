@@ -173,3 +173,53 @@ func TestNoiseFlipsLabels(t *testing.T) {
 		t.Fatalf("noise fraction %.3f, want ~0.3", frac)
 	}
 }
+
+// TestDriftFlipsLabelsOnly: a drifted generator must emit the identical
+// feature rows as an undrifted one (same seed), relabel with the drift
+// function from the flip point on, and actually change some labels.
+func TestDriftFlipsLabelsOnly(t *testing.T) {
+	const n, flip = 400, 150
+	plain, _ := New(Config{Function: 2, Seed: 9})
+	drifted, err := New(Config{Function: 2, Seed: 9, DriftAfter: flip, DriftTo: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed := 0
+	for i := 0; i < n; i++ {
+		a, b := plain.Next(), drifted.Next()
+		for j := range a.Num {
+			if a.Num[j] != b.Num[j] {
+				t.Fatalf("record %d: numeric attribute %d differs under drift", i, j)
+			}
+		}
+		fn := 2
+		if i >= flip {
+			fn = 5
+		}
+		want := int32(0)
+		if GroupA(fn, b) {
+			want = 1
+		}
+		if b.Class != want {
+			t.Fatalf("record %d: class %d, function %d says %d", i, b.Class, fn, want)
+		}
+		if i < flip && a.Class != b.Class {
+			t.Fatalf("record %d: pre-drift label differs", i)
+		}
+		if i >= flip && a.Class != b.Class {
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Fatal("drift to function 5 never changed a label")
+	}
+}
+
+func TestDriftConfigValidation(t *testing.T) {
+	if _, err := New(Config{Function: 2, DriftAfter: 10, DriftTo: 0}); err == nil {
+		t.Fatal("drift without a valid target function should fail")
+	}
+	if _, err := New(Config{Function: 2, DriftAfter: 10, DriftTo: 11}); err == nil {
+		t.Fatal("drift function 11 should fail")
+	}
+}

@@ -287,13 +287,20 @@ func (s *Server) handleModel(w http.ResponseWriter, _ *http.Request) {
 }
 
 // registrySnapshot reports model-registry health: swap count, failed reload
-// attempts, and the most recent reload error (a failed reload keeps the
-// previous model serving, so the counter is the only externally visible
-// symptom).
+// attempts, quarantined files, rollbacks, the last-known-good version, and
+// the most recent reload error (a failed reload keeps the previous model
+// serving, so the counters are the only externally visible symptom).
 func (s *Server) registrySnapshot() map[string]any {
+	lkg := ""
+	if m := s.reg.LastKnownGood(); m != nil {
+		lkg = m.Info.Version
+	}
 	return map[string]any{
 		"swaps":             s.reg.Swaps(),
 		"reload_failures":   s.reg.ReloadFailures(),
+		"quarantined":       s.reg.Quarantined(),
+		"rollbacks":         s.reg.Rollbacks(),
+		"last_known_good":   lkg,
 		"last_error":        s.reg.LastError(),
 		"model_age_seconds": s.reg.ModelAge().Seconds(),
 	}
@@ -304,6 +311,29 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	snap["registry"] = s.registrySnapshot()
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(snap) //nolint:errcheck
+}
+
+// RollbackHandler returns an operator endpoint (POST) that rolls reg back
+// to its last-known-good model. It is deliberately not mounted on the
+// serving mux: cmd/pcloudsserve exposes it as /v1/rollback on the debug
+// address, next to pprof, where operators — not load balancers — go.
+func RollbackHandler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		m, err := reg.Rollback()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{ //nolint:errcheck
+			"active":    m.Info.Version,
+			"rollbacks": reg.Rollbacks(),
+		})
+	})
 }
 
 func (s *Server) badRequest(w http.ResponseWriter, err error) {

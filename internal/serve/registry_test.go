@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -60,7 +61,7 @@ func TestRegistryLoadsNewestAndHotSwaps(t *testing.T) {
 	}
 }
 
-func TestRegistryKeepsServingPastBadCandidate(t *testing.T) {
+func TestRegistryQuarantinesBadCandidate(t *testing.T) {
 	dir := t.TempDir()
 	base := time.Now().Add(-time.Hour)
 	saveModel(t, leafModel(t, "", 0), filepath.Join(dir, "good.model"), base)
@@ -69,8 +70,8 @@ func TestRegistryKeepsServingPastBadCandidate(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// A corrupt newest file must be reported but never displace the
-	// serving model.
+	// A corrupt newest file must never displace the serving model: it is
+	// renamed aside and the next-best candidate (the serving model) wins.
 	bad := filepath.Join(dir, "newer.model")
 	if err := os.WriteFile(bad, []byte("not a model"), 0o644); err != nil {
 		t.Fatal(err)
@@ -79,35 +80,151 @@ func TestRegistryKeepsServingPastBadCandidate(t *testing.T) {
 		t.Fatal(err)
 	}
 	m, swapped, err := reg.Reload()
-	if err == nil || swapped {
+	if err != nil || swapped {
 		t.Fatalf("corrupt reload: swapped=%v err=%v", swapped, err)
 	}
 	if m == nil || m.Info.Version != "good.model" {
 		t.Fatalf("active after corrupt candidate = %+v", m)
 	}
-	if reg.LastError() == "" {
-		t.Fatal("LastError empty after failed reload")
+	if got := reg.Quarantined(); got != 1 {
+		t.Fatalf("Quarantined = %d, want 1", got)
 	}
-	if got := reg.ReloadFailures(); got != 1 {
-		t.Fatalf("ReloadFailures = %d after one failed reload, want 1", got)
+	if _, err := os.Stat(bad); !os.IsNotExist(err) {
+		t.Fatalf("corrupt file still at %s (err=%v), want renamed aside", bad, err)
 	}
-	if _, _, err := reg.Reload(); err == nil {
-		t.Fatal("second reload over the corrupt candidate succeeded")
-	}
-	if got := reg.ReloadFailures(); got != 2 {
-		t.Fatalf("ReloadFailures = %d after two failed reloads, want 2", got)
+	if _, err := os.Stat(bad + ".quarantined"); err != nil {
+		t.Fatalf("quarantined copy missing: %v", err)
 	}
 
-	// Replacing the corrupt file with a valid one recovers.
-	saveModel(t, leafModel(t, "", 1), bad, base.Add(2*time.Minute))
+	// The quarantined file is out of the scan: the next reload is clean, no
+	// repeated failure, no counter churn.
+	if _, swapped, err := reg.Reload(); err != nil || swapped {
+		t.Fatalf("post-quarantine reload: swapped=%v err=%v", swapped, err)
+	}
+	if got := reg.Quarantined(); got != 1 {
+		t.Fatalf("Quarantined after clean reload = %d, want 1", got)
+	}
+
+	// A valid newer model still swaps in normally.
+	saveModel(t, leafModel(t, "", 1), filepath.Join(dir, "fixed.model"), base.Add(2*time.Minute))
+	if _, swapped, err := reg.Reload(); err != nil || !swapped {
+		t.Fatalf("recovery reload: swapped=%v err=%v", swapped, err)
+	}
+	if got := reg.Active().Info.Version; got != "fixed.model" {
+		t.Fatalf("active = %q, want fixed.model", got)
+	}
+}
+
+func TestRegistrySingleFileKeepsServingPastCorruption(t *testing.T) {
+	// A single-file registry has nothing to fall back to, so corruption is
+	// reported (not quarantined) and the loaded model keeps serving. The
+	// repeated failure is logged once, not once per reload.
+	path := filepath.Join(t.TempDir(), "model.pcm")
+	base := time.Now().Add(-time.Hour)
+	saveModel(t, leafModel(t, "", 0), path, base)
+	reg, err := OpenRegistry(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var logs []string
+	reg.SetLogf(func(format string, args ...any) {
+		logs = append(logs, fmt.Sprintf(format, args...))
+	})
+	if err := os.WriteFile(path, []byte("scribbled over"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(path, base.Add(time.Minute), base.Add(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		m, swapped, err := reg.Reload()
+		if err == nil || swapped {
+			t.Fatalf("reload %d over corrupt file: swapped=%v err=%v", i, swapped, err)
+		}
+		if m == nil || m.Info.Version != "model.pcm" {
+			t.Fatalf("active after corruption = %+v", m)
+		}
+	}
+	if got := reg.ReloadFailures(); got != 5 {
+		t.Fatalf("ReloadFailures = %d, want 5", got)
+	}
+	if reg.Quarantined() != 0 {
+		t.Fatalf("single-file registry quarantined %d files", reg.Quarantined())
+	}
+	if len(logs) != 1 {
+		t.Fatalf("repeated identical failure logged %d times, want 1: %v", len(logs), logs)
+	}
+	if reg.LastError() == "" {
+		t.Fatal("LastError empty after failed reloads")
+	}
+
+	// Recovery (a loadable file again) resets the dedup: a later failure
+	// logs again.
+	saveModel(t, leafModel(t, "", 1), path, base.Add(2*time.Minute))
 	if _, swapped, err := reg.Reload(); err != nil || !swapped {
 		t.Fatalf("recovery reload: swapped=%v err=%v", swapped, err)
 	}
 	if reg.LastError() != "" {
 		t.Fatalf("LastError = %q after successful reload", reg.LastError())
 	}
-	if got := reg.ReloadFailures(); got != 2 {
-		t.Fatalf("ReloadFailures = %d after recovery, want 2 (counter is cumulative)", got)
+}
+
+func TestRegistryRollback(t *testing.T) {
+	dir := t.TempDir()
+	base := time.Now().Add(-time.Hour)
+	saveModel(t, leafModel(t, "", 0), filepath.Join(dir, "m1.model"), base)
+	reg, err := OpenRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Rollback(); err == nil {
+		t.Fatal("rollback with no prior swap succeeded")
+	}
+
+	saveModel(t, leafModel(t, "", 1), filepath.Join(dir, "m2.model"), base.Add(time.Minute))
+	if _, swapped, err := reg.Reload(); err != nil || !swapped {
+		t.Fatalf("reload: swapped=%v err=%v", swapped, err)
+	}
+	if got := reg.LastKnownGood(); got == nil || got.Info.Version != "m1.model" {
+		t.Fatalf("LastKnownGood = %+v, want m1.model", got)
+	}
+
+	m, err := reg.Rollback()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Info.Version != "m1.model" || reg.Active().Info.Version != "m1.model" {
+		t.Fatalf("rolled back to %q, active %q", m.Info.Version, reg.Active().Info.Version)
+	}
+	if reg.Rollbacks() != 1 {
+		t.Fatalf("Rollbacks = %d", reg.Rollbacks())
+	}
+	// The slot is consumed: a second rollback has nowhere to go.
+	if _, err := reg.Rollback(); err == nil {
+		t.Fatal("second rollback succeeded")
+	}
+
+	// The poller must not immediately undo the rollback: m2 is still the
+	// newest file on disk but its identity is pinned out.
+	for i := 0; i < 3; i++ {
+		if _, swapped, err := reg.Reload(); err != nil || swapped {
+			t.Fatalf("pinned reload %d: swapped=%v err=%v", i, swapped, err)
+		}
+	}
+	if got := reg.Active().Info.Version; got != "m1.model" {
+		t.Fatalf("poller undid the rollback: active = %q", got)
+	}
+
+	// A genuinely new model supersedes the pin and swaps in.
+	saveModel(t, leafModel(t, "", 0), filepath.Join(dir, "m3.model"), base.Add(2*time.Minute))
+	if _, swapped, err := reg.Reload(); err != nil || !swapped {
+		t.Fatalf("post-pin reload: swapped=%v err=%v", swapped, err)
+	}
+	if got := reg.Active().Info.Version; got != "m3.model" {
+		t.Fatalf("active = %q, want m3.model", got)
+	}
+	if got := reg.LastKnownGood(); got == nil || got.Info.Version != "m1.model" {
+		t.Fatalf("LastKnownGood after new swap = %+v, want m1.model", got)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
@@ -33,16 +34,30 @@ import (
 //
 // File layout (little-endian):
 //
-//	magic       u64  "PCSTRMW1"
-//	fingerprint u32  config fingerprint; a mismatch refuses to resume
-//	window      u32  committed windows
-//	nextIdx     i64  global stream index of the first unprocessed record
-//	treeLen     u32  tree.Encode bytes (0 = no model yet)
-//	tree        treeLen bytes
-//	resCount    u32  reservoir records, fixed-width record encoding
-//	reservoir   resCount * Schema.RecordBytes() bytes
+//	magic        u64  "PCSTRMW2"
+//	fingerprint  u32  config fingerprint; a mismatch refuses to resume
+//	window       u32  committed windows
+//	nextIdx      i64  global stream index of the first unprocessed record
+//	treeLen      u32  tree.Encode bytes (0 = no model yet)
+//	tree         treeLen bytes
+//	resCount     u32  reservoir records, fixed-width record encoding
+//	reservoir    resCount * Schema.RecordBytes() bytes
+//	driftPending u8   1 = an adaptive refresh is scheduled
+//	detN         i64  Page–Hinkley observation count
+//	detSum       f64  Σ error rates (bit-exact, math.Float64bits)
+//	detM         f64  cumulative deviation statistic
+//	detMin       f64  running minimum of detM
+//	lastPubWin   u32  window of the last gate-passed model (0 = none)
+//	lastPubLen   u32  tree.Encode bytes of that model (0 = none)
+//	lastPub      lastPubLen bytes
+//
+// The drift detector and last-published model are part of the replicated
+// state machine: the publish gate compares every candidate against the
+// last model that passed it, so a resume that lost either would fork the
+// published sequence. Encoding the detector's floats bit-exactly keeps
+// the resumed alarm window identical to the uninterrupted run's.
 
-const ckptMagic = "PCSTRMW1"
+const ckptMagic = "PCSTRMW2"
 
 // keepWindows is how many committed-window checkpoints each rank retains.
 // 2 suffices for the <=1 window commit skew; 3 adds one window of slack
@@ -51,10 +66,14 @@ const keepWindows = 3
 
 // ckptState is the replicated engine state one checkpoint round-trips.
 type ckptState struct {
-	window    int
-	nextIdx   int64
-	tree      *tree.Tree // nil before the first refresh
-	reservoir []record.Record
+	window       int
+	nextIdx      int64
+	tree         *tree.Tree // nil before the first refresh
+	reservoir    []record.Record
+	det          phDetector
+	driftPending bool
+	lastPub      *tree.Tree // last gate-passed model; nil before the first publish
+	lastPubWin   int
 }
 
 // fingerprint hashes every configuration knob that shapes the deterministic
@@ -66,6 +85,8 @@ func (cfg *Config) fingerprint() uint32 {
 		cfg.WindowRecords, cfg.SampleEvery, cfg.ReservoirCap, cfg.RefreshEvery,
 		cfg.GrowMinRecords, cfg.Clouds.HistBins, cfg.Clouds.Seed, int(cfg.Clouds.Split),
 		cfg.Clouds.MaxDepth, cfg.Schema.RecordBytes())
+	fmt.Fprintf(h, "|%d|%g|%g|%g",
+		cfg.HoldoutEvery, cfg.DriftDelta, cfg.DriftLambda, cfg.GateTolerance)
 	return h.Sum32()
 }
 
@@ -82,8 +103,12 @@ func encodeCkpt(fp uint32, st *ckptState) []byte {
 	if st.tree != nil {
 		treeBytes = tree.Encode(st.tree)
 	}
+	var lastPubBytes []byte
+	if st.lastPub != nil {
+		lastPubBytes = tree.Encode(st.lastPub)
+	}
 	res := record.EncodeAll(st.reservoir)
-	out := make([]byte, 0, 8+4+4+8+4+len(treeBytes)+4+len(res))
+	out := make([]byte, 0, 8+4+4+8+4+len(treeBytes)+4+len(res)+1+8+24+4+4+len(lastPubBytes))
 	out = append(out, ckptMagic...)
 	out = binary.LittleEndian.AppendUint32(out, fp)
 	out = binary.LittleEndian.AppendUint32(out, uint32(st.window))
@@ -92,6 +117,18 @@ func encodeCkpt(fp uint32, st *ckptState) []byte {
 	out = append(out, treeBytes...)
 	out = binary.LittleEndian.AppendUint32(out, uint32(len(st.reservoir)))
 	out = append(out, res...)
+	var pending byte
+	if st.driftPending {
+		pending = 1
+	}
+	out = append(out, pending)
+	out = binary.LittleEndian.AppendUint64(out, uint64(st.det.n))
+	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(st.det.sum))
+	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(st.det.m))
+	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(st.det.min))
+	out = binary.LittleEndian.AppendUint32(out, uint32(st.lastPubWin))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(lastPubBytes)))
+	out = append(out, lastPubBytes...)
 	return out
 }
 
@@ -116,19 +153,51 @@ func decodeCkpt(schema *record.Schema, fp uint32, src []byte) (*ckptState, error
 		if err != nil {
 			return nil, fmt.Errorf("stream: checkpoint tree: %w", err)
 		}
+		// Validate at the door: a bit-flipped checkpoint that still decodes
+		// would otherwise resume and only fail windows later at the commit
+		// gate. Rejecting here degrades recovery to an older checkpoint.
+		if err := t.Validate(); err != nil {
+			return nil, fmt.Errorf("stream: checkpoint tree: %w", err)
+		}
 		st.tree = t
 	}
 	src = src[treeLen:]
 	resCount := int(binary.LittleEndian.Uint32(src))
 	src = src[4:]
-	if len(src) != resCount*schema.RecordBytes() {
+	resLen := resCount * schema.RecordBytes()
+	if resCount < 0 || resLen < 0 || len(src) < resLen {
 		return nil, fmt.Errorf("stream: checkpoint reservoir: %d bytes for %d records", len(src), resCount)
 	}
-	recs, err := record.DecodeAll(schema, src)
+	recs, err := record.DecodeAll(schema, src[:resLen])
 	if err != nil {
 		return nil, fmt.Errorf("stream: checkpoint reservoir: %w", err)
 	}
 	st.reservoir = recs
+	src = src[resLen:]
+	if len(src) < 1+8+24+4+4 {
+		return nil, fmt.Errorf("stream: truncated checkpoint drift state")
+	}
+	st.driftPending = src[0] != 0
+	st.det.n = int64(binary.LittleEndian.Uint64(src[1:]))
+	st.det.sum = math.Float64frombits(binary.LittleEndian.Uint64(src[9:]))
+	st.det.m = math.Float64frombits(binary.LittleEndian.Uint64(src[17:]))
+	st.det.min = math.Float64frombits(binary.LittleEndian.Uint64(src[25:]))
+	st.lastPubWin = int(binary.LittleEndian.Uint32(src[33:]))
+	lastPubLen := int(binary.LittleEndian.Uint32(src[37:]))
+	src = src[41:]
+	if lastPubLen < 0 || len(src) != lastPubLen {
+		return nil, fmt.Errorf("stream: checkpoint last-published model: %d bytes, header says %d", len(src), lastPubLen)
+	}
+	if lastPubLen > 0 {
+		t, err := tree.Decode(schema, src)
+		if err != nil {
+			return nil, fmt.Errorf("stream: checkpoint last-published model: %w", err)
+		}
+		if err := t.Validate(); err != nil {
+			return nil, fmt.Errorf("stream: checkpoint last-published model: %w", err)
+		}
+		st.lastPub = t
+	}
 	return st, nil
 }
 

@@ -1,0 +1,67 @@
+package stream
+
+// Drift detection over the windowed holdout-error sequence.
+//
+// With HoldoutEvery = K > 0 every K-th global record is held out of
+// training: it enters neither the frontier sketches nor the sample
+// reservoir, and is instead buffered (by the rank that owns it) until the
+// window closes. At close, after the candidate model for the window is
+// built, each rank scores its buffered holdout records against the
+// candidate and against the last model that passed the publish gate; the
+// three local integers (candidate errors, last-published errors, holdout
+// count) ride the window's single commit all-reduce, so holdout
+// evaluation costs no extra round trip. Because the holdout set is a
+// function of the global index alone, the scored set — and therefore
+// every decision derived from it — is identical at any rank count.
+//
+// The global candidate error rate feeds two deterministic consumers:
+//
+//   - a Page–Hinkley test (phDetector) that replaces the fixed
+//     RefreshEvery schedule with adaptive refresh: when the cumulative
+//     upward deviation of the error sequence exceeds DriftLambda, the
+//     next window rebuilds from the reservoir instead of growing the
+//     frontier (the fixed period is kept as a ceiling);
+//   - the publish quality gate: a candidate whose error exceeds the
+//     last-published model's error on the same holdout slice by more
+//     than GateTolerance commits (checkpoint, stream position) but does
+//     not publish — serving keeps the last good model.
+//
+// Detector state is replicated and checkpointed (bit-exact float64
+// encoding), so a resumed pipeline fires at exactly the window the
+// uninterrupted one would have.
+
+// phDetector is a Page–Hinkley test for upward mean shifts. After each
+// observation x_t it maintains m_t = Σ (x_i - x̄_i - δ) and its running
+// minimum M_t; a drift is signalled when m_t - M_t > λ. δ (delta) absorbs
+// the sequence's normal fluctuation, λ (lambda) is the alarm threshold.
+type phDetector struct {
+	n   int64   // observations since the last reset
+	sum float64 // Σ x_i, for the running mean
+	m   float64 // cumulative deviation statistic
+	min float64 // running minimum of m
+}
+
+// observe feeds one windowed error rate and reports whether the
+// cumulative deviation crossed lambda. The caller resets the detector
+// after a signalled drift.
+func (d *phDetector) observe(x, delta, lambda float64) bool {
+	d.n++
+	d.sum += x
+	mean := d.sum / float64(d.n)
+	d.m += x - mean - delta
+	if d.m < d.min {
+		d.min = d.m
+	}
+	return d.m-d.min > lambda
+}
+
+// reset clears the detector, starting a fresh baseline (after a signalled
+// drift and the adaptive refresh it schedules).
+func (d *phDetector) reset() { *d = phDetector{} }
+
+// holdoutIdx reports whether the global record index belongs to the
+// holdout slice: every holdoutEvery-th record, offset so record 0 (which
+// also seeds the reservoir under any SampleEvery) always trains.
+func holdoutIdx(idx int64, holdoutEvery int) bool {
+	return holdoutEvery > 0 && idx%int64(holdoutEvery) == int64(holdoutEvery)-1
+}

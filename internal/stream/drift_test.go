@@ -1,0 +1,319 @@
+package stream
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pclouds/internal/datagen"
+	"pclouds/internal/serve"
+)
+
+// driftConfig enables the quality defense line on top of the shared test
+// configuration. The learner is fed harder than in testConfig (bigger
+// windows, every training record sampled, a deep reservoir) so its
+// stationary holdout error sits well below the ~0.47 a stale model scores
+// after the concept flip — the shift has to clear the holdout noise floor
+// for the detector assertions to be meaningful. RefreshEvery is raised to
+// a pure ceiling so the adaptive refresh — not the fixed period — is what
+// reacts to drift, and the gate runs at exactly zero tolerance so any
+// regression against the last-published model blocks publication.
+func driftConfig(t *testing.T) Config {
+	t.Helper()
+	cfg := testConfig(t)
+	cfg.WindowRecords = 400
+	cfg.SampleEvery = 1
+	cfg.ReservoirCap = 2400
+	cfg.HoldoutEvery = 4   // 100 holdout records per window
+	cfg.RefreshEvery = 100 // ceiling only; drift schedules the real refreshes
+	cfg.GateTolerance = -1 // exactly zero tolerance
+	return cfg
+}
+
+// driftSource flips the Agrawal labelling concept from function 2 to
+// function 5 after flipAt records: feature rows are unchanged, labels
+// diverge.
+func driftSource(t *testing.T, flipAt int64, limit int64) func(rank int) Source {
+	t.Helper()
+	return func(int) Source {
+		src, err := NewSynthetic(datagen.Config{Function: 2, Seed: 42, DriftAfter: flipAt, DriftTo: 5}, limit)
+		if err != nil {
+			t.Error(err)
+			return nil
+		}
+		return src
+	}
+}
+
+// TestDriftChaosDetectGateAndServe is the drift acceptance scenario: a
+// mid-stream concept flip (window 7 of 12) must trip the Page–Hinkley
+// detector, the publish gate must block at least one degraded candidate
+// (the window commits, serving keeps the last good model), the entire
+// decision sequence must be bit-identical at 1 and 4 ranks, and a classify
+// hammer riding the 4-rank run through the registry must see zero failed
+// requests.
+func TestDriftChaosDetectGateAndServe(t *testing.T) {
+	const windows = 12
+	const flipAt = 2400 // 400-record windows: the flip lands in window 7
+
+	type runStats struct {
+		models map[string][]byte
+		stats  Stats
+	}
+	runs := map[int]runStats{}
+
+	for _, p := range []int{1, 4} {
+		dir := t.TempDir()
+		cfg := driftConfig(t)
+		cfg.PublishDir = dir
+		cfg.MaxWindows = windows
+
+		var hammerStop chan struct{}
+		var hammerDone chan struct{}
+		var requests, failures atomic.Int64
+		if p == 4 {
+			// Hammer classifications through the serving stack for the whole
+			// run: the hammer opens the registry as soon as the first window
+			// publishes, then keeps classifying while the flip, the drift
+			// alarm and the gated publish play out underneath it. The
+			// per-record hook stretches ingest so the 2ms poller observes
+			// intermediate versions.
+			g, err := datagen.New(datagen.Config{Function: 2, Seed: 99})
+			if err != nil {
+				t.Fatal(err)
+			}
+			r0 := g.Next()
+			body, err := json.Marshal(map[string]any{"num": r0.Num, "cat": r0.Cat})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			hammerStop, hammerDone = make(chan struct{}), make(chan struct{})
+			go func() {
+				defer close(hammerDone)
+				var reg *serve.Registry
+				for deadline := time.Now().Add(30 * time.Second); ; {
+					var err error
+					if reg, err = serve.OpenRegistry(dir); err == nil {
+						break
+					}
+					if time.Now().After(deadline) {
+						t.Errorf("registry never became openable: %v", err)
+						return
+					}
+					select {
+					case <-hammerStop:
+						return
+					case <-time.After(2 * time.Millisecond):
+					}
+				}
+				srv := serve.New(reg, serve.ServerConfig{})
+				hs := httptest.NewServer(srv.Handler())
+				defer hs.Close()
+				defer srv.Engine().Close()
+				go reg.Watch(ctx, 2*time.Millisecond)
+				for {
+					select {
+					case <-hammerStop:
+						return
+					default:
+					}
+					resp, err := http.Post(hs.URL+"/v1/classify", "application/json", strings.NewReader(string(body)))
+					requests.Add(1)
+					if err != nil {
+						failures.Add(1)
+						continue
+					}
+					if resp.StatusCode != http.StatusOK {
+						failures.Add(1)
+					}
+					resp.Body.Close()
+				}
+			}()
+			cfg.RecordHook = func(int, int64) { time.Sleep(20 * time.Microsecond) }
+		}
+
+		results := runRanks(t, p, cfg, driftSource(t, flipAt, 0))
+
+		if p == 4 {
+			time.Sleep(20 * time.Millisecond) // let the poller catch the last version
+			close(hammerStop)
+			<-hammerDone
+			if n := requests.Load(); n == 0 {
+				t.Fatal("no classify requests were issued")
+			}
+			if n := failures.Load(); n != 0 {
+				t.Fatalf("%d of %d classify requests failed during the drift scenario", n, requests.Load())
+			}
+		}
+
+		st := results[0].Stats
+		for r := 1; r < p; r++ {
+			o := results[r].Stats
+			if o.DriftFires != st.DriftFires || o.FirstDriftWindow != st.FirstDriftWindow ||
+				o.GateSkips != st.GateSkips || o.HoldoutRecords != st.HoldoutRecords {
+				t.Fatalf("p=%d: rank %d drift stats diverge: %+v vs %+v", p, r, o, st)
+			}
+		}
+		if st.Windows != windows {
+			t.Fatalf("p=%d: committed %d windows, want %d", p, st.Windows, windows)
+		}
+		runs[p] = runStats{models: publishedModels(t, dir), stats: st}
+		t.Logf("p=%d: drift fires=%d first=%d gate skips=%d holdout=%d err=%.4f published=%d",
+			p, st.DriftFires, st.FirstDriftWindow, st.GateSkips, st.HoldoutRecords, st.HoldoutErr, len(runs[p].models))
+	}
+
+	s1, s4 := runs[1].stats, runs[4].stats
+
+	// The detector must fire, and only after the concept flip (the flip
+	// lands in window 7; windows 1-6 are stationary).
+	if s1.DriftFires < 1 {
+		t.Error("drift detector never fired across the concept flip")
+	}
+	if s1.FirstDriftWindow <= 6 {
+		t.Errorf("first drift alarm at window %d, want after the flip (window 7+)", s1.FirstDriftWindow)
+	}
+	// The gate must have blocked at least one degraded candidate: the
+	// window committed but its model never reached the registry.
+	if s1.GateSkips < 1 {
+		t.Error("publish gate never blocked a candidate")
+	}
+	if got := len(runs[1].models); got != windows-s1.GateSkips {
+		t.Errorf("published %d models over %d windows with %d gate skips", got, windows, s1.GateSkips)
+	}
+
+	// Every drift/gate decision and every published byte must be identical
+	// at 1 and 4 ranks.
+	if s1.DriftFires != s4.DriftFires || s1.FirstDriftWindow != s4.FirstDriftWindow ||
+		s1.GateSkips != s4.GateSkips || s1.HoldoutRecords != s4.HoldoutRecords || s1.HoldoutErr != s4.HoldoutErr {
+		t.Errorf("drift decisions differ across rank counts: p=1 %+v, p=4 %+v", s1, s4)
+	}
+	n1, n4 := sortedNames(runs[1].models), sortedNames(runs[4].models)
+	if fmt.Sprint(n1) != fmt.Sprint(n4) {
+		t.Fatalf("published names differ: p=1 %v, p=4 %v", n1, n4)
+	}
+	for _, name := range n1 {
+		if !bytes.Equal(runs[1].models[name], runs[4].models[name]) {
+			t.Errorf("model %s differs between 1 and 4 ranks", name)
+		}
+	}
+}
+
+// TestDriftResumeBitIdentical: interrupting the drift scenario one window
+// before the alarm and resuming from checkpoints must reproduce exactly
+// the same alarm window, gate decision and published bytes as the
+// uninterrupted run. This is what the v2 checkpoint fields buy: losing
+// the Page–Hinkley accumulators or the last-published baseline across a
+// restart would silently fork the decision sequence.
+func TestDriftResumeBitIdentical(t *testing.T) {
+	const p, windows, flipAt = 2, 10, 2400
+
+	refDir := t.TempDir()
+	ref := driftConfig(t)
+	ref.PublishDir = refDir
+	ref.MaxWindows = windows
+	refRes := runRanks(t, p, ref, driftSource(t, flipAt, 0))
+	want := publishedModels(t, refDir)
+	rs := refRes[0].Stats
+	if rs.DriftFires != 1 || rs.FirstDriftWindow != 8 || rs.GateSkips != 1 {
+		t.Fatalf("reference run: fires=%d first=%d skips=%d, want 1/8/1 (retune the scenario)",
+			rs.DriftFires, rs.FirstDriftWindow, rs.GateSkips)
+	}
+
+	// Interrupted run: stop at window 7 — the detector is loaded (six
+	// observations) but has not fired — then resume to the full total.
+	dir, ckpt := t.TempDir(), t.TempDir()
+	cfg := driftConfig(t)
+	cfg.PublishDir, cfg.CheckpointDir = dir, ckpt
+	cfg.MaxWindows = 7
+	runRanks(t, p, cfg, driftSource(t, flipAt, 0))
+	cfg.MaxWindows = windows
+	r2 := runRanks(t, p, cfg, driftSource(t, flipAt, 0))
+	st := r2[0].Stats
+	if st.ResumedAt != 7 {
+		t.Fatalf("resumed at window %d, want 7", st.ResumedAt)
+	}
+	if st.DriftFires != 1 || st.FirstDriftWindow != 8 || st.GateSkips != 1 {
+		t.Fatalf("resumed run: fires=%d first=%d skips=%d, want 1/8/1 — detector state did not survive the restart",
+			st.DriftFires, st.FirstDriftWindow, st.GateSkips)
+	}
+
+	got := publishedModels(t, dir)
+	if fmt.Sprint(sortedNames(got)) != fmt.Sprint(sortedNames(want)) {
+		t.Fatalf("published names differ: got %v, want %v", sortedNames(got), sortedNames(want))
+	}
+	for name, blob := range want {
+		if !bytes.Equal(got[name], blob) {
+			t.Errorf("model %s differs from uninterrupted run", name)
+		}
+	}
+}
+
+// TestStationaryStreamNeverFires is the false-positive property: over 20
+// seeds of a stationary stream (no concept flip), at 1 and 4 ranks, the
+// drift detector must never fire — adaptive refresh must not degrade into
+// refresh-every-window on well-behaved data.
+func TestStationaryStreamNeverFires(t *testing.T) {
+	const windows = 6
+	for seed := int64(1); seed <= 20; seed++ {
+		for _, p := range []int{1, 4} {
+			cfg := driftConfig(t)
+			cfg.MaxWindows = windows
+			results := runRanks(t, p, cfg, func(int) Source {
+				src, err := NewSynthetic(datagen.Config{Function: 2, Seed: seed}, 0)
+				if err != nil {
+					t.Error(err)
+					return nil
+				}
+				return src
+			})
+			st := results[0].Stats
+			if st.DriftFires != 0 {
+				t.Errorf("seed %d p=%d: detector fired %d times (first at window %d) on a stationary stream",
+					seed, p, st.DriftFires, st.FirstDriftWindow)
+			}
+			if st.HoldoutRecords == 0 {
+				t.Errorf("seed %d p=%d: no holdout records were scored", seed, p)
+			}
+		}
+	}
+}
+
+// TestHoldoutDisabledMatchesLegacy: with HoldoutEvery = 0 the defense line
+// is inert — no holdout records are diverted, no drift state accumulates,
+// and the published sequence is byte-identical to the pre-holdout
+// behaviour (same stream, same windows, gate never engages).
+func TestHoldoutDisabledMatchesLegacy(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	cfg := testConfig(t)
+	cfg.MaxWindows = 5
+	cfg.PublishDir = dirA
+	rA := runRanks(t, 2, cfg, synthetic(t, 0))
+
+	cfg2 := cfg
+	cfg2.PublishDir = dirB
+	cfg2.HoldoutEvery = 0 // explicit zero: identical configuration
+	rB := runRanks(t, 2, cfg2, synthetic(t, 0))
+
+	if st := rA[0].Stats; st.HoldoutRecords != 0 || st.DriftFires != 0 || st.GateSkips != 0 {
+		t.Fatalf("disabled holdout accumulated state: %+v", st)
+	}
+	a, b := publishedModels(t, dirA), publishedModels(t, dirB)
+	if len(a) != 5 || len(a) != len(b) {
+		t.Fatalf("published %d vs %d models", len(a), len(b))
+	}
+	for name, blob := range a {
+		if !bytes.Equal(b[name], blob) {
+			t.Errorf("model %s differs", name)
+		}
+	}
+	_ = rB
+}

@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"math"
 	"sync/atomic"
 
 	"pclouds/internal/obs"
@@ -11,13 +12,17 @@ import (
 // build's vars use. All fields are safe to use with a nil registry (the
 // atomics still count; nothing is exported).
 type liveMetrics struct {
-	records     atomic.Int64
-	sketchBytes atomic.Int64
-	refreshes   atomic.Int64
-	grown       atomic.Int64
-	published   atomic.Int64
-	windows     atomic.Int64
-	reservoir   atomic.Int64
+	records        atomic.Int64
+	sketchBytes    atomic.Int64
+	refreshes      atomic.Int64
+	grown          atomic.Int64
+	published      atomic.Int64
+	windows        atomic.Int64
+	reservoir      atomic.Int64
+	holdoutRecords atomic.Int64
+	holdoutErr     atomic.Uint64 // float64 bits of the last window's rate
+	driftFires     atomic.Int64
+	gateSkips      atomic.Int64
 }
 
 func newLiveMetrics(reg *obs.Registry, e *engine) *liveMetrics {
@@ -39,6 +44,14 @@ func newLiveMetrics(reg *obs.Registry, e *engine) *liveMetrics {
 		Func(func() float64 { return float64(lm.windows.Load()) })
 	reg.Gauge("pclouds_stream_reservoir_records", "Records currently retained in the sample reservoir.").
 		Func(func() float64 { return float64(lm.reservoir.Load()) })
+	reg.Counter("pclouds_stream_holdout_records_total", "Held-out records scored against window candidates (global).").
+		Func(func() float64 { return float64(lm.holdoutRecords.Load()) })
+	reg.Gauge("pclouds_stream_holdout_error_rate", "Last window's candidate error rate on the holdout slice.").
+		Func(func() float64 { return math.Float64frombits(lm.holdoutErr.Load()) })
+	reg.Counter("pclouds_stream_drift_fires_total", "Page-Hinkley drift alarms (each schedules an adaptive refresh).").
+		Func(func() float64 { return float64(lm.driftFires.Load()) })
+	reg.Counter("pclouds_stream_gate_skips_total", "Windows that committed but were refused publication by the quality gate.").
+		Func(func() float64 { return float64(lm.gateSkips.Load()) })
 	reg.HistogramVec("pclouds_stream_publish_seconds", "Model publish latency (SaveFile to rename visible).",
 		obs.ExpBounds(1e-4, 2, 14)).Attach(e.pubHist)
 	return lm
@@ -48,4 +61,10 @@ func newLiveMetrics(reg *obs.Registry, e *engine) *liveMetrics {
 func (lm *liveMetrics) set(e *engine) {
 	lm.windows.Store(int64(e.window))
 	lm.reservoir.Store(int64(len(e.reservoir)))
+}
+
+// setHoldoutErr publishes the last window's holdout error rate (stored as
+// float bits so the scrape-time reader needs no lock).
+func (lm *liveMetrics) setHoldoutErr(rate float64) {
+	lm.holdoutErr.Store(math.Float64bits(rate))
 }

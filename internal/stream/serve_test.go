@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -128,6 +130,109 @@ func TestHotServeDuringPublishes(t *testing.T) {
 	}
 	if stats.Registry.Swaps != reg.Swaps() {
 		t.Errorf("stats swaps %d != registry swaps %d", stats.Registry.Swaps, reg.Swaps())
+	}
+}
+
+// TestCorruptPublishQuarantinedNeverServed is the serving-tier chaos
+// scenario: mid-run, a corrupt "model" lands in the publish directory with
+// the newest mtime — exactly what the poller would pick next. The
+// registry must quarantine it (rename it aside), never activate it, keep
+// answering every classify request, and keep swapping in the genuine
+// models that continue to publish around it.
+func TestCorruptPublishQuarantinedNeverServed(t *testing.T) {
+	dir, ckpt := t.TempDir(), t.TempDir()
+	cfg := testConfig(t)
+	cfg.PublishDir, cfg.CheckpointDir = dir, ckpt
+
+	// Bootstrap one window so the registry has a model to start from.
+	cfg.MaxWindows = 1
+	runRanks(t, 2, cfg, synthetic(t, 0))
+
+	reg, err := serve.OpenRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := serve.New(reg, serve.ServerConfig{})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	defer srv.Engine().Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go reg.Watch(ctx, 2*time.Millisecond)
+
+	g, err := datagen.New(datagen.Config{Function: 2, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0 := g.Next()
+	body, err := json.Marshal(map[string]any{"num": r0.Num, "cat": r0.Cat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var requests, failures atomic.Int64
+	hammerDone, hammerStop := make(chan struct{}), make(chan struct{})
+	go func() {
+		defer close(hammerDone)
+		for {
+			select {
+			case <-hammerStop:
+				return
+			default:
+			}
+			resp, err := http.Post(hs.URL+"/v1/classify", "application/json", strings.NewReader(string(body)))
+			requests.Add(1)
+			if err != nil {
+				failures.Add(1)
+				continue
+			}
+			if resp.StatusCode != http.StatusOK {
+				failures.Add(1)
+			}
+			resp.Body.Close()
+		}
+	}()
+
+	// Drop the corrupt file while the stream publishes the remaining
+	// windows underneath the poller. A far-future name and mtime make it
+	// the scan winner on every tick until it is quarantined.
+	corrupt := filepath.Join(dir, "model-w999999.tree")
+	if err := os.WriteFile(corrupt, []byte("definitely not a model"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	future := time.Now().Add(time.Hour)
+	if err := os.Chtimes(corrupt, future, future); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.MaxWindows = 6
+	cfg.RecordHook = func(int, int64) { time.Sleep(30 * time.Microsecond) }
+	runRanks(t, 2, cfg, synthetic(t, 0))
+	time.Sleep(20 * time.Millisecond)
+	close(hammerStop)
+	<-hammerDone
+
+	if n := requests.Load(); n == 0 {
+		t.Fatal("no classify requests were issued")
+	}
+	if n := failures.Load(); n != 0 {
+		t.Fatalf("%d of %d classify requests failed while a corrupt model sat in the registry", n, requests.Load())
+	}
+	if got := reg.Quarantined(); got != 1 {
+		t.Fatalf("Quarantined = %d, want 1", got)
+	}
+	if _, err := os.Stat(corrupt); !os.IsNotExist(err) {
+		t.Fatalf("corrupt file still present (err=%v), want renamed aside", err)
+	}
+	if _, err := os.Stat(corrupt + ".quarantined"); err != nil {
+		t.Fatalf("quarantined copy missing: %v", err)
+	}
+	// The corrupt version was never activated, and the genuine stream
+	// models kept swapping in past it.
+	if got := reg.Active().Info.Version; got != "model-w000006.tree" {
+		t.Fatalf("active = %q, want model-w000006.tree", got)
+	}
+	if swaps := reg.Swaps(); swaps < 2 {
+		t.Errorf("registry saw %d swaps, want at least 2", swaps)
 	}
 }
 

@@ -86,8 +86,29 @@ type Config struct {
 	ReservoirCap int
 	// RefreshEvery triggers a full rebuild over the reservoir every that
 	// many windows (default 4); the first window always refreshes (it
-	// bootstraps the model). Windows in between grow the frontier.
+	// bootstraps the model). Windows in between grow the frontier. With
+	// holdout evaluation enabled the drift detector can additionally
+	// schedule an adaptive refresh at any window; RefreshEvery then acts
+	// as the fallback ceiling on model staleness.
 	RefreshEvery int
+	// HoldoutEvery holds every HoldoutEvery-th global record out of
+	// training (it enters neither sketches nor the reservoir) and scores
+	// each window's candidate model on the held-out slice — the input to
+	// the drift detector and the publish quality gate. 0 disables holdout
+	// evaluation, drift detection and gating (the PR-8 behaviour).
+	HoldoutEvery int
+	// DriftDelta is the Page–Hinkley tolerated per-window deviation of
+	// the holdout error rate (default 0.005 when HoldoutEvery > 0).
+	DriftDelta float64
+	// DriftLambda is the Page–Hinkley alarm threshold on the cumulative
+	// deviation (default 0.25 when HoldoutEvery > 0). When it fires, the
+	// next window refreshes from the reservoir instead of growing.
+	DriftLambda float64
+	// GateTolerance is how much worse (absolute holdout error rate) a
+	// candidate may be than the last-published model and still publish.
+	// Default 0.05 when HoldoutEvery > 0; negative means exactly zero
+	// tolerance. A gated window commits but does not publish.
+	GateTolerance float64
 	// GrowMinRecords is the evidence threshold for growing: a frontier
 	// leaf splits only when the merged window sketch holds at least this
 	// many records (default 64).
@@ -127,6 +148,20 @@ func (cfg Config) withDefaults() Config {
 	if cfg.GrowMinRecords <= 0 {
 		cfg.GrowMinRecords = 64
 	}
+	if cfg.HoldoutEvery > 0 {
+		if cfg.DriftDelta <= 0 {
+			cfg.DriftDelta = 0.005
+		}
+		if cfg.DriftLambda <= 0 {
+			cfg.DriftLambda = 0.25
+		}
+		switch {
+		case cfg.GateTolerance < 0:
+			cfg.GateTolerance = 0
+		case cfg.GateTolerance == 0:
+			cfg.GateTolerance = 0.05
+		}
+	}
 	if cfg.Clouds.Split == clouds.SplitSSE {
 		cfg.Clouds.Split = clouds.SplitHist
 	}
@@ -157,6 +192,18 @@ type Stats struct {
 	Refreshes int
 	Grown     int
 	Published int
+	// Holdout evaluation (all zero when HoldoutEvery == 0):
+	// HoldoutRecords is the global count of held-out records scored,
+	// HoldoutErr the last window's global candidate error rate on them.
+	HoldoutRecords int64
+	HoldoutErr     float64
+	// DriftFires counts Page–Hinkley alarms (each schedules an adaptive
+	// refresh); FirstDriftWindow is the 1-based window of the first alarm
+	// (0 = never fired). GateSkips counts windows that committed but were
+	// refused publication by the quality gate.
+	DriftFires       int
+	FirstDriftWindow int
+	GateSkips        int
 	// Reservoir is the retained sample size at exit.
 	Reservoir int
 	// Comm holds the communicator's counters at exit.
@@ -190,6 +237,19 @@ type engine struct {
 	// candidates for the current window; cleared by mergeSamples.
 	winSampleIdx []int64
 	winSample    []record.Record
+
+	// winHoldout buffers this rank's owned held-out records for the
+	// current window (HoldoutEvery > 0); consumed at window close.
+	winHoldout []record.Record
+
+	// Drift/gate state, replicated and checkpointed: the Page–Hinkley
+	// detector, whether it has scheduled an adaptive refresh for the next
+	// window, and the last model that passed the publish gate (with the
+	// window it was published at).
+	det          phDetector
+	driftPending bool
+	lastPub      *tree.Tree
+	lastPubWin   int
 
 	stats   Stats
 	pubHist *obs.Histogram
@@ -253,6 +313,8 @@ func (e *engine) resume() error {
 		return nil
 	}
 	e.window, e.nextIdx, e.tree, e.reservoir = st.window, st.nextIdx, st.tree, st.reservoir
+	e.det, e.driftPending = st.det, st.driftPending
+	e.lastPub, e.lastPubWin = st.lastPub, st.lastPubWin
 	e.stats.ResumedAt = st.window
 	e.live.set(e)
 	var rec record.Record
@@ -275,7 +337,10 @@ func (e *engine) loop() error {
 		if e.stopped() {
 			return ErrStopped
 		}
-		willRefresh := e.tree == nil || (e.window+1)%e.cfg.RefreshEvery == 0
+		// Refresh when the model is missing (bootstrap), when the drift
+		// detector scheduled an adaptive refresh at the previous close, or
+		// on the fixed-period ceiling.
+		willRefresh := e.tree == nil || e.driftPending || (e.window+1)%e.cfg.RefreshEvery == 0
 		if !willRefresh {
 			e.buildFrontier()
 		} else {
@@ -320,6 +385,12 @@ func (e *engine) ingestWindow() (scanned int64, streamEnd bool, err error) {
 		if idx%int64(p) == int64(rank) {
 			e.stats.Records++
 			e.live.records.Add(1)
+			if holdoutIdx(idx, e.cfg.HoldoutEvery) {
+				// Held out of training entirely: scored against the
+				// window's candidate model at close, then discarded.
+				e.winHoldout = append(e.winHoldout, rec.Clone())
+				return true, nil
+			}
 			if e.frontier != nil {
 				e.frontier[e.route(rec)].stats.Add(rec)
 			}
@@ -434,9 +505,12 @@ func (e *engine) buildFrontier() {
 }
 
 // closeWindow runs the collective close: sample exchange, grow-or-refresh,
-// validation vote, publish, checkpoint.
+// holdout scoring + validation vote (one all-reduce), drift detection,
+// publish gate, publish, checkpoint.
 func (e *engine) closeWindow(refresh bool) error {
 	windowNum := e.window // 0-based index of the window being closed
+	holdout := e.winHoldout
+	e.winHoldout = e.winHoldout[:0]
 	if err := e.mergeSamples(); err != nil {
 		return err
 	}
@@ -444,6 +518,7 @@ func (e *engine) closeWindow(refresh bool) error {
 		if err := e.refreshTree(); err != nil {
 			return err
 		}
+		e.driftPending = false // the scheduled adaptive refresh ran
 	} else {
 		if err := e.growFrontier(); err != nil {
 			return err
@@ -452,7 +527,10 @@ func (e *engine) closeWindow(refresh bool) error {
 
 	// Collective commit: every rank validates its (replicated) model and
 	// the group agrees before anything durable happens. A disagreement can
-	// only mean divergent state — fail loudly rather than publish it.
+	// only mean divergent state — fail loudly rather than publish it. The
+	// holdout tallies ride the same all-reduce: [ok votes, candidate
+	// errors, last-published errors, holdout records], summed, so holdout
+	// evaluation costs no extra round trip.
 	ok := int64(1)
 	var verr error
 	if e.tree != nil {
@@ -460,23 +538,84 @@ func (e *engine) closeWindow(refresh bool) error {
 			ok = 0
 		}
 	}
-	agreed, err := comm.AllReduceInt64(e.c, []int64{ok}, minI64)
+	var candErr, lastErr int64
+	score := e.cfg.HoldoutEvery > 0 && e.tree != nil
+	if score {
+		for _, r := range holdout {
+			if e.tree.Classify(r) != r.Class {
+				candErr++
+			}
+			if e.lastPub != nil && e.lastPub.Classify(r) != r.Class {
+				lastErr++
+			}
+		}
+	}
+	sums, err := comm.AllReduceInt64(e.c, []int64{ok, candErr, lastErr, int64(len(holdout))}, sumI64)
 	if err != nil {
 		return err
 	}
-	if agreed[0] == 0 {
+	if sums[0] != int64(e.c.Size()) {
 		return fmt.Errorf("stream: window %d failed the commit vote (local validation: %v)", windowNum, verr)
 	}
 
 	e.window++
+
+	// Drift detection and the publish quality gate, both deterministic
+	// functions of the all-reduced tallies — identical on every rank.
+	publish := true
+	if score && sums[3] > 0 {
+		candRate := float64(sums[1]) / float64(sums[3])
+		e.stats.HoldoutRecords += sums[3]
+		e.stats.HoldoutErr = candRate
+		e.live.holdoutRecords.Add(sums[3])
+		e.live.setHoldoutErr(candRate)
+		if e.lastPub != nil {
+			lastRate := float64(sums[2]) / float64(sums[3])
+			if candRate > lastRate+e.cfg.GateTolerance {
+				publish = false
+				e.stats.GateSkips++
+				e.live.gateSkips.Add(1)
+				e.cfg.Logf("stream: rank %d: window %d publish gated: candidate holdout error %.4f vs last published (window %d) %.4f, tolerance %.4f",
+					e.c.Rank(), e.window, candRate, e.lastPubWin, lastRate, e.cfg.GateTolerance)
+			}
+		}
+		if e.det.observe(candRate, e.cfg.DriftDelta, e.cfg.DriftLambda) {
+			e.det.reset()
+			e.driftPending = true
+			e.stats.DriftFires++
+			if e.stats.FirstDriftWindow == 0 {
+				e.stats.FirstDriftWindow = e.window
+			}
+			e.live.driftFires.Add(1)
+			e.cfg.Logf("stream: rank %d: window %d drift detected (holdout error %.4f): scheduling adaptive refresh",
+				e.c.Rank(), e.window, candRate)
+		}
+	}
+
 	// Publish before checkpointing: a crash between the two replays the
 	// window and rewrites the identical model, whereas the opposite order
-	// could commit a window whose model never reached the registry.
-	if err := e.publish(); err != nil {
-		return err
+	// could commit a window whose model never reached the registry. A
+	// gated window skips both the file write and the last-published
+	// update — serving (and the next window's gate baseline) keep the
+	// last good model.
+	if publish && e.tree != nil {
+		if err := e.publish(); err != nil {
+			return err
+		}
+		// The gate baseline must be a snapshot: frontier growth mutates
+		// e.tree in place, so aliasing it here would make every grown
+		// candidate compare against itself.
+		snap, err := tree.Decode(e.cfg.Schema, tree.Encode(e.tree))
+		if err != nil {
+			return fmt.Errorf("stream: snapshotting published model: %w", err)
+		}
+		e.lastPub, e.lastPubWin = snap, e.window
 	}
 	if e.cfg.CheckpointDir != "" {
-		st := &ckptState{window: e.window, nextIdx: e.nextIdx, tree: e.tree, reservoir: e.reservoir}
+		st := &ckptState{
+			window: e.window, nextIdx: e.nextIdx, tree: e.tree, reservoir: e.reservoir,
+			det: e.det, driftPending: e.driftPending, lastPub: e.lastPub, lastPubWin: e.lastPubWin,
+		}
 		if err := writeCkpt(e.cfg.CheckpointDir, e.c.Rank(), e.fp, st); err != nil {
 			// Degraded mode: losing durability on one rank must not kill
 			// the pipeline; resume degrades toward an older (or fresh)
@@ -485,8 +624,9 @@ func (e *engine) closeWindow(refresh bool) error {
 		}
 	}
 	e.live.set(e)
-	e.cfg.Logf("stream: rank %d: window %d committed (%s, reservoir %d, tree %s)",
-		e.c.Rank(), e.window, map[bool]string{true: "refresh", false: "grow"}[refresh], len(e.reservoir), treeShape(e.tree))
+	e.cfg.Logf("stream: rank %d: window %d committed (%s%s, reservoir %d, tree %s)",
+		e.c.Rank(), e.window, map[bool]string{true: "refresh", false: "grow"}[refresh],
+		map[bool]string{true: "", false: ", publish gated"}[publish], len(e.reservoir), treeShape(e.tree))
 	return nil
 }
 
@@ -706,3 +846,5 @@ func maxI64(a, b int64) int64 {
 	}
 	return b
 }
+
+func sumI64(a, b int64) int64 { return a + b }
