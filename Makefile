@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check build vet vet-concurrency test race chaos chaos-quick fuzz bench bench-quick bench-trajectory experiments examples cover clean
+.PHONY: all check build vet vet-concurrency test race chaos chaos-quick fuzz bench bench-quick bench-trajectory experiments examples cover scrub clean
 
 # BENCH_INDEX numbers the trajectory snapshot bench-trajectory writes;
 # "auto" picks one past the newest BENCH_<n>.json, tracking the
@@ -32,10 +32,10 @@ test:
 # vote) across concurrent simulated ranks, so every build exercises the
 # concurrency under the race detector.
 race: vet-concurrency
-	$(GO) test -race ./internal/ooc/... ./internal/comm/... ./internal/fault/... ./internal/pclouds/... ./internal/clouds/... ./internal/serve/... ./internal/driver/... ./internal/stream/...
+	$(GO) test -race ./internal/ooc/... ./internal/comm/... ./internal/fault/... ./internal/pclouds/... ./internal/clouds/... ./internal/serve/... ./internal/driver/... ./internal/stream/... ./internal/record/... ./internal/scrub/...
 
 vet-concurrency:
-	$(GO) vet ./internal/ooc/... ./internal/comm/tcp/... ./internal/fault/... ./internal/pclouds/... ./internal/clouds/... ./internal/serve/... ./internal/driver/... ./internal/stream/...
+	$(GO) vet ./internal/ooc/... ./internal/comm/tcp/... ./internal/fault/... ./internal/pclouds/... ./internal/clouds/... ./internal/serve/... ./internal/driver/... ./internal/stream/... ./internal/record/... ./internal/scrub/...
 
 # Fault-injection acceptance suite: killed/wedged ranks, dropped and
 # corrupted frames, slow and failing storage — every scenario must end in
@@ -48,6 +48,9 @@ chaos:
 	$(GO) test -race -run 'TestCheckpoint|TestResume|TestWriteBehind|TestPrefetch' ./internal/pclouds/ ./internal/fault/ ./internal/ooc/
 	$(GO) test -race -run 'TestDrift|TestStationary|TestCorruptPublish' -v ./internal/stream/
 	$(GO) test -race -run 'TestRegistryQuarantines|TestRegistryRollback|TestRegistrySingleFile' ./internal/serve/
+	$(GO) test -race -run 'TestCorruptionDetected' -v ./internal/pclouds/
+	$(GO) test -race -run 'TestTailV2|TestCheckpointEveryBitFlip|TestCheckpointSourceBinding' ./internal/stream/
+	$(GO) test -race ./internal/scrub/
 
 # chaos-quick is the self-healing subset that gates every commit: the
 # supervised kill-and-respawn acceptance test, generation fencing, and the
@@ -59,12 +62,14 @@ chaos-quick: vet
 	$(GO) test -race -timeout 300s -run 'TestCheckpointGC|TestAutoResume|TestDegraded|TestResume' ./internal/pclouds/
 
 # Short fuzz passes: the prediction-server request decoders (malformed
-# JSON/binary rows must get a 4xx, never a panic) and the stream window
+# JSON/binary rows must get a 4xx, never a panic), the stream window
 # checkpoint decoder (garbage must error, accepted bytes must re-encode
-# identically).
+# identically), and the v2 record-block decoder (corrupt blocks must fail
+# their CRC, never decode silently).
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzClassifyRequest -fuzztime=10s ./internal/serve
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeCheckpoint -fuzztime=10s ./internal/stream
+	$(GO) test -run='^$$' -fuzz=FuzzRecordBlock -fuzztime=10s ./internal/record
 
 # -run='^$' keeps the benchmark pass from re-running the unit-test suite.
 bench:
@@ -88,6 +93,13 @@ bench-quick:
 bench-trajectory:
 	$(GO) run ./cmd/benchrun -out . -index $(BENCH_INDEX)
 	$(GO) run ./cmd/benchdiff -dir .
+
+# Offline integrity scrub: verify every checksum in the artifact
+# directories named by SCRUB_PATHS (out-of-core stores, checkpoint trees,
+# model registries, record files). Nonzero exit on any corrupt file.
+SCRUB_PATHS ?= .
+scrub:
+	$(GO) run ./cmd/pcloudsscrub $(SCRUB_PATHS)
 
 cover:
 	$(GO) test -cover ./...

@@ -44,6 +44,7 @@ import (
 	"pclouds/internal/record"
 	"pclouds/internal/serve"
 	"pclouds/internal/stream"
+	"pclouds/internal/tree"
 )
 
 func main() {
@@ -205,6 +206,11 @@ func runAll(index, records, procs int, seed int64, loadDur time.Duration, note s
 			return nil, err
 		}
 		benches = append(benches, sd)
+		ib, err := integrityBench(h, data, sample, procs)
+		if err != nil {
+			return nil, err
+		}
+		benches = append(benches, ib)
 	}
 
 	return &benchfmt.File{
@@ -388,6 +394,46 @@ func streamBench(seed int64, quick bool) (benchfmt.Benchmark, error) {
 // after the flip and how many degraded candidates the publish gate
 // rejected. Both are informational — the series characterizes reaction
 // latency, it does not gate — and the run is skipped in -quick mode.
+// integrityBench measures what the verifying data plane costs: the same
+// build back to back with checksums off then on, trees required identical.
+// The overhead series is informational, not gating — wall-time ratios are
+// too noisy to gate on — with a <5% target; the frame and corruption
+// counters pin that every page was actually verified and none failed.
+func integrityBench(h experiments.Harness, data *record.Dataset, sample []record.Record, procs int) (benchfmt.Benchmark, error) {
+	fmt.Fprintf(os.Stderr, "benchrun: integrity: measuring checksum overhead at %d ranks\n", procs)
+	base, err := h.Run(data, sample, procs)
+	if err != nil {
+		return benchfmt.Benchmark{}, fmt.Errorf("integrity baseline: %w", err)
+	}
+	hi := h
+	hi.Integrity = true
+	integ, err := hi.Run(data, sample, procs)
+	if err != nil {
+		return benchfmt.Benchmark{}, fmt.Errorf("integrity build: %w", err)
+	}
+	if !tree.Equal(base.Tree, integ.Tree) {
+		return benchfmt.Benchmark{}, fmt.Errorf("integrity build produced a different tree")
+	}
+	var ist ooc.IntegrityStats
+	for _, s := range integ.Stats {
+		ist.FramesWritten += s.Integrity.FramesWritten
+		ist.FramesRead += s.Integrity.FramesRead
+		ist.Corruptions += s.Integrity.Corruptions
+	}
+	if ist.Corruptions > 0 {
+		return benchfmt.Benchmark{}, fmt.Errorf("integrity build counted %d corruptions on clean data", ist.Corruptions)
+	}
+	overhead := (integ.WallTime.Seconds() - base.WallTime.Seconds()) / base.WallTime.Seconds() * 100
+	return benchfmt.Benchmark{
+		Name: fmt.Sprintf("integrity/p%d", procs),
+		Metrics: []benchfmt.Metric{
+			{Name: "checksum_overhead_pct", Value: overhead, Unit: "%", Better: benchfmt.LowerIsBetter},
+			{Name: "rows_per_sec", Value: float64(data.Len()) / integ.WallTime.Seconds(), Unit: "rows/s", Better: benchfmt.HigherIsBetter},
+			{Name: "frames_verified", Value: float64(ist.FramesRead), Unit: "frames", Better: benchfmt.HigherIsBetter},
+		},
+	}, nil
+}
+
 func streamDriftBench(seed int64) (benchfmt.Benchmark, error) {
 	const (
 		procs      = 4

@@ -26,6 +26,15 @@
 // checkpoint level completed on every rank, so the final tree is identical
 // to an undisturbed run.
 //
+// Data integrity: -integrity frames every page of the on-disk store with a
+// CRC-32C checksum verified on read. A corrupt page is retried, then voted
+// on collectively — every rank learns which rank, file, and offset went bad
+// — and with -checkpoint-dir set, the corrupt file is quarantined
+// (*.quarantined, preserved for pcloudsscrub) and the build resumes from
+// the newest clean checkpoint instead of failing. A checksummed training
+// file's identity is bound into checkpoint manifests, so resuming against
+// a swapped dataset is refused.
+//
 // Fault tolerance: -heartbeat/-peer-timeout/-recv-timeout tune the failure
 // detector (a dead or wedged peer fails the build with an error naming the
 // rank instead of hanging), and -checkpoint-dir/-resume persist per-level
@@ -78,6 +87,7 @@ var (
 	peerTO      = flag.Duration("peer-timeout", 10*time.Second, "declare a peer dead after this much silence (negative disables)")
 	recvTO      = flag.Duration("recv-timeout", 0, "bound any single blocked receive, even with live heartbeats (0 disables)")
 	ckptDir     = flag.String("checkpoint-dir", "", "persist a checkpoint after every completed tree level to this directory")
+	integrity   = flag.Bool("integrity", false, "checksum the on-disk store, vote on corruption collectively, quarantine corrupt files and recover from checkpoints")
 	resume      = flag.Bool("resume", false, "resume from the checkpoint in -checkpoint-dir instead of starting fresh")
 	traceOut    = flag.String("trace-out", "", "write this rank's trace JSON to this path (set on every rank)")
 	progressOut = flag.String("progress-out", "", "write per-level progress records as JSON lines to this path")
@@ -230,6 +240,16 @@ func run(stop <-chan struct{}) error {
 	if err != nil {
 		return fmt.Errorf("stage: load training data: %w", err)
 	}
+	// A checksummed v2 training file carries its identity in the header
+	// checksum; binding it into checkpoint manifests makes a resume against
+	// a swapped dataset an error instead of a silent divergence. A legacy v1
+	// file has no identity to bind (dataCRC stays 0).
+	var dataCRC uint32
+	if hdr, ok, err := record.SniffHeader(*trainPath); err != nil {
+		return fmt.Errorf("stage: training data header: %w", err)
+	} else if ok {
+		dataCRC = hdr.CRC
+	}
 	split, err := clouds.ParseSplitMethod(*splitMethod)
 	if err != nil {
 		return fmt.Errorf("usage: %w", err)
@@ -264,6 +284,9 @@ func run(stop <-chan struct{}) error {
 		return fmt.Errorf("stage: create store: %w", err)
 	}
 	store.SetPipeline(ooc.Pipeline{Enabled: *ioPipe, Depth: *ioDepth})
+	if *integrity {
+		store.EnableIntegrity(ooc.IntegrityOptions{})
+	}
 	stage := func(store *ooc.Store) error {
 		w, err := store.CreateWriter("root")
 		if err != nil {
@@ -295,6 +318,9 @@ func run(stop <-chan struct{}) error {
 	reg := obs.DefaultRegistry()
 	obs.RegisterCommStats(reg, liveStats)
 	obs.RegisterIOStats(reg, "store", store.Stats)
+	if vb := store.Integrity(); vb != nil {
+		obs.RegisterIntegrityStats(reg, "store", vb.Stats)
+	}
 
 	var rec *obs.Recorder
 	if *traceOut != "" {
@@ -341,6 +367,8 @@ func run(stop <-chan struct{}) error {
 			Metrics:       reg,
 			CheckpointDir: *ckptDir,
 			Resume:        *resume,
+			Integrity:     *integrity,
+			DataChecksum:  dataCRC,
 			Warnf: func(format string, args ...any) {
 				fmt.Fprintf(os.Stderr, format+"\n", args...)
 			},

@@ -35,6 +35,15 @@
 // group agrees on the newest window checkpoint every rank still has and
 // resumes from it — the published model sequence continues bit-identically
 // from the recovery window onward.
+//
+// Data integrity: tailing a checksummed v2 file (what datagen writes by
+// default) verifies every record block's CRC as it streams — a torn
+// trailing block is a writer mid-append and is polled, a corrupt interior
+// block stops the build with its file offset. Window checkpoints are
+// whole-file checksummed and bound to the tailed file's header checksum, so
+// a damaged checkpoint degrades resume to the previous window and a resume
+// against a swapped dataset is refused outright. pcloudsscrub verifies all
+// of it offline.
 package main
 
 import (
@@ -295,7 +304,14 @@ func run(stop <-chan struct{}) error {
 			return err
 		}
 		defer src.Close()
-		r, err := stream.Run(scfg, c, src)
+		cfg := scfg
+		// A checksummed v2 tail carries the dataset's identity in its header
+		// checksum; binding it into window checkpoints makes resuming this
+		// rank against a swapped file an error instead of silent divergence.
+		if ts, ok := src.(*stream.TailSource); ok {
+			cfg.SourceChecksum = ts.HeaderChecksum()
+		}
+		r, err := stream.Run(cfg, c, src)
 		if err != nil {
 			return err
 		}

@@ -53,6 +53,10 @@ type Harness struct {
 	// write-behind). It changes wall time only: simulated costs and page
 	// counts are identical either way, so experiment shape is unaffected.
 	Pipeline ooc.Pipeline
+	// Integrity frames every store page with a verified CRC-32C checksum
+	// (the production -integrity data plane). Trees are identical either
+	// way; the wall-time delta is the checksum overhead benchmarks track.
+	Integrity bool
 }
 
 // DefaultHarness returns the paper's configuration scaled for one host.
@@ -117,6 +121,9 @@ func (h Harness) Run(data *record.Dataset, sample []record.Record, p int) (*RunR
 	for r := 0; r < p; r++ {
 		stores[r] = ooc.NewMemStore(data.Schema, h.Params, comms[r].Clock())
 		stores[r].SetPipeline(h.Pipeline)
+		if h.Integrity {
+			stores[r].EnableIntegrity(ooc.IntegrityOptions{})
+		}
 		w, err := stores[r].CreateWriter("root")
 		if err != nil {
 			return nil, err
@@ -143,6 +150,7 @@ func (h Harness) Run(data *record.Dataset, sample []record.Record, p int) (*RunR
 		Boundary:      h.Boundary,
 		RegroupIdle:   h.Regroup,
 		DisableFusion: h.NoFusion,
+		Integrity:     h.Integrity,
 		// One record touch per attribute per pass, charged live.
 		CPUPerRecord: h.Params.CPURecord * float64(1+data.Schema.NumNumeric()+data.Schema.NumCategorical()),
 	}

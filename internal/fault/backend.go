@@ -93,6 +93,13 @@ func (b *Backend) Remove(name string) error {
 	return b.inner.Remove(name)
 }
 
+// Rename implements ooc.Backend (never faulted: quarantining a corrupt file
+// is the recovery path — breaking it would turn every detected corruption
+// into an unrecoverable one, which is not an interesting scenario).
+func (b *Backend) Rename(oldName, newName string) error {
+	return b.inner.Rename(oldName, newName)
+}
+
 // List implements ooc.Backend.
 func (b *Backend) List() ([]string, error) { return b.inner.List() }
 
@@ -102,6 +109,8 @@ func (b *Backend) Sync(name string) error { return b.inner.Sync(name) }
 type faultWriter struct {
 	b     *Backend
 	inner io.WriteCloser
+	flips int64
+	tears int64
 }
 
 func (w *faultWriter) Write(p []byte) (int, error) {
@@ -112,6 +121,29 @@ func (w *faultWriter) Write(p []byte) (int, error) {
 			time.Sleep(r.Delay)
 		case Error:
 			return 0, w.b.inj.injectedErr(r, w.b.rank, OpWrite)
+		case Corrupt:
+			// Persist the buffer with one deterministically-chosen bit
+			// flipped; the caller's slice stays untouched and the write
+			// reports success — silent medium corruption.
+			if len(p) > 0 {
+				w.flips++
+				bad := append([]byte(nil), p...)
+				i := w.b.inj.pick(len(bad)*8, uint64(w.b.rank), uint64(OpWrite), uint64(w.flips))
+				bad[i/8] ^= 1 << (i % 8)
+				n, err := w.inner.Write(bad)
+				return n, err
+			}
+		case Truncate:
+			// Persist only a prefix but report the full length — a torn
+			// write. Callers that trust the return value lose the tail.
+			if len(p) > 1 {
+				w.tears++
+				keep := 1 + w.b.inj.pick(len(p)-1, uint64(w.b.rank), uint64(OpWrite), uint64(w.tears), 7)
+				if _, err := w.inner.Write(p[:keep]); err != nil {
+					return 0, err
+				}
+				return len(p), nil
+			}
 		}
 	}
 	return w.inner.Write(p)
@@ -122,6 +154,7 @@ func (w *faultWriter) Close() error { return w.inner.Close() }
 type faultReader struct {
 	b     *Backend
 	inner io.ReadCloser
+	flips int64
 }
 
 func (r *faultReader) Read(p []byte) (int, error) {
@@ -138,6 +171,17 @@ func (r *faultReader) Read(p []byte) (int, error) {
 			if len(p) > 1 {
 				p = p[:1+len(p)/4]
 			}
+		case Corrupt:
+			// Flip one deterministically-chosen bit of the bytes actually
+			// delivered — a medium/controller error on the read path. Only
+			// a checksum layer above can tell.
+			n, err := r.inner.Read(p)
+			if n > 0 {
+				r.flips++
+				i := r.b.inj.pick(n*8, uint64(r.b.rank), uint64(OpRead), uint64(r.flips))
+				p[i/8] ^= 1 << (i % 8)
+			}
+			return n, err
 		}
 	}
 	return r.inner.Read(p)

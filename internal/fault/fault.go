@@ -93,6 +93,11 @@ const (
 	// Slow sleeps Rule.Delay before a byte-level storage operation,
 	// modelling a degraded disk rather than a broken one.
 	Slow
+	// Truncate makes a byte-level write persist only a prefix of the
+	// buffer while reporting full success (OpWrite only) — the torn write
+	// a crash or a lying disk leaves behind. Only a verifying layer above
+	// can notice.
+	Truncate
 )
 
 func (a Action) String() string {
@@ -109,6 +114,8 @@ func (a Action) String() string {
 		return "short-read"
 	case Slow:
 		return "slow"
+	case Truncate:
+		return "truncate"
 	default:
 		return fmt.Sprintf("Action(%d)", int(a))
 	}
@@ -173,16 +180,17 @@ type Stats struct {
 	Errors      int64
 	ShortReads  int64
 	Slows       int64
+	Truncations int64
 }
 
 // Total is the number of injected faults of any kind.
 func (s Stats) Total() int64 {
-	return s.Drops + s.Delays + s.Corruptions + s.Errors + s.ShortReads + s.Slows
+	return s.Drops + s.Delays + s.Corruptions + s.Errors + s.ShortReads + s.Slows + s.Truncations
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("drops %d, delays %d, corruptions %d, errors %d, short-reads %d, slows %d",
-		s.Drops, s.Delays, s.Corruptions, s.Errors, s.ShortReads, s.Slows)
+	return fmt.Sprintf("drops %d, delays %d, corruptions %d, errors %d, short-reads %d, slows %d, truncations %d",
+		s.Drops, s.Delays, s.Corruptions, s.Errors, s.ShortReads, s.Slows, s.Truncations)
 }
 
 type opKey struct {
@@ -261,10 +269,19 @@ func (in *Injector) decide(rank int, op Op, class comm.OpClass) *Rule {
 			in.stats.ShortReads++
 		case Slow:
 			in.stats.Slows++
+		case Truncate:
+			in.stats.Truncations++
 		}
 		return r
 	}
 	return nil
+}
+
+// pick maps the decision coordinates to a deterministic integer in [0, n),
+// seeding from the injector: corruption targets (which bit of which byte)
+// replay identically under the same seed.
+func (in *Injector) pick(n int, parts ...uint64) int {
+	return int(u01(append([]uint64{in.seed}, parts...)...) * float64(n))
 }
 
 // u01 maps the decision coordinates to a deterministic uniform draw in

@@ -68,3 +68,22 @@ func RegisterIOStats(reg *Registry, store string, fn func() ooc.IOStats) {
 	reg.Counter("pclouds_io_wait_seconds_total", "Wall seconds stalled on the async I/O pipeline.", "store").
 		Func(get(func(s ooc.IOStats) float64 { return s.WaitSec }), store)
 }
+
+// RegisterIntegrityStats wires a live ooc.IntegrityStats source (typically
+// VerifyingBackend.Stats) onto reg as pclouds_integrity_* series, labelled
+// with the store name. The corruption counter is the one to alert on: it
+// only moves when a checksum failure exhausted the retry budget and
+// surfaced to the build.
+func RegisterIntegrityStats(reg *Registry, store string, fn func() ooc.IntegrityStats) {
+	get := func(sel func(ooc.IntegrityStats) float64) func() float64 {
+		return func() float64 { return sel(fn()) }
+	}
+	frames := reg.Counter("pclouds_integrity_frames_total", "Checksummed frames by store and direction.", "store", "dir")
+	frames.Func(get(func(s ooc.IntegrityStats) float64 { return float64(s.FramesWritten) }), store, "write")
+	frames.Func(get(func(s ooc.IntegrityStats) float64 { return float64(s.FramesRead) }), store, "read")
+
+	reg.Counter("pclouds_integrity_retries_total", "Frame reads retried after an error or checksum mismatch.", "store").
+		Func(get(func(s ooc.IntegrityStats) float64 { return float64(s.Retries) }), store)
+	reg.Counter("pclouds_integrity_corruptions_total", "Checksum failures that exhausted retries and surfaced.", "store").
+		Func(get(func(s ooc.IntegrityStats) float64 { return float64(s.Corruptions) }), store)
+}

@@ -44,6 +44,10 @@ func (f *fileBackend) Remove(name string) error {
 	return os.Remove(f.path(name))
 }
 
+func (f *fileBackend) Rename(oldName, newName string) error {
+	return os.Rename(f.path(oldName), f.path(newName))
+}
+
 func (f *fileBackend) List() ([]string, error) {
 	entries, err := os.ReadDir(f.dir)
 	if err != nil {
@@ -141,6 +145,18 @@ func (m *memBackend) Remove(name string) error {
 		return fmt.Errorf("ooc: %w: %s", os.ErrNotExist, name)
 	}
 	delete(m.files, name)
+	return nil
+}
+
+func (m *memBackend) Rename(oldName, newName string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.files[oldName]
+	if !ok {
+		return fmt.Errorf("ooc: %w: %s", os.ErrNotExist, oldName)
+	}
+	m.files[newName] = data
+	delete(m.files, oldName)
 	return nil
 }
 

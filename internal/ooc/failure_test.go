@@ -76,10 +76,11 @@ func (f *faultBackend) Open(name string) (io.ReadCloser, error) {
 	return &faultReader{b: f, inner: r}, nil
 }
 
-func (f *faultBackend) Size(name string) (int64, error) { return f.inner.Size(name) }
-func (f *faultBackend) Remove(name string) error        { return f.inner.Remove(name) }
-func (f *faultBackend) List() ([]string, error)         { return f.inner.List() }
-func (f *faultBackend) Sync(name string) error          { return f.inner.Sync(name) }
+func (f *faultBackend) Size(name string) (int64, error)      { return f.inner.Size(name) }
+func (f *faultBackend) Remove(name string) error             { return f.inner.Remove(name) }
+func (f *faultBackend) Rename(oldName, newName string) error { return f.inner.Rename(oldName, newName) }
+func (f *faultBackend) List() ([]string, error)              { return f.inner.List() }
+func (f *faultBackend) Sync(name string) error               { return f.inner.Sync(name) }
 
 func faultStore(t *testing.T, failWrite, failRead int) *Store {
 	t.Helper()

@@ -82,6 +82,9 @@ type Backend interface {
 	Size(name string) (int64, error)
 	// Remove deletes a named file.
 	Remove(name string) error
+	// Rename atomically renames a file; used to quarantine corrupt
+	// artifacts out of the live namespace without destroying evidence.
+	Rename(oldName, newName string) error
 	// List enumerates all file names.
 	List() ([]string, error)
 	// Sync flushes a named file to stable storage (no-op for memory).
@@ -94,6 +97,7 @@ type Store struct {
 	params   costmodel.Params
 	clock    *costmodel.Clock
 	b        Backend
+	verify   *VerifyingBackend
 	pipe     Pipeline
 	statsMu  sync.Mutex
 	stats    IOStats

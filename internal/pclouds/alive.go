@@ -74,7 +74,7 @@ func (b *pbuilder) evaluateAlive(t *nodeTask, local *clouds.NodeStats, boundaryB
 		perDest[d] = make([][]clouds.Point, len(alive))
 	}
 	var localN int64
-	if err := scanStore(b.store, t.file, func(r *record.Record) error {
+	if err := b.scanFrontier(t.file, func(r *record.Record) error {
 		localN++
 		for j, nst := range local.Numeric {
 			v := r.Num[j]

@@ -57,7 +57,7 @@ func (b *pbuilder) deriveSplitSSE(t *nodeTask) (clouds.Candidate, error) {
 		intervals := clouds.BuildIntervals(b.schema, t.sample, q)
 		local = clouds.NewNodeStats(b.schema, intervals)
 		var localN int64
-		if err := scanStore(b.store, t.file, func(r *record.Record) error {
+		if err := b.scanFrontier(t.file, func(r *record.Record) error {
 			local.Add(*r)
 			localN++
 			return nil

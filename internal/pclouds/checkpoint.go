@@ -86,17 +86,22 @@ type ckptTask struct {
 
 // ckptManifest is one rank's view of a completed level.
 type ckptManifest struct {
-	Version int        `json:"version"`
-	Level   int        `json:"level"`
-	Rank    int        `json:"rank"`
-	Size    int        `json:"size"`
-	NRoot   int64      `json:"n_root"`
-	NextID  int        `json:"next_id"`
+	Version int   `json:"version"`
+	Level   int   `json:"level"`
+	Rank    int   `json:"rank"`
+	Size    int   `json:"size"`
+	NRoot   int64 `json:"n_root"`
+	NextID  int   `json:"next_id"`
 	// Split records the -split-method the build ran under. A resume under a
 	// different method would re-derive the remaining splits with a different
 	// protocol and silently produce a different tree, so it is rejected.
 	// Empty (manifests from before the field existed) means "sse".
-	Split   string     `json:"split,omitempty"`
+	Split string `json:"split,omitempty"`
+	// DataCRC is the fingerprint of the dataset the build read (the v2
+	// record-file header checksum, Config.DataChecksum). A resume whose
+	// build reads a dataset with a different fingerprint is refused; zero
+	// (either side) means unknown and skips the check.
+	DataCRC uint32     `json:"data_crc,omitempty"`
 	Pending []ckptTask `json:"pending"`
 	Small   []ckptTask `json:"small"`
 }
@@ -213,7 +218,8 @@ func (b *pbuilder) writeCheckpoint(dir string, level int, root *tree.Node, pendi
 		Version: ckptVersion, Level: level,
 		Rank: b.c.Rank(), Size: b.c.Size(),
 		NRoot: b.nRoot, NextID: b.nextID,
-		Split: b.cfg.Clouds.Split.String(),
+		Split:   b.cfg.Clouds.Split.String(),
+		DataCRC: b.cfg.DataChecksum,
 	}
 	var err error
 	if m.Pending, err = taskManifest(b, pending); err != nil {
@@ -223,7 +229,9 @@ func (b *pbuilder) writeCheckpoint(dir string, level int, root *tree.Node, pendi
 		return err
 	}
 	if b.c.Rank() == 0 {
-		blob := tree.EncodePartial(&tree.Tree{Schema: b.schema, Root: root})
+		// The checksum footer lets a resume reject a bit-flipped partial
+		// tree instead of decoding garbage (tree.StripChecksum verifies it).
+		blob := tree.AppendChecksum(tree.EncodePartial(&tree.Tree{Schema: b.schema, Root: root}))
 		if err := atomicWrite(treePath(dir, level), blob); err != nil {
 			return fmt.Errorf("pclouds: checkpoint tree: %w", err)
 		}
@@ -377,12 +385,14 @@ type resumeState struct {
 	nextID int
 }
 
-// agreeLevel finds the newest checkpoint level complete on every rank. The
-// loop is collective and deterministic: starting from the minimum of every
-// rank's newest level, it steps down until a candidate exists everywhere
-// (degraded-mode holes make "min of newest" insufficient on its own).
-// Returns ErrNoCheckpoint — on every rank — when no common level exists.
-func agreeLevel(c comm.Communicator, levels []int) (int, error) {
+// agreeLevel finds the newest checkpoint level at most bound complete on
+// every rank. The loop is collective and deterministic: starting from the
+// minimum of every rank's newest level, it steps down until a candidate
+// exists everywhere (degraded-mode holes make "min of newest" insufficient
+// on its own). The bound lets the restore ladder exclude levels already
+// tried and found corrupt. Returns ErrNoCheckpoint — on every rank — when
+// no common level exists.
+func agreeLevel(c comm.Communicator, levels []int, bound int) (int, error) {
 	newestAtMost := func(bound int) int64 {
 		for i := len(levels) - 1; i >= 0; i-- {
 			if levels[i] <= bound {
@@ -391,7 +401,7 @@ func agreeLevel(c comm.Communicator, levels []int) (int, error) {
 		}
 		return 0
 	}
-	cand, err := comm.AllReduceInt64(c, []int64{newestAtMost(int(^uint(0) >> 1))}, minI64)
+	cand, err := comm.AllReduceInt64(c, []int64{newestAtMost(bound)}, minI64)
 	if err != nil {
 		return 0, err
 	}
@@ -430,86 +440,147 @@ func minI64(a, b int64) int64 {
 // samples re-derived from the shared root sample, attach closures
 // re-pointed into the decoded tree — and finally garbage-collects every
 // other (older or orphaned) checkpoint level.
+//
+// With Config.Integrity on, a level whose restore fails anywhere (a
+// quarantined frontier file, a checksum-failing partial tree, an unreadable
+// manifest) does not fail the resume outright: the ladder steps the agreed
+// bound below it and tries the next-newest level complete everywhere, until
+// a level restores cleanly or no candidates remain (ErrNoCheckpoint). The
+// step-down is collective — every rank fails restoreLevel's all-or-nothing
+// vote together — so ranks never diverge on which level they resume from.
 func loadCheckpoint(cfg Config, c comm.Communicator, b *pbuilder, rootSample []record.Record) (*resumeState, error) {
 	dir := cfg.CheckpointDir
 	levels, err := listLevels(dir, c.Rank())
 	if err != nil {
 		return nil, fmt.Errorf("pclouds: resume: %w", err)
 	}
-	lvl, err := agreeLevel(c, levels)
-	if err != nil {
-		return nil, err
+	bound := int(^uint(0) >> 1)
+	for {
+		lvl, err := agreeLevel(c, levels, bound)
+		if err != nil {
+			return nil, err
+		}
+		st, m, restoreErr, err := restoreLevel(cfg, c, b, rootSample, dir, lvl)
+		if err != nil {
+			return nil, err
+		}
+		if restoreErr == nil {
+			gcAfterRestore(b, dir, levels, lvl, m)
+			return st, nil
+		}
+		if !cfg.Integrity {
+			return nil, restoreErr
+		}
+		b.warnf("pclouds: rank %d: resume from checkpoint level %d failed (%v); trying an older level",
+			c.Rank(), lvl, restoreErr)
+		bound = lvl - 1
 	}
+}
+
+// restoreLevel attempts to reconstitute one agreed checkpoint level. The
+// outcome is split: err is fatal (communication failures, configuration
+// mismatches — identical on every rank by construction); restoreErr is a
+// per-level failure the integrity ladder may step past. Every rank reaches
+// the Broadcast and the all-or-nothing vote no matter where its local
+// restore failed, so a partially-corrupt level can never deadlock the
+// group.
+func restoreLevel(cfg Config, c comm.Communicator, b *pbuilder, rootSample []record.Record, dir string, lvl int) (*resumeState, ckptManifest, error, error) {
+	var m ckptManifest
+	var localErr error
 	data, err := os.ReadFile(manifestPath(dir, lvl, c.Rank()))
 	if err != nil {
-		return nil, fmt.Errorf("pclouds: resume: %w", err)
+		localErr = fmt.Errorf("pclouds: resume: %w", err)
+	} else if err := json.Unmarshal(data, &m); err != nil {
+		localErr = fmt.Errorf("pclouds: resume: corrupt manifest: %w", err)
 	}
-	var m ckptManifest
-	if err := json.Unmarshal(data, &m); err != nil {
-		return nil, fmt.Errorf("pclouds: resume: corrupt manifest: %w", err)
-	}
-	if m.Version != ckptVersion {
-		return nil, fmt.Errorf("pclouds: resume: manifest version %d, want %d", m.Version, ckptVersion)
-	}
-	if m.Rank != c.Rank() || m.Size != c.Size() {
-		return nil, fmt.Errorf("pclouds: resume: manifest is for rank %d of %d, this group is rank %d of %d",
-			m.Rank, m.Size, c.Rank(), c.Size())
-	}
-	ckptSplit := m.Split
-	if ckptSplit == "" {
-		ckptSplit = clouds.SplitSSE.String()
-	}
-	if got := cfg.Clouds.Split.String(); ckptSplit != got {
-		return nil, fmt.Errorf("pclouds: resume: checkpoint was written with -split-method %s, this build uses %s",
-			ckptSplit, got)
-	}
-
-	// Rank 0 owns the partial tree; everyone decodes the same bytes.
-	var blob []byte
-	if c.Rank() == 0 {
-		if blob, err = os.ReadFile(treePath(dir, lvl)); err != nil {
-			return nil, fmt.Errorf("pclouds: resume: %w", err)
+	if localErr == nil {
+		// Configuration mismatches are symmetric — every rank's manifest was
+		// written by the same build — so failing before the collectives is
+		// safe, and stepping down a level could not fix them anyway.
+		if m.Version != ckptVersion {
+			return nil, m, nil, fmt.Errorf("pclouds: resume: manifest version %d, want %d", m.Version, ckptVersion)
+		}
+		if m.Rank != c.Rank() || m.Size != c.Size() {
+			return nil, m, nil, fmt.Errorf("pclouds: resume: manifest is for rank %d of %d, this group is rank %d of %d",
+				m.Rank, m.Size, c.Rank(), c.Size())
+		}
+		ckptSplit := m.Split
+		if ckptSplit == "" {
+			ckptSplit = clouds.SplitSSE.String()
+		}
+		if got := cfg.Clouds.Split.String(); ckptSplit != got {
+			return nil, m, nil, fmt.Errorf("pclouds: resume: checkpoint was written with -split-method %s, this build uses %s",
+				ckptSplit, got)
+		}
+		if m.DataCRC != 0 && cfg.DataChecksum != 0 && m.DataCRC != cfg.DataChecksum {
+			return nil, m, nil, fmt.Errorf("pclouds: resume: checkpoint was written against dataset fingerprint %08x, this build reads %08x — refusing to resume on different data",
+				m.DataCRC, cfg.DataChecksum)
 		}
 	}
-	if blob, err = comm.Broadcast(c, 0, blob); err != nil {
-		return nil, err
-	}
-	pt, err := tree.DecodePartial(b.schema, blob)
-	if err != nil {
-		return nil, fmt.Errorf("pclouds: resume: partial tree: %w", err)
-	}
-	if pt.Root == nil {
-		return nil, fmt.Errorf("pclouds: resume: checkpoint has no built nodes")
-	}
 
-	st := &resumeState{level: m.Level, root: pt.Root, nRoot: m.NRoot, nextID: m.NextID}
-	var restoreErr error
-	if st.queue, restoreErr = restoreTasks(b, pt.Root, rootSample, m.Pending); restoreErr == nil {
-		st.small, restoreErr = restoreTasks(b, pt.Root, rootSample, m.Small)
+	// Rank 0 owns the partial tree; everyone decodes the same bytes. A
+	// read or checksum failure on rank 0 broadcasts an empty blob, which
+	// every rank turns into the same per-level failure.
+	var blob []byte
+	if c.Rank() == 0 && localErr == nil {
+		tb, terr := os.ReadFile(treePath(dir, lvl))
+		if terr == nil {
+			tb, _, terr = tree.StripChecksum(tb)
+		}
+		if terr != nil {
+			localErr = fmt.Errorf("pclouds: resume: partial tree: %w", terr)
+		} else {
+			blob = tb
+		}
 	}
-	// Resume is all-or-nothing: if any rank's frontier failed verification,
-	// every rank must bail out here — a rank that proceeded alone would
-	// block forever in the first collective of the level loop.
+	blob, err = comm.Broadcast(c, 0, blob)
+	if err != nil {
+		return nil, m, nil, err
+	}
+	st := &resumeState{level: m.Level, nRoot: m.NRoot, nextID: m.NextID}
+	if localErr == nil {
+		if len(blob) == 0 {
+			localErr = fmt.Errorf("pclouds: resume: rank 0 could not provide the partial tree")
+		} else if pt, perr := tree.DecodePartial(b.schema, blob); perr != nil {
+			localErr = fmt.Errorf("pclouds: resume: partial tree: %w", perr)
+		} else if pt.Root == nil {
+			localErr = fmt.Errorf("pclouds: resume: checkpoint has no built nodes")
+		} else {
+			st.root = pt.Root
+		}
+	}
+	if localErr == nil {
+		if st.queue, localErr = restoreTasks(b, st.root, rootSample, m.Pending); localErr == nil {
+			st.small, localErr = restoreTasks(b, st.root, rootSample, m.Small)
+		}
+	}
+	// Resume is all-or-nothing: if any rank's restore failed, every rank
+	// must agree here — a rank that proceeded alone would block forever in
+	// the first collective of the level loop.
 	ok := int64(1)
-	if restoreErr != nil {
+	if localErr != nil {
 		ok = 0
 	}
 	allOK, err := comm.AllReduceInt64(c, []int64{ok}, minI64)
 	if err != nil {
-		return nil, err
+		return nil, m, nil, err
 	}
-	if restoreErr != nil {
-		return nil, restoreErr
+	if localErr != nil {
+		return nil, m, localErr, nil
 	}
 	if allOK[0] == 0 {
-		return nil, fmt.Errorf("pclouds: resume: another rank failed to restore its checkpointed frontier")
+		return nil, m, fmt.Errorf("pclouds: resume: another rank failed to restore checkpoint level %d", lvl), nil
 	}
+	return st, m, nil, nil
+}
 
-	// The restore is committed; every other checkpoint level is garbage.
-	// Older levels were superseded; newer ones are orphans — incomplete on
-	// some rank (this rank possibly ahead of a crashed peer). The resumed
-	// build rewrites them. Frontier files referenced only by a pruned
-	// orphan (not by the restored level) are deleted with it.
+// gcAfterRestore runs once the restore is committed; every other
+// checkpoint level is garbage. Older levels were superseded; newer ones are
+// orphans — incomplete on some rank (this rank possibly ahead of a crashed
+// peer). The resumed build rewrites them. Frontier files referenced only by
+// a pruned orphan (not by the restored level) are deleted with it.
+func gcAfterRestore(b *pbuilder, dir string, levels []int, lvl int, m ckptManifest) {
+	c := b.c
 	keep := make(map[string]bool, len(m.Pending)+len(m.Small))
 	for _, ct := range m.Pending {
 		keep[ct.File] = true
@@ -534,7 +605,6 @@ func loadCheckpoint(cfg Config, c comm.Communicator, b *pbuilder, rootSample []r
 		b.rec.Count("checkpoints-pruned", 1)
 	}
 	b.stats.CheckpointsKept = 1
-	return st, nil
 }
 
 func restoreTasks(b *pbuilder, root *tree.Node, rootSample []record.Record, ck []ckptTask) ([]*nodeTask, error) {

@@ -54,7 +54,7 @@ func (b *pbuilder) localFixedBinStats(t *nodeTask) (*clouds.NodeStats, error) {
 	defer span.End()
 	local := clouds.NewNodeStats(b.schema, clouds.BuildIntervals(b.schema, t.sample, b.cfg.Clouds.HistBins))
 	var localN int64
-	if err := scanStore(b.store, t.file, func(r *record.Record) error {
+	if err := b.scanFrontier(t.file, func(r *record.Record) error {
 		local.Add(*r)
 		localN++
 		return nil

@@ -153,6 +153,19 @@ type Config struct {
 	// garbage-collection hiccups — conditions the build survives but the
 	// operator should see). Nil logs to the standard logger.
 	Warnf func(format string, args ...any)
+	// Integrity enables collective corruption verdicts on every frontier
+	// scan (see integrity.go) and, when CheckpointDir is also set, the
+	// detect–quarantine–restore recovery ladder in Build. It pairs with a
+	// store whose backend was wrapped by ooc.Store.EnableIntegrity; off (the
+	// default), the build's communication volume is bit-identical with
+	// earlier releases.
+	Integrity bool
+	// DataChecksum, when nonzero, is the fingerprint of the dataset this
+	// build reads (the record-file v2 header CRC). It is recorded in every
+	// checkpoint manifest, and a resume whose fingerprint differs is refused
+	// — resuming against a swapped or regenerated dataset would silently
+	// train on different data.
+	DataChecksum uint32
 }
 
 // Stats aggregates one rank's view of a parallel build.
@@ -201,6 +214,14 @@ type Stats struct {
 	// Config.Progress); always collected — the per-level section of the
 	// rank-0 merged report is built from every rank's records.
 	Levels []obs.LevelProgress
+	// Recoveries counts detect–quarantine–restore cycles the build survived
+	// (Config.Integrity with checkpointing); Quarantines counts store files
+	// this rank renamed aside as corrupt during them.
+	Recoveries  int
+	Quarantines int
+	// Integrity carries the verifying backend's frame counters when the
+	// store has one (ooc.Store.EnableIntegrity); zero otherwise.
+	Integrity ooc.IntegrityStats
 }
 
 // nodeTask is one pending tree node, tracked identically on every rank.
@@ -262,7 +283,54 @@ func (b *pbuilder) removeFile(name string) {
 // data must be staged in store under rootName; sample is the pre-drawn
 // random sample of the full training set and must be identical on every
 // rank. All ranks return the same tree.
+//
+// With Config.Integrity and checkpointing both enabled, Build also runs
+// the recovery ladder: when a collectively-agreed data corruption aborts an
+// attempt, the victim rank quarantines the corrupt store file (renamed
+// aside with its attribution preserved), and every rank retries from the
+// newest checkpoint level that is still clean everywhere — the collective
+// resume agreement steps past levels whose frontier files were quarantined.
+// Up to maxCorruptionRecoveries cycles are attempted before the corruption
+// error (with its file/offset/CRC attribution) surfaces to the caller.
 func Build(cfg Config, c comm.Communicator, store *ooc.Store, rootName string, sample []record.Record) (*tree.Tree, *Stats, error) {
+	t, st, err := buildAttempt(cfg, c, store, rootName, sample)
+	if err == nil || !cfg.Integrity || cfg.CheckpointDir == "" {
+		return t, st, err
+	}
+	recoveries, quarantines := 0, 0
+	warnf := log.Printf
+	if cfg.Warnf != nil {
+		warnf = cfg.Warnf
+	}
+	for errors.Is(err, ErrDataCorrupt) && recoveries < maxCorruptionRecoveries {
+		var dce *DataCorruptError
+		if errors.As(err, &dce) && dce.Report.Rank == c.Rank() && dce.Report.File != "" {
+			q, qerr := store.Quarantine(dce.Report.File)
+			if qerr != nil {
+				warnf("pclouds: rank %d: quarantining %q: %v", c.Rank(), dce.Report.File, qerr)
+			} else {
+				quarantines++
+				warnf("pclouds: rank %d: quarantined corrupt store file %q as %q (%s)",
+					c.Rank(), dce.Report.File, q, dce.Report)
+			}
+		}
+		recoveries++
+		warnf("pclouds: rank %d: data corruption detected (%v); recovery attempt %d/%d from newest clean checkpoint",
+			c.Rank(), err, recoveries, maxCorruptionRecoveries)
+		rcfg := cfg
+		rcfg.ResumeAuto = true
+		t, st, err = buildAttempt(rcfg, c, store, rootName, sample)
+	}
+	if st != nil {
+		st.Recoveries = recoveries
+		st.Quarantines = quarantines
+	}
+	return t, st, err
+}
+
+// buildAttempt is one end-to-end build try; Build wraps it with the
+// corruption-recovery ladder.
+func buildAttempt(cfg Config, c comm.Communicator, store *ooc.Store, rootName string, sample []record.Record) (*tree.Tree, *Stats, error) {
 	cfg.Clouds = cfg.Clouds.WithDefaults()
 	schema := store.Schema()
 
@@ -315,12 +383,16 @@ func Build(cfg Config, c comm.Communicator, store *ooc.Store, rootName string, s
 		pre := rec.Start("preprocess")
 		localCounts := make([]int64, schema.NumClasses)
 		var localN int64
-		if err := scanStore(store, rootName, func(r *record.Record) error {
+		scanErr := scanStore(store, rootName, func(r *record.Record) error {
 			localCounts[r.Class]++
 			localN++
 			return nil
-		}); err != nil {
-			return nil, nil, err
+		})
+		if cfg.Integrity {
+			scanErr = dataVerdict(c, rootName, scanErr)
+		}
+		if scanErr != nil {
+			return nil, nil, scanErr
 		}
 		globalCounts, err := comm.AllReduceInt64(c, localCounts, addI64)
 		pre.End()
@@ -416,6 +488,9 @@ func Build(cfg Config, c comm.Communicator, store *ooc.Store, rootName string, s
 	b.stats.Comm = c.Stats()
 	b.stats.IO = store.Stats()
 	b.stats.SimTime = c.Clock().Time()
+	if vb := store.Integrity(); vb != nil {
+		b.stats.Integrity = vb.Stats()
+	}
 	if rec != nil {
 		// Surface the split-derivation traffic in the merged report's
 		// counters line — the number the -split-method comparison reads.
@@ -546,7 +621,7 @@ func (b *pbuilder) processLargeNode(t *nodeTask) ([]*nodeTask, error) {
 		return nil, err
 	}
 	var localN int64
-	err = scanStore(b.store, t.file, func(r *record.Record) error {
+	err = b.scanFrontier(t.file, func(r *record.Record) error {
 		localN++
 		if sp.GoesLeft(b.schema, *r) {
 			if leftStats != nil {

@@ -76,7 +76,7 @@ func (b *pbuilder) smallNodePhaseRegroup(small []*nodeTask) error {
 	for i, t := range small {
 		g := groups[i]
 		var localN int64
-		if err := scanStore(b.store, t.file, func(r *record.Record) error {
+		if err := b.scanFrontier(t.file, func(r *record.Record) error {
 			localN++
 			rec := r.Clone()
 			for d := g.lo; d < g.hi; d++ {

@@ -40,7 +40,7 @@ func (b *pbuilder) smallNodePhase(small []*nodeTask) error {
 	for i, t := range small {
 		d := owner[i]
 		var localN int64
-		if err := scanStore(b.store, t.file, func(r *record.Record) error {
+		if err := b.scanFrontier(t.file, func(r *record.Record) error {
 			localN++
 			perDest[d][i] = append(perDest[d][i], r.Clone())
 			return nil

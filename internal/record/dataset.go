@@ -105,9 +105,14 @@ func (d *Dataset) WriteBinary(w io.Writer) error {
 	return bw.Flush()
 }
 
-// ReadBinary reads every record of schema s from r.
+// ReadBinary reads every record of schema s from r. Both dataset formats
+// are accepted: the v2 checksummed block layout (sniffed by magic, every
+// block verified) and the legacy raw fixed-width stream.
 func ReadBinary(s *Schema, r io.Reader) (*Dataset, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
+	if head, err := br.Peek(len(V2Magic)); err == nil && string(head) == V2Magic {
+		return readBinaryV2(s, br)
+	}
 	rb := s.RecordBytes()
 	buf := make([]byte, rb)
 	d := NewDataset(s)

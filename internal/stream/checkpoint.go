@@ -2,6 +2,7 @@ package stream
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"math"
@@ -34,8 +35,10 @@ import (
 //
 // File layout (little-endian):
 //
-//	magic        u64  "PCSTRMW2"
+//	magic        u64  "PCSTRMW3"
 //	fingerprint  u32  config fingerprint; a mismatch refuses to resume
+//	sourceCRC    u32  tailed file's v2 header checksum (0 = unbound); a
+//	                  mismatch refuses to resume on a swapped dataset
 //	window       u32  committed windows
 //	nextIdx      i64  global stream index of the first unprocessed record
 //	treeLen      u32  tree.Encode bytes (0 = no model yet)
@@ -50,6 +53,8 @@ import (
 //	lastPubWin   u32  window of the last gate-passed model (0 = none)
 //	lastPubLen   u32  tree.Encode bytes of that model (0 = none)
 //	lastPub      lastPubLen bytes
+//	fileCRC      u32  CRC-32C of every preceding byte; any bit flip in a
+//	                  checkpoint is detected at the door
 //
 // The drift detector and last-published model are part of the replicated
 // state machine: the publish gate compares every candidate against the
@@ -57,7 +62,19 @@ import (
 // published sequence. Encoding the detector's floats bit-exactly keeps
 // the resumed alarm window identical to the uninterrupted run's.
 
-const ckptMagic = "PCSTRMW2"
+const ckptMagic = "PCSTRMW3"
+
+// CheckpointMagic is ckptMagic for scrubbers: the 8 bytes that begin
+// every window checkpoint file.
+const CheckpointMagic = ckptMagic
+
+// ErrSourceMismatch is returned when a checkpoint was written against a
+// different dataset than the one this run reads (the bound v2 header
+// checksums differ). Unlike ordinary checkpoint damage — which degrades to
+// an older window — a swapped dataset is refused outright: replaying a
+// different stream from a retained high-water mark would silently train on
+// data the checkpointed state never saw.
+var ErrSourceMismatch = errors.New("stream: checkpoint bound to a different dataset")
 
 // keepWindows is how many committed-window checkpoints each rank retains.
 // 2 suffices for the <=1 window commit skew; 3 adds one window of slack
@@ -67,6 +84,7 @@ const keepWindows = 3
 // ckptState is the replicated engine state one checkpoint round-trips.
 type ckptState struct {
 	window       int
+	srcCRC       uint32 // dataset fingerprint stored in the file (0 = unbound)
 	nextIdx      int64
 	tree         *tree.Tree // nil before the first refresh
 	reservoir    []record.Record
@@ -98,7 +116,7 @@ func ckptPath(dir string, rank, window int) string {
 	return filepath.Join(rankDir(dir, rank), fmt.Sprintf("window-%06d.ck", window))
 }
 
-func encodeCkpt(fp uint32, st *ckptState) []byte {
+func encodeCkpt(fp, srcCRC uint32, st *ckptState) []byte {
 	var treeBytes []byte
 	if st.tree != nil {
 		treeBytes = tree.Encode(st.tree)
@@ -108,9 +126,10 @@ func encodeCkpt(fp uint32, st *ckptState) []byte {
 		lastPubBytes = tree.Encode(st.lastPub)
 	}
 	res := record.EncodeAll(st.reservoir)
-	out := make([]byte, 0, 8+4+4+8+4+len(treeBytes)+4+len(res)+1+8+24+4+4+len(lastPubBytes))
+	out := make([]byte, 0, 8+4+4+4+8+4+len(treeBytes)+4+len(res)+1+8+24+4+4+len(lastPubBytes)+4)
 	out = append(out, ckptMagic...)
 	out = binary.LittleEndian.AppendUint32(out, fp)
+	out = binary.LittleEndian.AppendUint32(out, srcCRC)
 	out = binary.LittleEndian.AppendUint32(out, uint32(st.window))
 	out = binary.LittleEndian.AppendUint64(out, uint64(st.nextIdx))
 	out = binary.LittleEndian.AppendUint32(out, uint32(len(treeBytes)))
@@ -129,22 +148,45 @@ func encodeCkpt(fp uint32, st *ckptState) []byte {
 	out = binary.LittleEndian.AppendUint32(out, uint32(st.lastPubWin))
 	out = binary.LittleEndian.AppendUint32(out, uint32(len(lastPubBytes)))
 	out = append(out, lastPubBytes...)
-	return out
+	return binary.LittleEndian.AppendUint32(out, record.Checksum(out))
 }
 
-func decodeCkpt(schema *record.Schema, fp uint32, src []byte) (*ckptState, error) {
-	if len(src) < 8+4+4+8+4 || string(src[:8]) != ckptMagic {
-		return nil, fmt.Errorf("stream: not a window checkpoint")
+// VerifyCheckpointBytes checks a window checkpoint's envelope — magic and
+// whole-file checksum — without a schema or configuration. The offline
+// scrubber's entry point; decodeCkpt performs the same check before
+// trusting any field.
+func VerifyCheckpointBytes(raw []byte) error {
+	if len(raw) < 8+4 || string(raw[:8]) != ckptMagic {
+		return fmt.Errorf("stream: not a window checkpoint")
+	}
+	body, foot := raw[:len(raw)-4], binary.LittleEndian.Uint32(raw[len(raw)-4:])
+	if got := record.Checksum(body); got != foot {
+		return fmt.Errorf("stream: checkpoint checksum mismatch (want %08x got %08x)", foot, got)
+	}
+	return nil
+}
+
+func decodeCkpt(schema *record.Schema, fp, srcCRC uint32, src []byte) (*ckptState, error) {
+	if err := VerifyCheckpointBytes(src); err != nil {
+		return nil, err
+	}
+	src = src[:len(src)-4] // checksum footer verified above
+	if len(src) < 8+4+4+4+8+4 {
+		return nil, fmt.Errorf("stream: truncated window checkpoint")
 	}
 	src = src[8:]
 	if got := binary.LittleEndian.Uint32(src); got != fp {
 		return nil, fmt.Errorf("stream: checkpoint fingerprint %08x does not match configuration %08x (window size, sampling, seed or split changed)", got, fp)
 	}
-	st := &ckptState{}
-	st.window = int(binary.LittleEndian.Uint32(src[4:]))
-	st.nextIdx = int64(binary.LittleEndian.Uint64(src[8:]))
-	treeLen := int(binary.LittleEndian.Uint32(src[16:]))
-	src = src[20:]
+	stored := binary.LittleEndian.Uint32(src[4:])
+	if stored != 0 && srcCRC != 0 && stored != srcCRC {
+		return nil, fmt.Errorf("%w: checkpoint bound to dataset fingerprint %08x, this run reads %08x", ErrSourceMismatch, stored, srcCRC)
+	}
+	st := &ckptState{srcCRC: stored}
+	st.window = int(binary.LittleEndian.Uint32(src[8:]))
+	st.nextIdx = int64(binary.LittleEndian.Uint64(src[12:]))
+	treeLen := int(binary.LittleEndian.Uint32(src[20:]))
+	src = src[24:]
 	if len(src) < treeLen+4 {
 		return nil, fmt.Errorf("stream: truncated checkpoint tree")
 	}
@@ -204,7 +246,7 @@ func decodeCkpt(schema *record.Schema, fp uint32, src []byte) (*ckptState, error
 // writeCkpt persists st atomically (temp + fsync + rename, the
 // tree.SaveFile discipline) into this rank's checkpoint directory and
 // prunes checkpoints older than the keep horizon.
-func writeCkpt(dir string, rank int, fp uint32, st *ckptState) error {
+func writeCkpt(dir string, rank int, fp, srcCRC uint32, st *ckptState) error {
 	rd := rankDir(dir, rank)
 	if err := os.MkdirAll(rd, 0o755); err != nil {
 		return err
@@ -215,7 +257,7 @@ func writeCkpt(dir string, rank int, fp uint32, st *ckptState) error {
 		return err
 	}
 	defer os.Remove(tmp.Name())
-	if _, err := tmp.Write(encodeCkpt(fp, st)); err != nil {
+	if _, err := tmp.Write(encodeCkpt(fp, srcCRC, st)); err != nil {
 		tmp.Close()
 		return err
 	}
@@ -252,14 +294,18 @@ func pruneCkpts(rd string, newest int) {
 }
 
 // newestCkpt scans this rank's checkpoint directory and returns the newest
-// loadable state (nil when there is none). Unreadable or mismatched files
-// are skipped, so one corrupt checkpoint degrades to the previous window
-// instead of wedging recovery.
-func newestCkpt(dir string, rank int, schema *record.Schema, fp uint32) *ckptState {
+// loadable state (nil when there is none). Unreadable, checksum-failing or
+// fingerprint-mismatched files are skipped, so one corrupt checkpoint
+// degrades to the previous window instead of wedging recovery — with one
+// exception: a checkpoint bound to a *different dataset* surfaces as an
+// ErrSourceMismatch error instead of being skipped, because every older
+// window would carry the same binding and a silent fresh start would mask a
+// swapped input file.
+func newestCkpt(dir string, rank int, schema *record.Schema, fp, srcCRC uint32) (*ckptState, error) {
 	rd := rankDir(dir, rank)
 	entries, err := os.ReadDir(rd)
 	if err != nil {
-		return nil
+		return nil, nil
 	}
 	var windows []int
 	for _, e := range entries {
@@ -274,22 +320,25 @@ func newestCkpt(dir string, rank int, schema *record.Schema, fp uint32) *ckptSta
 		if err != nil {
 			continue
 		}
-		st, err := decodeCkpt(schema, fp, raw)
+		st, err := decodeCkpt(schema, fp, srcCRC, raw)
+		if errors.Is(err, ErrSourceMismatch) {
+			return nil, err
+		}
 		if err != nil || st.window != w {
 			continue
 		}
-		return st
+		return st, nil
 	}
-	return nil
+	return nil, nil
 }
 
 // loadCkpt loads this rank's checkpoint for one specific window.
-func loadCkpt(dir string, rank, window int, schema *record.Schema, fp uint32) (*ckptState, error) {
+func loadCkpt(dir string, rank, window int, schema *record.Schema, fp, srcCRC uint32) (*ckptState, error) {
 	raw, err := os.ReadFile(ckptPath(dir, rank, window))
 	if err != nil {
 		return nil, err
 	}
-	st, err := decodeCkpt(schema, fp, raw)
+	st, err := decodeCkpt(schema, fp, srcCRC, raw)
 	if err != nil {
 		return nil, err
 	}
@@ -308,9 +357,12 @@ func loadCkpt(dir string, rank, window int, schema *record.Schema, fp uint32) (*
 func agreeResume(cfg *Config, c comm.Communicator) (*ckptState, error) {
 	fp := cfg.fingerprint()
 	newest := 0
-	var local *ckptState
-	if st := newestCkpt(cfg.CheckpointDir, c.Rank(), cfg.Schema, fp); st != nil {
-		newest, local = st.window, st
+	local, err := newestCkpt(cfg.CheckpointDir, c.Rank(), cfg.Schema, fp, cfg.SourceChecksum)
+	if err != nil {
+		return nil, err
+	}
+	if local != nil {
+		newest = local.window
 	}
 	agreed, err := comm.AllReduceInt64(c, []int64{int64(newest)}, minI64)
 	if err != nil {
@@ -326,7 +378,7 @@ func agreeResume(cfg *Config, c comm.Communicator) (*ckptState, error) {
 	if local != nil && local.window == w {
 		return local, nil
 	}
-	st, err := loadCkpt(cfg.CheckpointDir, c.Rank(), w, cfg.Schema, fp)
+	st, err := loadCkpt(cfg.CheckpointDir, c.Rank(), w, cfg.Schema, fp, cfg.SourceChecksum)
 	if err != nil {
 		return nil, fmt.Errorf("stream: rank %d cannot load agreed window %d: %w", c.Rank(), w, err)
 	}

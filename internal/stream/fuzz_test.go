@@ -30,8 +30,8 @@ func FuzzDecodeCheckpoint(f *testing.F) {
 
 	// Seed corpus: an empty state, a full state (tree, reservoir, detector
 	// history, last-published model), and mangled variants of the latter.
-	f.Add(encodeCkpt(fp, &ckptState{window: 1, nextIdx: 42}))
-	full := encodeCkpt(fp, &ckptState{
+	f.Add(encodeCkpt(fp, 0, &ckptState{window: 1, nextIdx: 42}))
+	full := encodeCkpt(fp, 0xabcd1234, &ckptState{
 		window: 9, nextIdx: 12345, tree: tr, reservoir: data.Records[:30],
 		det: phDetector{n: 7, sum: 1.75, m: 0.2, min: -0.04}, driftPending: true,
 		lastPub: tr, lastPubWin: 8,
@@ -40,13 +40,13 @@ func FuzzDecodeCheckpoint(f *testing.F) {
 	f.Add(full[:len(full)-1])
 	f.Add(full[:20])
 	f.Add([]byte{})
-	f.Add([]byte("PCSTRMW2"))
+	f.Add([]byte("PCSTRMW3"))
 	truncTree := append([]byte(nil), full...)
 	truncTree[20] = 0xff // inflate treeLen past the buffer
 	f.Add(truncTree)
 
 	f.Fuzz(func(t *testing.T, raw []byte) {
-		st, err := decodeCkpt(schema, fp, raw)
+		st, err := decodeCkpt(schema, fp, 0xabcd1234, raw)
 		if err != nil {
 			return
 		}
@@ -63,7 +63,7 @@ func FuzzDecodeCheckpoint(f *testing.F) {
 				t.Fatalf("accepted invalid last-published tree: %v", err)
 			}
 		}
-		if re := encodeCkpt(fp, st); !bytes.Equal(re, raw) {
+		if re := encodeCkpt(fp, st.srcCRC, st); !bytes.Equal(re, raw) {
 			t.Fatalf("accepted %d bytes that re-encode to %d different bytes", len(raw), len(re))
 		}
 	})
@@ -86,7 +86,7 @@ func TestCheckpointDriftStateRoundTrip(t *testing.T) {
 		det:     phDetector{n: 3, sum: 0.68, m: -0.0666666666666667, min: -0.0666666666666667},
 		lastPub: tr, lastPubWin: 4, driftPending: true,
 	}
-	got, err := decodeCkpt(data.Schema, 1, encodeCkpt(1, st))
+	got, err := decodeCkpt(data.Schema, 1, 0, encodeCkpt(1, 0, st))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +102,7 @@ func TestCheckpointDriftStateRoundTrip(t *testing.T) {
 
 	// nil lastPub round-trips as nil, not as an empty tree.
 	st2 := &ckptState{window: 1, nextIdx: 10}
-	got2, err := decodeCkpt(data.Schema, 1, encodeCkpt(1, st2))
+	got2, err := decodeCkpt(data.Schema, 1, 0, encodeCkpt(1, 0, st2))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -73,12 +73,16 @@ type TailOptions struct {
 	Stop <-chan struct{}
 }
 
-// TailSource follows a fixed-width binary record file (the record package's
-// headerless WriteBinary layout, as produced by `datagen -stream`) the way
-// `tail -f` follows a log: it reads whole records as they are appended and
-// polls when it has caught up. A partially-appended record is never
-// surfaced — Next waits until all Schema.RecordBytes() bytes of it are
-// visible.
+// TailSource follows a binary record file the way `tail -f` follows a log:
+// it reads whole records as they are appended and polls when it has caught
+// up. Both dataset formats are tailed. A checksummed v2 file (record.V2Magic,
+// as `datagen -stream` now produces) is consumed block by block with every
+// block CRC verified: an incomplete trailing block is a writer mid-append
+// and is polled until whole, while a complete block that fails its checksum
+// — or an implausible block header — is data corruption and surfaces as an
+// error with the file offset. A legacy headerless fixed-width file is
+// tailed record by record with no protection; either way a partial record
+// is never surfaced.
 type TailSource struct {
 	schema *record.Schema
 	f      *os.File
@@ -86,10 +90,18 @@ type TailSource struct {
 	off    int64
 	read   int64
 	buf    []byte
+	// Format detection state: the first bytes of the file decide the mode,
+	// which may not be knowable before the writer's first append.
+	sniffed bool
+	v2      bool
+	hdr     record.V2Header
+	block   []byte // verified payload of the current v2 block
+	bpos    int    // decode position within block
 }
 
 // TailFile opens path for tailing. The file must exist (create it empty
-// before starting the writer if needed).
+// before starting the writer if needed); the format is detected from its
+// first bytes, waiting for the writer when the file is still empty.
 func TailFile(schema *record.Schema, path string, opts TailOptions) (*TailSource, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -98,7 +110,103 @@ func TailFile(schema *record.Schema, path string, opts TailOptions) (*TailSource
 	if opts.Poll <= 0 {
 		opts.Poll = 50 * time.Millisecond
 	}
-	return &TailSource{schema: schema, f: f, opts: opts, buf: make([]byte, schema.RecordBytes())}, nil
+	s := &TailSource{schema: schema, f: f, opts: opts, buf: make([]byte, schema.RecordBytes())}
+	// Best-effort early sniff so HeaderChecksum is available right after
+	// open when the writer already wrote the header (the common case).
+	if err := s.sniff(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// HeaderChecksum returns the tailed v2 file's header checksum — the dataset
+// fingerprint window checkpoints bind — or 0 for a legacy v1 file (or when
+// the file's first bytes have not been written yet).
+func (s *TailSource) HeaderChecksum() uint32 { return s.hdr.CRC }
+
+// sniff decides the file format from its first bytes. It is a no-op once
+// decided, and leaves s.sniffed false (no error) while the file is still
+// too short to tell — the writer has not appended the header yet.
+func (s *TailSource) sniff() error {
+	if s.sniffed {
+		return nil
+	}
+	head := make([]byte, record.V2HeaderSize)
+	n, err := s.f.ReadAt(head, 0)
+	if err != nil && err != io.EOF {
+		return fmt.Errorf("stream: tail %s: %w", s.f.Name(), err)
+	}
+	if n < len(record.V2Magic) {
+		return nil // too short to tell; poll
+	}
+	if string(head[:len(record.V2Magic)]) != record.V2Magic {
+		s.sniffed = true // legacy fixed-width file
+		return nil
+	}
+	if n < record.V2HeaderSize {
+		return nil // header mid-append; poll
+	}
+	hdr, err := record.ParseV2Header(head)
+	if err != nil {
+		return fmt.Errorf("stream: tail %s: %w", s.f.Name(), err)
+	}
+	if hdr.RecordBytes != uint32(s.schema.RecordBytes()) {
+		return fmt.Errorf("stream: tail %s: file record width %d does not match schema width %d",
+			s.f.Name(), hdr.RecordBytes, s.schema.RecordBytes())
+	}
+	s.sniffed, s.v2, s.hdr = true, true, hdr
+	s.off = record.V2HeaderSize
+	return nil
+}
+
+// nextBlock reads and verifies the next v2 block. (false, nil) means the
+// block is not fully appended yet — poll; errors are corruption.
+func (s *TailSource) nextBlock() (bool, error) {
+	var bh [record.V2BlockHeaderSize]byte
+	n, err := s.f.ReadAt(bh[:], s.off)
+	if n < len(bh) {
+		if err != nil && err != io.EOF {
+			return false, fmt.Errorf("stream: tail %s: %w", s.f.Name(), err)
+		}
+		return false, nil
+	}
+	plen, err := record.V2BlockLen(bh[:], uint32(s.schema.RecordBytes()))
+	if err != nil {
+		return false, fmt.Errorf("stream: tail %s at offset %d: %w", s.f.Name(), s.off, err)
+	}
+	if cap(s.block) < int(plen) {
+		s.block = make([]byte, plen)
+	}
+	s.block = s.block[:plen]
+	n, err = s.f.ReadAt(s.block, s.off+record.V2BlockHeaderSize)
+	if n < int(plen) {
+		if err != nil && err != io.EOF {
+			return false, fmt.Errorf("stream: tail %s: %w", s.f.Name(), err)
+		}
+		s.block = s.block[:0]
+		return false, nil
+	}
+	if err := record.VerifyV2Block(bh[:], s.block); err != nil {
+		return false, fmt.Errorf("stream: tail %s at offset %d: %w", s.f.Name(), s.off, err)
+	}
+	s.bpos = 0
+	s.off += record.V2BlockHeaderSize + int64(plen)
+	return true, nil
+}
+
+// wait blocks one poll interval; true means Stop closed (clean end).
+func (s *TailSource) wait() bool {
+	if s.opts.Stop != nil {
+		select {
+		case <-s.opts.Stop:
+			return true
+		case <-time.After(s.opts.Poll):
+			return false
+		}
+	}
+	time.Sleep(s.opts.Poll)
+	return false
 }
 
 func (s *TailSource) Next(rec *record.Record) (bool, error) {
@@ -106,6 +214,33 @@ func (s *TailSource) Next(rec *record.Record) (bool, error) {
 		return false, nil
 	}
 	for {
+		if err := s.sniff(); err != nil {
+			return false, err
+		}
+		if !s.sniffed {
+			if s.wait() {
+				return false, nil
+			}
+			continue
+		}
+		if s.v2 {
+			if s.bpos < len(s.block) {
+				if _, err := rec.Decode(s.schema, s.block[s.bpos:]); err != nil {
+					return false, fmt.Errorf("stream: tail %s: %w", s.f.Name(), err)
+				}
+				s.bpos += s.schema.RecordBytes()
+				s.read++
+				return true, nil
+			}
+			ok, err := s.nextBlock()
+			if err != nil {
+				return false, err
+			}
+			if !ok && s.wait() {
+				return false, nil
+			}
+			continue
+		}
 		n, err := s.f.ReadAt(s.buf, s.off)
 		if n == len(s.buf) {
 			if _, err := rec.Decode(s.schema, s.buf); err != nil {
@@ -119,14 +254,8 @@ func (s *TailSource) Next(rec *record.Record) (bool, error) {
 			return false, fmt.Errorf("stream: tail %s: %w", s.f.Name(), err)
 		}
 		// Caught up (or a record is mid-append): wait for the writer.
-		if s.opts.Stop != nil {
-			select {
-			case <-s.opts.Stop:
-				return false, nil
-			case <-time.After(s.opts.Poll):
-			}
-		} else {
-			time.Sleep(s.opts.Poll)
+		if s.wait() {
+			return false, nil
 		}
 	}
 }

@@ -120,6 +120,12 @@ type Config struct {
 	// CheckpointDir, when set, persists per-rank window checkpoints for
 	// crash recovery (see checkpoint.go).
 	CheckpointDir string
+	// SourceChecksum, when nonzero, is the fingerprint of the dataset this
+	// run ingests (the tailed v2 record file's header checksum, see
+	// TailSource.HeaderChecksum). It is bound into every window checkpoint;
+	// a resume whose source fingerprint differs fails with
+	// ErrSourceMismatch instead of replaying a swapped dataset.
+	SourceChecksum uint32
 	// Stop aborts the run cleanly when closed; Run returns ErrStopped.
 	Stop <-chan struct{}
 	// Metrics, when non-nil, receives live pclouds_stream_* series.
@@ -616,7 +622,7 @@ func (e *engine) closeWindow(refresh bool) error {
 			window: e.window, nextIdx: e.nextIdx, tree: e.tree, reservoir: e.reservoir,
 			det: e.det, driftPending: e.driftPending, lastPub: e.lastPub, lastPubWin: e.lastPubWin,
 		}
-		if err := writeCkpt(e.cfg.CheckpointDir, e.c.Rank(), e.fp, st); err != nil {
+		if err := writeCkpt(e.cfg.CheckpointDir, e.c.Rank(), e.fp, e.cfg.SourceChecksum, st); err != nil {
 			// Degraded mode: losing durability on one rank must not kill
 			// the pipeline; resume degrades toward an older (or fresh)
 			// agreed window instead.

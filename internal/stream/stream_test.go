@@ -268,8 +268,8 @@ func TestCheckpointRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	st := &ckptState{window: 9, nextIdx: 12345, tree: tr, reservoir: data.Records[:50]}
-	blob := encodeCkpt(0xdeadbeef, st)
-	got, err := decodeCkpt(data.Schema, 0xdeadbeef, blob)
+	blob := encodeCkpt(0xdeadbeef, 0x5ca1ab1e, st)
+	got, err := decodeCkpt(data.Schema, 0xdeadbeef, 0x5ca1ab1e, blob)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -284,10 +284,10 @@ func TestCheckpointRoundTrip(t *testing.T) {
 			t.Fatalf("reservoir record %d class differs", i)
 		}
 	}
-	if _, err := decodeCkpt(data.Schema, 0xfeedface, blob); err == nil {
+	if _, err := decodeCkpt(data.Schema, 0xfeedface, 0x5ca1ab1e, blob); err == nil {
 		t.Error("fingerprint mismatch accepted")
 	}
-	if _, err := decodeCkpt(data.Schema, 0xdeadbeef, blob[:20]); err == nil {
+	if _, err := decodeCkpt(data.Schema, 0xdeadbeef, 0x5ca1ab1e, blob[:20]); err == nil {
 		t.Error("truncated checkpoint accepted")
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
@@ -18,7 +19,46 @@ import (
 //	hdrLen  u32
 //	header  hdrLen bytes of JSON (schemaHeader)
 //	tree    remaining bytes (Encode format)
+//	footer  8 bytes: "pCMF" + CRC-32C(everything above), LE
+//
+// The footer (added by the data-plane integrity work) lets loaders reject
+// *any* bit flip, not just flips that happen to break decoding; files
+// written before it exist without a footer and still load.
 const modelMagic uint32 = 0x70434d31
+
+// ModelMagic is modelMagic for scrubbers: the little-endian u32 that
+// begins every serialised model file.
+const ModelMagic = modelMagic
+
+// footerMagic tags the 8-byte checksum footer.
+const footerMagic = "pCMF"
+
+var modelCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// AppendChecksum appends the integrity footer ("pCMF" + CRC-32C of body)
+// to body and returns it. Paired with StripChecksum.
+func AppendChecksum(body []byte) []byte {
+	var f [8]byte
+	copy(f[:], footerMagic)
+	binary.LittleEndian.PutUint32(f[4:], crc32.Checksum(body, modelCRCTable))
+	return append(body, f[:]...)
+}
+
+// StripChecksum validates and removes the integrity footer, if present.
+// Bodies without a footer pass through unchanged with hadFooter=false
+// (pre-integrity files); a footer whose checksum does not match the body
+// is an error naming the expected and actual CRC.
+func StripChecksum(body []byte) (payload []byte, hadFooter bool, err error) {
+	if len(body) < 8 || string(body[len(body)-8:len(body)-4]) != footerMagic {
+		return body, false, nil
+	}
+	payload = body[:len(body)-8]
+	want := binary.LittleEndian.Uint32(body[len(body)-4:])
+	if got := crc32.Checksum(payload, modelCRCTable); got != want {
+		return nil, true, fmt.Errorf("tree: model checksum mismatch (want %08x got %08x)", want, got)
+	}
+	return payload, true, nil
+}
 
 // schemaHeader is the JSON-serialisable form of a schema.
 type schemaHeader struct {
@@ -57,57 +97,56 @@ func (h schemaHeader) schema() (*record.Schema, error) {
 	return record.NewSchema(attrs, h.Classes)
 }
 
-// Write serialises the model (schema + tree) to w.
+// Write serialises the model (schema + tree + checksum footer) to w.
 func Write(w io.Writer, t *Tree) error {
 	hdr, err := json.Marshal(headerOf(t.Schema))
 	if err != nil {
 		return fmt.Errorf("tree: encoding schema: %w", err)
 	}
+	blob := Encode(t)
+	body := make([]byte, 0, 8+len(hdr)+len(blob)+8)
 	var b8 [8]byte
 	binary.LittleEndian.PutUint32(b8[0:], modelMagic)
 	binary.LittleEndian.PutUint32(b8[4:], uint32(len(hdr)))
-	if _, err := w.Write(b8[:]); err != nil {
-		return err
-	}
-	if _, err := w.Write(hdr); err != nil {
-		return err
-	}
-	if _, err := w.Write(Encode(t)); err != nil {
+	body = append(body, b8[:]...)
+	body = append(body, hdr...)
+	body = append(body, blob...)
+	if _, err := w.Write(AppendChecksum(body)); err != nil {
 		return err
 	}
 	return nil
 }
 
-// Read parses a model written by Write.
+// Read parses a model written by Write, verifying the checksum footer when
+// one is present (files written before the footer existed still load).
 func Read(r io.Reader) (*Tree, error) {
-	var b8 [8]byte
-	if _, err := io.ReadFull(r, b8[:]); err != nil {
-		return nil, fmt.Errorf("tree: reading model header: %w", err)
+	all, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
 	}
-	if m := binary.LittleEndian.Uint32(b8[0:]); m != modelMagic {
+	body, _, err := StripChecksum(all)
+	if err != nil {
+		return nil, err
+	}
+	if len(body) < 8 {
+		return nil, fmt.Errorf("tree: model truncated: %d bytes", len(body))
+	}
+	if m := binary.LittleEndian.Uint32(body[0:]); m != modelMagic {
 		return nil, fmt.Errorf("tree: bad model magic %#x", m)
 	}
-	hdrLen := binary.LittleEndian.Uint32(b8[4:])
-	if hdrLen > 1<<20 {
+	hdrLen := binary.LittleEndian.Uint32(body[4:])
+	if hdrLen > 1<<20 || int64(hdrLen) > int64(len(body)-8) {
 		return nil, fmt.Errorf("tree: implausible model header length %d", hdrLen)
 	}
-	hdr := make([]byte, hdrLen)
-	if _, err := io.ReadFull(r, hdr); err != nil {
-		return nil, fmt.Errorf("tree: reading model schema: %w", err)
-	}
 	var h schemaHeader
-	if err := json.Unmarshal(hdr, &h); err != nil {
+	if err := json.Unmarshal(body[8:8+hdrLen], &h); err != nil {
 		return nil, fmt.Errorf("tree: decoding model schema: %w", err)
 	}
 	schema, err := h.schema()
 	if err != nil {
 		return nil, err
 	}
-	blob, err := io.ReadAll(r)
-	if err != nil {
-		return nil, err
-	}
-	return Decode(schema, blob)
+	return Decode(schema, body[8+hdrLen:])
 }
 
 // SaveFile writes the model to path atomically: the bytes go to a

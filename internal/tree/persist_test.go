@@ -131,3 +131,62 @@ func TestModelCorruptionDetected(t *testing.T) {
 		t.Fatal("header-only model accepted")
 	}
 }
+
+// TestModelFooterEveryBitFlipDetected: with the checksum footer in place,
+// ANY single-bit flip in a saved model must fail to load — not only flips
+// that happen to break the decoder.
+func TestModelFooterEveryBitFlipDetected(t *testing.T) {
+	tr := buildTestTree(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for bit := 0; bit < len(raw)*8; bit++ {
+		bad := append([]byte(nil), raw...)
+		bad[bit/8] ^= 1 << (bit % 8)
+		if _, err := Read(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("bit flip at byte %d bit %d loaded without error", bit/8, bit%8)
+		}
+	}
+}
+
+// TestModelLegacyWithoutFooterLoads: files written before the footer
+// existed (magic + header + blob, nothing after) must still load.
+func TestModelLegacyWithoutFooterLoads(t *testing.T) {
+	tr := buildTestTree(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	legacy, had, err := StripChecksum(raw)
+	if err != nil || !had {
+		t.Fatalf("written model lacks a valid footer: had=%v err=%v", had, err)
+	}
+	got, err := Read(bytes.NewReader(legacy))
+	if err != nil {
+		t.Fatalf("legacy footerless model rejected: %v", err)
+	}
+	if !Equal(tr, got) {
+		t.Fatal("legacy model roundtrip changed the tree")
+	}
+}
+
+// TestAppendStripChecksum: the footer helpers round-trip and reject a
+// mismatched body.
+func TestAppendStripChecksum(t *testing.T) {
+	body := []byte("arbitrary checkpoint artifact bytes")
+	framed := AppendChecksum(append([]byte(nil), body...))
+	got, had, err := StripChecksum(framed)
+	if err != nil || !had {
+		t.Fatalf("had=%v err=%v", had, err)
+	}
+	if !bytes.Equal(got, body) {
+		t.Fatal("payload changed")
+	}
+	framed[3] ^= 0x04
+	if _, _, err := StripChecksum(framed); err == nil {
+		t.Fatal("corrupted body passed the footer check")
+	}
+}
